@@ -1,0 +1,99 @@
+// Gradient-accuracy ablation: the quantitative backbone of the paper's
+// comparison. For both problems, compare the DP, DAL and FD gradients
+// (cosine similarity and relative magnitude against FD, the unbiased if
+// expensive reference of footnote 11). Expected shape:
+//   * DP == FD to truncation error everywhere ("gold standard" gradients);
+//   * DAL on Laplace: good direction away from the wall corners;
+//   * DAL on Navier-Stokes: degrades with Re and flips sign by Re = 100.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "control/channel_problem.hpp"
+#include "control/laplace_problem.hpp"
+#include "la/blas.hpp"
+
+namespace {
+
+double cosine(const updec::la::Vector& a, const updec::la::Vector& b) {
+  return updec::la::dot(a, b) /
+         (updec::la::nrm2(a) * updec::la::nrm2(b) + 1e-300);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace updec;
+  const CliArgs args(argc, argv);
+  const bench::Scale scale = bench::Scale::from_args(args);
+  scale.print("Ablation: gradient accuracy of DP vs DAL vs FD");
+
+  const rbf::PolyharmonicSpline kernel(3);
+  TextTable table("gradient accuracy against central finite differences");
+  table.set_header({"problem", "method", "cos(g, g_FD)",
+                    "||g|| / ||g_FD||"});
+
+  // ---- Laplace ----
+  {
+    auto problem = std::make_shared<control::LaplaceControlProblem>(
+        std::min<std::size_t>(scale.laplace_grid, 24), kernel);
+    la::Vector c = problem->initial_control();
+    c[c.size() / 3] = 0.2;
+    la::Vector g_dp, g_dal, g_fd;
+    control::make_laplace_dp(problem)->value_and_gradient(c, g_dp);
+    control::make_laplace_dal(problem)->value_and_gradient(c, g_dal);
+    control::make_laplace_fd(problem)->value_and_gradient(c, g_fd);
+    const double fd_norm = la::nrm2(g_fd);
+    table.add_row({"Laplace", "DP", TextTable::num(cosine(g_dp, g_fd), 6),
+                   TextTable::num(la::nrm2(g_dp) / fd_norm, 4)});
+    table.add_row({"Laplace", "DAL", TextTable::num(cosine(g_dal, g_fd), 4),
+                   TextTable::num(la::nrm2(g_dal) / fd_norm, 4)});
+    // Central half only: the corner Runge noise dominates the full vector.
+    la::Vector dal_c, fd_c;
+    for (std::size_t i = c.size() / 4; i < 3 * c.size() / 4; ++i) {
+      dal_c.std().push_back(g_dal[i]);
+      fd_c.std().push_back(g_fd[i]);
+    }
+    table.add_row({"Laplace", "DAL (central half)",
+                   TextTable::num(cosine(dal_c, fd_c), 4),
+                   TextTable::num(la::nrm2(dal_c) / la::nrm2(fd_c), 4)});
+  }
+
+  // ---- Navier-Stokes at Re in {10, 100}, over cloud realizations ----
+  // The continuous adjoint's quality hinges on near-boundary RBF stencils,
+  // so it swings from usable to sign-flipped across node layouts -- the
+  // "numerical errors ... should be handled with care" of section 4.
+  for (const double re : {10.0, 100.0}) {
+    for (const std::size_t nodes : {300ul, 320ul, 350ul}) {
+      pc::ChannelSpec spec;
+      spec.target_nodes = nodes;
+      pde::ChannelFlowConfig config;
+      config.reynolds = re;
+      config.refinements = 2;
+      config.steps_per_refinement = 150;
+      auto problem = std::make_shared<control::ChannelFlowControlProblem>(
+          spec, kernel, config);
+      la::Vector c = problem->initial_control();
+      for (std::size_t i = 0; i < c.size(); ++i) c[i] *= 1.1;
+      la::Vector g_dp, g_dal, g_fd;
+      control::make_channel_dp(problem)->value_and_gradient(c, g_dp);
+      control::make_channel_dal(problem)->value_and_gradient(c, g_dal);
+      control::make_channel_fd(problem)->value_and_gradient(c, g_fd);
+      const std::string tag = "NS Re=" + TextTable::num(re, 3) + " n=" +
+                              std::to_string(nodes);
+      const double fd_norm = la::nrm2(g_fd);
+      table.add_row({tag, "DP", TextTable::num(cosine(g_dp, g_fd), 6),
+                     TextTable::num(la::nrm2(g_dp) / fd_norm, 4)});
+      table.add_row({tag, "DAL", TextTable::num(cosine(g_dal, g_fd), 4),
+                     TextTable::num(la::nrm2(g_dal) / fd_norm, 4)});
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "expected: DP cosine ~ 1 in every row (exact discrete "
+               "gradients). DAL cosine is erratic -- positive on friendly "
+               "layouts, sign-flipped on others, and never matching in "
+               "magnitude: the OTD failure mode behind the paper's broken "
+               "DAL at Re=100 (section 3.2).\n";
+  return 0;
+}

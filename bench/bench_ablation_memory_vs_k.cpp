@@ -1,0 +1,87 @@
+// Memory-vs-refinements ablation (section 4): "DP as conceived in this
+// study can be memory inefficient due to storage ... the computational
+// complexity scales super-linearly with the number of refinement steps k."
+// Measure the DP tape size, process peak RSS and gradient wall-clock as a
+// function of k.
+
+#include <iostream>
+
+#include "autodiff/ops.hpp"
+#include "bench_common.hpp"
+#include "la/blas.hpp"
+#include "control/channel_problem.hpp"
+#include "pde/channel_flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace updec;
+  const CliArgs args(argc, argv);
+  const bench::Scale scale = bench::Scale::from_args(args);
+  scale.print("Ablation: DP cost vs refinements k (tape memory, time)");
+  SeriesWriter writer = bench::make_writer(args);
+
+  const rbf::PolyharmonicSpline kernel(3);
+  pc::ChannelSpec spec;
+  spec.target_nodes = std::min<std::size_t>(scale.channel_nodes, 350);
+  const pc::PointCloud cloud = pc::channel_cloud(spec);
+
+  TextTable table("DP gradient cost per evaluation vs refinements k");
+  table.set_header({"k", "pseudo-time steps", "tape nodes", "tape MiB",
+                    "peak RSS MiB", "forward+reverse (s)"});
+  Series mem_series;
+  mem_series.name = "memory_vs_k";
+  mem_series.x_label = "k";
+  mem_series.y_label = "tape MiB";
+
+  for (const std::size_t k : {1ul, 2ul, 4ul, 8ul}) {
+    pde::ChannelFlowConfig config;
+    config.reynolds = 50.0;
+    config.refinements = k;
+    config.steps_per_refinement = 100;
+    config.steady_tol = 0.0;  // force the full rollout for fair scaling
+    const pde::ChannelFlowSolver solver(cloud, kernel, config, spec);
+    const la::Vector inflow = solver.parabolic_inflow();
+
+    ad::Tape tape;
+    const Stopwatch watch;
+    const ad::VarVec c = ad::make_variables(tape, inflow);
+    const pde::FlowAd flow = solver.solve(tape, c);
+    ad::Var j = ad::dot(flow.u, flow.u);  // any scalar output
+    tape.backward(j);
+    const double seconds = watch.seconds();
+
+    table.add_row({std::to_string(k), std::to_string(flow.steps_taken),
+                   std::to_string(tape.size()),
+                   TextTable::num(to_mib(tape.memory_bytes()), 4),
+                   TextTable::num(to_mib(peak_rss_bytes()), 4),
+                   TextTable::num(seconds, 3)});
+    mem_series.x.push_back(static_cast<double>(k));
+    mem_series.y.push_back(to_mib(tape.memory_bytes()));
+
+    // The memory remedy: tape only the last refinement (gradient becomes
+    // approximate, memory stops growing with k).
+    ad::Tape tape2;
+    const ad::VarVec c2 = ad::make_variables(tape2, inflow);
+    const la::Vector g_full = ad::adjoints(c);
+    const pde::FlowAd flow2 = solver.solve_last_refinement(tape2, c2);
+    ad::Var j2 = ad::dot(flow2.u, flow2.u);
+    tape2.backward(j2);
+    const la::Vector g_trunc = ad::adjoints(c2);
+    const double cos_g =
+        la::dot(g_full, g_trunc) /
+        (la::nrm2(g_full) * la::nrm2(g_trunc) + 1e-300);
+    table.add_row({std::to_string(k) + " (truncated)",
+                   std::to_string(flow2.steps_taken),
+                   std::to_string(tape2.size()),
+                   TextTable::num(to_mib(tape2.memory_bytes()), 4),
+                   "-", "grad cos vs full: " + TextTable::num(cos_g, 3)});
+  }
+  table.print(std::cout);
+  writer.add(std::move(mem_series));
+  std::cout << "expected shape: tape nodes and memory grow linearly in the "
+               "total step count, i.e. linearly in k for fixed steps per "
+               "refinement -- with early-exit disabled; with steady-state "
+               "early exits the paper's super-linear time-vs-k behaviour "
+               "appears because later refinements converge slower.\n";
+  writer.flush();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Kernel-choice ablation (section 3): the paper picks the polyharmonic
+// cubic r^3 with degree-1 monomials to avoid shape-parameter tuning.
+// Compare kernels and augmentation degrees on the Laplace solve: accuracy
+// against the analytic solution and collocation conditioning.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "pde/laplace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace updec;
+  const CliArgs args(argc, argv);
+  const bench::Scale scale = bench::Scale::from_args(args);
+  scale.print("Ablation: RBF kernel and augmentation degree (Laplace)");
+
+  const auto grid = std::min<std::size_t>(scale.laplace_grid, 24);
+
+  struct Candidate {
+    std::string label;
+    std::unique_ptr<rbf::Kernel> kernel;
+    int degree;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"phs3, n=1 (paper)",
+                        std::make_unique<rbf::PolyharmonicSpline>(3), 1});
+  candidates.push_back({"phs3, n=2",
+                        std::make_unique<rbf::PolyharmonicSpline>(3), 2});
+  candidates.push_back({"phs5, n=1",
+                        std::make_unique<rbf::PolyharmonicSpline>(5), 1});
+  candidates.push_back({"phs5, n=2",
+                        std::make_unique<rbf::PolyharmonicSpline>(5), 2});
+  candidates.push_back({"gaussian eps=4",
+                        std::make_unique<rbf::GaussianKernel>(4.0), 1});
+  candidates.push_back({"multiquadric eps=3",
+                        std::make_unique<rbf::MultiquadricKernel>(3.0), 1});
+
+  TextTable table("Laplace state accuracy under the analytic control");
+  table.set_header({"kernel", "state max-error", "cond. estimate"});
+  for (const auto& candidate : candidates) {
+    const pde::LaplaceSolver solver(grid, *candidate.kernel,
+                                    candidate.degree);
+    la::Vector control(solver.num_control());
+    const auto xs = solver.control_x();
+    for (std::size_t i = 0; i < control.size(); ++i)
+      control[i] = pde::LaplaceSolver::analytic_control(xs[i]);
+    const la::Vector u = solver.state_at_nodes(solver.solve(control));
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < solver.cloud().size(); ++i) {
+      const auto p = solver.cloud().node(i).pos;
+      max_err = std::max(
+          max_err,
+          std::abs(u[i] - pde::LaplaceSolver::analytic_state(p.x, p.y)));
+    }
+    table.add_row({candidate.label, TextTable::sci(max_err),
+                   TextTable::sci(solver.collocation().condition_estimate())});
+  }
+  table.print(std::cout);
+  std::cout << "expected shape: the paper's phs3/n=1 is accurate without any "
+               "shape parameter; shaped kernels can beat it only when eps is "
+               "tuned, and conditioning degrades as kernels flatten.\n";
+  return 0;
+}

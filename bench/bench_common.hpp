@@ -1,0 +1,60 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared scaffolding of the reproduction benches: every binary regenerates
+/// one table or figure of the paper at a reduced default scale (minutes on
+/// one CPU core) and approaches the paper's scale with --paper-scale or
+/// explicit --grid/--nodes/--iters/--epochs flags. Series are dumped inline
+/// and, with --out <dir>, as CSV files for plotting.
+
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/memory.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace updec::bench {
+
+/// Common experiment scales derived from the CLI.
+struct Scale {
+  bool paper = false;
+  std::size_t laplace_grid;     ///< paper: 100 (10k nodes)
+  std::size_t laplace_iters;    ///< paper: 500
+  std::size_t channel_nodes;    ///< paper: 1385
+  std::size_t channel_iters;    ///< paper: 350
+  std::size_t pinn_epochs;      ///< paper: 20k (Laplace) / 100k (NS)
+  std::size_t omega_count;      ///< paper: 11 (Laplace) / 9 (NS)
+
+  static Scale from_args(const CliArgs& args) {
+    Scale s;
+    s.paper = args.flag("paper-scale");
+    s.laplace_grid = static_cast<std::size_t>(
+        args.get_int("grid", s.paper ? 100 : 32));
+    s.laplace_iters = static_cast<std::size_t>(
+        args.get_int("iters", 500));  // paper: 500; cheap at any scale
+    s.channel_nodes = static_cast<std::size_t>(
+        args.get_int("nodes", s.paper ? 1385 : 350));
+    s.channel_iters = static_cast<std::size_t>(
+        args.get_int("channel-iters", s.paper ? 350 : 60));
+    s.pinn_epochs = static_cast<std::size_t>(
+        args.get_int("epochs", s.paper ? 20000 : 800));
+    s.omega_count =
+        static_cast<std::size_t>(args.get_int("omegas", s.paper ? 11 : 5));
+    return s;
+  }
+
+  void print(const std::string& bench) const {
+    std::cout << "### " << bench << " ("
+              << (paper ? "paper scale" : "reduced scale; use --paper-scale "
+                                          "or --grid/--nodes/... to enlarge")
+              << ")\n";
+  }
+};
+
+inline SeriesWriter make_writer(const CliArgs& args) {
+  return SeriesWriter(args.get("out", ""));
+}
+
+}  // namespace updec::bench

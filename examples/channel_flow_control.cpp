@@ -1,0 +1,71 @@
+// Navier-Stokes channel inflow control (section 3.2 / fig. 1): despite
+// blowing and suction patches, find the inlet velocity that produces a
+// parabolic outflow, by differentiating through the whole projection solver.
+//
+// Run:  ./channel_flow_control [--nodes 320] [--re 50] [--iters 25]
+//       [--refinements 2] [--strategy dp|dal]
+
+#include <iostream>
+
+#include "control/channel_problem.hpp"
+#include "control/driver.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace updec;
+  const CliArgs args(argc, argv);
+
+  pc::ChannelSpec spec;
+  spec.target_nodes = static_cast<std::size_t>(args.get_int("nodes", 320));
+  pde::ChannelFlowConfig config;
+  config.reynolds = args.get_double("re", 50.0);
+  config.refinements = static_cast<std::size_t>(args.get_int("refinements", 2));
+  config.steps_per_refinement =
+      static_cast<std::size_t>(args.get_int("steps", 150));
+
+  const rbf::PolyharmonicSpline kernel(3);
+  auto problem = std::make_shared<control::ChannelFlowControlProblem>(
+      spec, kernel, config);
+  std::cout << problem->cloud().summary() << "\n";
+  std::cout << "Re = " << config.reynolds << ", k = " << config.refinements
+            << " refinements x " << config.steps_per_refinement
+            << " projection steps\n";
+
+  const std::string strategy_name = args.get("strategy", "dp");
+  std::unique_ptr<control::GradientStrategy> strategy =
+      strategy_name == "dal" ? control::make_channel_dal(problem)
+                             : control::make_channel_dp(problem);
+
+  control::DriverOptions options;
+  options.iterations = static_cast<std::size_t>(args.get_int("iters", 25));
+  options.initial_learning_rate = args.get_double("lr", 5e-2);
+  const auto result = control::optimize(*problem, *strategy, options);
+  std::cout << strategy->name() << ": J went from "
+            << result.cost_history.front() << " to " << result.final_cost
+            << " in " << result.seconds << " s\n";
+
+  // Outflow profile against the parabolic target (fig. 1 / fig. 4d).
+  const la::Vector before =
+      problem->outflow_profile(problem->initial_control());
+  const la::Vector after = problem->outflow_profile(result.control);
+  const auto& solver = problem->solver();
+  TextTable table("outflow u(Lx, y) vs target parabola");
+  table.set_header({"y", "uncontrolled", "controlled", "target"});
+  for (std::size_t q = 0; q < after.size(); ++q)
+    table.add_row({TextTable::num(solver.outlet_y()[q], 3),
+                   TextTable::num(before[q], 4), TextTable::num(after[q], 4),
+                   TextTable::num(solver.target_outflow(solver.outlet_y()[q]),
+                                  4)});
+  table.print(std::cout);
+
+  TextTable inflow("optimised inflow control c(y)");
+  inflow.set_header({"y", "initial (parabola)", "optimised"});
+  const la::Vector c0 = problem->initial_control();
+  for (std::size_t q = 0; q < result.control.size(); ++q)
+    inflow.add_row({TextTable::num(solver.inlet_y()[q], 3),
+                    TextTable::num(c0[q], 4),
+                    TextTable::num(result.control[q], 4)});
+  inflow.print(std::cout);
+  return 0;
+}

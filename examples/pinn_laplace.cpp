@@ -1,0 +1,65 @@
+// PINN example: train a physics-informed neural network for the Laplace
+// control problem (section 2.3), watch the loss components, and compare the
+// learnt control against the analytic minimiser and against an RBF solve.
+//
+// Run:  ./pinn_laplace [--epochs 600] [--omega 0.1] [--hidden 30]
+
+#include <iostream>
+
+#include "control/laplace_problem.hpp"
+#include "control/pinn_laplace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace updec;
+  const CliArgs args(argc, argv);
+
+  control::PinnConfig config;
+  const auto width = static_cast<std::size_t>(args.get_int("hidden", 30));
+  config.u_hidden = {width, width, width};  // the paper's 3x30 by default
+  config.epochs = static_cast<std::size_t>(args.get_int("epochs", 600));
+  config.learning_rate = args.get_double("lr", 1e-3);
+  config.omega = args.get_double("omega", 0.1);  // the paper's omega*
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  control::LaplacePinn pinn(config);
+  std::cout << "solution network: " << pinn.u_net().summary() << "\n"
+            << "control network:  " << pinn.c_net().summary() << "\n"
+            << "training " << config.epochs << " epochs (alternating u/c "
+            << "updates, omega = " << config.omega << ")...\n";
+  const Stopwatch watch;
+  pinn.train();
+  std::cout << "trained in " << watch.seconds() << " s\n";
+
+  const auto& history = pinn.history();
+  TextTable losses("loss components over training");
+  losses.set_header({"epoch", "total", "PDE residual", "boundary", "J term"});
+  for (std::size_t e = 0; e < history.total_loss.size();
+       e += std::max<std::size_t>(1, history.total_loss.size() / 10))
+    losses.add_row({std::to_string(e), TextTable::sci(history.total_loss[e]),
+                    TextTable::sci(history.pde_loss[e]),
+                    TextTable::sci(history.boundary_loss[e]),
+                    TextTable::sci(history.cost_term[e])});
+  losses.print(std::cout);
+
+  // Judge the learnt control on the RBF solver (the honest metric).
+  const rbf::PolyharmonicSpline kernel(3);
+  const control::LaplaceControlProblem problem(24, kernel);
+  const auto xs = problem.solver().control_x();
+  const la::Vector c = pinn.control_at(xs);
+  TextTable compare("learnt control vs analytic minimiser");
+  compare.set_header({"x", "c_theta(x)", "c*(x)"});
+  for (std::size_t i = 0; i < xs.size();
+       i += std::max<std::size_t>(1, xs.size() / 10))
+    compare.add_row({TextTable::num(xs[i], 3), TextTable::num(c[i], 4),
+                     TextTable::num(
+                         pde::LaplaceSolver::analytic_control(xs[i]), 4)});
+  compare.print(std::cout);
+  std::cout << "J(c_theta) via the RBF solver: " << problem.cost(c) << "\n"
+            << "network-side J estimate:       " << pinn.network_cost()
+            << "\nPDE residual of u_theta:       " << pinn.pde_residual()
+            << "\n";
+  return 0;
+}

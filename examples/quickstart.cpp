@@ -1,0 +1,77 @@
+// Quickstart: a five-minute tour of the updec-cpp public API.
+//
+//  1. Build a mesh-free point cloud on the unit square.
+//  2. Solve a Poisson problem by global RBF collocation.
+//  3. Differentiate through the solver with the reverse-mode tape (the
+//     paper's differentiable-programming strategy in miniature).
+//
+// Run:  ./quickstart [--grid 16]
+
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "autodiff/ops.hpp"
+#include "la/blas.hpp"
+#include "pointcloud/generators.hpp"
+#include "rbf/collocation.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace updec;
+  const CliArgs args(argc, argv);
+  const auto grid = static_cast<std::size_t>(args.get_int("grid", 16));
+
+  // 1. A mesh-free cloud: nodes + boundary kinds + normals, no elements.
+  const pc::PointCloud cloud = pc::unit_square_grid(grid, grid);
+  std::cout << cloud.summary() << "\n";
+
+  // 2. Poisson: Lap u = f with the manufactured solution
+  //    u*(x, y) = sin(pi x) sin(pi y),  f = -2 pi^2 u*.
+  const double pi = std::numbers::pi;
+  const rbf::PolyharmonicSpline kernel(3);  // the paper's phi(r) = r^3
+  const rbf::GlobalCollocation colloc(cloud, kernel, /*poly_degree=*/1,
+                                      rbf::LinearOp::laplacian());
+  const auto exact = [&](const pc::Vec2& p) {
+    return std::sin(pi * p.x) * std::sin(pi * p.y);
+  };
+  const la::Vector rhs = colloc.assemble_rhs(
+      [&](const pc::Node& n) { return -2.0 * pi * pi * exact(n.pos); },
+      [](const pc::Node&) { return 0.0; });
+  const la::Vector coeffs = colloc.solve(rhs);
+  const la::Vector u = colloc.evaluate_at_nodes(coeffs,
+                                                rbf::LinearOp::identity());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    max_err = std::max(max_err, std::abs(u[i] - exact(cloud.node(i).pos)));
+  std::cout << "Poisson solve: max nodal error = " << max_err << "\n";
+
+  // 3. Differentiable programming: J(f) = ||u||^2 where u solves the PDE.
+  //    The tape records the solve as one custom op; a single reverse sweep
+  //    returns dJ/df for every source value -- the exact discrete gradient.
+  ad::Tape tape;
+  ad::VarVec f = ad::make_variables(tape, rhs);
+  ad::VarVec c = ad::solve(colloc.lu(), f);
+  ad::Var j = ad::dot(c, c);
+  tape.backward(j);
+  const la::Vector gradient = ad::adjoints(f);
+  std::cout << "DP gradient: J = " << j.value()
+            << ", ||dJ/df|| = " << la::nrm2(gradient)
+            << " (from one reverse sweep over " << tape.size()
+            << " tape nodes)\n";
+
+  // Sanity: the tape gradient matches a finite difference on one entry.
+  const std::size_t probe = cloud.size() / 2;
+  const double h = 1e-6;
+  la::Vector rp = rhs, rm = rhs;
+  rp[probe] += h;
+  rm[probe] -= h;
+  const auto norm2_of = [&](const la::Vector& r) {
+    const la::Vector x = colloc.lu().solve(r);
+    return la::dot(x, x);
+  };
+  const double fd = (norm2_of(rp) - norm2_of(rm)) / (2 * h);
+  std::cout << "check vs finite differences: tape = " << gradient[probe]
+            << ", fd = " << fd << "\n";
+  return 0;
+}

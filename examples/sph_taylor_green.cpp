@@ -1,0 +1,51 @@
+// Smoothed Particle Hydrodynamics demo -- the mesh-free alternative the
+// paper names in its future work (section 5): a Taylor-Green vortex in a
+// periodic box, watching kinetic energy dissipate.
+//
+// Run:  ./sph_taylor_green [--n 24] [--nu 0.02] [--steps 600]
+
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "sph/sph.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace updec;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("n", 24));
+  const auto steps = static_cast<std::size_t>(args.get_int("steps", 600));
+
+  sph::SphConfig config;
+  config.nu = args.get_double("nu", 0.02);
+  sph::Particles particles = sph::make_lattice(n, config);
+  sph::set_taylor_green(particles, config.box, 0.5);
+  const sph::SphSolver solver(config, config.box / static_cast<double>(n));
+  std::cout << particles.size() << " particles, h = " << solver.kernel().h()
+            << ", dt = " << solver.dt() << ", nu = " << config.nu << "\n";
+
+  const double e0 = sph::SphSolver::kinetic_energy(particles);
+  const double k = 2.0 * std::numbers::pi / config.box;
+  TextTable table("Taylor-Green vortex decay");
+  table.set_header({"t", "E/E0 (SPH)", "E/E0 (incompressible theory)",
+                    "momentum drift"});
+  const std::size_t chunks = 8;
+  for (std::size_t c = 0; c <= chunks; ++c) {
+    const double t =
+        solver.dt() * static_cast<double>(c * (steps / chunks));
+    const auto [px, py] = sph::SphSolver::momentum(particles);
+    table.add_row(
+        {TextTable::num(t, 3),
+         TextTable::num(sph::SphSolver::kinetic_energy(particles) / e0, 4),
+         TextTable::num(std::exp(-2.0 * config.nu * k * k * t), 4),
+         TextTable::sci(std::abs(px) + std::abs(py))});
+    if (c < chunks) solver.advance(particles, steps / chunks);
+  }
+  table.print(std::cout);
+  std::cout << "SPH decays faster than the incompressible theory at coarse "
+               "resolution (acoustic dissipation), while conserving linear "
+               "momentum to round-off.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Unsteady heat diffusion on a mesh-free cloud -- the paper's future-work
+// direction "incorporate time", built on the same RBF-FD substrate as the
+// Navier-Stokes solver. Watches an initial hot spot diffuse into the
+// steady harmonic profile set by the boundary.
+//
+// Run:  ./unsteady_heat [--grid 14] [--alpha 0.2] [--dt 0.002] [--steps 400]
+
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "la/blas.hpp"
+#include "pde/heat.hpp"
+#include "pointcloud/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace updec;
+  const CliArgs args(argc, argv);
+  const auto grid = static_cast<std::size_t>(args.get_int("grid", 14));
+  const double alpha = args.get_double("alpha", 0.2);
+  const double dt = args.get_double("dt", 2e-3);
+  const auto steps = static_cast<std::size_t>(args.get_int("steps", 400));
+
+  const pc::PointCloud cloud = pc::unit_square_grid(grid, grid);
+  const rbf::PolyharmonicSpline kernel(3);
+  const pde::HeatSolver solver(cloud, kernel, alpha, dt);
+  std::cout << cloud.summary() << "\n"
+            << "alpha = " << alpha << ", dt = " << dt << ", theta-scheme\n";
+
+  // Hot spot in the middle, cold walls except a warm right edge.
+  la::Vector u(cloud.size(), 0.0);
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const auto p = cloud.node(i).pos;
+    const double r2 = (p.x - 0.5) * (p.x - 0.5) + (p.y - 0.5) * (p.y - 0.5);
+    u[i] = std::exp(-40.0 * r2);
+  }
+  const auto boundary = [](const pc::Node& n, double) {
+    return n.tag == pc::tags::kRight ? 0.3 : 0.0;
+  };
+
+  TextTable table("field statistics over time");
+  table.set_header({"t", "max u", "energy ||u||_2", "centre value"});
+  std::size_t centre = 0;
+  double best = 1e9;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const auto p = cloud.node(i).pos;
+    const double d = std::abs(p.x - 0.5) + std::abs(p.y - 0.5);
+    if (d < best) {
+      best = d;
+      centre = i;
+    }
+  }
+  for (std::size_t s = 0; s <= steps; ++s) {
+    if (s % (steps / 8) == 0)
+      table.add_row({TextTable::num(dt * static_cast<double>(s), 3),
+                     TextTable::num(la::nrm_inf(u), 4),
+                     TextTable::num(la::nrm2(u), 4),
+                     TextTable::num(u[centre], 4)});
+    if (s < steps)
+      u = solver.step(u, boundary, dt * static_cast<double>(s));
+  }
+  table.print(std::cout);
+  std::cout << "the hot spot decays while the warm right wall establishes "
+               "the steady harmonic profile.\n";
+  return 0;
+}

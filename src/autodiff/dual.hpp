@@ -1,0 +1,138 @@
+#pragma once
+/// \file dual.hpp
+/// First-order forward-mode dual numbers, templated over the scalar type.
+///
+/// The paper defines the RBF differential operator D by applying JAX's
+/// `grad` to the kernel phi (section 2.4): users may pick any phi and get
+/// exact derivatives without deriving them symbolically. `Dual<T>` plays
+/// the same role here: evaluating phi on duals yields phi and phi' in one
+/// pass, and nesting `Dual<Dual<T>>` yields second derivatives.
+
+#include <cmath>
+
+#include "autodiff/var_math.hpp"
+
+namespace updec::ad {
+
+/// Dual number: value + one derivative channel.
+template <typename T>
+struct Dual {
+  T v;  ///< value
+  T d;  ///< derivative w.r.t. the seeded input
+
+  Dual() = default;
+  Dual(T value, T deriv) : v(std::move(value)), d(std::move(deriv)) {}
+};
+
+/// Seed helpers for the common double case.
+inline Dual<double> dual_input(double v) { return {v, 1.0}; }
+inline Dual<double> dual_constant(double v) { return {v, 0.0}; }
+
+// ---- arithmetic ----
+
+template <typename T>
+Dual<T> operator+(const Dual<T>& a, const Dual<T>& b) {
+  return {a.v + b.v, a.d + b.d};
+}
+template <typename T>
+Dual<T> operator-(const Dual<T>& a, const Dual<T>& b) {
+  return {a.v - b.v, a.d - b.d};
+}
+template <typename T>
+Dual<T> operator*(const Dual<T>& a, const Dual<T>& b) {
+  return {a.v * b.v, a.d * b.v + a.v * b.d};
+}
+template <typename T>
+Dual<T> operator/(const Dual<T>& a, const Dual<T>& b) {
+  const T inv_bv = 1.0 / b.v;
+  return {a.v * inv_bv, (a.d - a.v * inv_bv * b.d) * inv_bv};
+}
+template <typename T>
+Dual<T> operator-(const Dual<T>& a) {
+  return {-a.v, -a.d};
+}
+
+template <typename T>
+Dual<T> operator+(const Dual<T>& a, double c) {
+  return {a.v + c, a.d};
+}
+template <typename T>
+Dual<T> operator+(double c, const Dual<T>& a) {
+  return a + c;
+}
+template <typename T>
+Dual<T> operator-(const Dual<T>& a, double c) {
+  return {a.v - c, a.d};
+}
+template <typename T>
+Dual<T> operator-(double c, const Dual<T>& a) {
+  return {c - a.v, -a.d};
+}
+template <typename T>
+Dual<T> operator*(const Dual<T>& a, double c) {
+  return {a.v * c, a.d * c};
+}
+template <typename T>
+Dual<T> operator*(double c, const Dual<T>& a) {
+  return a * c;
+}
+template <typename T>
+Dual<T> operator/(const Dual<T>& a, double c) {
+  return a * (1.0 / c);
+}
+template <typename T>
+Dual<T> operator/(double c, const Dual<T>& b) {
+  const T inv = 1.0 / b.v;  // recurses for nested duals
+  return {c * inv, -1.0 * c * (inv * inv) * b.d};
+}
+
+// ---- math functions (use std:: for double, ADL for Var) ----
+
+template <typename T>
+Dual<T> sqrt(const Dual<T>& a) {
+  using std::sqrt;
+  const T s = sqrt(a.v);
+  return {s, a.d * (0.5 / s)};
+}
+
+template <typename T>
+Dual<T> exp(const Dual<T>& a) {
+  using std::exp;
+  const T e = exp(a.v);
+  return {e, a.d * e};
+}
+
+template <typename T>
+Dual<T> log(const Dual<T>& a) {
+  using std::log;
+  return {log(a.v), a.d / a.v};
+}
+
+template <typename T>
+Dual<T> sin(const Dual<T>& a) {
+  using std::cos;
+  using std::sin;
+  return {sin(a.v), a.d * cos(a.v)};
+}
+
+template <typename T>
+Dual<T> cos(const Dual<T>& a) {
+  using std::cos;
+  using std::sin;
+  return {cos(a.v), a.d * (-1.0) * sin(a.v)};
+}
+
+template <typename T>
+Dual<T> tanh(const Dual<T>& a) {
+  using std::tanh;
+  const T t = tanh(a.v);
+  return {t, a.d * (1.0 - t * t)};
+}
+
+template <typename T>
+Dual<T> pow(const Dual<T>& a, double p) {
+  using std::pow;
+  return {pow(a.v, p), a.d * (p * pow(a.v, p - 1.0))};
+}
+
+}  // namespace updec::ad

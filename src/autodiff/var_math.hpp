@@ -1,0 +1,179 @@
+#pragma once
+/// \file var_math.hpp
+/// Scalar operator overloads and math functions for ad::Var. Together with
+/// tape.hpp these make any scalar algorithm differentiable by swapping
+/// `double` for `Var` — the same trick JAX plays on NumPy programs.
+
+#include <cmath>
+
+#include "autodiff/tape.hpp"
+
+namespace updec::ad {
+
+namespace detail {
+inline Tape& same_tape(const Var& a, const Var& b) {
+  UPDEC_REQUIRE(a.tape() != nullptr && a.tape() == b.tape(),
+                "operands live on different tapes");
+  return *a.tape();
+}
+}  // namespace detail
+
+// ---- arithmetic: Var (+,-,*,/) Var ----
+
+inline Var operator+(const Var& a, const Var& b) {
+  Tape& t = detail::same_tape(a, b);
+  return t.node2(a.value() + b.value(), a.index(), 1.0, b.index(), 1.0);
+}
+
+inline Var operator-(const Var& a, const Var& b) {
+  Tape& t = detail::same_tape(a, b);
+  return t.node2(a.value() - b.value(), a.index(), 1.0, b.index(), -1.0);
+}
+
+inline Var operator*(const Var& a, const Var& b) {
+  Tape& t = detail::same_tape(a, b);
+  return t.node2(a.value() * b.value(), a.index(), b.value(), b.index(),
+                 a.value());
+}
+
+inline Var operator/(const Var& a, const Var& b) {
+  Tape& t = detail::same_tape(a, b);
+  const double inv = 1.0 / b.value();
+  return t.node2(a.value() * inv, a.index(), inv, b.index(),
+                 -a.value() * inv * inv);
+}
+
+// ---- arithmetic with double constants ----
+
+inline Var operator+(const Var& a, double c) {
+  return a.tape()->node1(a.value() + c, a.index(), 1.0);
+}
+inline Var operator+(double c, const Var& a) { return a + c; }
+
+inline Var operator-(const Var& a, double c) {
+  return a.tape()->node1(a.value() - c, a.index(), 1.0);
+}
+inline Var operator-(double c, const Var& a) {
+  return a.tape()->node1(c - a.value(), a.index(), -1.0);
+}
+
+inline Var operator*(const Var& a, double c) {
+  return a.tape()->node1(a.value() * c, a.index(), c);
+}
+inline Var operator*(double c, const Var& a) { return a * c; }
+
+inline Var operator/(const Var& a, double c) { return a * (1.0 / c); }
+inline Var operator/(double c, const Var& a) {
+  const double inv = 1.0 / a.value();
+  return a.tape()->node1(c * inv, a.index(), -c * inv * inv);
+}
+
+inline Var operator-(const Var& a) {
+  return a.tape()->node1(-a.value(), a.index(), -1.0);
+}
+inline Var operator+(const Var& a) { return a; }
+
+// ---- compound assignment ----
+
+inline Var& operator+=(Var& a, const Var& b) { return a = a + b; }
+inline Var& operator-=(Var& a, const Var& b) { return a = a - b; }
+inline Var& operator*=(Var& a, const Var& b) { return a = a * b; }
+inline Var& operator/=(Var& a, const Var& b) { return a = a / b; }
+inline Var& operator+=(Var& a, double c) { return a = a + c; }
+inline Var& operator-=(Var& a, double c) { return a = a - c; }
+inline Var& operator*=(Var& a, double c) { return a = a * c; }
+inline Var& operator/=(Var& a, double c) { return a = a / c; }
+
+// ---- comparisons (forward values; branching is fine, as in any AD tracer) --
+
+inline bool operator<(const Var& a, const Var& b) { return a.value() < b.value(); }
+inline bool operator>(const Var& a, const Var& b) { return a.value() > b.value(); }
+inline bool operator<(const Var& a, double c) { return a.value() < c; }
+inline bool operator>(const Var& a, double c) { return a.value() > c; }
+inline bool operator<(double c, const Var& a) { return c < a.value(); }
+inline bool operator>(double c, const Var& a) { return c > a.value(); }
+
+// ---- math functions ----
+
+inline Var exp(const Var& a) {
+  const double e = std::exp(a.value());
+  return a.tape()->node1(e, a.index(), e);
+}
+
+inline Var log(const Var& a) {
+  return a.tape()->node1(std::log(a.value()), a.index(), 1.0 / a.value());
+}
+
+inline Var sqrt(const Var& a) {
+  const double s = std::sqrt(a.value());
+  return a.tape()->node1(s, a.index(), 0.5 / s);
+}
+
+inline Var sin(const Var& a) {
+  return a.tape()->node1(std::sin(a.value()), a.index(), std::cos(a.value()));
+}
+
+inline Var cos(const Var& a) {
+  return a.tape()->node1(std::cos(a.value()), a.index(), -std::sin(a.value()));
+}
+
+inline Var tan(const Var& a) {
+  const double t = std::tan(a.value());
+  return a.tape()->node1(t, a.index(), 1.0 + t * t);
+}
+
+inline Var tanh(const Var& a) {
+  const double t = std::tanh(a.value());
+  return a.tape()->node1(t, a.index(), 1.0 - t * t);
+}
+
+inline Var sinh(const Var& a) {
+  return a.tape()->node1(std::sinh(a.value()), a.index(), std::cosh(a.value()));
+}
+
+inline Var cosh(const Var& a) {
+  return a.tape()->node1(std::cosh(a.value()), a.index(), std::sinh(a.value()));
+}
+
+/// pow with a constant exponent; handles r^3-style polyharmonic kernels.
+inline Var pow(const Var& a, double p) {
+  const double v = std::pow(a.value(), p);
+  return a.tape()->node1(v, a.index(), p * std::pow(a.value(), p - 1.0));
+}
+
+inline Var pow(const Var& a, const Var& b) {
+  Tape& t = detail::same_tape(a, b);
+  const double v = std::pow(a.value(), b.value());
+  return t.node2(v, a.index(), b.value() * std::pow(a.value(), b.value() - 1.0),
+                 b.index(), v * std::log(a.value()));
+}
+
+/// |x| with subgradient sign(x) at 0 (matches JAX's convention of 0 there
+/// except we pick 0 too).
+inline Var abs(const Var& a) {
+  const double v = a.value();
+  const double s = v > 0.0 ? 1.0 : (v < 0.0 ? -1.0 : 0.0);
+  return a.tape()->node1(std::abs(v), a.index(), s);
+}
+
+inline Var max(const Var& a, double c) {
+  return a.value() >= c ? a : a.tape()->node1(c, a.index(), 0.0);
+}
+
+inline Var min(const Var& a, double c) {
+  return a.value() <= c ? a : a.tape()->node1(c, a.index(), 0.0);
+}
+
+inline Var square(const Var& a) { return a * a; }
+
+/// Detach: value flows, gradient does not (JAX's stop_gradient).
+inline Var stop_gradient(const Var& a) {
+  return a.tape()->variable(a.value());
+}
+
+// ---- helpers so generic code can treat double and Var uniformly ----
+
+inline double value_of(double x) { return x; }
+inline double value_of(const Var& x) { return x.value(); }
+
+}  // namespace updec::ad

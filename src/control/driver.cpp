@@ -1,0 +1,47 @@
+#include "control/driver.hpp"
+
+#include <memory>
+
+#include "util/log.hpp"
+#include "util/memory.hpp"
+#include "util/timer.hpp"
+
+namespace updec::control {
+
+DriverResult optimize_from(la::Vector control, GradientStrategy& strategy,
+                           const DriverOptions& options) {
+  const Stopwatch watch;
+  DriverResult result;
+  result.control = std::move(control);
+  result.cost_history.reserve(options.iterations);
+
+  auto schedule = std::make_shared<optim::PaperSchedule>(
+      options.initial_learning_rate, options.iterations);
+  optim::Adam adam(schedule);
+
+  la::Vector gradient(result.control.size());
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    const double j = strategy.value_and_gradient(result.control, gradient);
+    result.cost_history.push_back(j);
+    if (options.gradient_clip > 0.0)
+      optim::clip_by_norm(gradient, options.gradient_clip);
+    adam.step(result.control, gradient, it);
+    ++result.iterations;
+    if (options.verbose && (it % 50 == 0 || it + 1 == options.iterations))
+      log_info() << strategy.name() << " iteration " << it << ": J = " << j;
+  }
+  result.final_cost = result.cost_history.empty()
+                          ? 0.0
+                          : result.cost_history.back();
+  result.seconds = watch.seconds();
+  result.peak_rss_bytes = peak_rss_bytes();
+  return result;
+}
+
+DriverResult optimize(const ControlProblem& problem,
+                      GradientStrategy& strategy,
+                      const DriverOptions& options) {
+  return optimize_from(problem.initial_control(), strategy, options);
+}
+
+}  // namespace updec::control

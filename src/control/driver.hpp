@@ -1,0 +1,42 @@
+#pragma once
+/// \file driver.hpp
+/// The optimisation loop shared by all strategies: Adam with the paper's
+/// piecewise learning-rate schedule (divide by 10 at 50% and 75%), a cost
+/// history for the Fig. 3b / 4b curves, and wall-clock + peak-memory
+/// accounting for Table 3.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "control/problem.hpp"
+#include "optim/optimizer.hpp"
+
+namespace updec::control {
+
+struct DriverOptions {
+  std::size_t iterations = 500;    ///< paper: 500 (Laplace), 350 (NS)
+  double initial_learning_rate = 1e-2;
+  double gradient_clip = 0.0;      ///< 0 disables clipping
+  bool verbose = false;
+};
+
+struct DriverResult {
+  la::Vector control;                ///< final control c*
+  std::vector<double> cost_history;  ///< J per iteration (Fig. 3b / 4b)
+  double final_cost = 0.0;
+  double seconds = 0.0;              ///< wall-clock (Table 3 "Time")
+  std::size_t peak_rss_bytes = 0;    ///< VmHWM after the run (Table 3 "Peak mem.")
+  std::size_t iterations = 0;
+};
+
+/// Run gradient descent with `strategy` from the problem's initial control.
+DriverResult optimize(const ControlProblem& problem,
+                      GradientStrategy& strategy,
+                      const DriverOptions& options);
+
+/// Same, from an explicit starting control.
+DriverResult optimize_from(la::Vector control, GradientStrategy& strategy,
+                           const DriverOptions& options);
+
+}  // namespace updec::control

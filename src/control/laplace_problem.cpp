@@ -1,0 +1,184 @@
+#include "control/laplace_problem.hpp"
+
+#include <cmath>
+
+#include "autodiff/ops.hpp"
+#include "la/blas.hpp"
+
+namespace updec::control {
+
+using pde::LaplaceSolver;
+
+LaplaceControlProblem::LaplaceControlProblem(std::size_t grid_n,
+                                             const rbf::Kernel& kernel,
+                                             int poly_degree)
+    : solver_(grid_n, kernel, poly_degree) {}
+
+double LaplaceControlProblem::cost(const la::Vector& control) const {
+  return cost_from_flux(solver_.flux_top(solver_.solve(control)));
+}
+
+double LaplaceControlProblem::cost_from_flux(const la::Vector& flux) const {
+  const auto& w = solver_.quadrature_weights();
+  const auto& xs = solver_.top_x();
+  double j = 0.0;
+  for (std::size_t i = 0; i < flux.size(); ++i) {
+    const double d = flux[i] - LaplaceSolver::target_flux(xs[i]);
+    j += w[i] * d * d;
+  }
+  return j;
+}
+
+la::Vector LaplaceControlProblem::analytic_control() const {
+  const std::vector<double> xs = solver_.control_x();
+  la::Vector c(control_size());
+  for (std::size_t i = 0; i < c.size(); ++i)
+    c[i] = LaplaceSolver::analytic_control(xs[i]);
+  return c;
+}
+
+double LaplaceControlProblem::state_error(const la::Vector& control) const {
+  const la::Vector u = solver_.state_at_nodes(solver_.solve(control));
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < solver_.cloud().size(); ++i) {
+    const auto p = solver_.cloud().node(i).pos;
+    max_err = std::max(max_err,
+                       std::abs(u[i] - LaplaceSolver::analytic_state(p.x, p.y)));
+  }
+  return max_err;
+}
+
+namespace {
+
+/// DP: record rhs -> LU solve -> flux -> J on the tape, one reverse sweep.
+class LaplaceDpStrategy final : public GradientStrategy {
+ public:
+  explicit LaplaceDpStrategy(std::shared_ptr<const LaplaceControlProblem> p)
+      : problem_(std::move(p)) {}
+
+  [[nodiscard]] std::string name() const override { return "DP"; }
+
+  double value_and_gradient(const la::Vector& control,
+                            la::Vector& gradient) override {
+    const auto& solver = problem_->solver();
+    tape_.clear();
+    const ad::VarVec c = ad::make_variables(tape_, control);
+    const ad::VarVec coeffs = solver.solve(tape_, c);
+    const ad::VarVec flux = solver.flux_top(coeffs);
+    const auto& w = solver.quadrature_weights();
+    const auto& xs = solver.top_x();
+    ad::Var j = tape_.constant(0.0);
+    for (std::size_t i = 0; i < flux.size(); ++i) {
+      const ad::Var d = flux[i] - LaplaceSolver::target_flux(xs[i]);
+      j = j + w[i] * (d * d);
+    }
+    tape_.backward(j);
+    gradient = ad::adjoints(c);
+    peak_tape_bytes_ = std::max(peak_tape_bytes_, tape_.memory_bytes());
+    return j.value();
+  }
+
+  [[nodiscard]] std::size_t scratch_bytes() const override {
+    return peak_tape_bytes_;
+  }
+
+ private:
+  std::shared_ptr<const LaplaceControlProblem> problem_;
+  ad::Tape tape_;
+  std::size_t peak_tape_bytes_ = 0;
+};
+
+/// DAL: solve the direct problem, then the continuous adjoint
+/// Lap(lambda) = 0 with lambda(x,1) = 2 (du/dy - target), lambda = 0 at the
+/// bottom and x-periodic sides; then grad J(x) = d(lambda)/dy (x, 1).
+/// Both solves share the same collocation LU (the adjoint problem has the
+/// same operator and boundary-row structure).
+class LaplaceDalStrategy final : public GradientStrategy {
+ public:
+  explicit LaplaceDalStrategy(std::shared_ptr<const LaplaceControlProblem> p)
+      : problem_(std::move(p)) {}
+
+  [[nodiscard]] std::string name() const override { return "DAL"; }
+
+  double value_and_gradient(const la::Vector& control,
+                            la::Vector& gradient) override {
+    const auto& solver = problem_->solver();
+    const auto& colloc = solver.collocation();
+    // Direct solve.
+    const la::Vector coeffs = solver.solve(control);
+    const la::Vector flux = solver.flux_top(coeffs);
+    const double j = problem_->cost_from_flux(flux);
+
+    // Adjoint solve: Dirichlet data 2 (flux - target) on the top wall, zero
+    // on the bottom, zero on the periodic matching rows.
+    la::Vector rhs(colloc.system_size(), 0.0);
+    const auto& top = solver.top_nodes();
+    const auto& xs = solver.top_x();
+    for (std::size_t i = 0; i < top.size(); ++i)
+      rhs[top[i]] = 2.0 * (flux[i] - LaplaceSolver::target_flux(xs[i]));
+    const la::Vector adj_coeffs = colloc.lu().solve(rhs);
+
+    // Continuous gradient d(lambda)/dy on the top wall, weighted by the
+    // quadrature to approximate the discrete gradient DP computes. The two
+    // periodic corners share one control DOF, so their contributions sum.
+    const la::Vector lambda_flux = solver.flux_top(adj_coeffs);
+    gradient = la::Vector(problem_->control_size(), 0.0);
+    const auto& w = solver.quadrature_weights();
+    for (std::size_t i = 0; i < top.size(); ++i)
+      gradient[solver.control_index(i)] += w[i] * lambda_flux[i];
+    return j;
+  }
+
+ private:
+  std::shared_ptr<const LaplaceControlProblem> problem_;
+};
+
+/// FD: central differences; each probe reuses the factored LU, so one
+/// component costs two triangular solves.
+class LaplaceFdStrategy final : public GradientStrategy {
+ public:
+  LaplaceFdStrategy(std::shared_ptr<const LaplaceControlProblem> p,
+                    double step)
+      : problem_(std::move(p)), step_(step) {}
+
+  [[nodiscard]] std::string name() const override { return "FD"; }
+
+  double value_and_gradient(const la::Vector& control,
+                            la::Vector& gradient) override {
+    const double j = problem_->cost(control);
+    gradient.resize(control.size());
+    la::Vector probe = control;
+    for (std::size_t i = 0; i < control.size(); ++i) {
+      probe[i] = control[i] + step_;
+      const double jp = problem_->cost(probe);
+      probe[i] = control[i] - step_;
+      const double jm = problem_->cost(probe);
+      probe[i] = control[i];
+      gradient[i] = (jp - jm) / (2.0 * step_);
+    }
+    return j;
+  }
+
+ private:
+  std::shared_ptr<const LaplaceControlProblem> problem_;
+  double step_;
+};
+
+}  // namespace
+
+std::unique_ptr<GradientStrategy> make_laplace_dp(
+    std::shared_ptr<const LaplaceControlProblem> problem) {
+  return std::make_unique<LaplaceDpStrategy>(std::move(problem));
+}
+
+std::unique_ptr<GradientStrategy> make_laplace_dal(
+    std::shared_ptr<const LaplaceControlProblem> problem) {
+  return std::make_unique<LaplaceDalStrategy>(std::move(problem));
+}
+
+std::unique_ptr<GradientStrategy> make_laplace_fd(
+    std::shared_ptr<const LaplaceControlProblem> problem, double step) {
+  return std::make_unique<LaplaceFdStrategy>(std::move(problem), step);
+}
+
+}  // namespace updec::control

@@ -1,0 +1,57 @@
+#pragma once
+/// \file laplace_problem.hpp
+/// The Laplace boundary-control problem of section 3.1 with its three
+/// non-PINN gradient strategies:
+///  * DP  -- reverse-mode AD through the discretised RBF solve
+///           (discretise-then-optimise; the paper's gold standard),
+///  * DAL -- the hand-derived continuous adjoint Laplace problem
+///           (optimise-then-discretise),
+///  * FD  -- central finite differences (footnote 11's baseline).
+
+#include <memory>
+
+#include "control/problem.hpp"
+#include "pde/laplace.hpp"
+
+namespace updec::control {
+
+/// J(c) = integral over the top wall of |du/dy - cos(2 pi x)|^2.
+class LaplaceControlProblem final : public ControlProblem {
+ public:
+  LaplaceControlProblem(std::size_t grid_n, const rbf::Kernel& kernel,
+                        int poly_degree = 1);
+
+  [[nodiscard]] std::string name() const override { return "laplace"; }
+  [[nodiscard]] std::size_t control_size() const override {
+    return solver_.num_control();
+  }
+  [[nodiscard]] la::Vector initial_control() const override {
+    return la::Vector(control_size(), 0.0);  // paper: c identically 0
+  }
+  [[nodiscard]] double cost(const la::Vector& control) const override;
+
+  /// Cost from a precomputed top-wall flux (shared by the strategies).
+  [[nodiscard]] double cost_from_flux(const la::Vector& flux) const;
+
+  /// Analytic minimiser sampled at the control nodes (Fig. 3a reference).
+  [[nodiscard]] la::Vector analytic_control() const;
+
+  /// Max-norm state error against the analytic u* for a given control
+  /// (Fig. 3f/3g data).
+  [[nodiscard]] double state_error(const la::Vector& control) const;
+
+  [[nodiscard]] const pde::LaplaceSolver& solver() const { return solver_; }
+
+ private:
+  pde::LaplaceSolver solver_;
+};
+
+/// Factory helpers: strategies share the problem (and its factored LU).
+std::unique_ptr<GradientStrategy> make_laplace_dp(
+    std::shared_ptr<const LaplaceControlProblem> problem);
+std::unique_ptr<GradientStrategy> make_laplace_dal(
+    std::shared_ptr<const LaplaceControlProblem> problem);
+std::unique_ptr<GradientStrategy> make_laplace_fd(
+    std::shared_ptr<const LaplaceControlProblem> problem, double step = 1e-6);
+
+}  // namespace updec::control

@@ -1,0 +1,90 @@
+#include "control/omega_search.hpp"
+
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace updec::control {
+
+namespace {
+
+/// Shared search skeleton: `make` builds a PINN for a config; the PINN type
+/// must expose train(), history(), network_cost(), pde_residual(),
+/// control_at(), c_net(), set_control_network(), reset_solution_network().
+template <typename Pinn, typename MakeFn>
+OmegaSearchResult run_search(const PinnConfig& base,
+                             const std::vector<double>& omegas,
+                             const std::vector<double>& sample_locations,
+                             const ReferenceCost& reference,
+                             const MakeFn& make) {
+  OmegaSearchResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < omegas.size(); ++k) {
+    OmegaSearchEntry entry;
+    entry.omega = omegas[k];
+
+    // Step 1: joint alternating training on L + omega J.
+    PinnConfig step1 = base;
+    step1.omega = omegas[k];
+    step1.train_control = true;
+    Pinn pinn1 = make(step1);
+    pinn1.train();
+    entry.step1_network_cost = pinn1.network_cost();
+    entry.step1_pde_loss = pinn1.history().pde_loss.empty()
+                               ? 0.0
+                               : pinn1.history().pde_loss.back();
+
+    // Step 2: fresh solution network, physics-only loss, frozen control.
+    PinnConfig step2 = base;
+    step2.omega = 0.0;
+    step2.train_control = false;
+    step2.alternating = false;
+    step2.seed = base.seed + 1000 + k;
+    Pinn pinn2 = make(step2);
+    pinn2.set_control_network(pinn1.c_net());
+    pinn2.train();
+    entry.step2_network_cost = pinn2.network_cost();
+    entry.step2_pde_residual = pinn2.pde_residual();
+
+    const la::Vector control = pinn2.control_at(sample_locations);
+    entry.reference_cost = reference ? reference(control) : 0.0;
+
+    log_info() << "omega search: omega = " << entry.omega
+               << ", step-2 J = " << entry.step2_network_cost
+               << ", residual = " << entry.step2_pde_residual;
+
+    if (entry.step2_network_cost < best) {
+      best = entry.step2_network_cost;
+      result.best_index = k;
+      result.best_omega = entry.omega;
+      result.best_control = control;
+      result.best_control_net = pinn1.c_net();
+    }
+    result.entries.push_back(entry);
+  }
+  return result;
+}
+
+}  // namespace
+
+OmegaSearchResult laplace_omega_search(const PinnConfig& base,
+                                       const std::vector<double>& omegas,
+                                       const std::vector<double>& sample_xs,
+                                       const ReferenceCost& reference) {
+  return run_search<LaplacePinn>(
+      base, omegas, sample_xs, reference,
+      [](const PinnConfig& config) { return LaplacePinn(config); });
+}
+
+OmegaSearchResult channel_omega_search(
+    const PinnConfig& base, const pc::ChannelSpec& spec, double reynolds,
+    double patch_velocity, const std::vector<double>& omegas,
+    const std::vector<double>& sample_ys, const ReferenceCost& reference) {
+  return run_search<ChannelPinn>(
+      base, omegas, sample_ys, reference,
+      [&](const PinnConfig& config) {
+        return ChannelPinn(config, spec, reynolds, patch_velocity);
+      });
+}
+
+}  // namespace updec::control

@@ -1,0 +1,52 @@
+#pragma once
+/// \file omega_search.hpp
+/// The two-step line-search strategy for the PINN cost weight omega
+/// (section 2.3, after Mowlavi & Nabi [28]):
+///   step 1: for each omega, train a (u_theta, c_theta) pair on
+///           L_PDE|BC + omega * J with alternating updates;
+///   step 2: freeze each c_theta, retrain a *fresh* solution network on the
+///           physics-only loss, and pick the pair with the lowest J.
+
+#include <functional>
+#include <optional>
+
+#include "control/pinn_channel.hpp"
+#include "control/pinn_laplace.hpp"
+
+namespace updec::control {
+
+struct OmegaSearchEntry {
+  double omega = 0.0;
+  double step1_network_cost = 0.0;  ///< J via networks after step 1
+  double step1_pde_loss = 0.0;
+  double step2_network_cost = 0.0;  ///< J after the physics-only retrain
+  double step2_pde_residual = 0.0;
+  double reference_cost = 0.0;      ///< J(c) via the RBF solver, if given
+};
+
+struct OmegaSearchResult {
+  std::vector<OmegaSearchEntry> entries;  ///< one per omega (Fig. 3c-e data)
+  std::size_t best_index = 0;
+  double best_omega = 0.0;
+  la::Vector best_control;                ///< c_theta* at the sample locations
+  std::optional<nn::Mlp> best_control_net;
+};
+
+/// Optional reference evaluator: samples of c -> "true" J via an RBF solve.
+using ReferenceCost = std::function<double(const la::Vector&)>;
+
+/// Run the search for the Laplace problem. `sample_xs` are the locations at
+/// which the winning control is sampled (typically the RBF control nodes).
+OmegaSearchResult laplace_omega_search(
+    const PinnConfig& base, const std::vector<double>& omegas,
+    const std::vector<double>& sample_xs,
+    const ReferenceCost& reference = nullptr);
+
+/// Run the search for the Navier-Stokes channel problem.
+OmegaSearchResult channel_omega_search(
+    const PinnConfig& base, const pc::ChannelSpec& spec, double reynolds,
+    double patch_velocity, const std::vector<double>& omegas,
+    const std::vector<double>& sample_ys,
+    const ReferenceCost& reference = nullptr);
+
+}  // namespace updec::control

@@ -1,0 +1,235 @@
+#include "control/pinn_channel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace updec::control {
+
+namespace {
+std::vector<std::size_t> arch(std::size_t in,
+                              const std::vector<std::size_t>& hidden,
+                              std::size_t out) {
+  std::vector<std::size_t> layers;
+  layers.push_back(in);
+  layers.insert(layers.end(), hidden.begin(), hidden.end());
+  layers.push_back(out);
+  return layers;
+}
+}  // namespace
+
+ChannelPinn::ChannelPinn(const PinnConfig& config, const pc::ChannelSpec& spec,
+                         double reynolds, double patch_velocity)
+    : config_(config),
+      spec_(spec),
+      reynolds_(reynolds),
+      patch_velocity_(patch_velocity),
+      u_net_(arch(2, config.u_hidden, 3), nn::Activation::kTanh, config.seed),
+      c_net_(arch(1, config.c_hidden, 1), nn::Activation::kTanh,
+             config.seed + 1),
+      rng_(config.seed + 2) {
+  // Scattered interior collocation points.
+  interior_points_.reserve(config_.n_interior);
+  std::uint64_t index = config_.seed + 31;
+  while (interior_points_.size() < config_.n_interior) {
+    pc::Vec2 p = pc::halton2(index++);
+    p.x *= spec_.lx;
+    p.y *= spec_.ly;
+    if (p.x < 0.01 || p.x > spec_.lx - 0.01 || p.y < 0.01 ||
+        p.y > spec_.ly - 0.01)
+      continue;
+    interior_points_.push_back(p);
+  }
+  for (std::size_t i = 0; i < config_.n_boundary; ++i) {
+    const double t =
+        static_cast<double>(i) / static_cast<double>(config_.n_boundary - 1);
+    inlet_y_.push_back(t * spec_.ly);
+    wall_x_.push_back(t * spec_.lx);
+    outlet_y_.push_back(t * spec_.ly);
+  }
+  // Outlet quadrature (trapezoid over y).
+  const std::size_t nq = 48;
+  quad_y_.resize(nq);
+  quad_w_.assign(nq, spec_.ly / static_cast<double>(nq - 1));
+  for (std::size_t i = 0; i < nq; ++i)
+    quad_y_[i] = spec_.ly * static_cast<double>(i) / static_cast<double>(nq - 1);
+  quad_w_.front() *= 0.5;
+  quad_w_.back() *= 0.5;
+
+  schedule_ = std::make_shared<optim::PaperSchedule>(config_.learning_rate,
+                                                     config_.epochs);
+  adam_u_ = std::make_unique<optim::Adam>(schedule_);
+  adam_c_ = std::make_unique<optim::Adam>(schedule_);
+}
+
+double ChannelPinn::target_outflow(double y) const {
+  return 4.0 * y * (spec_.ly - y) / (spec_.ly * spec_.ly);
+}
+
+double ChannelPinn::patch_v(double x, bool bottom) const {
+  const double start = bottom ? spec_.blow_start : spec_.suction_start;
+  const double end = bottom ? spec_.blow_end : spec_.suction_end;
+  const double t = (x - start) / (end - start);
+  if (t <= 0.0 || t >= 1.0) return 0.0;
+  const double s = std::sin(std::numbers::pi * t);
+  return patch_velocity_ * s * s;
+}
+
+void ChannelPinn::reset_solution_network(std::uint64_t seed) {
+  u_net_.reinitialize(seed);
+  adam_u_->reset();
+  adam_c_->reset();
+  history_ = PinnHistory{};
+}
+
+ChannelPinn::EpochLosses ChannelPinn::epoch_step(std::size_t epoch) {
+  using ad::Var;
+  namespace pd = pinn_detail;
+  ad::Tape& tape = tape_;
+  tape.clear();
+  const ad::VarVec theta_u =
+      ad::make_variables(tape, la::Vector(u_net_.parameters()));
+  const ad::VarVec theta_c =
+      ad::make_variables(tape, la::Vector(c_net_.parameters()));
+  const std::span<const Var> tu(theta_u);
+  const std::span<const Var> tc(theta_c);
+  const double nu = 1.0 / reynolds_;
+
+  // ---- NS residuals on an interior mini-batch ----
+  Var pde_loss = tape.constant(0.0);
+  const auto batch = rng_.sample_without_replacement(
+      interior_points_.size(),
+      std::min(config_.batch_interior, interior_points_.size()));
+  for (const std::size_t k : batch) {
+    const auto out = pd::eval_dual2(u_net_, tu, tape, interior_points_[k].x,
+                                    interior_points_[k].y);
+    const auto& u = out[0];
+    const auto& v = out[1];
+    const auto& p = out[2];
+    const Var rx = u.v * u.gx + v.v * u.gy + p.gx - nu * (u.hxx + u.hyy);
+    const Var ry = u.v * v.gx + v.v * v.gy + p.gy - nu * (v.hxx + v.hyy);
+    const Var rc = u.gx + v.gy;
+    pde_loss = pde_loss + rx * rx + ry * ry + rc * rc;
+  }
+  pde_loss = pde_loss * (1.0 / static_cast<double>(batch.size()));
+
+  // ---- boundary penalties ----
+  Var bc_loss = tape.constant(0.0);
+  const std::size_t nb = std::min(config_.batch_boundary, wall_x_.size());
+  const auto bidx = rng_.sample_without_replacement(wall_x_.size(), nb);
+  for (const std::size_t k : bidx) {
+    // Inlet: u = c_theta(y), v = 0.
+    const double yi = inlet_y_[k];
+    const auto in_val = pd::eval_value(u_net_, tu, tape, 0.0, yi);
+    const auto c_val = pd::eval_value1d(c_net_, tc, tape, yi);
+    const Var diu = in_val[0] - c_val[0];
+    bc_loss = bc_loss + diu * diu + in_val[1] * in_val[1];
+    // Walls: no-slip u, prescribed v (patch bumps).
+    const double xw = wall_x_[k];
+    const auto bot = pd::eval_value(u_net_, tu, tape, xw, 0.0);
+    const auto top = pd::eval_value(u_net_, tu, tape, xw, spec_.ly);
+    const Var dbv = bot[1] - patch_v(xw, true);
+    const Var dtv = top[1] - patch_v(xw, false);
+    bc_loss = bc_loss + bot[0] * bot[0] + dbv * dbv + top[0] * top[0] +
+              dtv * dtv;
+    // Outlet: p = 0 (Dirichlet) and homogeneous Neumann du/dx = dv/dx = 0.
+    const double yo = outlet_y_[k];
+    const auto ox = pd::eval_dual1(u_net_, tu, tape, spec_.lx, yo, 1.0, 0.0);
+    bc_loss = bc_loss + ox[2].v * ox[2].v + ox[0].d * ox[0].d +
+              ox[1].d * ox[1].d;
+  }
+  bc_loss = bc_loss * (1.0 / static_cast<double>(nb));
+
+  // ---- cost objective J on the outlet quadrature ----
+  Var cost = tape.constant(0.0);
+  for (std::size_t i = 0; i < quad_y_.size(); ++i) {
+    const auto out =
+        pd::eval_value(u_net_, tu, tape, spec_.lx, quad_y_[i]);
+    const Var du = out[0] - target_outflow(quad_y_[i]);
+    const Var dv = out[1];
+    cost = cost + 0.5 * quad_w_[i] * (du * du + dv * dv);
+  }
+
+  Var total = pde_loss + bc_loss + config_.omega * cost;
+  tape.backward(total);
+
+  la::Vector grad_u = ad::adjoints(theta_u);
+  la::Vector grad_c = ad::adjoints(theta_c);
+  const bool update_u = !config_.alternating || epoch % 2 == 0 ||
+                        !config_.train_control;
+  const bool update_c = config_.train_control &&
+                        (!config_.alternating || epoch % 2 == 1);
+  if (update_u) {
+    la::Vector params_u(u_net_.parameters());
+    adam_u_->step(params_u, grad_u, epoch);
+    u_net_.set_parameters(params_u.std());
+  }
+  if (update_c) {
+    la::Vector params_c(c_net_.parameters());
+    adam_c_->step(params_c, grad_c, epoch);
+    c_net_.set_parameters(params_c.std());
+  }
+  return {total.value(), pde_loss.value(), bc_loss.value(), cost.value()};
+}
+
+void ChannelPinn::train() {
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const EpochLosses losses = epoch_step(epoch);
+    history_.total_loss.push_back(losses.total);
+    history_.pde_loss.push_back(losses.pde);
+    history_.boundary_loss.push_back(losses.boundary);
+    history_.cost_term.push_back(losses.cost);
+  }
+}
+
+la::Vector ChannelPinn::control_at(const std::vector<double>& ys) const {
+  la::Vector c(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i)
+    c[i] = c_net_.forward(std::vector<double>{ys[i]})[0];
+  return c;
+}
+
+la::Vector ChannelPinn::outflow_at(const std::vector<double>& ys) const {
+  la::Vector u(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i)
+    u[i] = u_net_.forward(std::vector<double>{spec_.lx, ys[i]})[0];
+  return u;
+}
+
+double ChannelPinn::network_cost() const {
+  double j = 0.0;
+  for (std::size_t i = 0; i < quad_y_.size(); ++i) {
+    const auto out =
+        u_net_.forward(std::vector<double>{spec_.lx, quad_y_[i]});
+    const double du = out[0] - target_outflow(quad_y_[i]);
+    j += 0.5 * quad_w_[i] * (du * du + out[1] * out[1]);
+  }
+  return j;
+}
+
+double ChannelPinn::pde_residual() const {
+  const double nu = 1.0 / reynolds_;
+  double total = 0.0;
+  std::size_t count = 0;
+  for (double x = 0.1; x < spec_.lx - 0.05; x += 0.25) {
+    for (double y = 0.1; y < spec_.ly - 0.05; y += 0.2) {
+      std::vector<ad::Dual2<double>> in = {ad::dual2_x(x), ad::dual2_y(y)};
+      const auto out = u_net_.forward<ad::Dual2<double>, double>(
+          std::span<const double>(u_net_.parameters()),
+          std::span<const ad::Dual2<double>>(in),
+          [](double w) { return ad::dual2_constant(w); });
+      const auto& u = out[0];
+      const auto& v = out[1];
+      const auto& p = out[2];
+      const double rx =
+          u.v * u.gx + v.v * u.gy + p.gx - nu * (u.hxx + u.hyy);
+      const double ry =
+          u.v * v.gx + v.v * v.gy + p.gy - nu * (v.hxx + v.hyy);
+      const double rc = u.gx + v.gy;
+      total += rx * rx + ry * ry + rc * rc;
+      ++count;
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace updec::control

@@ -1,0 +1,82 @@
+#pragma once
+/// \file pinn_channel.hpp
+/// PINN solver for the Navier-Stokes channel problem (section 3.2): one
+/// network u_theta(x, y) -> (u, v, p) and a control network c_theta(y) for
+/// the inflow, trained on the stationary incompressible NS residuals plus
+/// Dirichlet/Neumann boundary penalties and omega * J (eq. (6)).
+
+#include <memory>
+
+#include "control/pinn_common.hpp"
+#include "optim/optimizer.hpp"
+#include "pointcloud/generators.hpp"
+#include "util/rng.hpp"
+
+namespace updec::control {
+
+class ChannelPinn {
+ public:
+  /// \param config PINN hyper-parameters (paper: 5x50 net, lr 1e-3).
+  /// \param spec   channel geometry (patches, dimensions).
+  /// \param reynolds Reynolds number of the flow.
+  /// \param patch_velocity peak blowing/suction speed.
+  ChannelPinn(const PinnConfig& config, const pc::ChannelSpec& spec,
+              double reynolds, double patch_velocity);
+
+  void train();
+
+  [[nodiscard]] const PinnHistory& history() const { return history_; }
+
+  /// Inflow control network sampled at given y locations.
+  [[nodiscard]] la::Vector control_at(const std::vector<double>& ys) const;
+
+  /// Network outflow u-profile at given y locations (Fig. 4d series).
+  [[nodiscard]] la::Vector outflow_at(const std::vector<double>& ys) const;
+
+  /// Network-side cost J from the outlet quadrature.
+  [[nodiscard]] double network_cost() const;
+
+  /// Mean squared NS residual on a test grid.
+  [[nodiscard]] double pde_residual() const;
+
+  void reset_solution_network(std::uint64_t seed);
+  void set_control_network(const nn::Mlp& c_net) { c_net_ = c_net; }
+
+  [[nodiscard]] const nn::Mlp& u_net() const { return u_net_; }
+  [[nodiscard]] const nn::Mlp& c_net() const { return c_net_; }
+  [[nodiscard]] const PinnConfig& config() const { return config_; }
+
+  /// Training-tape footprint of the last epoch (Table 3 memory column).
+  [[nodiscard]] std::size_t scratch_bytes() const {
+    return tape_.memory_bytes();
+  }
+
+ private:
+  struct EpochLosses {
+    double total, pde, boundary, cost;
+  };
+  EpochLosses epoch_step(std::size_t epoch);
+
+  [[nodiscard]] double target_outflow(double y) const;
+  [[nodiscard]] double patch_v(double x, bool bottom) const;
+
+  PinnConfig config_;
+  pc::ChannelSpec spec_;
+  double reynolds_;
+  double patch_velocity_;
+
+  nn::Mlp u_net_;  // (x, y) -> (u, v, p)
+  nn::Mlp c_net_;  // y -> inflow u
+  Rng rng_;
+
+  std::vector<pc::Vec2> interior_points_;
+  std::vector<double> inlet_y_, wall_x_, outlet_y_;
+  std::vector<double> quad_y_, quad_w_;  // outlet quadrature
+
+  std::unique_ptr<optim::Adam> adam_u_, adam_c_;
+  std::shared_ptr<optim::LrSchedule> schedule_;
+  PinnHistory history_;
+  ad::Tape tape_;  // reused across epochs (clear() keeps capacity)
+};
+
+}  // namespace updec::control

@@ -1,0 +1,96 @@
+#pragma once
+/// \file pinn_common.hpp
+/// Shared machinery of the PINN strategy (section 2.3): configuration,
+/// training records, and the tape-side network evaluation helpers that give
+/// exact input derivatives (forward Dual/Dual2 over reverse-mode weights).
+
+#include <vector>
+
+#include "autodiff/dual.hpp"
+#include "autodiff/dual2.hpp"
+#include "autodiff/ops.hpp"
+#include "nn/mlp.hpp"
+
+namespace updec::control {
+
+/// Hyper-parameters of one PINN training run (Tables 1 and 2 rows).
+struct PinnConfig {
+  std::vector<std::size_t> u_hidden = {30, 30, 30};  ///< paper Laplace: 3x30
+  std::vector<std::size_t> c_hidden = {20};
+  std::size_t epochs = 1000;
+  std::size_t n_interior = 800;    ///< collocation points in Omega
+  std::size_t n_boundary = 48;     ///< points per boundary segment
+  std::size_t batch_interior = 64;
+  std::size_t batch_boundary = 32;
+  double learning_rate = 1e-3;     ///< paper: 1e-3 for both problems
+  double omega = 0.1;              ///< cost weight (paper Laplace: 1e-1)
+  std::uint64_t seed = 0;
+  bool alternating = true;         ///< alternate u/c updates (section 2.3)
+  bool train_control = true;       ///< false freezes c (line-search step 2)
+};
+
+/// Per-epoch training record.
+struct PinnHistory {
+  std::vector<double> total_loss;
+  std::vector<double> pde_loss;
+  std::vector<double> boundary_loss;
+  std::vector<double> cost_term;  ///< J as seen by the network
+};
+
+namespace pinn_detail {
+
+/// Evaluate an MLP at (x, y) with tape weights and full second-order input
+/// derivatives: returns one Dual2<Var> per network output.
+inline std::vector<ad::Dual2<ad::Var>> eval_dual2(
+    const nn::Mlp& net, std::span<const ad::Var> theta, ad::Tape& tape,
+    double x, double y) {
+  const ad::Var zero = tape.constant(0.0);
+  const ad::Var one = tape.constant(1.0);
+  const std::vector<ad::Dual2<ad::Var>> inputs = {
+      {tape.constant(x), one, zero, zero, zero, zero},
+      {tape.constant(y), zero, one, zero, zero, zero}};
+  return net.forward<ad::Dual2<ad::Var>, ad::Var>(
+      theta, std::span<const ad::Dual2<ad::Var>>(inputs),
+      [&](const ad::Var& w) {
+        return ad::Dual2<ad::Var>{w, zero, zero, zero, zero, zero};
+      });
+}
+
+/// First-order directional evaluation: derivative channel seeded along
+/// (dx, dy). Cheaper than Dual2 when only one gradient is needed.
+inline std::vector<ad::Dual<ad::Var>> eval_dual1(
+    const nn::Mlp& net, std::span<const ad::Var> theta, ad::Tape& tape,
+    double x, double y, double dx, double dy) {
+  const std::vector<ad::Dual<ad::Var>> inputs = {
+      {tape.constant(x), tape.constant(dx)},
+      {tape.constant(y), tape.constant(dy)}};
+  return net.forward<ad::Dual<ad::Var>, ad::Var>(
+      theta, std::span<const ad::Dual<ad::Var>>(inputs),
+      [&](const ad::Var& w) {
+        return ad::Dual<ad::Var>{w, tape.constant(0.0)};
+      });
+}
+
+/// Plain value evaluation on the tape (Dirichlet penalties).
+inline std::vector<ad::Var> eval_value(const nn::Mlp& net,
+                                       std::span<const ad::Var> theta,
+                                       ad::Tape& tape, double x, double y) {
+  const std::vector<ad::Var> inputs = {tape.constant(x), tape.constant(y)};
+  return net.forward<ad::Var, ad::Var>(
+      theta, std::span<const ad::Var>(inputs),
+      [](const ad::Var& w) { return w; });
+}
+
+/// 1-D network evaluation (control networks c_theta).
+inline std::vector<ad::Var> eval_value1d(const nn::Mlp& net,
+                                         std::span<const ad::Var> theta,
+                                         ad::Tape& tape, double t) {
+  const std::vector<ad::Var> inputs = {tape.constant(t)};
+  return net.forward<ad::Var, ad::Var>(
+      theta, std::span<const ad::Var>(inputs),
+      [](const ad::Var& w) { return w; });
+}
+
+}  // namespace pinn_detail
+
+}  // namespace updec::control

@@ -1,0 +1,51 @@
+#pragma once
+/// \file problem.hpp
+/// Abstractions of the paper's optimal-control workflow (eq. (4)):
+/// a ControlProblem evaluates J(c) through a forward PDE solve, and a
+/// GradientStrategy produces dJ/dc by one of the paper's three routes
+/// (DAL / DP / PINN) or by finite differences (footnote 11).
+
+#include <memory>
+#include <string>
+
+#include "la/dense.hpp"
+
+namespace updec::control {
+
+/// A PDE-constrained optimal control problem over a finite-dimensional
+/// control vector (nodal boundary values).
+class ControlProblem {
+ public:
+  virtual ~ControlProblem() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::size_t control_size() const = 0;
+
+  /// The paper's starting guess (zero for Laplace, the target parabola for
+  /// Navier-Stokes).
+  [[nodiscard]] virtual la::Vector initial_control() const = 0;
+
+  /// J(c): forward solve + cost functional.
+  [[nodiscard]] virtual double cost(const la::Vector& control) const = 0;
+};
+
+/// One way of computing (J, dJ/dc). Stateful implementations (e.g. tapes)
+/// may reuse buffers across calls.
+class GradientStrategy {
+ public:
+  virtual ~GradientStrategy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Evaluate the cost and fill `gradient` (resized to control_size()).
+  virtual double value_and_gradient(const la::Vector& control,
+                                    la::Vector& gradient) = 0;
+
+  /// Method-specific scratch memory of the last evaluation in bytes (the
+  /// DP tape, for instance). 0 when the strategy holds no notable scratch.
+  /// Process-level VmHWM is monotone and cumulates across methods, so this
+  /// is the honest per-method memory number for Table 3.
+  [[nodiscard]] virtual std::size_t scratch_bytes() const { return 0; }
+};
+
+}  // namespace updec::control

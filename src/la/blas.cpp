@@ -1,0 +1,147 @@
+#include "la/blas.hpp"
+
+#include <cmath>
+
+namespace updec::la {
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  UPDEC_REQUIRE(x.size() == y.size(), "axpy size mismatch");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, Vector& x) {
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= alpha;
+}
+
+double dot(const Vector& x, const Vector& y) {
+  UPDEC_REQUIRE(x.size() == y.size(), "dot size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double nrm2(const Vector& x) { return std::sqrt(dot(x, x)); }
+
+double nrm_inf(const Vector& x) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, std::abs(x[i]));
+  return m;
+}
+
+double nrm1(const Vector& x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += std::abs(x[i]);
+  return s;
+}
+
+void gemv(double alpha, const Matrix& A, const Vector& x, double beta,
+          Vector& y) {
+  UPDEC_REQUIRE(A.cols() == x.size() && A.rows() == y.size(),
+                "gemv dimension mismatch");
+  const std::size_t m = A.rows(), n = A.cols();
+#ifdef UPDEC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(m); ++i) {
+    const double* arow = A.row(static_cast<std::size_t>(i));
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += arow[j] * x[j];
+    y[static_cast<std::size_t>(i)] =
+        alpha * s + beta * y[static_cast<std::size_t>(i)];
+  }
+}
+
+void gemv_t(double alpha, const Matrix& A, const Vector& x, double beta,
+            Vector& y) {
+  UPDEC_REQUIRE(A.rows() == x.size() && A.cols() == y.size(),
+                "gemv_t dimension mismatch");
+  const std::size_t m = A.rows(), n = A.cols();
+  if (beta == 0.0)
+    y.fill(0.0);
+  else if (beta != 1.0)
+    scal(beta, y);
+  // Row-major A: accumulate row contributions (sequential to avoid races;
+  // the transpose product is memory-bound anyway).
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = A.row(i);
+    const double xi = alpha * x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) y[j] += xi * arow[j];
+  }
+}
+
+Vector matvec(const Matrix& A, const Vector& x) {
+  Vector y(A.rows());
+  gemv(1.0, A, x, 0.0, y);
+  return y;
+}
+
+Vector matvec_t(const Matrix& A, const Vector& x) {
+  Vector y(A.cols());
+  gemv_t(1.0, A, x, 0.0, y);
+  return y;
+}
+
+void ger(double alpha, const Vector& x, const Vector& y, Matrix& A) {
+  UPDEC_REQUIRE(A.rows() == x.size() && A.cols() == y.size(),
+                "ger dimension mismatch");
+  const std::size_t m = A.rows(), n = A.cols();
+#ifdef UPDEC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(m); ++i) {
+    double* arow = A.row(static_cast<std::size_t>(i));
+    const double xi = alpha * x[static_cast<std::size_t>(i)];
+    for (std::size_t j = 0; j < n; ++j) arow[j] += xi * y[j];
+  }
+}
+
+void gemm(double alpha, const Matrix& A, const Matrix& B, double beta,
+          Matrix& C) {
+  UPDEC_REQUIRE(A.cols() == B.rows(), "gemm inner dimension mismatch");
+  UPDEC_REQUIRE(C.rows() == A.rows() && C.cols() == B.cols(),
+                "gemm output dimension mismatch");
+  const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+#ifdef UPDEC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(m); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    double* crow = C.row(i);
+    if (beta == 0.0) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
+    } else if (beta != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const double* arow = A.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = alpha * arow[p];
+      if (aip == 0.0) continue;
+      const double* brow = B.row(p);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+Matrix matmul(const Matrix& A, const Matrix& B) {
+  Matrix C(A.rows(), B.cols());
+  gemm(1.0, A, B, 0.0, C);
+  return C;
+}
+
+double nrm_fro(const Matrix& A) {
+  double s = 0.0;
+  const double* p = A.data();
+  const std::size_t n = A.rows() * A.cols();
+  for (std::size_t i = 0; i < n; ++i) s += p[i] * p[i];
+  return std::sqrt(s);
+}
+
+double residual_norm(const Matrix& A, const Vector& x, const Vector& b) {
+  Vector r = b;
+  gemv(-1.0, A, x, 1.0, r);
+  return nrm2(r);
+}
+
+}  // namespace updec::la

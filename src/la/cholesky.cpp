@@ -1,0 +1,64 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+namespace updec::la {
+
+CholeskyFactorization::CholeskyFactorization(Matrix a) {
+  UPDEC_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    UPDEC_REQUIRE(d > 0.0, "matrix is not positive definite");
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+#ifdef UPDEC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(j) + 1;
+         ii < static_cast<std::ptrdiff_t>(n); ++ii) {
+      const auto i = static_cast<std::size_t>(ii);
+      double s = a(i, j);
+      const double* ri = a.row(i);
+      const double* rj = a.row(j);
+      for (std::size_t k = 0; k < j; ++k) s -= ri[k] * rj[k];
+      a(i, j) = s * inv;
+    }
+  }
+  // Zero the strict upper triangle so the stored factor is exactly L.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) a(i, j) = 0.0;
+  l_ = std::move(a);
+}
+
+Vector CholeskyFactorization::solve(const Vector& b) const {
+  UPDEC_REQUIRE(valid(), "solve on empty factorisation");
+  UPDEC_REQUIRE(b.size() == size(), "solve dimension mismatch");
+  const std::size_t n = size();
+  Vector x = b;
+  // L y = b
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = l_.row(i);
+    double s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= row[j] * x[j];
+    x[i] = s / row[i];
+  }
+  // L^T x = y
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= l_(j, ii) * x[j];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+double CholeskyFactorization::log_determinant() const {
+  UPDEC_REQUIRE(valid(), "log_determinant on empty factorisation");
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace updec::la

@@ -1,0 +1,32 @@
+#pragma once
+/// \file cholesky.hpp
+/// Cholesky factorisation for symmetric positive-definite systems
+/// (e.g. normal equations of RBF least-squares fits, Gram matrices of
+/// strictly positive-definite kernels such as Gaussians).
+
+#include "la/dense.hpp"
+
+namespace updec::la {
+
+/// A = L L^T factorisation of an SPD matrix.
+class CholeskyFactorization {
+ public:
+  CholeskyFactorization() = default;
+
+  /// Factor. Throws updec::Error if the matrix is not positive definite.
+  explicit CholeskyFactorization(Matrix a);
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// log(det A), numerically safe for large SPD systems.
+  [[nodiscard]] double log_determinant() const;
+
+  [[nodiscard]] std::size_t size() const { return l_.rows(); }
+  [[nodiscard]] bool valid() const { return !l_.empty(); }
+
+ private:
+  Matrix l_;  // lower-triangular factor
+};
+
+}  // namespace updec::la

@@ -1,0 +1,38 @@
+#include "la/dense.hpp"
+
+namespace updec::la {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix eye(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return eye;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Vector operator+(const Vector& a, const Vector& b) {
+  UPDEC_REQUIRE(a.size() == b.size(), "vector size mismatch in +");
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+Vector operator-(const Vector& a, const Vector& b) {
+  UPDEC_REQUIRE(a.size() == b.size(), "vector size mismatch in -");
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+Vector operator*(double s, const Vector& a) {
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = s * a[i];
+  return r;
+}
+
+}  // namespace updec::la

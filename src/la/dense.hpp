@@ -1,0 +1,115 @@
+#pragma once
+/// \file dense.hpp
+/// Dense vector and row-major matrix containers.
+///
+/// These are the storage types for RBF collocation systems. They own
+/// contiguous heap buffers, expose bounds-checked access in debug builds and
+/// raw spans for kernels. All numeric work lives in blas.hpp / the solver
+/// headers; the containers stay small.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace updec::la {
+
+/// Dense column vector of doubles.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double value = 0.0) : data_(n, value) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) {
+    UPDEC_ASSERT(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    UPDEC_ASSERT(i < data_.size());
+    return data_[i];
+  }
+
+  double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  [[nodiscard]] std::span<double> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const double> span() const {
+    return {data_.data(), data_.size()};
+  }
+
+  /// Underlying std::vector (for interop with other modules).
+  [[nodiscard]] const std::vector<double>& std() const { return data_; }
+  std::vector<double>& std() { return data_; }
+
+  void resize(std::size_t n, double value = 0.0) { data_.resize(n, value); }
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double value = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    UPDEC_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    UPDEC_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Raw pointer to row i (contiguous, cols() entries).
+  double* row(std::size_t i) {
+    UPDEC_ASSERT(i < rows_);
+    return data_.data() + i * cols_;
+  }
+  [[nodiscard]] const double* row(std::size_t i) const {
+    UPDEC_ASSERT(i < rows_);
+    return data_.data() + i * cols_;
+  }
+
+  double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  /// n-by-n identity.
+  static Matrix identity(std::size_t n);
+
+  /// Transposed copy.
+  [[nodiscard]] Matrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Elementwise vector arithmetic (allocating forms; use blas.hpp in loops).
+Vector operator+(const Vector& a, const Vector& b);
+Vector operator-(const Vector& a, const Vector& b);
+Vector operator*(double s, const Vector& a);
+
+}  // namespace updec::la

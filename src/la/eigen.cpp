@@ -1,0 +1,65 @@
+#include "la/eigen.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "util/rng.hpp"
+
+namespace updec::la {
+
+PowerIterationResult power_iteration(
+    const std::function<Vector(const Vector&)>& apply, std::size_t n,
+    std::size_t max_iterations, double tol, std::uint64_t seed) {
+  UPDEC_REQUIRE(n > 0, "power iteration needs a nonempty space");
+  Rng rng(seed);
+  PowerIterationResult result;
+  Vector v(n);
+  for (auto& x : v) x = rng.normal();
+  scal(1.0 / nrm2(v), v);
+
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    Vector w = apply(v);
+    const double norm = nrm2(w);
+    UPDEC_REQUIRE(std::isfinite(norm), "power iteration diverged to non-finite");
+    if (norm == 0.0) {  // v in the kernel: dominant eigenvalue is 0
+      result.eigenvalue = 0.0;
+      result.eigenvector = v;
+      result.iterations = it + 1;
+      result.converged = true;
+      return result;
+    }
+    const double lambda_new = dot(v, w);  // Rayleigh quotient (|v| = 1)
+    scal(1.0 / norm, w);
+    const bool settled = std::abs(lambda_new - lambda) <=
+                         tol * (1.0 + std::abs(lambda_new));
+    lambda = lambda_new;
+    v = std::move(w);
+    result.iterations = it + 1;
+    if (settled && it > 2) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.eigenvalue = lambda;
+  result.eigenvector = std::move(v);
+  return result;
+}
+
+PowerIterationResult power_iteration(const Matrix& a,
+                                     std::size_t max_iterations, double tol) {
+  UPDEC_REQUIRE(a.rows() == a.cols(), "power iteration needs a square matrix");
+  return power_iteration(
+      [&a](const Vector& x) { return matvec(a, x); }, a.rows(),
+      max_iterations, tol);
+}
+
+PowerIterationResult power_iteration(const CsrMatrix& a,
+                                     std::size_t max_iterations, double tol) {
+  UPDEC_REQUIRE(a.rows() == a.cols(), "power iteration needs a square matrix");
+  return power_iteration(
+      [&a](const Vector& x) { return a.apply(x); }, a.rows(), max_iterations,
+      tol);
+}
+
+}  // namespace updec::la

@@ -1,0 +1,38 @@
+#pragma once
+/// \file eigen.hpp
+/// Dominant-eigenvalue estimation by power iteration. Used as a diagnostic
+/// for iteration maps: scattered-node RBF-FD operators can carry spurious
+/// eigenvalues with positive real part (DESIGN.md 3b), and the spectral
+/// radius of a time-stepping map certifies whether a march can diverge.
+
+#include <functional>
+
+#include "la/dense.hpp"
+#include "la/sparse.hpp"
+
+namespace updec::la {
+
+struct PowerIterationResult {
+  double eigenvalue = 0.0;  ///< dominant eigenvalue (Rayleigh quotient)
+  Vector eigenvector;       ///< normalised iterate
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Estimate the dominant (largest-magnitude) eigenvalue of the linear map
+/// `apply` acting on vectors of length n. The Rayleigh quotient is reported,
+/// so for real dominant eigenvalues the sign is recovered too.
+PowerIterationResult power_iteration(
+    const std::function<Vector(const Vector&)>& apply, std::size_t n,
+    std::size_t max_iterations = 200, double tol = 1e-10,
+    std::uint64_t seed = 1);
+
+/// Convenience overloads for explicit matrices.
+PowerIterationResult power_iteration(const Matrix& a,
+                                     std::size_t max_iterations = 200,
+                                     double tol = 1e-10);
+PowerIterationResult power_iteration(const CsrMatrix& a,
+                                     std::size_t max_iterations = 200,
+                                     double tol = 1e-10);
+
+}  // namespace updec::la

@@ -1,0 +1,281 @@
+#include "la/iterative.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+
+namespace updec::la {
+
+Preconditioner identity_preconditioner() {
+  return [](const Vector& r, Vector& z) { z = r; };
+}
+
+Preconditioner jacobi_preconditioner(const CsrMatrix& a) {
+  Vector inv_diag = a.diagonal();
+  for (std::size_t i = 0; i < inv_diag.size(); ++i)
+    inv_diag[i] = (inv_diag[i] != 0.0) ? 1.0 / inv_diag[i] : 1.0;
+  return [inv_diag](const Vector& r, Vector& z) {
+    z.resize(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = inv_diag[i] * r[i];
+  };
+}
+
+Ilu0::Ilu0(const CsrMatrix& a) {
+  UPDEC_REQUIRE(a.rows() == a.cols(), "ILU(0) requires a square matrix");
+  const std::size_t n = a.rows();
+  // Copy A; factor in place restricted to A's sparsity pattern (IKJ variant).
+  std::vector<std::size_t> row_ptr = a.row_ptr();
+  std::vector<std::size_t> col_idx = a.col_idx();
+  std::vector<double> values = a.values();
+  diag_.assign(n, static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      if (col_idx[k] == i) diag_[i] = k;
+    UPDEC_REQUIRE(diag_[i] != static_cast<std::size_t>(-1),
+                  "ILU(0) requires a structurally nonzero diagonal");
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t k = row_ptr[i];
+         k < row_ptr[i + 1] && col_idx[k] < i; ++k) {
+      const std::size_t j = col_idx[k];
+      UPDEC_REQUIRE(values[diag_[j]] != 0.0, "zero pivot in ILU(0)");
+      const double lij = values[k] / values[diag_[j]];
+      values[k] = lij;
+      // Subtract lij * row j from row i on the shared pattern only.
+      for (std::size_t kj = diag_[j] + 1; kj < row_ptr[j + 1]; ++kj) {
+        const std::size_t col = col_idx[kj];
+        // Find `col` in row i (both rows are column-sorted).
+        const auto begin =
+            col_idx.begin() + static_cast<std::ptrdiff_t>(row_ptr[i]);
+        const auto end =
+            col_idx.begin() + static_cast<std::ptrdiff_t>(row_ptr[i + 1]);
+        const auto it = std::lower_bound(begin, end, col);
+        if (it != end && *it == col)
+          values[static_cast<std::size_t>(it - col_idx.begin())] -=
+              lij * values[kj];
+      }
+    }
+  }
+  lu_ = CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                  std::move(values));
+}
+
+void Ilu0::apply(const Vector& r, Vector& z) const {
+  const std::size_t n = lu_.rows();
+  UPDEC_REQUIRE(r.size() == n, "ILU(0) apply size mismatch");
+  z = r;
+  const auto& row_ptr = lu_.row_ptr();
+  const auto& col_idx = lu_.col_idx();
+  const auto& values = lu_.values();
+  // Forward solve L y = r (unit diagonal, entries strictly left of diag).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = z[i];
+    for (std::size_t k = row_ptr[i]; k < diag_[i]; ++k)
+      s -= values[k] * z[col_idx[k]];
+    z[i] = s;
+  }
+  // Backward solve U z = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = z[ii];
+    for (std::size_t k = diag_[ii] + 1; k < row_ptr[ii + 1]; ++k)
+      s -= values[k] * z[col_idx[k]];
+    z[ii] = s / values[diag_[ii]];
+  }
+}
+
+Preconditioner Ilu0::as_preconditioner() const {
+  // The preconditioner closure shares this factorisation by value (CSR copies
+  // are cheap relative to solver lifetime and keep lifetime management simple).
+  const Ilu0 copy = *this;
+  return [copy](const Vector& r, Vector& z) { copy.apply(r, z); };
+}
+
+namespace {
+double stop_threshold(const IterativeOptions& opts, double b_norm) {
+  return std::max(opts.abs_tol, opts.rel_tol * b_norm);
+}
+}  // namespace
+
+IterativeResult cg(const CsrMatrix& a, const Vector& b,
+                   const IterativeOptions& opts, const Preconditioner& precond,
+                   std::optional<Vector> x0) {
+  const std::size_t n = b.size();
+  IterativeResult res;
+  res.x = x0.value_or(Vector(n, 0.0));
+  Vector r = b;
+  a.spmv(-1.0, res.x, 1.0, r);
+  Vector z(n);
+  precond(r, z);
+  Vector p = z;
+  double rz = dot(r, z);
+  const double tol = stop_threshold(opts, nrm2(b));
+  Vector ap(n);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    res.residual_norm = nrm2(r);
+    if (res.residual_norm <= tol) {
+      res.converged = true;
+      res.iterations = it;
+      return res;
+    }
+    a.spmv(1.0, p, 0.0, ap);
+    const double pap = dot(p, ap);
+    UPDEC_REQUIRE(pap > 0.0, "CG breakdown: matrix not SPD");
+    const double alpha = rz / pap;
+    axpy(alpha, p, res.x);
+    axpy(-alpha, ap, r);
+    precond(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  res.residual_norm = nrm2(r);
+  res.iterations = opts.max_iterations;
+  res.converged = res.residual_norm <= tol;
+  return res;
+}
+
+IterativeResult bicgstab(const CsrMatrix& a, const Vector& b,
+                         const IterativeOptions& opts,
+                         const Preconditioner& precond,
+                         std::optional<Vector> x0) {
+  const std::size_t n = b.size();
+  IterativeResult res;
+  res.x = x0.value_or(Vector(n, 0.0));
+  Vector r = b;
+  a.spmv(-1.0, res.x, 1.0, r);
+  const Vector r_hat = r;
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  Vector v(n, 0.0), p(n, 0.0), s(n), t(n), phat(n), shat(n);
+  const double tol = stop_threshold(opts, nrm2(b));
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    res.residual_norm = nrm2(r);
+    if (res.residual_norm <= tol) {
+      res.converged = true;
+      res.iterations = it;
+      return res;
+    }
+    const double rho_new = dot(r_hat, r);
+    if (rho_new == 0.0) break;  // breakdown
+    const double beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i)
+      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    precond(p, phat);
+    a.spmv(1.0, phat, 0.0, v);
+    const double rhat_v = dot(r_hat, v);
+    if (rhat_v == 0.0) break;
+    alpha = rho / rhat_v;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    if (nrm2(s) <= tol) {
+      axpy(alpha, phat, res.x);
+      r = s;
+      res.converged = true;
+      res.iterations = it + 1;
+      res.residual_norm = nrm2(r);
+      return res;
+    }
+    precond(s, shat);
+    a.spmv(1.0, shat, 0.0, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;
+    omega = dot(t, s) / tt;
+    if (omega == 0.0) break;
+    for (std::size_t i = 0; i < n; ++i)
+      res.x[i] += alpha * phat[i] + omega * shat[i];
+    for (std::size_t i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
+  }
+  res.residual_norm = nrm2(r);
+  res.iterations = opts.max_iterations;
+  res.converged = res.residual_norm <= tol;
+  return res;
+}
+
+IterativeResult gmres(const CsrMatrix& a, const Vector& b,
+                      const IterativeOptions& opts,
+                      const Preconditioner& precond,
+                      std::optional<Vector> x0) {
+  const std::size_t n = b.size();
+  const std::size_t m = std::min(opts.gmres_restart, n);
+  IterativeResult res;
+  res.x = x0.value_or(Vector(n, 0.0));
+  const double tol = stop_threshold(opts, nrm2(b));
+  std::size_t total_iters = 0;
+
+  Vector r(n), z(n), w(n), zw(n);
+  while (total_iters < opts.max_iterations) {
+    r = b;
+    a.spmv(-1.0, res.x, 1.0, r);
+    precond(r, z);
+    const double beta = nrm2(z);
+    res.residual_norm = nrm2(r);
+    if (res.residual_norm <= tol || beta == 0.0) {
+      res.converged = res.residual_norm <= tol;
+      res.iterations = total_iters;
+      return res;
+    }
+    // Arnoldi with modified Gram-Schmidt.
+    std::vector<Vector> v;
+    v.reserve(m + 1);
+    v.push_back((1.0 / beta) * z);
+    Matrix h(m + 1, m, 0.0);
+    Vector g(m + 1, 0.0);
+    g[0] = beta;
+    Vector cs(m, 0.0), sn(m, 0.0);
+    std::size_t k = 0;
+    for (; k < m && total_iters < opts.max_iterations; ++k, ++total_iters) {
+      a.spmv(1.0, v[k], 0.0, w);
+      precond(w, zw);
+      Vector vk1 = zw;
+      for (std::size_t j = 0; j <= k; ++j) {
+        h(j, k) = dot(vk1, v[j]);
+        axpy(-h(j, k), v[j], vk1);
+      }
+      h(k + 1, k) = nrm2(vk1);
+      if (h(k + 1, k) != 0.0) scal(1.0 / h(k + 1, k), vk1);
+      v.push_back(std::move(vk1));
+      // Apply accumulated Givens rotations, then compute a new one.
+      for (std::size_t j = 0; j < k; ++j) {
+        const double t1 = cs[j] * h(j, k) + sn[j] * h(j + 1, k);
+        const double t2 = -sn[j] * h(j, k) + cs[j] * h(j + 1, k);
+        h(j, k) = t1;
+        h(j + 1, k) = t2;
+      }
+      const double denom =
+          std::sqrt(h(k, k) * h(k, k) + h(k + 1, k) * h(k + 1, k));
+      if (denom == 0.0) {
+        cs[k] = 1.0;
+        sn[k] = 0.0;
+      } else {
+        cs[k] = h(k, k) / denom;
+        sn[k] = h(k + 1, k) / denom;
+      }
+      h(k, k) = cs[k] * h(k, k) + sn[k] * h(k + 1, k);
+      h(k + 1, k) = 0.0;
+      g[k + 1] = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+      if (std::abs(g[k + 1]) <= tol) {
+        ++k;
+        break;
+      }
+    }
+    // Back-substitute H y = g on the k-by-k leading block.
+    Vector y(k, 0.0);
+    for (std::size_t ii = k; ii-- > 0;) {
+      double s = g[ii];
+      for (std::size_t j = ii + 1; j < k; ++j) s -= h(ii, j) * y[j];
+      UPDEC_REQUIRE(h(ii, ii) != 0.0, "GMRES breakdown: singular Hessenberg");
+      y[ii] = s / h(ii, ii);
+    }
+    for (std::size_t j = 0; j < k; ++j) axpy(y[j], v[j], res.x);
+  }
+  r = b;
+  a.spmv(-1.0, res.x, 1.0, r);
+  res.residual_norm = nrm2(r);
+  res.iterations = total_iters;
+  res.converged = res.residual_norm <= tol;
+  return res;
+}
+
+}  // namespace updec::la

@@ -1,0 +1,72 @@
+#pragma once
+/// \file iterative.hpp
+/// Krylov iterative solvers for sparse systems: CG (SPD), BiCGSTAB and
+/// restarted GMRES(m) for nonsymmetric RBF-FD operators, with Jacobi and
+/// ILU(0) preconditioners. Used by the pressure-Poisson and implicit
+/// momentum solves when dense factorisation is too expensive.
+
+#include <functional>
+#include <optional>
+
+#include "la/sparse.hpp"
+
+namespace updec::la {
+
+/// Outcome of an iterative solve.
+struct IterativeResult {
+  Vector x;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+/// Solver tolerances and limits.
+struct IterativeOptions {
+  double rel_tol = 1e-10;
+  double abs_tol = 1e-14;
+  std::size_t max_iterations = 1000;
+  std::size_t gmres_restart = 50;
+};
+
+/// Left preconditioner interface: z = M^{-1} r.
+using Preconditioner = std::function<void(const Vector& r, Vector& z)>;
+
+/// Identity preconditioner.
+Preconditioner identity_preconditioner();
+
+/// Jacobi (diagonal) preconditioner built from A; zero diagonals map to 1.
+Preconditioner jacobi_preconditioner(const CsrMatrix& a);
+
+/// ILU(0) incomplete factorisation preconditioner (no fill-in).
+class Ilu0 {
+ public:
+  explicit Ilu0(const CsrMatrix& a);
+  void apply(const Vector& r, Vector& z) const;
+  [[nodiscard]] Preconditioner as_preconditioner() const;
+
+ private:
+  CsrMatrix lu_;                    // merged L (unit diag) and U in A's pattern
+  std::vector<std::size_t> diag_;   // index of diagonal entry per row
+};
+
+/// Conjugate gradients (requires SPD A).
+IterativeResult cg(const CsrMatrix& a, const Vector& b,
+                   const IterativeOptions& opts = {},
+                   const Preconditioner& precond = identity_preconditioner(),
+                   std::optional<Vector> x0 = std::nullopt);
+
+/// BiCGSTAB for general square A.
+IterativeResult bicgstab(const CsrMatrix& a, const Vector& b,
+                         const IterativeOptions& opts = {},
+                         const Preconditioner& precond =
+                             identity_preconditioner(),
+                         std::optional<Vector> x0 = std::nullopt);
+
+/// Restarted GMRES(m) for general square A.
+IterativeResult gmres(const CsrMatrix& a, const Vector& b,
+                      const IterativeOptions& opts = {},
+                      const Preconditioner& precond =
+                          identity_preconditioner(),
+                      std::optional<Vector> x0 = std::nullopt);
+
+}  // namespace updec::la

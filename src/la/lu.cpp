@@ -1,0 +1,170 @@
+#include "la/lu.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+
+namespace updec::la {
+
+namespace {
+/// 1-norm of a square matrix (max column absolute sum).
+double matrix_norm1(const Matrix& a) {
+  const std::size_t n = a.cols();
+  double best = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) s += std::abs(a(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+}  // namespace
+
+LuFactorization::LuFactorization(Matrix a) {
+  UPDEC_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  const std::size_t n = a.rows();
+  a_norm1_ = matrix_norm1(a);
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    std::size_t piv = k;
+    double piv_val = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(a(i, k));
+      if (v > piv_val) {
+        piv_val = v;
+        piv = i;
+      }
+    }
+    UPDEC_REQUIRE(piv_val > 0.0, "matrix is singular to working precision");
+    if (piv != k) {
+      double* rk = a.row(k);
+      double* rp = a.row(piv);
+      for (std::size_t j = 0; j < n; ++j) std::swap(rk[j], rp[j]);
+      std::swap(perm_[k], perm_[piv]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_akk = 1.0 / a(k, k);
+    // Eliminate below the pivot; rows are independent -> parallel.
+#ifdef UPDEC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(k) + 1;
+         ii < static_cast<std::ptrdiff_t>(n); ++ii) {
+      const auto i = static_cast<std::size_t>(ii);
+      const double lik = a(i, k) * inv_akk;
+      a(i, k) = lik;
+      const double* rk = a.row(k);
+      double* ri = a.row(i);
+      for (std::size_t j = k + 1; j < n; ++j) ri[j] -= lik * rk[j];
+    }
+  }
+  lu_ = std::move(a);
+}
+
+void LuFactorization::forward_substitute(Vector& x) const {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = lu_.row(i);
+    double s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= row[j] * x[j];
+    x[i] = s;  // unit diagonal on L
+  }
+}
+
+void LuFactorization::backward_substitute(Vector& x) const {
+  const std::size_t n = size();
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* row = lu_.row(ii);
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= row[j] * x[j];
+    x[ii] = s / row[ii];
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  UPDEC_REQUIRE(valid(), "solve on empty factorisation");
+  UPDEC_REQUIRE(b.size() == size(), "solve dimension mismatch");
+  const std::size_t n = size();
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  forward_substitute(x);
+  backward_substitute(x);
+  return x;
+}
+
+Vector LuFactorization::solve_transpose(const Vector& b) const {
+  UPDEC_REQUIRE(valid(), "solve_transpose on empty factorisation");
+  UPDEC_REQUIRE(b.size() == size(), "solve dimension mismatch");
+  const std::size_t n = size();
+  // A^T = (P^T L U)^T = U^T L^T P, so solve U^T y = b, L^T z = y, x = P^T z.
+  Vector y = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = y[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(j, i) * y[j];
+    y[i] = s / lu_(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(j, ii) * y[j];
+    y[ii] = s;  // unit diagonal
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = y[i];
+  return x;
+}
+
+Matrix LuFactorization::solve_many(const Matrix& b) const {
+  UPDEC_REQUIRE(b.rows() == size(), "solve_many dimension mismatch");
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    const Vector sol = solve(col);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  UPDEC_REQUIRE(valid(), "determinant on empty factorisation");
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+double LuFactorization::condition_estimate() const {
+  UPDEC_REQUIRE(valid(), "condition_estimate on empty factorisation");
+  const std::size_t n = size();
+  // Hager's estimator for ||A^-1||_1 via a few solves with A and A^T.
+  Vector x(n, 1.0 / static_cast<double>(n));
+  double est = 0.0;
+  for (int iter = 0; iter < 5; ++iter) {
+    const Vector y = solve(x);
+    est = nrm1(y);
+    Vector xi(n);
+    for (std::size_t i = 0; i < n; ++i) xi[i] = (y[i] >= 0.0) ? 1.0 : -1.0;
+    const Vector z = solve_transpose(xi);
+    // Pick the coordinate with the largest |z_j| as the next probe.
+    std::size_t jmax = 0;
+    double zmax = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (std::abs(z[j]) > zmax) {
+        zmax = std::abs(z[j]);
+        jmax = j;
+      }
+    }
+    if (zmax <= dot(z, x)) break;
+    x.fill(0.0);
+    x[jmax] = 1.0;
+  }
+  return est * a_norm1_;
+}
+
+Vector solve(Matrix a, const Vector& b) {
+  return LuFactorization(std::move(a)).solve(b);
+}
+
+}  // namespace updec::la

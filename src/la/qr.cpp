@@ -1,0 +1,80 @@
+#include "la/qr.hpp"
+
+#include <cmath>
+
+namespace updec::la {
+
+QrFactorization::QrFactorization(Matrix a) {
+  UPDEC_REQUIRE(a.rows() >= a.cols(), "QR requires rows >= cols");
+  const std::size_t m = a.rows(), n = a.cols();
+  tau_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build Householder vector for column k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += a(i, k) * a(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      tau_[k] = 0.0;
+      continue;
+    }
+    const double alpha = (a(k, k) >= 0.0) ? -norm : norm;
+    const double v0 = a(k, k) - alpha;
+    // v = (v0, a(k+1..m-1, k)); normalise so v[0] = 1.
+    for (std::size_t i = k + 1; i < m; ++i) a(i, k) /= v0;
+    tau_[k] = -v0 / alpha;  // beta = 2 / (v^T v) expressed via v0, alpha
+    a(k, k) = alpha;
+    // Apply reflector to remaining columns: A := (I - tau v v^T) A.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = a(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * a(i, j);
+      s *= tau_[k];
+      a(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) a(i, j) -= s * a(i, k);
+    }
+  }
+  qr_ = std::move(a);
+}
+
+Vector QrFactorization::apply_qt(const Vector& b) const {
+  UPDEC_REQUIRE(b.size() == rows(), "apply_qt dimension mismatch");
+  const std::size_t m = rows(), n = cols();
+  Vector y = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= tau_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+  return y;
+}
+
+Vector QrFactorization::solve_least_squares(const Vector& b) const {
+  UPDEC_REQUIRE(valid(), "solve on empty factorisation");
+  const std::size_t n = cols();
+  Vector y = apply_qt(b);
+  // Back-substitute R x = y[0..n).
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= qr_(ii, j) * x[j];
+    UPDEC_REQUIRE(qr_(ii, ii) != 0.0, "rank-deficient least-squares system");
+    x[ii] = s / qr_(ii, ii);
+  }
+  return x;
+}
+
+double QrFactorization::diagonal_ratio() const {
+  UPDEC_REQUIRE(valid(), "diagonal_ratio on empty factorisation");
+  const std::size_t n = cols();
+  double dmax = 0.0, dmin = std::abs(qr_(0, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = std::abs(qr_(i, i));
+    dmax = std::max(dmax, d);
+    dmin = std::min(dmin, d);
+  }
+  return dmax == 0.0 ? 0.0 : dmin / dmax;
+}
+
+}  // namespace updec::la

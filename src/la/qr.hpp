@@ -1,0 +1,37 @@
+#pragma once
+/// \file qr.hpp
+/// Householder QR factorisation and least-squares solves. Used for
+/// overdetermined RBF-FD stencil weight systems and as a robust fallback
+/// when collocation matrices are ill-conditioned (flat-kernel regimes).
+
+#include "la/dense.hpp"
+
+namespace updec::la {
+
+/// A = QR with Householder reflectors, m >= n.
+class QrFactorization {
+ public:
+  QrFactorization() = default;
+
+  /// Factor an m-by-n matrix with m >= n.
+  explicit QrFactorization(Matrix a);
+
+  /// Minimise ||A x - b||_2; returns x of length cols().
+  [[nodiscard]] Vector solve_least_squares(const Vector& b) const;
+
+  /// Apply Q^T to a vector of length rows().
+  [[nodiscard]] Vector apply_qt(const Vector& b) const;
+
+  /// Rank-revealing diagnostic: |R_nn| / |R_11|, small => near rank-deficient.
+  [[nodiscard]] double diagonal_ratio() const;
+
+  [[nodiscard]] std::size_t rows() const { return qr_.rows(); }
+  [[nodiscard]] std::size_t cols() const { return qr_.cols(); }
+  [[nodiscard]] bool valid() const { return !qr_.empty(); }
+
+ private:
+  Matrix qr_;           // R in the upper triangle, reflectors below
+  Vector tau_;          // reflector scalars
+};
+
+}  // namespace updec::la

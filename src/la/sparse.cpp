@@ -1,0 +1,130 @@
+#include "la/sparse.hpp"
+
+#include <algorithm>
+
+namespace updec::la {
+
+void SparseBuilder::add(std::size_t i, std::size_t j, double v) {
+  UPDEC_ASSERT(i < rows_ && j < cols_);
+  entries_.push_back({i, j, v});
+}
+
+CsrMatrix::CsrMatrix(const SparseBuilder& builder)
+    : rows_(builder.rows()), cols_(builder.cols()) {
+  // Counting sort entries into rows, then sort each row by column and merge
+  // duplicates.
+  std::vector<SparseBuilder::Entry> entries = builder.entries();
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_ptr_.assign(rows_ + 1, 0);
+  col_idx_.reserve(entries.size());
+  values_.reserve(entries.size());
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    const std::size_t r = entries[i].row, c = entries[i].col;
+    double v = entries[i].value;
+    std::size_t j = i + 1;
+    while (j < entries.size() && entries[j].row == r && entries[j].col == c) {
+      v += entries[j].value;
+      ++j;
+    }
+    col_idx_.push_back(c);
+    values_.push_back(v);
+    ++row_ptr_[r + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> row_ptr,
+                     std::vector<std::size_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  UPDEC_REQUIRE(row_ptr_.size() == rows_ + 1, "bad row_ptr length");
+  UPDEC_REQUIRE(col_idx_.size() == values_.size(), "col_idx/values mismatch");
+  UPDEC_REQUIRE(row_ptr_.back() == values_.size(), "row_ptr/nnz mismatch");
+}
+
+void CsrMatrix::spmv(double alpha, const Vector& x, double beta,
+                     Vector& y) const {
+  UPDEC_REQUIRE(x.size() == cols_ && y.size() == rows_, "spmv size mismatch");
+#ifdef UPDEC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(rows_); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      s += values_[k] * x[col_idx_[k]];
+    y[i] = alpha * s + beta * y[i];
+  }
+}
+
+Vector CsrMatrix::apply(const Vector& x) const {
+  Vector y(rows_);
+  spmv(1.0, x, 0.0, y);
+  return y;
+}
+
+void CsrMatrix::spmv_t(double alpha, const Vector& x, double beta,
+                       Vector& y) const {
+  UPDEC_REQUIRE(x.size() == rows_ && y.size() == cols_,
+                "spmv_t size mismatch");
+  if (beta == 0.0)
+    y.fill(0.0);
+  else if (beta != 1.0)
+    for (std::size_t j = 0; j < y.size(); ++j) y[j] *= beta;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = alpha * x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      y[col_idx_[k]] += xi * values_[k];
+  }
+}
+
+Vector CsrMatrix::apply_transpose(const Vector& x) const {
+  Vector y(cols_);
+  spmv_t(1.0, x, 0.0, y);
+  return y;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  SparseBuilder b(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      b.add(col_idx_[k], i, values_[k]);
+  return CsrMatrix(b);
+}
+
+Vector CsrMatrix::diagonal() const {
+  const std::size_t n = std::min(rows_, cols_);
+  Vector d(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) d[i] = at(i, i);
+  return d;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix a(rows_, cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      a(i, col_idx_[k]) += values_[k];
+  return a;
+}
+
+double CsrMatrix::at(std::size_t i, std::size_t j) const {
+  UPDEC_ASSERT(i < rows_ && j < cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i + 1]);
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+}  // namespace updec::la

@@ -1,0 +1,99 @@
+#pragma once
+/// \file sparse.hpp
+/// Compressed sparse row (CSR) matrices.
+///
+/// RBF-FD differentiation operators (Dx, Dy, Laplacian) are sparse with one
+/// stencil-sized row per node; they are assembled once per point cloud and
+/// applied thousands of times inside the projection iterations and on the
+/// DP tape, so SpMV is the hottest kernel in the Navier-Stokes experiments.
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace updec::la {
+
+/// Triplet (COO) accumulator used to build CSR matrices.
+class SparseBuilder {
+ public:
+  SparseBuilder(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  /// Accumulate value at (i, j); duplicates are summed on build().
+  void add(std::size_t i, std::size_t j, double v);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz_upper_bound() const { return entries_.size(); }
+
+  struct Entry {
+    std::size_t row, col;
+    double value;
+  };
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<Entry> entries_;
+};
+
+/// Immutable CSR sparse matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from a COO accumulator; duplicate entries are summed, explicit
+  /// zeros are kept (they matter for structural symmetry checks).
+  explicit CsrMatrix(const SparseBuilder& builder);
+
+  /// Raw CSR construction (takes ownership of the arrays).
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
+            std::vector<double> values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return rows_ == 0; }
+
+  /// y = alpha * A x + beta * y (OpenMP over rows).
+  void spmv(double alpha, const Vector& x, double beta, Vector& y) const;
+
+  /// Allocating convenience: A x.
+  [[nodiscard]] Vector apply(const Vector& x) const;
+
+  /// y = alpha * A^T x + beta * y.
+  void spmv_t(double alpha, const Vector& x, double beta, Vector& y) const;
+
+  /// Allocating convenience: A^T x.
+  [[nodiscard]] Vector apply_transpose(const Vector& x) const;
+
+  /// Transposed copy in CSR form.
+  [[nodiscard]] CsrMatrix transposed() const;
+
+  /// Extract the main diagonal (missing entries read as 0).
+  [[nodiscard]] Vector diagonal() const;
+
+  /// Densify (tests / small systems only).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Value at (i, j), 0 if not stored (binary search in the row).
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const;
+
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_idx() const {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace updec::la

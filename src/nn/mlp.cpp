@@ -1,0 +1,64 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace updec::nn {
+
+const char* to_string(Activation activation) {
+  switch (activation) {
+    case Activation::kTanh: return "tanh";
+    case Activation::kSin: return "sin";
+    case Activation::kRelu: return "relu";
+    case Activation::kIdentity: return "identity";
+  }
+  return "?";
+}
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, Activation activation,
+         std::uint64_t seed)
+    : layers_(std::move(layer_sizes)), activation_(activation) {
+  UPDEC_REQUIRE(layers_.size() >= 2, "MLP needs at least input and output");
+  for (const std::size_t width : layers_)
+    UPDEC_REQUIRE(width > 0, "layer widths must be positive");
+  std::size_t count = 0;
+  for (std::size_t layer = 0; layer + 1 < layers_.size(); ++layer)
+    count += layers_[layer] * layers_[layer + 1] + layers_[layer + 1];
+  params_.resize(count);
+  reinitialize(seed);
+}
+
+void Mlp::reinitialize(std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0x1234567ull);
+  std::size_t offset = 0;
+  for (std::size_t layer = 0; layer + 1 < layers_.size(); ++layer) {
+    const std::size_t fan_in = layers_[layer];
+    const std::size_t fan_out = layers_[layer + 1];
+    // Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+    const double a =
+        std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    for (std::size_t k = 0; k < fan_in * fan_out; ++k)
+      params_[offset + k] = rng.uniform(-a, a);
+    for (std::size_t k = 0; k < fan_out; ++k)
+      params_[offset + fan_in * fan_out + k] = 0.0;  // zero biases
+    offset += fan_in * fan_out + fan_out;
+  }
+}
+
+void Mlp::set_parameters(std::span<const double> params) {
+  UPDEC_REQUIRE(params.size() == params_.size(),
+                "parameter vector size mismatch");
+  params_.assign(params.begin(), params.end());
+}
+
+std::string Mlp::summary() const {
+  std::ostringstream os;
+  os << "Mlp(";
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    os << (i ? "x" : "") << layers_[i];
+  os << ", " << to_string(activation_) << ", " << num_parameters()
+     << " parameters)";
+  return os.str();
+}
+
+}  // namespace updec::nn

@@ -1,0 +1,133 @@
+#pragma once
+/// \file mlp.hpp
+/// Multilayer perceptrons for the PINN strategy (section 2.3). The paper's
+/// networks: 3x30 tanh for the Laplace problem (Table 1), 5x50 tanh for
+/// Navier-Stokes (Table 2), plus small 1-D control networks c_theta.
+///
+/// The forward pass is templated on the activation scalar T and the
+/// parameter scalar S, connected by a `lift` functor. This is what enables
+/// forward-over-reverse PINN residuals: evaluating with T = Dual2<Var>,
+/// S = Var carries exact input derivatives (u_x, u_xx, ...) while every
+/// coefficient stays on the reverse tape for dLoss/dtheta.
+
+#include <cmath>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace updec::nn {
+
+enum class Activation { kTanh, kSin, kRelu, kIdentity };
+
+const char* to_string(Activation activation);
+
+/// Fully connected network with a fixed activation on hidden layers and a
+/// linear output layer. Parameters are stored flat (layer by layer, weights
+/// row-major then biases) so optimisers and tapes can treat them as one
+/// vector.
+class Mlp {
+ public:
+  /// \param layer_sizes e.g. {2, 30, 30, 30, 1} for the paper's Laplace u_theta.
+  Mlp(std::vector<std::size_t> layer_sizes, Activation activation,
+      std::uint64_t seed = 0);
+
+  [[nodiscard]] const std::vector<std::size_t>& layer_sizes() const {
+    return layers_;
+  }
+  [[nodiscard]] Activation activation() const { return activation_; }
+  [[nodiscard]] std::size_t num_parameters() const { return params_.size(); }
+  [[nodiscard]] std::size_t num_inputs() const { return layers_.front(); }
+  [[nodiscard]] std::size_t num_outputs() const { return layers_.back(); }
+
+  /// Flat parameter vector (Glorot-initialised at construction).
+  [[nodiscard]] const std::vector<double>& parameters() const {
+    return params_;
+  }
+  void set_parameters(std::span<const double> params);
+
+  /// Re-initialise with a new seed (fresh network, same architecture).
+  void reinitialize(std::uint64_t seed);
+
+  /// Generic forward pass.
+  /// \param params flat parameters of scalar type S (length num_parameters()).
+  /// \param inputs network inputs of scalar type T (length num_inputs()).
+  /// \param lift   converts S -> T (identity when S == T).
+  template <typename T, typename S, typename Lift>
+  std::vector<T> forward(std::span<const S> params, std::span<const T> inputs,
+                         Lift&& lift) const {
+    UPDEC_REQUIRE(params.size() == num_parameters(),
+                  "parameter vector size mismatch");
+    UPDEC_REQUIRE(inputs.size() == num_inputs(), "input size mismatch");
+    std::vector<T> current(inputs.begin(), inputs.end());
+    std::size_t offset = 0;
+    for (std::size_t layer = 0; layer + 1 < layers_.size(); ++layer) {
+      const std::size_t fan_in = layers_[layer];
+      const std::size_t fan_out = layers_[layer + 1];
+      std::vector<T> next;
+      next.reserve(fan_out);
+      for (std::size_t j = 0; j < fan_out; ++j) {
+        // z_j = b_j + sum_i W_ji x_i  (weights row-major: W[j][i])
+        T z = lift(params[offset + fan_in * fan_out + j]);  // bias
+        for (std::size_t i = 0; i < fan_in; ++i)
+          z = z + lift(params[offset + j * fan_in + i]) * current[i];
+        const bool hidden = layer + 2 < layers_.size();
+        next.push_back(hidden ? activate(z) : z);
+      }
+      offset += fan_in * fan_out + fan_out;
+      current = std::move(next);
+    }
+    return current;
+  }
+
+  /// Convenience: plain double forward.
+  [[nodiscard]] std::vector<double> forward(
+      std::span<const double> inputs) const {
+    return forward<double, double>(std::span<const double>(params_), inputs,
+                                   [](double w) { return w; });
+  }
+
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  template <typename T>
+  T activate(const T& z) const {
+    using std::sin;
+    using std::tanh;
+    switch (activation_) {
+      case Activation::kTanh: return tanh(z);
+      case Activation::kSin: return sin(z);
+      case Activation::kRelu: return relu(z);
+      case Activation::kIdentity: return z;
+    }
+    UPDEC_REQUIRE(false, "unreachable activation");
+    return z;
+  }
+
+  // ReLU branches on the forward value: exact for double/Var, and the
+  // standard subgradient choice (0 on the inactive side) for dual types.
+  template <typename T>
+  static double value_probe(const T& z) {
+    if constexpr (std::is_arithmetic_v<T>) {
+      return static_cast<double>(z);
+    } else if constexpr (requires { z.value(); }) {
+      return z.value();
+    } else {
+      return value_probe(z.v);  // Dual / Dual2 recurse through .v
+    }
+  }
+  template <typename T>
+  static T relu(const T& z) {
+    if (value_probe(z) > 0.0) return z;
+    return z * 0.0;
+  }
+
+  std::vector<std::size_t> layers_;
+  Activation activation_;
+  std::vector<double> params_;
+};
+
+}  // namespace updec::nn

@@ -1,0 +1,105 @@
+#include "optim/lbfgs.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "la/blas.hpp"
+#include "util/error.hpp"
+
+namespace updec::optim {
+
+LbfgsResult lbfgs_minimize(const ObjectiveFn& objective, la::Vector x0,
+                           const LbfgsOptions& options) {
+  UPDEC_REQUIRE(options.history > 0, "L-BFGS history must be positive");
+  const std::size_t n = x0.size();
+  LbfgsResult result;
+  result.x = std::move(x0);
+
+  la::Vector g(n);
+  double f = objective(result.x, g);
+  result.history.push_back(f);
+
+  std::deque<la::Vector> s_hist, y_hist;
+  std::deque<double> rho_hist;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (la::nrm_inf(g) < options.gradient_tol) {
+      result.converged = true;
+      break;
+    }
+    // Two-loop recursion for the search direction d = -H g.
+    la::Vector q = g;
+    std::vector<double> alpha(s_hist.size());
+    for (std::size_t k = s_hist.size(); k-- > 0;) {
+      alpha[k] = rho_hist[k] * la::dot(s_hist[k], q);
+      la::axpy(-alpha[k], y_hist[k], q);
+    }
+    if (!y_hist.empty()) {
+      const double gamma = la::dot(s_hist.back(), y_hist.back()) /
+                           la::dot(y_hist.back(), y_hist.back());
+      la::scal(gamma, q);
+    }
+    for (std::size_t k = 0; k < s_hist.size(); ++k) {
+      const double beta = rho_hist[k] * la::dot(y_hist[k], q);
+      la::axpy(alpha[k] - beta, s_hist[k], q);
+    }
+    la::Vector d = (-1.0) * q;
+
+    // Guard against ascent directions (can happen with noisy gradients).
+    double gd = la::dot(g, d);
+    if (gd >= 0.0) {
+      d = (-1.0) * g;
+      gd = -la::dot(g, g);
+    }
+
+    // Armijo backtracking line search.
+    double step = options.initial_step;
+    la::Vector x_new(n);
+    la::Vector g_new(n);
+    double f_new = f;
+    bool accepted = false;
+    for (std::size_t bt = 0; bt < options.max_backtracks; ++bt) {
+      x_new = result.x;
+      la::axpy(step, d, x_new);
+      f_new = objective(x_new, g_new);
+      if (f_new <= f + options.armijo_c1 * step * gd) {
+        accepted = true;
+        break;
+      }
+      step *= options.backtrack_factor;
+    }
+    if (!accepted) break;  // no acceptable step: stationary to tolerance
+
+    // Curvature update. Armijo alone does not guarantee s.y > 0; when the
+    // curvature condition fails, drop the history instead of keeping a
+    // stale inverse-Hessian model (which freezes progress in curved
+    // valleys) -- the next direction falls back to scaled steepest descent.
+    la::Vector s = x_new - result.x;
+    la::Vector y = g_new - g;
+    const double sy = la::dot(s, y);
+    if (sy > 1e-10 * la::nrm2(s) * la::nrm2(y)) {
+      s_hist.push_back(std::move(s));
+      y_hist.push_back(std::move(y));
+      rho_hist.push_back(1.0 / sy);
+      if (s_hist.size() > options.history) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+        rho_hist.pop_front();
+      }
+    } else {
+      s_hist.clear();
+      y_hist.clear();
+      rho_hist.clear();
+    }
+    result.x = std::move(x_new);
+    f = f_new;
+    g = g_new;
+    result.history.push_back(f);
+    ++result.iterations;
+  }
+  result.value = f;
+  if (la::nrm_inf(g) < options.gradient_tol) result.converged = true;
+  return result;
+}
+
+}  // namespace updec::optim

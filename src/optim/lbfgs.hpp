@@ -1,0 +1,40 @@
+#pragma once
+/// \file lbfgs.hpp
+/// Limited-memory BFGS with Armijo backtracking. Not used by the paper's
+/// headline experiments (they standardise on Adam) but provided as the
+/// natural extension for the smooth Laplace control landscape, and used by
+/// the optimiser ablation bench.
+
+#include <functional>
+
+#include "la/dense.hpp"
+
+namespace updec::optim {
+
+/// Objective: returns f(x) and fills `gradient` (resized by the caller).
+using ObjectiveFn =
+    std::function<double(const la::Vector& x, la::Vector& gradient)>;
+
+struct LbfgsOptions {
+  std::size_t history = 10;        ///< stored (s, y) pairs
+  std::size_t max_iterations = 100;
+  double gradient_tol = 1e-10;     ///< stop when ||g||_inf below
+  double initial_step = 1.0;
+  double armijo_c1 = 1e-4;
+  double backtrack_factor = 0.5;
+  std::size_t max_backtracks = 30;
+};
+
+struct LbfgsResult {
+  la::Vector x;
+  double value = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  std::vector<double> history;  ///< objective per iteration
+};
+
+/// Minimise `objective` starting from x0.
+LbfgsResult lbfgs_minimize(const ObjectiveFn& objective, la::Vector x0,
+                           const LbfgsOptions& options = {});
+
+}  // namespace updec::optim

@@ -1,0 +1,81 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "util/error.hpp"
+
+namespace updec::optim {
+
+double ExponentialSchedule::rate(std::size_t iteration) const {
+  return initial_ *
+         std::pow(decay_, static_cast<double>(iteration) /
+                              static_cast<double>(period_));
+}
+
+Adam::Adam(std::shared_ptr<const LrSchedule> schedule, Options options)
+    : schedule_(std::move(schedule)), options_(options) {
+  UPDEC_REQUIRE(schedule_ != nullptr, "Adam needs a schedule");
+}
+
+void Adam::step(la::Vector& params, const la::Vector& gradient,
+                std::size_t iteration) {
+  UPDEC_REQUIRE(params.size() == gradient.size(),
+                "parameter/gradient size mismatch");
+  if (m_.size() != params.size()) {
+    m_ = la::Vector(params.size(), 0.0);
+    v_ = la::Vector(params.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double lr = schedule_->rate(iteration);
+  const double b1 = options_.beta1, b2 = options_.beta2;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = b1 * m_[i] + (1.0 - b1) * gradient[i];
+    v_[i] = b2 * v_[i] + (1.0 - b2) * gradient[i] * gradient[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= lr * mhat / (std::sqrt(vhat) + options_.epsilon);
+  }
+}
+
+void Adam::reset() {
+  m_ = la::Vector();
+  v_ = la::Vector();
+  t_ = 0;
+}
+
+Sgd::Sgd(std::shared_ptr<const LrSchedule> schedule, double momentum)
+    : schedule_(std::move(schedule)), momentum_(momentum) {
+  UPDEC_REQUIRE(schedule_ != nullptr, "SGD needs a schedule");
+}
+
+void Sgd::step(la::Vector& params, const la::Vector& gradient,
+               std::size_t iteration) {
+  UPDEC_REQUIRE(params.size() == gradient.size(),
+                "parameter/gradient size mismatch");
+  const double lr = schedule_->rate(iteration);
+  if (momentum_ == 0.0) {
+    la::axpy(-lr, gradient, params);
+    return;
+  }
+  if (velocity_.size() != params.size())
+    velocity_ = la::Vector(params.size(), 0.0);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] = momentum_ * velocity_[i] - lr * gradient[i];
+    params[i] += velocity_[i];
+  }
+}
+
+void Sgd::reset() { velocity_ = la::Vector(); }
+
+double clip_by_norm(la::Vector& gradient, double max_norm) {
+  UPDEC_REQUIRE(max_norm > 0.0, "max_norm must be positive");
+  const double norm = la::nrm2(gradient);
+  if (norm > max_norm) la::scal(max_norm / norm, gradient);
+  return norm;
+}
+
+}  // namespace updec::optim

@@ -1,0 +1,72 @@
+#pragma once
+/// \file optimizer.hpp
+/// First-order optimisers. The paper runs Adam for all three strategies
+/// (section 3) -- for DAL and DP it doubles as a robustifier against the
+/// noisy boundary gradients caused by the Runge phenomenon.
+
+#include <cstddef>
+#include <memory>
+
+#include "la/dense.hpp"
+#include "optim/schedule.hpp"
+
+namespace updec::optim {
+
+/// In-place parameter updater. Stateful (momentum buffers etc.).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update: params -= f(gradient). `iteration` indexes into the
+  /// learning-rate schedule.
+  virtual void step(la::Vector& params, const la::Vector& gradient,
+                    std::size_t iteration) = 0;
+
+  /// Reset internal state (momentum buffers, step counters).
+  virtual void reset() = 0;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  struct Options {
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+  };
+
+  explicit Adam(std::shared_ptr<const LrSchedule> schedule)
+      : Adam(std::move(schedule), Options()) {}
+  Adam(std::shared_ptr<const LrSchedule> schedule, Options options);
+
+  void step(la::Vector& params, const la::Vector& gradient,
+            std::size_t iteration) override;
+  void reset() override;
+
+ private:
+  std::shared_ptr<const LrSchedule> schedule_;
+  Options options_;
+  la::Vector m_, v_;
+  std::size_t t_ = 0;
+};
+
+/// SGD with optional classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::shared_ptr<const LrSchedule> schedule, double momentum = 0.0);
+
+  void step(la::Vector& params, const la::Vector& gradient,
+            std::size_t iteration) override;
+  void reset() override;
+
+ private:
+  std::shared_ptr<const LrSchedule> schedule_;
+  double momentum_;
+  la::Vector velocity_;
+};
+
+/// Clip the gradient to a maximum Euclidean norm (in place); returns the
+/// original norm.
+double clip_by_norm(la::Vector& gradient, double max_norm);
+
+}  // namespace updec::optim

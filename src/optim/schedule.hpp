@@ -1,0 +1,64 @@
+#pragma once
+/// \file schedule.hpp
+/// Learning-rate schedules. The paper uses one schedule everywhere
+/// (section 3): divide the initial rate by 10 after 50% of the iterations
+/// and again at 75% -- provided here as PaperSchedule.
+
+#include <cstddef>
+#include <memory>
+
+namespace updec::optim {
+
+/// Learning rate as a function of the iteration index.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  [[nodiscard]] virtual double rate(std::size_t iteration) const = 0;
+};
+
+/// Constant rate.
+class ConstantSchedule final : public LrSchedule {
+ public:
+  explicit ConstantSchedule(double rate) : rate_(rate) {}
+  [[nodiscard]] double rate(std::size_t) const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// The paper's piecewise-constant schedule: lr0, lr0/10 from 50% of the
+/// run, lr0/100 from 75%.
+class PaperSchedule final : public LrSchedule {
+ public:
+  PaperSchedule(double initial_rate, std::size_t total_iterations)
+      : initial_(initial_rate), total_(total_iterations) {}
+
+  [[nodiscard]] double rate(std::size_t iteration) const override {
+    if (total_ == 0) return initial_;
+    const double progress =
+        static_cast<double>(iteration) / static_cast<double>(total_);
+    if (progress >= 0.75) return initial_ * 0.01;
+    if (progress >= 0.50) return initial_ * 0.1;
+    return initial_;
+  }
+
+ private:
+  double initial_;
+  std::size_t total_;
+};
+
+/// Exponential decay: lr0 * decay^(iteration / period).
+class ExponentialSchedule final : public LrSchedule {
+ public:
+  ExponentialSchedule(double initial_rate, double decay, std::size_t period)
+      : initial_(initial_rate), decay_(decay), period_(period) {}
+
+  [[nodiscard]] double rate(std::size_t iteration) const override;
+
+ private:
+  double initial_;
+  double decay_;
+  std::size_t period_;
+};
+
+}  // namespace updec::optim

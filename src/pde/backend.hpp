@@ -1,0 +1,56 @@
+#pragma once
+/// \file backend.hpp
+/// Numeric backends for PDE solvers that must run both in plain arithmetic
+/// (DAL, PINN reference solves, benchmarking) and on the reverse-mode tape
+/// (the DP strategy). Generic solver code is written once against this tiny
+/// interface; elementwise arithmetic works untouched because ad::Var
+/// overloads the scalar operators.
+
+#include "autodiff/ops.hpp"
+#include "la/lu.hpp"
+#include "la/sparse.hpp"
+
+namespace updec::pde {
+
+/// Plain double arithmetic.
+struct DoubleBackend {
+  using Vec = la::Vector;
+  using Scalar = double;
+
+  [[nodiscard]] Vec constants(const la::Vector& v) const { return v; }
+  [[nodiscard]] Vec zeros(std::size_t n) const { return Vec(n, 0.0); }
+  [[nodiscard]] Scalar scalar(double c) const { return c; }
+  [[nodiscard]] Vec spmv(const la::CsrMatrix& a, const Vec& x) const {
+    return a.apply(x);
+  }
+  [[nodiscard]] Vec solve(const la::LuFactorization& lu, const Vec& b) const {
+    return lu.solve(b);
+  }
+  [[nodiscard]] static double value(Scalar s) { return s; }
+};
+
+/// Reverse-mode tape arithmetic: SpMV and solves are recorded as custom ops
+/// with hand-written VJPs (ops.hpp), everything else as scalar nodes.
+struct TapeBackend {
+  ad::Tape* tape = nullptr;
+
+  using Vec = ad::VarVec;
+  using Scalar = ad::Var;
+
+  [[nodiscard]] Vec constants(const la::Vector& v) const {
+    return ad::make_constants(*tape, v);
+  }
+  [[nodiscard]] Vec zeros(std::size_t n) const {
+    return ad::make_constants(*tape, la::Vector(n, 0.0));
+  }
+  [[nodiscard]] Scalar scalar(double c) const { return tape->constant(c); }
+  [[nodiscard]] Vec spmv(const la::CsrMatrix& a, const Vec& x) const {
+    return ad::spmv(a, x);
+  }
+  [[nodiscard]] Vec solve(const la::LuFactorization& lu, const Vec& b) const {
+    return ad::solve(lu, b);
+  }
+  [[nodiscard]] static double value(const Scalar& s) { return s.value(); }
+};
+
+}  // namespace updec::pde

@@ -1,0 +1,67 @@
+#include "pde/heat.hpp"
+
+#include "la/blas.hpp"
+
+namespace updec::pde {
+
+HeatSolver::HeatSolver(const pc::PointCloud& cloud, const rbf::Kernel& kernel,
+                       double alpha, double dt, double theta,
+                       const rbf::RbffdConfig& config)
+    : cloud_(&cloud), alpha_(alpha), dt_(dt), theta_(theta) {
+  UPDEC_REQUIRE(alpha > 0.0 && dt > 0.0, "diffusivity and dt must be positive");
+  UPDEC_REQUIRE(theta >= 0.0 && theta <= 1.0, "theta must be in [0, 1]");
+  const std::size_t n = cloud.size();
+  const rbf::RbffdOperators operators(cloud, kernel, config);
+  const la::CsrMatrix dx = operators.weights_for(rbf::LinearOp::d_dx());
+  const la::CsrMatrix dy = operators.weights_for(rbf::LinearOp::d_dy());
+
+  // Consistent Laplacian rows on interior nodes.
+  la::Matrix lap(n, n, 0.0);
+  for (std::size_t i = 0; i < cloud.num_internal(); ++i) {
+    for (const la::CsrMatrix* m : {&dx, &dy}) {
+      for (std::size_t k = m->row_ptr()[i]; k < m->row_ptr()[i + 1]; ++k) {
+        const double w = m->values()[k];
+        const std::size_t mid = m->col_idx()[k];
+        for (std::size_t k2 = m->row_ptr()[mid]; k2 < m->row_ptr()[mid + 1];
+             ++k2)
+          lap(i, m->col_idx()[k2]) += w * m->values()[k2];
+      }
+    }
+  }
+
+  la::Matrix implicit_part(n, n, 0.0);
+  explicit_part_ = la::Matrix(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    implicit_part(i, i) = 1.0;
+    if (i < cloud.num_internal()) {
+      explicit_part_(i, i) = 1.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        implicit_part(i, j) -= theta_ * dt_ * alpha_ * lap(i, j);
+        explicit_part_(i, j) += (1.0 - theta_) * dt_ * alpha_ * lap(i, j);
+      }
+    }
+    // Boundary rows: identity in the implicit matrix, zero in the explicit
+    // part -- the RHS carries the boundary datum directly.
+  }
+  implicit_lu_ = la::LuFactorization(std::move(implicit_part));
+}
+
+la::Vector HeatSolver::step(const la::Vector& u, const HeatBoundary& boundary,
+                            double t) const {
+  UPDEC_REQUIRE(u.size() == cloud_->size(), "field size mismatch");
+  la::Vector rhs = la::matvec(explicit_part_, u);
+  const double t_next = t + dt_;
+  for (std::size_t i = cloud_->num_internal(); i < cloud_->size(); ++i)
+    rhs[i] = boundary(cloud_->node(i), t_next);
+  return implicit_lu_.solve(rhs);
+}
+
+la::Vector HeatSolver::advance(la::Vector u0, const HeatBoundary& boundary,
+                               double t0, std::size_t steps) const {
+  la::Vector u = std::move(u0);
+  for (std::size_t s = 0; s < steps; ++s)
+    u = step(u, boundary, t0 + static_cast<double>(s) * dt_);
+  return u;
+}
+
+}  // namespace updec::pde

@@ -1,0 +1,142 @@
+#include "pde/laplace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "la/blas.hpp"
+
+namespace updec::pde {
+
+namespace tags = pc::tags;
+
+namespace {
+
+/// Row layout of the periodic Laplace problem: Laplacian rows inside,
+/// Dirichlet rows on the bottom (fixed data) and top (control), and
+/// periodic matching on the lateral walls -- u(0,y) = u(1,y) on the left
+/// nodes, du/dx(0,y) = du/dx(1,y) on the right nodes. (The paper's analytic
+/// minimiser corresponds to this x-periodic configuration; see laplace.hpp.)
+std::vector<rbf::RowTerm> laplace_row(const pc::Node& node) {
+  using rbf::LinearOp;
+  using rbf::RowTerm;
+  switch (node.tag) {
+    case pc::tags::kInterior:
+      return {{node.pos, LinearOp::laplacian(), 1.0}};
+    case pc::tags::kBottom:
+    case pc::tags::kTop:
+      return {{node.pos, LinearOp::identity(), 1.0}};
+    case pc::tags::kLeft:
+      return {{{0.0, node.pos.y}, LinearOp::identity(), 1.0},
+              {{1.0, node.pos.y}, LinearOp::identity(), -1.0}};
+    case pc::tags::kRight:
+      return {{{0.0, node.pos.y}, LinearOp::d_dx(), 1.0},
+              {{1.0, node.pos.y}, LinearOp::d_dx(), -1.0}};
+    default:
+      UPDEC_REQUIRE(false, "unexpected tag in Laplace cloud");
+      return {};
+  }
+}
+
+}  // namespace
+
+LaplaceSolver::LaplaceSolver(std::size_t grid_n, const rbf::Kernel& kernel,
+                             int poly_degree)
+    : cloud_(pc::unit_square_grid(grid_n, grid_n)),
+      collocation_(cloud_, kernel, poly_degree,
+                   [](std::size_t, const pc::Node& node) {
+                     return laplace_row(node);
+                   }) {
+  // Controlled wall nodes sorted by x so control vectors read left to right.
+  top_nodes_ = cloud_.indices_with_tag(tags::kTop);
+  std::sort(top_nodes_.begin(), top_nodes_.end(),
+            [&](std::size_t a, std::size_t b) {
+              return cloud_.node(a).pos.x < cloud_.node(b).pos.x;
+            });
+  top_x_.reserve(top_nodes_.size());
+  for (const std::size_t i : top_nodes_) top_x_.push_back(cloud_.node(i).pos.x);
+
+  // du/dy rows at the top nodes.
+  std::vector<pc::Vec2> pts;
+  pts.reserve(top_nodes_.size());
+  for (const std::size_t i : top_nodes_) pts.push_back(cloud_.node(i).pos);
+  flux_matrix_ = collocation_.evaluation_matrix(pts, rbf::LinearOp::d_dy());
+
+  // Trapezoidal weights over x in [0, 1].
+  const std::size_t m = top_nodes_.size();
+  quad_weights_ = la::Vector(m, 0.0);
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    const double h = top_x_[i + 1] - top_x_[i];
+    quad_weights_[i] += 0.5 * h;
+    quad_weights_[i + 1] += 0.5 * h;
+  }
+
+  // RHS contribution of the fixed walls (zero control).
+  base_rhs_ = collocation_.assemble_rhs(
+      [](const pc::Node&) { return 0.0; },
+      [](const pc::Node& node) { return fixed_boundary_value(node); });
+}
+
+double LaplaceSolver::fixed_boundary_value(const pc::Node& node) {
+  if (node.tag == tags::kBottom)
+    return std::sin(2.0 * std::numbers::pi * node.pos.x);
+  return 0.0;  // sides fixed at zero, top supplied by the control
+}
+
+double LaplaceSolver::target_flux(double x) {
+  return std::cos(2.0 * std::numbers::pi * x);
+}
+
+double LaplaceSolver::analytic_control(double x) {
+  const double two_pi = 2.0 * std::numbers::pi;
+  return (1.0 / std::cosh(two_pi)) * std::sin(two_pi * x) +
+         std::tanh(two_pi) * std::cos(two_pi * x) / two_pi;
+}
+
+double LaplaceSolver::analytic_state(double x, double y) {
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double sech = 1.0 / std::cosh(two_pi);
+  return 0.5 * sech * std::sin(two_pi * x) *
+             (std::exp(two_pi * (y - 1.0)) + std::exp(two_pi * (1.0 - y))) +
+         (1.0 / (4.0 * std::numbers::pi)) * sech * std::cos(two_pi * x) *
+             (std::exp(two_pi * y) - std::exp(-two_pi * y));
+}
+
+la::Vector LaplaceSolver::assemble_rhs(const la::Vector& control) const {
+  UPDEC_REQUIRE(control.size() == num_control(),
+                "one control value per control DOF required");
+  la::Vector rhs = base_rhs_;
+  for (std::size_t i = 0; i < top_nodes_.size(); ++i)
+    rhs[top_nodes_[i]] = control[control_index(i)];
+  return rhs;
+}
+
+la::Vector LaplaceSolver::solve(const la::Vector& control) const {
+  return collocation_.lu().solve(assemble_rhs(control));
+}
+
+ad::VarVec LaplaceSolver::solve(ad::Tape& tape,
+                                const ad::VarVec& control) const {
+  UPDEC_REQUIRE(control.size() == num_control(),
+                "one control value per control DOF required");
+  // RHS on tape: fixed-wall entries as constants, control vars scattered
+  // into the top-wall rows (the periodic corner reuses control[0]).
+  ad::VarVec rhs = ad::make_constants(tape, base_rhs_);
+  for (std::size_t i = 0; i < top_nodes_.size(); ++i)
+    rhs[top_nodes_[i]] = control[control_index(i)];
+  return ad::solve(collocation_.lu(), rhs);
+}
+
+la::Vector LaplaceSolver::flux_top(const la::Vector& coeffs) const {
+  return la::matvec(flux_matrix_, coeffs);
+}
+
+ad::VarVec LaplaceSolver::flux_top(const ad::VarVec& coeffs) const {
+  return ad::gemv(flux_matrix_, coeffs);
+}
+
+la::Vector LaplaceSolver::state_at_nodes(const la::Vector& coeffs) const {
+  return collocation_.evaluate_at_nodes(coeffs, rbf::LinearOp::identity());
+}
+
+}  // namespace updec::pde

@@ -1,0 +1,95 @@
+#include "pointcloud/cloud.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace updec::pc {
+
+double norm(const Vec2& a) { return std::sqrt(a.x * a.x + a.y * a.y); }
+
+double distance(const Vec2& a, const Vec2& b) { return norm(a - b); }
+
+const char* to_string(BoundaryKind kind) {
+  switch (kind) {
+    case BoundaryKind::kInternal: return "internal";
+    case BoundaryKind::kDirichlet: return "dirichlet";
+    case BoundaryKind::kNeumann: return "neumann";
+    case BoundaryKind::kRobin: return "robin";
+  }
+  return "?";
+}
+
+PointCloud::PointCloud(std::vector<Node> nodes) : nodes_(std::move(nodes)) {
+  std::stable_sort(nodes_.begin(), nodes_.end(),
+                   [](const Node& a, const Node& b) {
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  for (const Node& n : nodes_) ++counts_[static_cast<int>(n.kind)];
+}
+
+std::size_t PointCloud::begin_of(BoundaryKind kind) const {
+  std::size_t start = 0;
+  for (int k = 0; k < static_cast<int>(kind); ++k) start += counts_[k];
+  return start;
+}
+
+std::size_t PointCloud::end_of(BoundaryKind kind) const {
+  return begin_of(kind) + counts_[static_cast<int>(kind)];
+}
+
+std::vector<std::size_t> PointCloud::indices_with_tag(int tag) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].tag == tag) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> PointCloud::indices_of(BoundaryKind kind) const {
+  std::vector<std::size_t> out;
+  out.reserve(counts_[static_cast<int>(kind)]);
+  for (std::size_t i = begin_of(kind); i < end_of(kind); ++i) out.push_back(i);
+  return out;
+}
+
+double PointCloud::min_spacing() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j)
+      best = std::min(best, distance(nodes_[i].pos, nodes_[j].pos));
+  return best;
+}
+
+double PointCloud::mean_spacing() const {
+  if (nodes_.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    double nearest = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < nodes_.size(); ++j) {
+      if (i == j) continue;
+      nearest = std::min(nearest, distance(nodes_[i].pos, nodes_[j].pos));
+    }
+    total += nearest;
+  }
+  return total / static_cast<double>(nodes_.size());
+}
+
+std::string PointCloud::summary() const {
+  std::ostringstream os;
+  os << "PointCloud: " << size() << " nodes (" << num_internal()
+     << " internal, " << num_dirichlet() << " Dirichlet, " << num_neumann()
+     << " Neumann, " << num_robin() << " Robin)";
+  std::map<int, std::size_t> per_tag;
+  for (const Node& n : nodes_)
+    if (n.kind != BoundaryKind::kInternal) ++per_tag[n.tag];
+  if (!per_tag.empty()) {
+    os << "; boundary tags:";
+    for (const auto& [tag, count] : per_tag)
+      os << " [" << tag << "]=" << count;
+  }
+  return os.str();
+}
+
+}  // namespace updec::pc

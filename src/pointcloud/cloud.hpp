@@ -1,0 +1,106 @@
+#pragma once
+/// \file cloud.hpp
+/// Scattered point clouds with boundary metadata.
+///
+/// RBF collocation needs no mesh, only nodes with boundary-condition kinds
+/// and outward normals. Following the paper (section 2.1), nodes are kept in
+/// a canonical order -- internal first, then Dirichlet, then Neumann, then
+/// Robin -- so collocation matrices assemble into contiguous blocks and the
+/// Runge-phenomenon-prone boundary rows are easy to locate.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace updec::pc {
+
+/// 2-D point / vector.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline Vec2 operator-(const Vec2& a, const Vec2& b) {
+  return {a.x - b.x, a.y - b.y};
+}
+inline Vec2 operator+(const Vec2& a, const Vec2& b) {
+  return {a.x + b.x, a.y + b.y};
+}
+inline Vec2 operator*(double s, const Vec2& a) { return {s * a.x, s * a.y}; }
+inline double dot(const Vec2& a, const Vec2& b) {
+  return a.x * b.x + a.y * b.y;
+}
+double norm(const Vec2& a);
+double distance(const Vec2& a, const Vec2& b);
+
+/// Boundary-condition kind of a node (eq. (1) of the paper).
+enum class BoundaryKind : std::uint8_t {
+  kInternal = 0,
+  kDirichlet = 1,
+  kNeumann = 2,
+  kRobin = 3,
+};
+
+const char* to_string(BoundaryKind kind);
+
+/// One collocation node.
+struct Node {
+  Vec2 pos;
+  BoundaryKind kind = BoundaryKind::kInternal;
+  Vec2 normal;  ///< outward unit normal; zero for internal nodes
+  int tag = 0;  ///< user segment tag (inlet, outlet, wall, ...)
+};
+
+/// A cloud of nodes in canonical (internal, Dirichlet, Neumann, Robin) order.
+class PointCloud {
+ public:
+  PointCloud() = default;
+
+  /// Build from nodes; reorders into the canonical ordering (stable within
+  /// each class, so generator-side ordering along boundaries is preserved).
+  explicit PointCloud(std::vector<Node> nodes);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const Node& node(std::size_t i) const {
+    UPDEC_ASSERT(i < nodes_.size());
+    return nodes_[i];
+  }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Counts per class (contiguous blocks in this order).
+  [[nodiscard]] std::size_t num_internal() const { return counts_[0]; }
+  [[nodiscard]] std::size_t num_dirichlet() const { return counts_[1]; }
+  [[nodiscard]] std::size_t num_neumann() const { return counts_[2]; }
+  [[nodiscard]] std::size_t num_robin() const { return counts_[3]; }
+  [[nodiscard]] std::size_t num_boundary() const {
+    return counts_[1] + counts_[2] + counts_[3];
+  }
+
+  /// First index of each class block.
+  [[nodiscard]] std::size_t begin_of(BoundaryKind kind) const;
+  [[nodiscard]] std::size_t end_of(BoundaryKind kind) const;
+
+  /// All node indices carrying a given tag (in canonical order).
+  [[nodiscard]] std::vector<std::size_t> indices_with_tag(int tag) const;
+
+  /// All node indices of a given boundary kind.
+  [[nodiscard]] std::vector<std::size_t> indices_of(BoundaryKind kind) const;
+
+  /// Minimum pairwise node distance (separation; brute force, O(n^2) --
+  /// diagnostics only).
+  [[nodiscard]] double min_spacing() const;
+
+  /// Mean nearest-neighbour distance (characteristic spacing h).
+  [[nodiscard]] double mean_spacing() const;
+
+  /// Human-readable inventory (Fig. 4a-style setup dump).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::size_t counts_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace updec::pc

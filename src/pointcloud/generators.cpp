@@ -1,0 +1,217 @@
+#include "pointcloud/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace updec::pc {
+
+double van_der_corput(std::uint64_t index, std::uint64_t base) {
+  double result = 0.0;
+  double f = 1.0 / static_cast<double>(base);
+  while (index > 0) {
+    result += f * static_cast<double>(index % base);
+    index /= base;
+    f /= static_cast<double>(base);
+  }
+  return result;
+}
+
+Vec2 halton2(std::uint64_t index) {
+  return {van_der_corput(index, 2), van_der_corput(index, 3)};
+}
+
+PointCloud unit_square_grid(std::size_t nx, std::size_t ny) {
+  UPDEC_REQUIRE(nx >= 2 && ny >= 2, "grid needs at least 3x3 nodes");
+  std::vector<Node> nodes;
+  nodes.reserve((nx + 1) * (ny + 1));
+  const double hx = 1.0 / static_cast<double>(nx);
+  const double hy = 1.0 / static_cast<double>(ny);
+  for (std::size_t j = 0; j <= ny; ++j) {
+    for (std::size_t i = 0; i <= nx; ++i) {
+      Node n;
+      n.pos = {static_cast<double>(i) * hx, static_cast<double>(j) * hy};
+      if (j == 0) {  // bottom (owns its corners)
+        n.kind = BoundaryKind::kDirichlet;
+        n.normal = {0.0, -1.0};
+        n.tag = tags::kBottom;
+      } else if (j == ny) {  // top (owns its corners) -- the controlled wall
+        n.kind = BoundaryKind::kDirichlet;
+        n.normal = {0.0, 1.0};
+        n.tag = tags::kTop;
+      } else if (i == 0) {
+        n.kind = BoundaryKind::kDirichlet;
+        n.normal = {-1.0, 0.0};
+        n.tag = tags::kLeft;
+      } else if (i == nx) {
+        n.kind = BoundaryKind::kDirichlet;
+        n.normal = {1.0, 0.0};
+        n.tag = tags::kRight;
+      }
+      nodes.push_back(n);
+    }
+  }
+  return PointCloud(std::move(nodes));
+}
+
+PointCloud unit_square_scattered(std::size_t n_interior,
+                                 std::size_t n_per_side, std::uint64_t seed) {
+  UPDEC_REQUIRE(n_per_side >= 2, "need at least 2 nodes per side");
+  std::vector<Node> nodes;
+  nodes.reserve(n_interior + 4 * n_per_side);
+  const double h = 1.0 / static_cast<double>(n_per_side);
+
+  // Perimeter walk: each side contributes n_per_side nodes including exactly
+  // one corner, so corners appear once.
+  const auto side = [&](Vec2 start, Vec2 dir, Vec2 normal, int tag) {
+    for (std::size_t i = 0; i < n_per_side; ++i) {
+      Node n;
+      n.pos = start + (static_cast<double>(i) * h) * dir;
+      n.kind = BoundaryKind::kDirichlet;
+      n.normal = normal;
+      n.tag = tag;
+      nodes.push_back(n);
+    }
+  };
+  side({0, 0}, {1, 0}, {0, -1}, tags::kBottom);
+  side({1, 0}, {0, 1}, {1, 0}, tags::kRight);
+  side({1, 1}, {-1, 0}, {0, 1}, tags::kTop);
+  side({0, 1}, {0, -1}, {-1, 0}, tags::kLeft);
+
+  // Halton interior nodes, offset by the seed and kept a safe distance off
+  // the boundary so collocation rows stay distinct.
+  const double margin = 0.3 * h;
+  std::uint64_t index = seed + 1;
+  std::size_t placed = 0;
+  while (placed < n_interior) {
+    const Vec2 p = halton2(index++);
+    if (p.x < margin || p.x > 1.0 - margin || p.y < margin ||
+        p.y > 1.0 - margin)
+      continue;
+    Node n;
+    n.pos = p;
+    nodes.push_back(n);
+    ++placed;
+  }
+  return PointCloud(std::move(nodes));
+}
+
+namespace {
+
+/// Map t in [0,1] to [0,1] clustering towards both ends with strength g.
+double wall_grading(double t, double g) {
+  return t - g / (2.0 * std::numbers::pi) * std::sin(2.0 * std::numbers::pi * t);
+}
+
+}  // namespace
+
+PointCloud channel_cloud(const ChannelSpec& spec) {
+  UPDEC_REQUIRE(spec.target_nodes >= 60, "channel cloud needs >= 60 nodes");
+  UPDEC_REQUIRE(spec.grading >= 0.0 && spec.grading < 1.0,
+                "grading must be in [0, 1)");
+  UPDEC_REQUIRE(spec.blow_start < spec.blow_end && spec.blow_end < spec.lx,
+                "bad blowing patch");
+  UPDEC_REQUIRE(spec.suction_start < spec.suction_end &&
+                    spec.suction_end < spec.lx,
+                "bad suction patch");
+
+  // Choose a characteristic spacing h so that interior + boundary node
+  // counts hit the target: N ~ lx*ly/h^2 + 2(lx+ly)/h.
+  const double area = spec.lx * spec.ly;
+  const double perim = 2.0 * (spec.lx + spec.ly);
+  const double n = static_cast<double>(spec.target_nodes);
+  // Solve area/h^2 + perim/h = n for 1/h (positive root).
+  const double inv_h = (-perim + std::sqrt(perim * perim + 4.0 * area * n)) /
+                       (2.0 * area);
+  const double h = 1.0 / inv_h;
+
+  std::vector<Node> nodes;
+  nodes.reserve(spec.target_nodes + 16);
+
+  // ---- boundary segments ----
+  const auto n_along = [&](double len) {
+    return std::max<std::size_t>(2, static_cast<std::size_t>(std::round(len / h)));
+  };
+
+  // Bottom and top walls own the corners; inlet/outlet nodes are strictly
+  // interior in y.
+  const std::size_t n_wall = n_along(spec.lx) + 1;
+  for (std::size_t i = 0; i < n_wall; ++i) {
+    const double x =
+        spec.lx * static_cast<double>(i) / static_cast<double>(n_wall - 1);
+    Node bottom;
+    bottom.pos = {x, 0.0};
+    bottom.kind = BoundaryKind::kDirichlet;
+    bottom.normal = {0.0, -1.0};
+    bottom.tag = (x >= spec.blow_start && x <= spec.blow_end) ? tags::kBlowing
+                                                              : tags::kWall;
+    nodes.push_back(bottom);
+    Node top;
+    top.pos = {x, spec.ly};
+    top.kind = BoundaryKind::kDirichlet;
+    top.normal = {0.0, 1.0};
+    top.tag = (x >= spec.suction_start && x <= spec.suction_end)
+                  ? tags::kSuction
+                  : tags::kWall;
+    nodes.push_back(top);
+  }
+
+  const std::size_t n_vert = n_along(spec.ly);
+  for (std::size_t i = 1; i < n_vert; ++i) {
+    const double y =
+        spec.ly * static_cast<double>(i) / static_cast<double>(n_vert);
+    Node inlet;
+    inlet.pos = {0.0, y};
+    inlet.kind = BoundaryKind::kDirichlet;
+    inlet.normal = {-1.0, 0.0};
+    inlet.tag = tags::kInlet;
+    nodes.push_back(inlet);
+    Node outlet;
+    outlet.pos = {spec.lx, y};
+    outlet.kind = BoundaryKind::kNeumann;  // du/dn = 0 at the outflow
+    outlet.normal = {1.0, 0.0};
+    outlet.tag = tags::kOutlet;
+    nodes.push_back(outlet);
+  }
+
+  const std::size_t n_boundary = nodes.size();
+  UPDEC_REQUIRE(n_boundary < spec.target_nodes,
+                "target_nodes too small for the boundary discretisation");
+
+  // ---- graded interior (GMSH-substitute refinement near the walls) ----
+  updec::Rng rng(spec.seed);
+  const double margin = 0.7 * h;
+  std::uint64_t index = spec.seed * 7919 + 1;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 400 * spec.target_nodes;
+  while (nodes.size() < spec.target_nodes && attempts++ < max_attempts) {
+    Vec2 p = halton2(index++);
+    p.x *= spec.lx;
+    p.y = spec.ly * wall_grading(p.y, spec.grading);
+    if (p.x < margin || p.x > spec.lx - margin || p.y < margin ||
+        p.y > spec.ly - margin)
+      continue;
+    // Local acceptance radius shrinks near the walls with the grading.
+    const double wall_dist = std::min(p.y, spec.ly - p.y);
+    const double local =
+        h * (1.0 - spec.grading *
+                       std::exp(-wall_dist / (0.15 * spec.ly)));
+    bool ok = true;
+    for (const Node& existing : nodes) {
+      if (std::abs(existing.pos.x - p.x) > local) continue;
+      if (distance(existing.pos, p) < 0.55 * local) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    Node node;
+    node.pos = p;
+    nodes.push_back(node);
+  }
+  return PointCloud(std::move(nodes));
+}
+
+}  // namespace updec::pc

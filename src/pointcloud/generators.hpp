@@ -1,0 +1,74 @@
+#pragma once
+/// \file generators.hpp
+/// Point-cloud generators for the paper's two experiment domains, plus the
+/// low-discrepancy machinery behind them. The channel generator is our GMSH
+/// substitute (DESIGN.md section 1): scattered interior nodes with graded
+/// refinement towards the walls, boundary nodes laid out segment by segment
+/// with tags for the inlet, outlet, walls and the blowing/suction patches.
+
+#include <cstdint>
+
+#include "pointcloud/cloud.hpp"
+
+namespace updec::pc {
+
+/// Boundary segment tags shared by generators, PDE solvers and control
+/// problems.
+namespace tags {
+inline constexpr int kInterior = 0;
+// Unit square (Laplace problem, section 3.1).
+inline constexpr int kBottom = 1;
+inline constexpr int kRight = 2;
+inline constexpr int kTop = 3;  ///< the controlled wall u(x,1) = c(x)
+inline constexpr int kLeft = 4;
+// Channel (Navier-Stokes problem, section 3.2 / fig. 4a).
+inline constexpr int kInlet = 5;     ///< Gamma_i: controlled inflow
+inline constexpr int kOutlet = 6;    ///< Gamma_o: target outflow
+inline constexpr int kWall = 7;      ///< no-slip walls
+inline constexpr int kBlowing = 8;   ///< Gamma_b on the bottom wall
+inline constexpr int kSuction = 9;   ///< Gamma_s on the top wall
+}  // namespace tags
+
+/// Element `index` of the 1-D van der Corput sequence in base `base`.
+double van_der_corput(std::uint64_t index, std::uint64_t base);
+
+/// 2-D Halton point (bases 2 and 3), the classic low-discrepancy sequence
+/// for quasi-random interior node placement.
+Vec2 halton2(std::uint64_t index);
+
+/// Regular (nx+1)x(ny+1) grid on the unit square; all boundary nodes
+/// Dirichlet with per-side tags (corners attach to the horizontal sides).
+/// This is the layout used for DAL/DP on the Laplace problem.
+PointCloud unit_square_grid(std::size_t nx, std::size_t ny);
+
+/// Scattered unit-square cloud: `n_interior` Halton nodes inside plus
+/// `n_per_side` uniformly spaced Dirichlet nodes per side (used for PINN
+/// collocation points and for conditioning experiments).
+PointCloud unit_square_scattered(std::size_t n_interior,
+                                 std::size_t n_per_side,
+                                 std::uint64_t seed = 0);
+
+/// Parameters of the Navier-Stokes channel of fig. 4a.
+struct ChannelSpec {
+  double lx = 1.5;  ///< channel length (outflow measured at x = Lx)
+  double ly = 1.0;  ///< channel height
+  /// Blowing patch Gamma_b on the bottom wall and suction patch Gamma_s on
+  /// the top wall (the fig. 1 cross-flow). Placed in the downstream half so
+  /// the disturbance reaches the outlet before viscous recovery flattens it.
+  double blow_start = 0.95, blow_end = 1.2;
+  double suction_start = 0.95, suction_end = 1.2;
+  /// Target number of nodes overall (the paper extracted 1385 from GMSH).
+  std::size_t target_nodes = 1385;
+  /// Wall-grading strength: 0 = uniform, 1 = strong refinement near walls.
+  /// Gradings beyond ~0.5 need larger RBF-FD stencils (>= 17) to keep the
+  /// discrete operators stable.
+  double grading = 0.3;
+  std::uint64_t seed = 42;
+};
+
+/// GMSH-substitute channel cloud. Interior nodes are graded towards the
+/// walls; boundary nodes are spaced uniformly along each segment. Velocity
+/// boundary kinds: Dirichlet at inlet/walls/patches, Neumann at the outlet.
+PointCloud channel_cloud(const ChannelSpec& spec);
+
+}  // namespace updec::pc

@@ -1,0 +1,114 @@
+#include "pointcloud/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace updec::pc {
+
+namespace {
+double coord(const Vec2& p, int axis) { return axis == 0 ? p.x : p.y; }
+}  // namespace
+
+KdTree::KdTree(std::vector<Vec2> points) : points_(std::move(points)) {
+  if (points_.empty()) return;
+  std::vector<std::size_t> idx(points_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  nodes_.reserve(points_.size());
+  root_ = build(idx, 0, idx.size(), 0);
+}
+
+KdTree::KdTree(const PointCloud& cloud) {
+  std::vector<Vec2> pts;
+  pts.reserve(cloud.size());
+  for (const Node& n : cloud.nodes()) pts.push_back(n.pos);
+  *this = KdTree(std::move(pts));
+}
+
+std::int32_t KdTree::build(std::vector<std::size_t>& idx, std::size_t lo,
+                           std::size_t hi, int depth) {
+  if (lo >= hi) return -1;
+  const int axis = depth % 2;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                   idx.begin() + static_cast<std::ptrdiff_t>(mid),
+                   idx.begin() + static_cast<std::ptrdiff_t>(hi),
+                   [&](std::size_t a, std::size_t b) {
+                     return coord(points_[a], axis) < coord(points_[b], axis);
+                   });
+  const auto self = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back({idx[mid], axis, -1, -1});
+  const std::int32_t left = build(idx, lo, mid, depth + 1);
+  const std::int32_t right = build(idx, mid + 1, hi, depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+std::vector<std::size_t> KdTree::k_nearest(const Vec2& query,
+                                           std::size_t k) const {
+  UPDEC_REQUIRE(!points_.empty(), "k_nearest on empty tree");
+  k = std::min(k, points_.size());
+  // Max-heap of (distance^2, index): the root is the current worst keeper.
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry> heap;
+
+  const auto visit = [&](const auto& self, std::int32_t at) -> void {
+    if (at < 0) return;
+    const SplitNode& node = nodes_[static_cast<std::size_t>(at)];
+    const Vec2& p = points_[node.point];
+    const double dx = query.x - p.x, dy = query.y - p.y;
+    const double d2 = dx * dx + dy * dy;
+    if (heap.size() < k) {
+      heap.emplace(d2, node.point);
+    } else if (d2 < heap.top().first) {
+      heap.pop();
+      heap.emplace(d2, node.point);
+    }
+    const double delta = coord(query, node.axis) - coord(p, node.axis);
+    const std::int32_t near = delta <= 0.0 ? node.left : node.right;
+    const std::int32_t far = delta <= 0.0 ? node.right : node.left;
+    self(self, near);
+    if (heap.size() < k || delta * delta < heap.top().first)
+      self(self, far);
+  };
+  visit(visit, root_);
+
+  std::vector<Entry> entries;
+  entries.reserve(heap.size());
+  while (!heap.empty()) {
+    entries.push_back(heap.top());
+    heap.pop();
+  }
+  std::sort(entries.begin(), entries.end());
+  std::vector<std::size_t> out;
+  out.reserve(entries.size());
+  for (const auto& [d2, i] : entries) out.push_back(i);
+  return out;
+}
+
+std::size_t KdTree::nearest(const Vec2& query) const {
+  return k_nearest(query, 1).front();
+}
+
+std::vector<std::size_t> KdTree::radius_search(const Vec2& query,
+                                               double radius) const {
+  std::vector<std::size_t> out;
+  const double r2 = radius * radius;
+  const auto visit = [&](const auto& self, std::int32_t at) -> void {
+    if (at < 0) return;
+    const SplitNode& node = nodes_[static_cast<std::size_t>(at)];
+    const Vec2& p = points_[node.point];
+    const double dx = query.x - p.x, dy = query.y - p.y;
+    if (dx * dx + dy * dy <= r2) out.push_back(node.point);
+    const double delta = coord(query, node.axis) - coord(p, node.axis);
+    const std::int32_t near = delta <= 0.0 ? node.left : node.right;
+    const std::int32_t far = delta <= 0.0 ? node.right : node.left;
+    self(self, near);
+    if (delta * delta <= r2) self(self, far);
+  };
+  visit(visit, root_);
+  return out;
+}
+
+}  // namespace updec::pc

@@ -1,0 +1,55 @@
+#pragma once
+/// \file kdtree.hpp
+/// 2-D k-d tree for nearest-neighbour queries. RBF-FD builds one stencil
+/// per node from its k nearest neighbours; brute force is O(n^2 k) while
+/// the tree brings stencil assembly to O(n k log n).
+
+#include <cstddef>
+#include <vector>
+
+#include "pointcloud/cloud.hpp"
+
+namespace updec::pc {
+
+/// Static 2-D k-d tree over a fixed set of points.
+class KdTree {
+ public:
+  KdTree() = default;
+
+  /// Build over a point set (copied; median-split, O(n log n)).
+  explicit KdTree(std::vector<Vec2> points);
+
+  /// Convenience: build over the node positions of a cloud.
+  explicit KdTree(const PointCloud& cloud);
+
+  /// Indices of the k nearest points to `query` (ties broken by index),
+  /// sorted by increasing distance. k is clamped to size().
+  [[nodiscard]] std::vector<std::size_t> k_nearest(const Vec2& query,
+                                                   std::size_t k) const;
+
+  /// Index of the single nearest point.
+  [[nodiscard]] std::size_t nearest(const Vec2& query) const;
+
+  /// All indices within `radius` of `query` (unsorted).
+  [[nodiscard]] std::vector<std::size_t> radius_search(const Vec2& query,
+                                                       double radius) const;
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+ private:
+  struct SplitNode {
+    std::size_t point = 0;      // index into points_
+    int axis = 0;               // 0 = x, 1 = y
+    std::int32_t left = -1;     // children in nodes_
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(std::vector<std::size_t>& idx, std::size_t lo,
+                     std::size_t hi, int depth);
+
+  std::vector<Vec2> points_;
+  std::vector<SplitNode> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace updec::pc

@@ -1,0 +1,128 @@
+#include "rbf/collocation.hpp"
+
+#include "la/blas.hpp"
+
+namespace updec::rbf {
+
+namespace {
+
+/// Operator applied at a node's row, following eq. (1) of the paper.
+LinearOp row_operator(const pc::Node& node, const LinearOp& interior_op,
+                      double robin_beta) {
+  switch (node.kind) {
+    case pc::BoundaryKind::kInternal:
+      return interior_op;
+    case pc::BoundaryKind::kDirichlet:
+      return LinearOp::identity();
+    case pc::BoundaryKind::kNeumann:
+      return LinearOp::normal_derivative(node.normal);
+    case pc::BoundaryKind::kRobin:
+      return LinearOp::robin(node.normal, robin_beta);
+  }
+  UPDEC_REQUIRE(false, "unreachable boundary kind");
+  return {};
+}
+
+}  // namespace
+
+GlobalCollocation::GlobalCollocation(const pc::PointCloud& cloud,
+                                     const Kernel& kernel, int poly_degree,
+                                     const LinearOp& interior_op,
+                                     double robin_beta)
+    : GlobalCollocation(
+          cloud, kernel, poly_degree,
+          [&interior_op, robin_beta](std::size_t, const pc::Node& node) {
+            return std::vector<RowTerm>{
+                {node.pos, row_operator(node, interior_op, robin_beta), 1.0}};
+          }) {
+  interior_op_ = interior_op;
+  robin_beta_ = robin_beta;
+}
+
+GlobalCollocation::GlobalCollocation(const pc::PointCloud& cloud,
+                                     const Kernel& kernel, int poly_degree,
+                                     const RowSpec& rows)
+    : cloud_(&cloud), kernel_(&kernel), basis_(poly_degree) {
+  const std::size_t n = cloud.size();
+  const std::size_t m = basis_.size();
+  UPDEC_REQUIRE(n > m, "cloud must have more nodes than appended monomials");
+  a_ = la::Matrix(n + m, n + m, 0.0);
+
+  // Collocation rows, one per node; each row may sum several (point, op)
+  // terms (e.g. periodic matching conditions).
+#ifdef UPDEC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    const pc::Node& node = cloud.node(i);
+    double* row = a_.row(i);
+    for (const RowTerm& term : rows(i, node)) {
+      for (std::size_t j = 0; j < n; ++j)
+        row[j] += term.coeff *
+                  apply_kernel(*kernel_, term.op, term.point, cloud.node(j).pos);
+      for (std::size_t k = 0; k < m; ++k)
+        row[n + k] += term.coeff * basis_.apply(k, term.op, term.point);
+    }
+  }
+  // Polynomial moment constraints: sum_j lambda_j P_k(x_j) = 0.
+  for (std::size_t k = 0; k < m; ++k) {
+    double* row = a_.row(n + k);
+    for (std::size_t j = 0; j < n; ++j)
+      row[j] = basis_.evaluate(k, cloud.node(j).pos);
+  }
+}
+
+const la::LuFactorization& GlobalCollocation::lu() const {
+  if (!lu_) lu_ = std::make_unique<la::LuFactorization>(a_);
+  return *lu_;
+}
+
+la::Vector GlobalCollocation::assemble_rhs(
+    const std::function<double(const pc::Node&)>& interior,
+    const std::function<double(const pc::Node&)>& boundary) const {
+  la::Vector rhs(system_size(), 0.0);
+  for (std::size_t i = 0; i < cloud_->size(); ++i) {
+    const pc::Node& node = cloud_->node(i);
+    rhs[i] = node.kind == pc::BoundaryKind::kInternal ? interior(node)
+                                                      : boundary(node);
+  }
+  return rhs;
+}
+
+la::Vector GlobalCollocation::solve(const la::Vector& rhs) const {
+  UPDEC_REQUIRE(rhs.size() == system_size(), "rhs size mismatch");
+  return lu().solve(rhs);
+}
+
+la::Matrix GlobalCollocation::evaluation_matrix(
+    const std::vector<pc::Vec2>& points, const LinearOp& op) const {
+  const std::size_t n = cloud_->size();
+  const std::size_t m = basis_.size();
+  la::Matrix e(points.size(), n + m, 0.0);
+#ifdef UPDEC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t pp = 0; pp < static_cast<std::ptrdiff_t>(points.size());
+       ++pp) {
+    const auto p = static_cast<std::size_t>(pp);
+    double* row = e.row(p);
+    for (std::size_t j = 0; j < n; ++j)
+      row[j] = apply_kernel(*kernel_, op, points[p], cloud_->node(j).pos);
+    for (std::size_t k = 0; k < m; ++k)
+      row[n + k] = basis_.apply(k, op, points[p]);
+  }
+  return e;
+}
+
+la::Vector GlobalCollocation::evaluate_at_nodes(const la::Vector& coeffs,
+                                                const LinearOp& op) const {
+  UPDEC_REQUIRE(coeffs.size() == system_size(), "coefficient size mismatch");
+  std::vector<pc::Vec2> points;
+  points.reserve(cloud_->size());
+  for (const pc::Node& node : cloud_->nodes()) points.push_back(node.pos);
+  const la::Matrix e = evaluation_matrix(points, op);
+  return la::matvec(e, coeffs);
+}
+
+}  // namespace updec::rbf

@@ -1,0 +1,102 @@
+#pragma once
+/// \file collocation.hpp
+/// Global RBF collocation (Kansa-type) for linear PDEs of the paper's
+/// eq. (1): an interior differential operator plus Dirichlet / Neumann /
+/// Robin boundary rows, with monomial augmentation and the paper's node
+/// ordering (internal, Dirichlet, Neumann, Robin, then M polynomial
+/// constraint rows).
+///
+/// The collocation matrix depends only on the node layout, so it is LU-
+/// factored exactly once and reused by:
+///  * every optimisation iteration of the linear control problems,
+///  * every adjoint solve of the DAL strategy (A^T),
+///  * every VJP requested by the DP tape (ad::solve with the same LU).
+
+#include <functional>
+#include <memory>
+
+#include "la/lu.hpp"
+#include "pointcloud/cloud.hpp"
+#include "rbf/operators.hpp"
+
+namespace updec::rbf {
+
+/// One term of a custom collocation row: coeff * (L u)(point).
+struct RowTerm {
+  pc::Vec2 point;
+  LinearOp op;
+  double coeff = 1.0;
+};
+
+/// Builds the row of a node: a sum of RowTerms. Lets problems impose
+/// non-local conditions such as periodicity u(0,y) - u(1,y) = 0.
+using RowSpec =
+    std::function<std::vector<RowTerm>(std::size_t, const pc::Node&)>;
+
+/// Assembled global collocation system for one interior operator.
+class GlobalCollocation {
+ public:
+  /// \param cloud      node layout (canonical ordering; not copied -- must
+  ///                   outlive this object).
+  /// \param kernel     RBF kernel (must outlive this object).
+  /// \param poly_degree max total degree of appended monomials (paper: 1).
+  /// \param interior_op operator enforced at internal nodes (e.g. Laplacian).
+  /// \param robin_beta coefficient of the Robin trace d/dn + beta*I.
+  GlobalCollocation(const pc::PointCloud& cloud, const Kernel& kernel,
+                    int poly_degree, const LinearOp& interior_op,
+                    double robin_beta = 0.0);
+
+  /// Fully custom rows: `rows(i, node)` yields the terms of node i's row.
+  GlobalCollocation(const pc::PointCloud& cloud, const Kernel& kernel,
+                    int poly_degree, const RowSpec& rows);
+
+  /// Number of RBF centres (== cloud nodes).
+  [[nodiscard]] std::size_t num_nodes() const { return cloud_->size(); }
+  /// Total unknowns N + M.
+  [[nodiscard]] std::size_t system_size() const {
+    return cloud_->size() + basis_.size();
+  }
+
+  [[nodiscard]] const la::Matrix& matrix() const { return a_; }
+  [[nodiscard]] const MonomialBasis& basis() const { return basis_; }
+  [[nodiscard]] const pc::PointCloud& cloud() const { return *cloud_; }
+
+  /// LU of the collocation matrix (factored on first use, then cached).
+  [[nodiscard]] const la::LuFactorization& lu() const;
+
+  /// Right-hand side of length system_size(): `interior` gives the source
+  /// q(x_i) for row i of each internal node, `boundary` the boundary datum
+  /// for each boundary node (indexed by node id); constraint rows are 0.
+  [[nodiscard]] la::Vector assemble_rhs(
+      const std::function<double(const pc::Node&)>& interior,
+      const std::function<double(const pc::Node&)>& boundary) const;
+
+  /// Solve for the N + M coefficients (lambda, gamma).
+  [[nodiscard]] la::Vector solve(const la::Vector& rhs) const;
+
+  /// Evaluation matrix E with E(p, :) . coeffs == (L u)(points[p]): one row
+  /// per evaluation point against all N + M basis functions.
+  [[nodiscard]] la::Matrix evaluation_matrix(
+      const std::vector<pc::Vec2>& points, const LinearOp& op) const;
+
+  /// Nodal values of (L u) at all cloud nodes for given coefficients.
+  [[nodiscard]] la::Vector evaluate_at_nodes(const la::Vector& coeffs,
+                                             const LinearOp& op) const;
+
+  /// 1-norm condition estimate of the collocation matrix (diagnostic for
+  /// the Runge-phenomenon / flat-kernel regimes discussed in section 2.1).
+  [[nodiscard]] double condition_estimate() const {
+    return lu().condition_estimate();
+  }
+
+ private:
+  const pc::PointCloud* cloud_;
+  const Kernel* kernel_;
+  MonomialBasis basis_;
+  LinearOp interior_op_;
+  double robin_beta_ = 0.0;
+  la::Matrix a_;
+  mutable std::unique_ptr<la::LuFactorization> lu_;
+};
+
+}  // namespace updec::rbf

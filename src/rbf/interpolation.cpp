@@ -1,0 +1,35 @@
+#include "rbf/interpolation.hpp"
+
+#include "la/blas.hpp"
+
+namespace updec::rbf {
+
+RbfInterpolant::RbfInterpolant(const pc::PointCloud& cloud,
+                               const Kernel& kernel, int poly_degree,
+                               const la::Vector& values)
+    : collocation_(cloud, kernel, poly_degree, LinearOp::identity()) {
+  UPDEC_REQUIRE(values.size() == cloud.size(),
+                "one datum per cloud node required");
+  la::Vector rhs(collocation_.system_size(), 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) rhs[i] = values[i];
+  coeffs_ = collocation_.solve(rhs);
+}
+
+double RbfInterpolant::operator()(const pc::Vec2& p) const {
+  return apply(LinearOp::identity(), p);
+}
+
+double RbfInterpolant::apply(const LinearOp& op, const pc::Vec2& p) const {
+  const la::Matrix e = collocation_.evaluation_matrix({p}, op);
+  double s = 0.0;
+  for (std::size_t j = 0; j < coeffs_.size(); ++j) s += e(0, j) * coeffs_[j];
+  return s;
+}
+
+la::Vector RbfInterpolant::evaluate(const std::vector<pc::Vec2>& points,
+                                    const LinearOp& op) const {
+  const la::Matrix e = collocation_.evaluation_matrix(points, op);
+  return la::matvec(e, coeffs_);
+}
+
+}  // namespace updec::rbf

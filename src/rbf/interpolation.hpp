@@ -1,0 +1,36 @@
+#pragma once
+/// \file interpolation.hpp
+/// Scattered-data RBF interpolation (the "hello world" of the framework and
+/// the basis of the quickstart example). A thin convenience layer over
+/// GlobalCollocation with identity rows everywhere.
+
+#include "rbf/collocation.hpp"
+
+namespace updec::rbf {
+
+/// Interpolant through values given at a cloud's nodes.
+class RbfInterpolant {
+ public:
+  /// Fit immediately. `values[i]` is the datum at cloud.node(i).
+  RbfInterpolant(const pc::PointCloud& cloud, const Kernel& kernel,
+                 int poly_degree, const la::Vector& values);
+
+  /// Interpolated value at an arbitrary point.
+  [[nodiscard]] double operator()(const pc::Vec2& p) const;
+
+  /// Value of (L u)(p) for any supported linear operator (gradients,
+  /// Laplacian, ...), exact derivatives of the interpolant.
+  [[nodiscard]] double apply(const LinearOp& op, const pc::Vec2& p) const;
+
+  /// Batch evaluation.
+  [[nodiscard]] la::Vector evaluate(const std::vector<pc::Vec2>& points,
+                                    const LinearOp& op = LinearOp::identity()) const;
+
+  [[nodiscard]] const la::Vector& coefficients() const { return coeffs_; }
+
+ private:
+  GlobalCollocation collocation_;
+  la::Vector coeffs_;
+};
+
+}  // namespace updec::rbf

@@ -1,0 +1,126 @@
+#include "rbf/kernels.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace updec::rbf {
+
+double Kernel::laplacian(double r) const {
+  if (r > 0.0) return d2phi(r) + dphi(r) / r;
+  return 2.0 * d2phi(0.0);  // smooth limit in 2-D
+}
+
+PolyharmonicSpline::PolyharmonicSpline(int exponent) : m_(exponent) {
+  UPDEC_REQUIRE(exponent >= 1 && exponent % 2 == 1,
+                "polyharmonic exponent must be odd and positive");
+}
+
+std::string PolyharmonicSpline::name() const {
+  return "phs" + std::to_string(m_);
+}
+
+double PolyharmonicSpline::phi(double r) const { return std::pow(r, m_); }
+
+double PolyharmonicSpline::dphi(double r) const {
+  return static_cast<double>(m_) * std::pow(r, m_ - 1);
+}
+
+double PolyharmonicSpline::d2phi(double r) const {
+  if (m_ == 1) return 0.0;
+  return static_cast<double>(m_) * static_cast<double>(m_ - 1) *
+         std::pow(r, m_ - 2);
+}
+
+GaussianKernel::GaussianKernel(double epsilon) : eps_(epsilon) {
+  UPDEC_REQUIRE(epsilon > 0.0, "Gaussian shape parameter must be positive");
+}
+
+std::string GaussianKernel::name() const { return "gaussian"; }
+
+double GaussianKernel::phi(double r) const {
+  const double er = eps_ * r;
+  return std::exp(-er * er);
+}
+
+double GaussianKernel::dphi(double r) const {
+  return -2.0 * eps_ * eps_ * r * phi(r);
+}
+
+double GaussianKernel::d2phi(double r) const {
+  const double e2 = eps_ * eps_;
+  return (-2.0 * e2 + 4.0 * e2 * e2 * r * r) * phi(r);
+}
+
+MultiquadricKernel::MultiquadricKernel(double epsilon) : eps_(epsilon) {
+  UPDEC_REQUIRE(epsilon > 0.0, "multiquadric shape parameter must be positive");
+}
+
+std::string MultiquadricKernel::name() const { return "multiquadric"; }
+
+double MultiquadricKernel::phi(double r) const {
+  const double er = eps_ * r;
+  return std::sqrt(1.0 + er * er);
+}
+
+double MultiquadricKernel::dphi(double r) const {
+  return eps_ * eps_ * r / phi(r);
+}
+
+double MultiquadricKernel::d2phi(double r) const {
+  const double p = phi(r);
+  const double e2 = eps_ * eps_;
+  return e2 / p - e2 * e2 * r * r / (p * p * p);
+}
+
+InverseMultiquadricKernel::InverseMultiquadricKernel(double epsilon)
+    : eps_(epsilon) {
+  UPDEC_REQUIRE(epsilon > 0.0,
+                "inverse multiquadric shape parameter must be positive");
+}
+
+std::string InverseMultiquadricKernel::name() const {
+  return "inverse-multiquadric";
+}
+
+double InverseMultiquadricKernel::phi(double r) const {
+  const double er = eps_ * r;
+  return 1.0 / std::sqrt(1.0 + er * er);
+}
+
+double InverseMultiquadricKernel::dphi(double r) const {
+  const double p = phi(r);
+  return -eps_ * eps_ * r * p * p * p;
+}
+
+double InverseMultiquadricKernel::d2phi(double r) const {
+  const double p = phi(r);
+  const double e2 = eps_ * eps_;
+  return -e2 * p * p * p + 3.0 * e2 * e2 * r * r * p * p * p * p * p;
+}
+
+std::string ThinPlateSpline::name() const { return "thin-plate-spline"; }
+
+double ThinPlateSpline::phi(double r) const {
+  return r > 0.0 ? r * r * std::log(r) : 0.0;
+}
+
+double ThinPlateSpline::dphi(double r) const {
+  return r > 0.0 ? r * (2.0 * std::log(r) + 1.0) : 0.0;
+}
+
+double ThinPlateSpline::d2phi(double r) const {
+  UPDEC_REQUIRE(r > 0.0, "thin-plate spline second derivative diverges at 0");
+  return 2.0 * std::log(r) + 3.0;
+}
+
+double ThinPlateSpline::laplacian(double r) const {
+  UPDEC_REQUIRE(r > 0.0, "thin-plate spline Laplacian diverges at 0");
+  return 4.0 * std::log(r) + 4.0;
+}
+
+std::unique_ptr<Kernel> make_default_kernel() {
+  return std::make_unique<PolyharmonicSpline>(3);
+}
+
+}  // namespace updec::rbf

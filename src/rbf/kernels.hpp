@@ -1,0 +1,132 @@
+#pragma once
+/// \file kernels.hpp
+/// Radial basis function kernels phi(r) and their radial derivatives.
+///
+/// The paper settles on the polyharmonic cubic spline phi(r) = r^3 augmented
+/// with degree-1 polynomials (section 3) because it has no shape parameter
+/// to tune and remains robust for nonlinear PDEs; the other classic kernels
+/// are provided for the kernel-choice ablation. Every kernel exposes both
+/// hand-derived radial derivatives and (via DualDerivedKernel) derivatives
+/// obtained automatically from the scalar definition with forward-mode AD --
+/// the same "define phi, get D by grad" workflow the paper builds on JAX.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "autodiff/dual.hpp"
+
+namespace updec::rbf {
+
+/// Interface: phi and its first two radial derivatives.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual double phi(double r) const = 0;
+  [[nodiscard]] virtual double dphi(double r) const = 0;   ///< phi'(r)
+  [[nodiscard]] virtual double d2phi(double r) const = 0;  ///< phi''(r)
+
+  /// 2-D Laplacian of phi(||x - c||) as a function of r:
+  /// phi'' + phi'/r for r > 0; the smooth limit 2 phi''(0) at r = 0.
+  [[nodiscard]] virtual double laplacian(double r) const;
+};
+
+/// Polyharmonic spline r^m (m odd: 3, 5, 7). The paper's kernel is m = 3.
+class PolyharmonicSpline final : public Kernel {
+ public:
+  explicit PolyharmonicSpline(int exponent = 3);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double phi(double r) const override;
+  [[nodiscard]] double dphi(double r) const override;
+  [[nodiscard]] double d2phi(double r) const override;
+  [[nodiscard]] int exponent() const { return m_; }
+
+ private:
+  int m_;
+};
+
+/// Gaussian exp(-(eps r)^2).
+class GaussianKernel final : public Kernel {
+ public:
+  explicit GaussianKernel(double epsilon);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double phi(double r) const override;
+  [[nodiscard]] double dphi(double r) const override;
+  [[nodiscard]] double d2phi(double r) const override;
+
+ private:
+  double eps_;
+};
+
+/// Multiquadric sqrt(1 + (eps r)^2) (Kansa's original kernel).
+class MultiquadricKernel final : public Kernel {
+ public:
+  explicit MultiquadricKernel(double epsilon);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double phi(double r) const override;
+  [[nodiscard]] double dphi(double r) const override;
+  [[nodiscard]] double d2phi(double r) const override;
+
+ private:
+  double eps_;
+};
+
+/// Inverse multiquadric 1 / sqrt(1 + (eps r)^2).
+class InverseMultiquadricKernel final : public Kernel {
+ public:
+  explicit InverseMultiquadricKernel(double epsilon);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double phi(double r) const override;
+  [[nodiscard]] double dphi(double r) const override;
+  [[nodiscard]] double d2phi(double r) const override;
+
+ private:
+  double eps_;
+};
+
+/// Thin-plate spline r^2 log r (interpolation only: its Laplacian diverges
+/// at the centre, so PDE collocation rows must not use it at r = 0).
+class ThinPlateSpline final : public Kernel {
+ public:
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double phi(double r) const override;
+  [[nodiscard]] double dphi(double r) const override;
+  [[nodiscard]] double d2phi(double r) const override;
+  [[nodiscard]] double laplacian(double r) const override;
+};
+
+/// Kernel whose derivatives are produced by forward-mode AD from a scalar
+/// definition f(r) -- the user supplies phi only, like passing a Python
+/// function to JAX and letting `grad` build the differential operator.
+class DualDerivedKernel final : public Kernel {
+ public:
+  /// `f` must be evaluable on double, Dual<double> and Dual<Dual<double>>;
+  /// pass a generic lambda, e.g. [](auto r) { return r * r * r; }.
+  template <typename F>
+  explicit DualDerivedKernel(std::string name, F f)
+      : name_(std::move(name)),
+        f0_([f](double r) { return f(r); }),
+        f1_([f](double r) {
+          return f(ad::Dual<double>{r, 1.0}).d;
+        }),
+        f2_([f](double r) {
+          const ad::Dual<ad::Dual<double>> rr{{r, 1.0}, {1.0, 0.0}};
+          return f(rr).d.d;
+        }) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] double phi(double r) const override { return f0_(r); }
+  [[nodiscard]] double dphi(double r) const override { return f1_(r); }
+  [[nodiscard]] double d2phi(double r) const override { return f2_(r); }
+
+ private:
+  std::string name_;
+  std::function<double(double)> f0_, f1_, f2_;
+};
+
+/// Factory for the paper's default configuration (PHS r^3).
+std::unique_ptr<Kernel> make_default_kernel();
+
+}  // namespace updec::rbf

@@ -1,0 +1,67 @@
+#include "rbf/operators.hpp"
+
+#include <cmath>
+
+namespace updec::rbf {
+
+double apply_kernel(const Kernel& kernel, const LinearOp& op,
+                    const pc::Vec2& x, const pc::Vec2& centre) {
+  const double dx = x.x - centre.x;
+  const double dy = x.y - centre.y;
+  const double r = std::sqrt(dx * dx + dy * dy);
+
+  double result = 0.0;
+  if (op.id != 0.0) result += op.id * kernel.phi(r);
+  if (op.ddx != 0.0 || op.ddy != 0.0) {
+    // Gradient of phi(r): phi'(r) * (x - c)/r; zero in the r -> 0 limit for
+    // kernels with phi'(0) = 0 (all smooth and polyharmonic kernels here).
+    if (r > 1e-300) {
+      const double g = kernel.dphi(r) / r;
+      result += op.ddx * g * dx + op.ddy * g * dy;
+    }
+  }
+  if (op.lap != 0.0) result += op.lap * kernel.laplacian(r);
+  return result;
+}
+
+MonomialBasis::MonomialBasis(int max_degree) : degree_(max_degree) {
+  UPDEC_REQUIRE(max_degree >= 0, "monomial degree must be non-negative");
+  for (int total = 0; total <= max_degree; ++total)
+    for (int py = 0; py <= total; ++py) powers_.emplace_back(total - py, py);
+}
+
+namespace {
+/// x^p with the convention 0^0 = 1 and x^negative = 0 (vanishing
+/// derivative of a lower-order monomial).
+double ipow(double x, int p) {
+  if (p < 0) return 0.0;
+  double result = 1.0;
+  for (int i = 0; i < p; ++i) result *= x;
+  return result;
+}
+}  // namespace
+
+double MonomialBasis::evaluate(std::size_t k, const pc::Vec2& x) const {
+  const auto [px, py] = powers_[k];
+  return ipow(x.x, px) * ipow(x.y, py);
+}
+
+double MonomialBasis::apply(std::size_t k, const LinearOp& op,
+                            const pc::Vec2& x) const {
+  const auto [px, py] = powers_[k];
+  double result = 0.0;
+  if (op.id != 0.0) result += op.id * ipow(x.x, px) * ipow(x.y, py);
+  if (op.ddx != 0.0 && px >= 1)
+    result += op.ddx * px * ipow(x.x, px - 1) * ipow(x.y, py);
+  if (op.ddy != 0.0 && py >= 1)
+    result += op.ddy * py * ipow(x.x, px) * ipow(x.y, py - 1);
+  if (op.lap != 0.0) {
+    if (px >= 2)
+      result += op.lap * px * (px - 1) * ipow(x.x, px - 2) * ipow(x.y, py);
+    if (py >= 2)
+      result += op.lap * py * (py - 1) * ipow(x.x, px) * ipow(x.y, py - 2);
+  }
+  return result;
+}
+
+}  // namespace updec::rbf

@@ -1,0 +1,72 @@
+#pragma once
+/// \file operators.hpp
+/// First/second-order linear differential operators applied to RBF kernels
+/// and to the appended monomials. Everything the two experiment PDEs need
+/// (identity, d/dx, d/dy, normal derivative, Laplacian, Robin traces) is a
+/// linear combination L = a*I + b*d/dx + c*d/dy + d*Lap, so a collocation
+/// row is fully described by four coefficients.
+
+#include <vector>
+
+#include "pointcloud/cloud.hpp"
+#include "rbf/kernels.hpp"
+
+namespace updec::rbf {
+
+/// L = id*I + ddx*d/dx + ddy*d/dy + lap*Laplacian.
+struct LinearOp {
+  double id = 0.0;
+  double ddx = 0.0;
+  double ddy = 0.0;
+  double lap = 0.0;
+
+  static LinearOp identity() { return {1.0, 0.0, 0.0, 0.0}; }
+  static LinearOp d_dx() { return {0.0, 1.0, 0.0, 0.0}; }
+  static LinearOp d_dy() { return {0.0, 0.0, 1.0, 0.0}; }
+  static LinearOp laplacian() { return {0.0, 0.0, 0.0, 1.0}; }
+  /// Directional derivative d/dn along (outward) normal n.
+  static LinearOp normal_derivative(const pc::Vec2& n) {
+    return {0.0, n.x, n.y, 0.0};
+  }
+  /// Robin trace d/dn + beta*I.
+  static LinearOp robin(const pc::Vec2& n, double beta) {
+    return {beta, n.x, n.y, 0.0};
+  }
+};
+
+/// (L phi)(x) for the kernel centred at c, built from the radial
+/// derivatives:
+///   d/dx  phi = phi'(r) (x - c_x)/r
+///   Lap   phi = phi'' + phi'/r   (2-D)
+/// with the correct r -> 0 limits for smooth kernels.
+double apply_kernel(const Kernel& kernel, const LinearOp& op,
+                    const pc::Vec2& x, const pc::Vec2& centre);
+
+/// Monomial basis of total degree <= n in 2-D, ordered by total degree then
+/// x-power descending: 1; x, y; x^2, xy, y^2; ... Size M = (n+1)(n+2)/2
+/// (the paper's M = C(n+d, n)).
+class MonomialBasis {
+ public:
+  explicit MonomialBasis(int max_degree);
+
+  [[nodiscard]] int max_degree() const { return degree_; }
+  [[nodiscard]] std::size_t size() const { return powers_.size(); }
+
+  /// (L P_k)(x).
+  [[nodiscard]] double apply(std::size_t k, const LinearOp& op,
+                             const pc::Vec2& x) const;
+
+  /// Plain evaluation P_k(x).
+  [[nodiscard]] double evaluate(std::size_t k, const pc::Vec2& x) const;
+
+  /// Exponent pair (px, py) of monomial k.
+  [[nodiscard]] std::pair<int, int> powers(std::size_t k) const {
+    return powers_[k];
+  }
+
+ private:
+  int degree_;
+  std::vector<std::pair<int, int>> powers_;
+};
+
+}  // namespace updec::rbf

@@ -1,0 +1,123 @@
+#include "rbf/rbffd.hpp"
+
+#include <cmath>
+
+namespace updec::rbf {
+
+RbffdOperators::RbffdOperators(const pc::PointCloud& cloud,
+                               const Kernel& kernel, const RbffdConfig& config)
+    : cloud_(&cloud), kernel_(&kernel), config_(config), tree_(cloud) {
+  const MonomialBasis basis(config_.poly_degree);
+  UPDEC_REQUIRE(config_.stencil_size > 2 * basis.size(),
+                "stencil must be larger than twice the polynomial basis "
+                "(unisolvency safety margin)");
+  UPDEC_REQUIRE(config_.stencil_size <= cloud.size(),
+                "stencil larger than the cloud");
+  stencils_.resize(cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    stencils_[i] = tree_.k_nearest(cloud.node(i).pos, config_.stencil_size);
+}
+
+la::CsrMatrix RbffdOperators::weights_for(const LinearOp& op) const {
+  const std::size_t n = cloud_->size();
+  const std::size_t k = config_.stencil_size;
+  const MonomialBasis basis(config_.poly_degree);
+  const std::size_t m = basis.size();
+
+  // Row-major CSR with exactly k entries per row; rows are independent.
+  std::vector<std::size_t> row_ptr(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) row_ptr[i] = i * k;
+  std::vector<std::size_t> col_idx(n * k);
+  std::vector<double> values(n * k);
+
+#ifdef UPDEC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    const auto& stencil = stencils_[i];
+    const pc::Vec2 centre = cloud_->node(i).pos;
+
+    // Shift to the stencil centre and scale by the stencil radius: keeps the
+    // local PHS system well conditioned independent of the global h.
+    double radius = 0.0;
+    for (const std::size_t j : stencil)
+      radius = std::max(radius, pc::distance(cloud_->node(j).pos, centre));
+    UPDEC_REQUIRE(radius > 0.0, "degenerate stencil (duplicate nodes?)");
+    const double inv_h = 1.0 / radius;
+
+    std::vector<pc::Vec2> local(k);
+    for (std::size_t a = 0; a < k; ++a) {
+      const pc::Vec2 p = cloud_->node(stencil[a]).pos;
+      local[a] = {(p.x - centre.x) * inv_h, (p.y - centre.y) * inv_h};
+    }
+
+    // Saddle system [Phi P; P^T 0] [w; v] = [L phi | L P] evaluated at the
+    // centre (the local origin). With v(xi) = u(centre + radius * xi),
+    // du/dx = (1/radius) dv/dxi and Lap u = (1/radius^2) Lap v, so the
+    // physical operator L maps to L_s = {id, ddx/radius, ddy/radius,
+    // lap/radius^2} in scaled coordinates, and the resulting weights apply
+    // to the physical nodal values u(x_b) directly.
+    const LinearOp scaled{op.id, op.ddx * inv_h, op.ddy * inv_h,
+                          op.lap * inv_h * inv_h};
+    la::Matrix system(k + m, k + m, 0.0);
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k; ++b)
+        system(a, b) = kernel_->phi(pc::distance(local[a], local[b]));
+      for (std::size_t q = 0; q < m; ++q) {
+        const double pv = basis.evaluate(q, local[a]);
+        system(a, k + q) = pv;
+        system(k + q, a) = pv;
+      }
+    }
+    la::Vector rhs(k + m, 0.0);
+    const pc::Vec2 origin{0.0, 0.0};
+    for (std::size_t b = 0; b < k; ++b)
+      rhs[b] = apply_kernel(*kernel_, scaled, origin, local[b]);
+    for (std::size_t q = 0; q < m; ++q)
+      rhs[k + q] = basis.apply(q, scaled, origin);
+
+    const la::Vector w = la::solve(std::move(system), rhs);
+    for (std::size_t a = 0; a < k; ++a) {
+      col_idx[i * k + a] = stencil[a];
+      values[i * k + a] = w[a];
+    }
+  }
+
+  // Each row's column indices must be sorted for CsrMatrix::at().
+  for (std::size_t i = 0; i < n; ++i) {
+    // insertion sort of (col, val) pairs within the row (k is small)
+    for (std::size_t a = 1; a < k; ++a) {
+      std::size_t c = col_idx[i * k + a];
+      double v = values[i * k + a];
+      std::size_t b = a;
+      while (b > 0 && col_idx[i * k + b - 1] > c) {
+        col_idx[i * k + b] = col_idx[i * k + b - 1];
+        values[i * k + b] = values[i * k + b - 1];
+        --b;
+      }
+      col_idx[i * k + b] = c;
+      values[i * k + b] = v;
+    }
+  }
+  return la::CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                       std::move(values));
+}
+
+const la::CsrMatrix& RbffdOperators::dx() const {
+  if (!dx_) dx_ = std::make_unique<la::CsrMatrix>(weights_for(LinearOp::d_dx()));
+  return *dx_;
+}
+
+const la::CsrMatrix& RbffdOperators::dy() const {
+  if (!dy_) dy_ = std::make_unique<la::CsrMatrix>(weights_for(LinearOp::d_dy()));
+  return *dy_;
+}
+
+const la::CsrMatrix& RbffdOperators::laplacian() const {
+  if (!lap_)
+    lap_ = std::make_unique<la::CsrMatrix>(weights_for(LinearOp::laplacian()));
+  return *lap_;
+}
+
+}  // namespace updec::rbf

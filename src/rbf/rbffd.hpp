@@ -1,0 +1,50 @@
+#pragma once
+/// \file rbffd.hpp
+/// RBF-FD: local differentiation stencils (Tolstykh's framework, the paper's
+/// ref. [44]). For each node, a small RBF + polynomial fit over its k
+/// nearest neighbours yields weights w with (L u)(x_i) ~= sum_b w_b u(x_b).
+/// Collecting all rows gives sparse differentiation matrices Dx, Dy, Lap
+/// that are *constant* for a fixed cloud -- which is exactly why the DP
+/// tape of the Navier-Stokes solver stays affordable: the nonlinearity is
+/// pointwise, while all spatial derivatives are constant SpMVs.
+
+#include "la/lu.hpp"
+#include "la/sparse.hpp"
+#include "pointcloud/kdtree.hpp"
+#include "rbf/operators.hpp"
+
+namespace updec::rbf {
+
+/// Stencil configuration.
+struct RbffdConfig {
+  std::size_t stencil_size = 13;  ///< k nearest neighbours per node
+  int poly_degree = 1;            ///< appended monomial degree (paper: 1)
+};
+
+/// Differentiation-matrix factory for one point cloud.
+class RbffdOperators {
+ public:
+  RbffdOperators(const pc::PointCloud& cloud, const Kernel& kernel,
+                 const RbffdConfig& config = {});
+
+  /// Sparse matrix applying L at every node: (L u)_i = (W u)_i.
+  [[nodiscard]] la::CsrMatrix weights_for(const LinearOp& op) const;
+
+  /// Cached canonical operators.
+  [[nodiscard]] const la::CsrMatrix& dx() const;
+  [[nodiscard]] const la::CsrMatrix& dy() const;
+  [[nodiscard]] const la::CsrMatrix& laplacian() const;
+
+  [[nodiscard]] const pc::PointCloud& cloud() const { return *cloud_; }
+  [[nodiscard]] const RbffdConfig& config() const { return config_; }
+
+ private:
+  const pc::PointCloud* cloud_;
+  const Kernel* kernel_;
+  RbffdConfig config_;
+  pc::KdTree tree_;
+  std::vector<std::vector<std::size_t>> stencils_;
+  mutable std::unique_ptr<la::CsrMatrix> dx_, dy_, lap_;
+};
+
+}  // namespace updec::rbf

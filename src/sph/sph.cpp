@@ -1,0 +1,238 @@
+#include "sph/sph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace updec::sph {
+
+void Particles::resize(std::size_t n) {
+  x.resize(n);
+  y.resize(n);
+  vx.resize(n);
+  vy.resize(n);
+  rho.resize(n);
+  p.resize(n);
+  m.resize(n);
+}
+
+CubicSplineKernel::CubicSplineKernel(double h) : h_(h) {
+  UPDEC_REQUIRE(h > 0.0, "smoothing length must be positive");
+  sigma_ = 10.0 / (7.0 * std::numbers::pi * h * h);
+}
+
+double CubicSplineKernel::w(double r) const {
+  const double q = r / h_;
+  if (q >= 2.0) return 0.0;
+  if (q < 1.0) return sigma_ * (1.0 - 1.5 * q * q * (1.0 - 0.5 * q));
+  const double two_minus_q = 2.0 - q;
+  return sigma_ * 0.25 * two_minus_q * two_minus_q * two_minus_q;
+}
+
+double CubicSplineKernel::dw(double r) const {
+  const double q = r / h_;
+  if (q >= 2.0) return 0.0;
+  if (q < 1.0) return sigma_ / h_ * (-3.0 * q + 2.25 * q * q);
+  const double two_minus_q = 2.0 - q;
+  return -sigma_ / h_ * 0.75 * two_minus_q * two_minus_q;
+}
+
+SphSolver::SphSolver(const SphConfig& config, double spacing)
+    : config_(config),
+      kernel_(config.h > 0.0 ? config.h : 1.3 * spacing),
+      dt_(config.dt) {
+  UPDEC_REQUIRE(spacing > 0.0 && spacing < config.box,
+                "spacing must be positive and below the box size");
+  UPDEC_REQUIRE(config_.c0 > 0.0 && config_.rho0 > 0.0,
+                "sound speed and reference density must be positive");
+  if (dt_ <= 0.0) {
+    // Acoustic + viscous bound, the usual WCSPH choice.
+    const double h = kernel_.h();
+    const double dt_acoustic = 0.25 * h / config_.c0;
+    const double dt_viscous =
+        config_.nu > 0.0 ? 0.125 * h * h / config_.nu : dt_acoustic;
+    dt_ = std::min(dt_acoustic, dt_viscous);
+  }
+}
+
+namespace {
+/// Periodic minimum-image difference in [-L/2, L/2).
+inline double wrap(double d, double box) {
+  if (d > 0.5 * box) return d - box;
+  if (d < -0.5 * box) return d + box;
+  return d;
+}
+}  // namespace
+
+template <typename F>
+void SphSolver::for_neighbours(const Particles& particles, F&& f) const {
+  const double support = kernel_.support();
+  const double box = config_.box;
+  const auto cells_per_side =
+      std::max<std::size_t>(1, static_cast<std::size_t>(box / support));
+  const double cell = box / static_cast<double>(cells_per_side);
+  const std::size_t n = particles.size();
+
+  // Fewer than 3 cells per side: the 3x3 sweep would revisit cells and
+  // double-count pairs -- brute force with minimum image instead.
+  if (cells_per_side < 3) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double dx = wrap(particles.x[i] - particles.x[j], box);
+        const double dy = wrap(particles.y[i] - particles.y[j], box);
+        const double r = std::sqrt(dx * dx + dy * dy);
+        if (r < support) f(i, j, dx, dy, r);
+      }
+    }
+    return;
+  }
+
+  // Bin particles.
+  std::vector<std::vector<std::size_t>> bins(cells_per_side * cells_per_side);
+  const auto bin_of = [&](double px, double py) {
+    auto cx = static_cast<std::size_t>(px / cell);
+    auto cy = static_cast<std::size_t>(py / cell);
+    cx = std::min(cx, cells_per_side - 1);
+    cy = std::min(cy, cells_per_side - 1);
+    return cy * cells_per_side + cx;
+  };
+  for (std::size_t i = 0; i < n; ++i)
+    bins[bin_of(particles.x[i], particles.y[i])].push_back(i);
+
+  // Sweep each particle against its own and neighbouring cells (periodic).
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cx = std::min(static_cast<std::size_t>(particles.x[i] / cell),
+                             cells_per_side - 1);
+    const auto cy = std::min(static_cast<std::size_t>(particles.y[i] / cell),
+                             cells_per_side - 1);
+    for (int oy = -1; oy <= 1; ++oy) {
+      for (int ox = -1; ox <= 1; ++ox) {
+        const auto nx = static_cast<std::size_t>(
+            (static_cast<std::ptrdiff_t>(cx + cells_per_side) + ox) %
+            static_cast<std::ptrdiff_t>(cells_per_side));
+        const auto ny = static_cast<std::size_t>(
+            (static_cast<std::ptrdiff_t>(cy + cells_per_side) + oy) %
+            static_cast<std::ptrdiff_t>(cells_per_side));
+        for (const std::size_t j : bins[ny * cells_per_side + nx]) {
+          if (j == i) continue;
+          const double dx = wrap(particles.x[i] - particles.x[j], box);
+          const double dy = wrap(particles.y[i] - particles.y[j], box);
+          const double r = std::sqrt(dx * dx + dy * dy);
+          if (r < support) f(i, j, dx, dy, r);
+        }
+      }
+    }
+  }
+}
+
+void SphSolver::update_density_pressure(Particles& particles) const {
+  const std::size_t n = particles.size();
+  // Self-contribution W(0) included.
+  for (std::size_t i = 0; i < n; ++i)
+    particles.rho[i] = particles.m[i] * kernel_.w(0.0);
+  for_neighbours(particles,
+                 [&](std::size_t i, std::size_t j, double, double, double r) {
+                   particles.rho[i] += particles.m[j] * kernel_.w(r);
+                 });
+  // Tait equation of state.
+  const double b =
+      config_.c0 * config_.c0 * config_.rho0 / config_.gamma;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ratio = particles.rho[i] / config_.rho0;
+    particles.p[i] = b * (std::pow(ratio, config_.gamma) - 1.0);
+  }
+}
+
+void SphSolver::step(Particles& particles) const {
+  const std::size_t n = particles.size();
+  update_density_pressure(particles);
+
+  std::vector<double> ax(n, 0.0), ay(n, 0.0);
+  const double eps = 0.01 * kernel_.h() * kernel_.h();
+  for_neighbours(particles, [&](std::size_t i, std::size_t j, double dx,
+                                double dy, double r) {
+    if (r <= 0.0) return;
+    const double grad = kernel_.dw(r) / r;  // so grad_i W = grad * (dx, dy)
+    // Symmetric pressure term.
+    const double pij =
+        particles.p[i] / (particles.rho[i] * particles.rho[i]) +
+        particles.p[j] / (particles.rho[j] * particles.rho[j]);
+    ax[i] -= particles.m[j] * pij * grad * dx;
+    ay[i] -= particles.m[j] * pij * grad * dy;
+    // Morris laminar viscosity.
+    const double mu_i = config_.nu * particles.rho[i];
+    const double mu_j = config_.nu * particles.rho[j];
+    const double visc = (mu_i + mu_j) /
+                        (particles.rho[i] * particles.rho[j]) *
+                        (r * kernel_.dw(r)) / (r * r + eps);
+    ax[i] += particles.m[j] * visc * (particles.vx[i] - particles.vx[j]);
+    ay[i] += particles.m[j] * visc * (particles.vy[i] - particles.vy[j]);
+  });
+
+  // Symplectic Euler + periodic wrap.
+  const double box = config_.box;
+  for (std::size_t i = 0; i < n; ++i) {
+    particles.vx[i] += dt_ * ax[i];
+    particles.vy[i] += dt_ * ay[i];
+    particles.x[i] += dt_ * particles.vx[i];
+    particles.y[i] += dt_ * particles.vy[i];
+    particles.x[i] -= box * std::floor(particles.x[i] / box);
+    particles.y[i] -= box * std::floor(particles.y[i] / box);
+  }
+}
+
+void SphSolver::advance(Particles& particles, std::size_t steps) const {
+  for (std::size_t s = 0; s < steps; ++s) step(particles);
+}
+
+double SphSolver::kinetic_energy(const Particles& particles) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < particles.size(); ++i)
+    e += 0.5 * particles.m[i] *
+         (particles.vx[i] * particles.vx[i] +
+          particles.vy[i] * particles.vy[i]);
+  return e;
+}
+
+std::pair<double, double> SphSolver::momentum(const Particles& particles) {
+  double px = 0.0, py = 0.0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    px += particles.m[i] * particles.vx[i];
+    py += particles.m[i] * particles.vy[i];
+  }
+  return {px, py};
+}
+
+Particles make_lattice(std::size_t n, const SphConfig& config) {
+  UPDEC_REQUIRE(n >= 4, "lattice needs at least 4x4 particles");
+  Particles particles;
+  particles.resize(n * n);
+  const double spacing = config.box / static_cast<double>(n);
+  const double mass =
+      config.rho0 * config.box * config.box / static_cast<double>(n * n);
+  std::size_t k = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i, ++k) {
+      particles.x[k] = (static_cast<double>(i) + 0.5) * spacing;
+      particles.y[k] = (static_cast<double>(j) + 0.5) * spacing;
+      particles.vx[k] = particles.vy[k] = 0.0;
+      particles.rho[k] = config.rho0;
+      particles.p[k] = 0.0;
+      particles.m[k] = mass;
+    }
+  }
+  return particles;
+}
+
+void set_taylor_green(Particles& particles, double box, double amplitude) {
+  const double k = 2.0 * std::numbers::pi / box;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    particles.vx[i] =
+        amplitude * std::sin(k * particles.x[i]) * std::cos(k * particles.y[i]);
+    particles.vy[i] = -amplitude * std::cos(k * particles.x[i]) *
+                      std::sin(k * particles.y[i]);
+  }
+}
+
+}  // namespace updec::sph

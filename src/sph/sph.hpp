@@ -1,0 +1,106 @@
+#pragma once
+/// \file sph.hpp
+/// Weakly-compressible Smoothed Particle Hydrodynamics in a periodic 2-D
+/// box -- the paper's named future-work alternative to RBFs ("exploring
+/// alternative mesh-free methods like Smoothed Particle Hydrodynamics",
+/// section 5; footnote 3 highlights its Lagrangian nature).
+///
+/// Standard WCSPH: cubic-spline kernel, density by summation, Tait
+/// equation of state, Morris laminar viscosity, symplectic-Euler time
+/// integration, cell-list neighbour search with periodic wrapping.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace updec::sph {
+
+/// Particle arrays (structure-of-arrays for cache-friendly sweeps).
+struct Particles {
+  std::vector<double> x, y;    ///< positions in [0, L)^2
+  std::vector<double> vx, vy;  ///< velocities
+  std::vector<double> rho;     ///< densities
+  std::vector<double> p;       ///< pressures
+  std::vector<double> m;       ///< masses
+
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+  void resize(std::size_t n);
+};
+
+/// 2-D cubic-spline (M4) kernel with support radius 2h.
+class CubicSplineKernel {
+ public:
+  explicit CubicSplineKernel(double h);
+
+  [[nodiscard]] double h() const { return h_; }
+  [[nodiscard]] double support() const { return 2.0 * h_; }
+
+  /// W(r).
+  [[nodiscard]] double w(double r) const;
+  /// dW/dr (radial derivative; the gradient is dW/dr * (dx, dy)/r).
+  [[nodiscard]] double dw(double r) const;
+
+ private:
+  double h_;
+  double sigma_;  // 2-D normalisation 10 / (7 pi h^2)
+};
+
+struct SphConfig {
+  double box = 1.0;       ///< periodic box edge L
+  double h = 0.0;         ///< smoothing length (0: auto = 1.3 * spacing)
+  double rho0 = 1.0;      ///< reference density
+  double c0 = 10.0;       ///< artificial sound speed (>= 10 * max |u|)
+  double nu = 0.02;       ///< kinematic viscosity
+  double gamma = 7.0;     ///< Tait exponent
+  double dt = 0.0;        ///< time step (0: auto from the CFL-like bound)
+};
+
+/// WCSPH stepper over a periodic box.
+class SphSolver {
+ public:
+  /// \param spacing initial lattice spacing (sets the auto h and dt).
+  SphSolver(const SphConfig& config, double spacing);
+
+  /// Advance one step: density summation -> EOS -> forces -> symplectic
+  /// Euler -> periodic wrap.
+  void step(Particles& particles) const;
+
+  /// March n steps.
+  void advance(Particles& particles, std::size_t steps) const;
+
+  /// Total kinetic energy 1/2 sum m |v|^2.
+  [[nodiscard]] static double kinetic_energy(const Particles& particles);
+
+  /// Total linear momentum (px, py).
+  [[nodiscard]] static std::pair<double, double> momentum(
+      const Particles& particles);
+
+  [[nodiscard]] const SphConfig& config() const { return config_; }
+  [[nodiscard]] const CubicSplineKernel& kernel() const { return kernel_; }
+  [[nodiscard]] double dt() const { return dt_; }
+
+  /// Recompute densities and pressures of the current configuration
+  /// (exposed for tests and diagnostics).
+  void update_density_pressure(Particles& particles) const;
+
+ private:
+  /// Cell-list neighbour loop: calls f(i, j, dx, dy, r) for every pair with
+  /// r < support (j != i), with periodic minimum-image offsets.
+  template <typename F>
+  void for_neighbours(const Particles& particles, F&& f) const;
+
+  SphConfig config_;
+  CubicSplineKernel kernel_;
+  double dt_;
+};
+
+/// Regular n x n lattice filling the box with total mass rho0 * L^2.
+Particles make_lattice(std::size_t n, const SphConfig& config);
+
+/// Impose the Taylor-Green velocity field u = U sin(kx) cos(ky),
+/// v = -U cos(kx) sin(ky) with k = 2 pi / L (divergence-free, decays as
+/// exp(-2 nu k^2 t) in the incompressible limit).
+void set_taylor_green(Particles& particles, double box, double amplitude);
+
+}  // namespace updec::sph

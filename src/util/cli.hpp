@@ -1,0 +1,36 @@
+#pragma once
+/// \file cli.hpp
+/// Minimal command-line option parsing for examples and bench binaries.
+/// Supports `--key value`, `--key=value` and boolean `--flag` forms.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace updec {
+
+/// Parsed command-line arguments with typed, defaulted lookups.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] bool flag(const std::string& key) const { return has(key); }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+  /// Positional (non --key) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace updec

@@ -1,0 +1,56 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "util/error.hpp"
+
+namespace updec {
+
+void SeriesWriter::add(Series s) {
+  UPDEC_REQUIRE(s.x.size() == s.y.size(), "series x/y size mismatch");
+  series_.push_back(std::move(s));
+}
+
+void SeriesWriter::add(const std::string& name, const std::vector<double>& y,
+                       const std::string& x_label,
+                       const std::string& y_label) {
+  Series s;
+  s.name = name;
+  s.x_label = x_label;
+  s.y_label = y_label;
+  s.y = y;
+  s.x.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) s.x[i] = static_cast<double>(i);
+  add(std::move(s));
+}
+
+void SeriesWriter::flush(std::size_t max_stdout_points) const {
+  namespace fs = std::filesystem;
+  if (!out_dir_.empty()) fs::create_directories(out_dir_);
+
+  for (const auto& s : series_) {
+    if (!out_dir_.empty()) {
+      std::ofstream f(fs::path(out_dir_) / (s.name + ".csv"));
+      UPDEC_REQUIRE(static_cast<bool>(f), "cannot open CSV for " + s.name);
+      f << s.x_label << "," << s.y_label << "\n";
+      f.precision(12);
+      for (std::size_t i = 0; i < s.x.size(); ++i)
+        f << s.x[i] << "," << s.y[i] << "\n";
+    }
+    // Strided stdout dump so plots can be sanity-checked from logs.
+    std::cout << "# series: " << s.name << " (" << s.x_label << " -> "
+              << s.y_label << ", n=" << s.x.size() << ")\n";
+    const std::size_t n = s.x.size();
+    const std::size_t stride =
+        n <= max_stdout_points ? 1 : (n + max_stdout_points - 1) / max_stdout_points;
+    std::cout.precision(6);
+    for (std::size_t i = 0; i < n; i += stride)
+      std::cout << "#   " << s.x[i] << "\t" << s.y[i] << "\n";
+    if (n > 0 && (n - 1) % stride != 0)
+      std::cout << "#   " << s.x[n - 1] << "\t" << s.y[n - 1] << "\n";
+  }
+}
+
+}  // namespace updec

@@ -1,0 +1,46 @@
+#pragma once
+/// \file csv.hpp
+/// Series (figure-data) emission. Each figure in the paper corresponds to
+/// one or more named series printed by the bench binaries; the SeriesWriter
+/// renders them either inline (stdout, '# series:' blocks) or to CSV files
+/// for external plotting.
+
+#include <string>
+#include <vector>
+
+namespace updec {
+
+/// A named (x, y) series, e.g. a cost history or a velocity profile.
+struct Series {
+  std::string name;
+  std::string x_label;
+  std::string y_label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Collects series and writes them as CSV files and/or a compact stdout dump.
+class SeriesWriter {
+ public:
+  /// \param out_dir directory for CSV output; empty -> stdout only.
+  explicit SeriesWriter(std::string out_dir = "") : out_dir_(std::move(out_dir)) {}
+
+  void add(Series s);
+
+  /// Convenience: add a series from y-values with implicit x = 0..n-1.
+  void add(const std::string& name, const std::vector<double>& y,
+           const std::string& x_label = "index",
+           const std::string& y_label = "value");
+
+  /// Write all collected series. Stdout dump is capped at `max_stdout_points`
+  /// evenly-strided points per series to keep logs readable.
+  void flush(std::size_t max_stdout_points = 16) const;
+
+  [[nodiscard]] std::size_t size() const { return series_.size(); }
+
+ private:
+  std::string out_dir_;
+  std::vector<Series> series_;
+};
+
+}  // namespace updec

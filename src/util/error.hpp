@@ -1,0 +1,45 @@
+#pragma once
+/// \file error.hpp
+/// Error-handling primitives shared by every updec module.
+///
+/// Library code throws `updec::Error` (a `std::runtime_error`) on contract
+/// violations via UPDEC_REQUIRE; hot loops use UPDEC_ASSERT which compiles
+/// out in release builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace updec {
+
+/// Exception type thrown on any contract violation inside updec libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement `" << cond << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace updec
+
+/// Always-on precondition check. `msg` may use stream syntax via a string.
+#define UPDEC_REQUIRE(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::updec::detail::throw_error(#cond, __FILE__, __LINE__, (msg));       \
+  } while (0)
+
+/// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define UPDEC_ASSERT(cond) ((void)0)
+#else
+#define UPDEC_ASSERT(cond) UPDEC_REQUIRE(cond, "assertion")
+#endif

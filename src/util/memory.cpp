@@ -1,0 +1,32 @@
+#include "util/memory.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace updec {
+namespace {
+
+/// Parse a "Vm...:  <kB> kB" line from /proc/self/status.
+std::size_t read_status_field(const std::string& field) {
+  std::ifstream in("/proc/self/status");
+  if (!in) return 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(field, 0) == 0) {
+      std::istringstream is(line.substr(field.size()));
+      std::size_t kb = 0;
+      is >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() { return read_status_field("VmHWM:"); }
+
+std::size_t current_rss_bytes() { return read_status_field("VmRSS:"); }
+
+}  // namespace updec

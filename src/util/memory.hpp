@@ -1,0 +1,22 @@
+#pragma once
+/// \file memory.hpp
+/// Process memory probes used to reproduce the "Peak mem." column of the
+/// paper's Table 3.
+
+#include <cstddef>
+
+namespace updec {
+
+/// Peak resident set size of the current process in bytes (VmHWM on Linux).
+/// Returns 0 when the probe is unavailable on the platform.
+std::size_t peak_rss_bytes();
+
+/// Current resident set size in bytes (VmRSS on Linux). 0 if unavailable.
+std::size_t current_rss_bytes();
+
+/// Convenience: bytes -> mebibytes.
+inline double to_mib(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace updec

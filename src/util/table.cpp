@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace updec {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  UPDEC_REQUIRE(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  UPDEC_REQUIRE(row.size() == header_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto rule = [&] {
+    os << '+';
+    for (const std::size_t w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c] << " |";
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+}  // namespace updec

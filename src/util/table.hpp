@@ -1,0 +1,39 @@
+#pragma once
+/// \file table.hpp
+/// Aligned-column text tables for the benchmark harness. Every table the
+/// paper reports (Tables 1-3) is printed through this formatter so the bench
+/// output can be compared to the paper row for row.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace updec {
+
+/// Column-aligned text table with a title, a header row and data rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Add a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Format helpers for numeric cells.
+  static std::string num(double v, int precision = 4);
+  static std::string sci(double v, int precision = 2);
+
+  /// Render the table with box-drawing separators.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace updec

@@ -1,0 +1,30 @@
+#pragma once
+/// \file timer.hpp
+/// Monotonic wall-clock stopwatch used by the benchmark harness (Table 3).
+
+#include <chrono>
+
+namespace updec {
+
+/// Simple RAII-friendly stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace updec

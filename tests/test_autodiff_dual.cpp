@@ -1,0 +1,201 @@
+// Tests for forward-mode Dual and second-order Dual2 scalars, including the
+// forward-over-reverse composition Dual2<Var> used by the PINN residuals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/dual.hpp"
+#include "autodiff/dual2.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using updec::ad::Dual;
+using updec::ad::Dual2;
+using updec::ad::Tape;
+using updec::ad::Var;
+
+TEST(Dual, BasicDerivatives) {
+  // f(x) = x^2 * sin(x) at x = 1.3; f' = 2x sin x + x^2 cos x.
+  const double x0 = 1.3;
+  auto x = updec::ad::dual_input(x0);
+  auto y = x * x * sin(x);
+  EXPECT_NEAR(y.v, x0 * x0 * std::sin(x0), 1e-14);
+  EXPECT_NEAR(y.d, 2 * x0 * std::sin(x0) + x0 * x0 * std::cos(x0), 1e-13);
+}
+
+TEST(Dual, QuotientAndSqrt) {
+  const double x0 = 2.0;
+  auto x = updec::ad::dual_input(x0);
+  auto y = sqrt(x) / (1.0 + x);
+  const double h = 1e-7;
+  const auto f = [](double t) { return std::sqrt(t) / (1.0 + t); };
+  EXPECT_NEAR(y.d, (f(x0 + h) - f(x0 - h)) / (2 * h), 1e-8);
+}
+
+TEST(Dual, ExpLogPowChain) {
+  const double x0 = 0.8;
+  auto x = updec::ad::dual_input(x0);
+  auto y = exp(log(x) * 2.0) + pow(x, 2.5) + cos(x) - tanh(x);
+  const auto f = [](double t) {
+    return std::exp(std::log(t) * 2.0) + std::pow(t, 2.5) + std::cos(t) -
+           std::tanh(t);
+  };
+  const double h = 1e-7;
+  EXPECT_NEAR(y.v, f(x0), 1e-13);
+  EXPECT_NEAR(y.d, (f(x0 + h) - f(x0 - h)) / (2 * h), 1e-7);
+}
+
+TEST(Dual, NestedDualGivesSecondDerivative) {
+  // f(x) = sin(x^2); f'' via Dual<Dual<double>>.
+  const double x0 = 0.7;
+  Dual<Dual<double>> x{{x0, 1.0}, {1.0, 0.0}};
+  auto y = sin(x * x);
+  const double f2 =
+      2.0 * std::cos(x0 * x0) - 4.0 * x0 * x0 * std::sin(x0 * x0);
+  EXPECT_NEAR(y.d.d, f2, 1e-12);
+}
+
+TEST(Dual2, PolynomialDerivatives) {
+  // f(x, y) = x^2 y + 3 x y^2 at (2, -1):
+  // fx = 2xy + 3y^2, fy = x^2 + 6xy, fxx = 2y, fyy = 6x, fxy = 2x + 6y.
+  const double x0 = 2.0, y0 = -1.0;
+  auto x = updec::ad::dual2_x(x0);
+  auto y = updec::ad::dual2_y(y0);
+  auto f = x * x * y + 3.0 * (x * (y * y));
+  EXPECT_NEAR(f.v, x0 * x0 * y0 + 3 * x0 * y0 * y0, 1e-14);
+  EXPECT_NEAR(f.gx, 2 * x0 * y0 + 3 * y0 * y0, 1e-14);
+  EXPECT_NEAR(f.gy, x0 * x0 + 6 * x0 * y0, 1e-14);
+  EXPECT_NEAR(f.hxx, 2 * y0, 1e-14);
+  EXPECT_NEAR(f.hyy, 6 * x0, 1e-14);
+  EXPECT_NEAR(f.hxy, 2 * x0 + 6 * y0, 1e-14);
+}
+
+TEST(Dual2, HarmonicFunctionHasZeroLaplacian) {
+  // u(x,y) = exp(x) sin(y) is harmonic: u_xx + u_yy = 0.
+  for (const double x0 : {0.1, 0.9, -0.4}) {
+    for (const double y0 : {0.2, 1.4}) {
+      auto x = updec::ad::dual2_x(x0);
+      auto y = updec::ad::dual2_y(y0);
+      auto u = exp(x) * sin(y);
+      EXPECT_NEAR(u.hxx + u.hyy, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Dual2, TanhChainSecondDerivatives) {
+  // f(x, y) = tanh(x y); verify Hessian against finite differences.
+  const double x0 = 0.6, y0 = -0.8;
+  auto x = updec::ad::dual2_x(x0);
+  auto y = updec::ad::dual2_y(y0);
+  auto f = tanh(x * y);
+  const auto g = [](double a, double b) { return std::tanh(a * b); };
+  const double h = 1e-5;
+  const double fxx_fd =
+      (g(x0 + h, y0) - 2 * g(x0, y0) + g(x0 - h, y0)) / (h * h);
+  const double fyy_fd =
+      (g(x0, y0 + h) - 2 * g(x0, y0) + g(x0, y0 - h)) / (h * h);
+  const double fxy_fd = (g(x0 + h, y0 + h) - g(x0 + h, y0 - h) -
+                         g(x0 - h, y0 + h) + g(x0 - h, y0 - h)) /
+                        (4 * h * h);
+  EXPECT_NEAR(f.hxx, fxx_fd, 1e-5);
+  EXPECT_NEAR(f.hyy, fyy_fd, 1e-5);
+  EXPECT_NEAR(f.hxy, fxy_fd, 1e-5);
+}
+
+TEST(Dual2, DivisionAndSqrtAndRecip) {
+  const double x0 = 1.2, y0 = 0.5;
+  auto x = updec::ad::dual2_x(x0);
+  auto y = updec::ad::dual2_y(y0);
+  auto f = sqrt(x + y * y) / (1.0 + x * y);
+  const auto g = [](double a, double b) {
+    return std::sqrt(a + b * b) / (1.0 + a * b);
+  };
+  const double h = 1e-5;
+  EXPECT_NEAR(f.gx, (g(x0 + h, y0) - g(x0 - h, y0)) / (2 * h), 1e-8);
+  EXPECT_NEAR(f.hyy,
+              (g(x0, y0 + h) - 2 * g(x0, y0) + g(x0, y0 - h)) / (h * h), 1e-5);
+}
+
+TEST(Dual2, SinCosExpSecondDerivatives) {
+  const double x0 = 0.35;
+  auto x = updec::ad::dual2_x(x0);
+  auto f = sin(x) + cos(2.0 * x) + exp(-1.0 * x);
+  // f'' = -sin x - 4 cos 2x + exp(-x)
+  EXPECT_NEAR(f.hxx,
+              -std::sin(x0) - 4.0 * std::cos(2 * x0) + std::exp(-x0), 1e-12);
+  EXPECT_NEAR(f.hyy, 0.0, 1e-14);
+}
+
+TEST(Dual2OverVar, ForwardOverReverseMatchesAnalytic) {
+  // u(x, y; theta) = tanh(theta * x) * y.
+  // Residual r = u_xx = theta^2 * (-2 tanh(theta x) sech^2(theta x)) * y.
+  // Check d(r)/d(theta) from the tape against an analytic formula.
+  const double x0 = 0.4, y0 = 1.3, th0 = 0.9;
+  Tape tape;
+  Var theta = tape.variable(th0);
+  Var zero = tape.constant(0.0);
+  Var one = tape.constant(1.0);
+  Dual2<Var> x{tape.constant(x0), one, zero, zero, zero, zero};
+  Dual2<Var> y{tape.constant(y0), zero, one, zero, zero, zero};
+  Dual2<Var> th{theta, zero, zero, zero, zero, zero};
+  auto u = tanh(th * x) * y;
+  Var r = u.hxx;  // u_xx as a tape scalar depending on theta
+  tape.backward(r);
+
+  const auto r_of = [&](double th_) {
+    const double t = std::tanh(th_ * x0);
+    const double s2 = 1.0 - t * t;
+    return th_ * th_ * (-2.0 * t * s2) * y0;
+  };
+  const double h = 1e-6;
+  const double expected = (r_of(th0 + h) - r_of(th0 - h)) / (2 * h);
+  EXPECT_NEAR(r.value(), r_of(th0), 1e-12);
+  EXPECT_NEAR(theta.adjoint(), expected, 1e-6);
+}
+
+TEST(Dual2OverVar, LaplacianResidualGradient) {
+  // Mini-PINN: u(x,y) = a * sin(pi x) * sinh-ish(y) replaced by
+  // u = a * sin(pi x) * y; residual rho = u_xx + u_yy = -a pi^2 sin(pi x) y.
+  // Loss L = rho^2; dL/da = 2 rho * (-pi^2 sin(pi x) y).
+  const double pi = 3.14159265358979323846;
+  const double x0 = 0.3, y0 = 0.7, a0 = 1.5;
+  Tape tape;
+  Var a = tape.variable(a0);
+  Var zero = tape.constant(0.0);
+  Var one = tape.constant(1.0);
+  Dual2<Var> x{tape.constant(x0), one, zero, zero, zero, zero};
+  Dual2<Var> y{tape.constant(y0), zero, one, zero, zero, zero};
+  Dual2<Var> av{a, zero, zero, zero, zero, zero};
+  auto u = av * sin(x * pi) * y;
+  Var rho = u.hxx + u.hyy;
+  Var loss = rho * rho;
+  tape.backward(loss);
+  const double rho0 = -a0 * pi * pi * std::sin(pi * x0) * y0;
+  const double expected = 2.0 * rho0 * (-pi * pi * std::sin(pi * x0) * y0);
+  EXPECT_NEAR(a.adjoint(), expected, 1e-8);
+}
+
+// Property: Laplacian of r^3 (the paper's polyharmonic spline) computed with
+// Dual2 matches the analytic 9r for many random points.
+class PhsLaplacian : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhsLaplacian, MatchesAnalytic) {
+  updec::Rng rng(GetParam());
+  const double cx = rng.uniform(-1.0, 1.0), cy = rng.uniform(-1.0, 1.0);
+  const double px = rng.uniform(-1.0, 1.0), py = rng.uniform(-1.0, 1.0);
+  const double r2v = (px - cx) * (px - cx) + (py - cy) * (py - cy);
+  if (r2v < 1e-4) return;  // kernel is non-smooth at the centre
+  auto x = updec::ad::dual2_x(px);
+  auto y = updec::ad::dual2_y(py);
+  auto dx = x - cx;
+  auto dy = y - cy;
+  auto r = sqrt(dx * dx + dy * dy);
+  auto phi = r * r * r;
+  // In 2D, Laplacian(r^3) = 9r.
+  EXPECT_NEAR(phi.hxx + phi.hyy, 9.0 * std::sqrt(r2v), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhsLaplacian, ::testing::Range(1, 17));
+
+}  // namespace

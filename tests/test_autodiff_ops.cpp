@@ -1,0 +1,287 @@
+// Tests for vector-valued custom tape operations: reductions, constant
+// linear maps, and linear-solve VJPs (the core enabler of the DP strategy).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/ops.hpp"
+#include "la/blas.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using updec::ad::Tape;
+using updec::ad::Var;
+using updec::ad::VarVec;
+using updec::la::CsrMatrix;
+using updec::la::LuFactorization;
+using updec::la::Matrix;
+using updec::la::SparseBuilder;
+using updec::la::Vector;
+
+Matrix random_matrix(std::size_t n, std::uint64_t seed) {
+  updec::Rng rng(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // well-conditioned
+  return a;
+}
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  updec::Rng rng(seed);
+  Vector v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+TEST(AdOps, SumReduction) {
+  Tape tape;
+  VarVec v = updec::ad::make_variables(tape, Vector{1.0, 2.0, 3.0});
+  Var s = updec::ad::sum(v);
+  EXPECT_DOUBLE_EQ(s.value(), 6.0);
+  Var y = s * s;
+  tape.backward(y);
+  for (const Var& x : v) EXPECT_DOUBLE_EQ(x.adjoint(), 12.0);  // 2s
+}
+
+TEST(AdOps, DotOfTwoVarVecs) {
+  Tape tape;
+  VarVec a = updec::ad::make_variables(tape, Vector{1.0, 2.0});
+  VarVec b = updec::ad::make_variables(tape, Vector{3.0, 4.0});
+  Var d = updec::ad::dot(a, b);
+  EXPECT_DOUBLE_EQ(d.value(), 11.0);
+  tape.backward(d);
+  EXPECT_DOUBLE_EQ(a[0].adjoint(), 3.0);
+  EXPECT_DOUBLE_EQ(a[1].adjoint(), 4.0);
+  EXPECT_DOUBLE_EQ(b[0].adjoint(), 1.0);
+  EXPECT_DOUBLE_EQ(b[1].adjoint(), 2.0);
+}
+
+TEST(AdOps, DotWithConstantWeights) {
+  Tape tape;
+  VarVec a = updec::ad::make_variables(tape, Vector{1.0, 2.0, 3.0});
+  Var d = updec::ad::dot(a, Vector{0.5, 0.25, 0.125});
+  EXPECT_DOUBLE_EQ(d.value(), 0.5 + 0.5 + 0.375);
+  tape.backward(d);
+  EXPECT_DOUBLE_EQ(a[0].adjoint(), 0.5);
+  EXPECT_DOUBLE_EQ(a[2].adjoint(), 0.125);
+}
+
+TEST(AdOps, SpmvForwardAndVjp) {
+  // y = A x, J = w . y  =>  dJ/dx = A^T w.
+  SparseBuilder sb(3, 3);
+  sb.add(0, 0, 2.0);
+  sb.add(0, 2, 1.0);
+  sb.add(1, 1, -1.0);
+  sb.add(2, 0, 0.5);
+  sb.add(2, 2, 3.0);
+  const CsrMatrix a(sb);
+  const Vector w{1.0, 2.0, 3.0};
+
+  Tape tape;
+  VarVec x = updec::ad::make_variables(tape, Vector{1.0, 1.0, 1.0});
+  VarVec y = updec::ad::spmv(a, x);
+  EXPECT_DOUBLE_EQ(y[0].value(), 3.0);
+  EXPECT_DOUBLE_EQ(y[2].value(), 3.5);
+  Var j = updec::ad::dot(y, w);
+  tape.backward(j);
+  const Vector expected = a.apply_transpose(w);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(x[i].adjoint(), expected[i], 1e-14);
+}
+
+TEST(AdOps, GemvVjpMatchesFiniteDifferences) {
+  const std::size_t n = 6;
+  const Matrix a = random_matrix(n, 1);
+  const Vector x0 = random_vector(n, 2);
+  const Vector w = random_vector(n, 3);
+
+  const auto objective = [&](const Vector& x) {
+    const Vector y = updec::la::matvec(a, x);
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += w[i] * y[i] * y[i];
+    return s;
+  };
+
+  Tape tape;
+  VarVec x = updec::ad::make_variables(tape, x0);
+  VarVec y = updec::ad::gemv(a, x);
+  VarVec y2 = updec::ad::hadamard(y, y);
+  Var j = updec::ad::dot(y2, w);
+  tape.backward(j);
+  EXPECT_NEAR(j.value(), objective(x0), 1e-12);
+
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector xp = x0, xm = x0;
+    xp[i] += h;
+    xm[i] -= h;
+    const double g_fd = (objective(xp) - objective(xm)) / (2 * h);
+    EXPECT_NEAR(x[i].adjoint(), g_fd, 1e-5);
+  }
+}
+
+TEST(AdOps, ConstantSolveVjpMatchesFiniteDifferences) {
+  // x = A^{-1} b, J = ||x||^2: dJ/db = 2 A^{-T} x.
+  const std::size_t n = 8;
+  const Matrix a = random_matrix(n, 11);
+  const Vector b0 = random_vector(n, 12);
+  const LuFactorization lu(a);
+
+  const auto objective = [&](const Vector& b) {
+    const Vector x = lu.solve(b);
+    return updec::la::dot(x, x);
+  };
+
+  Tape tape;
+  VarVec b = updec::ad::make_variables(tape, b0);
+  VarVec x = updec::ad::solve(lu, b);
+  Var j = updec::ad::dot(x, x);
+  tape.backward(j);
+  EXPECT_NEAR(j.value(), objective(b0), 1e-10);
+
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector bp = b0, bm = b0;
+    bp[i] += h;
+    bm[i] -= h;
+    const double g_fd = (objective(bp) - objective(bm)) / (2 * h);
+    EXPECT_NEAR(b[i].adjoint(), g_fd, 1e-5);
+  }
+}
+
+TEST(AdOps, VariableMatrixSolveVjp) {
+  // Both A and b differentiable: check dJ/dA and dJ/db against FD.
+  const std::size_t n = 4;
+  const Matrix a0 = random_matrix(n, 21);
+  const Vector b0 = random_vector(n, 22);
+
+  const auto objective = [&](const Matrix& a, const Vector& b) {
+    const Vector x = updec::la::solve(a, b);
+    return updec::la::dot(x, x);
+  };
+
+  Tape tape;
+  Vector a_flat0(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a_flat0[i * n + j] = a0(i, j);
+  VarVec a_flat = updec::ad::make_variables(tape, a_flat0);
+  VarVec b = updec::ad::make_variables(tape, b0);
+  VarVec x = updec::ad::solve(a_flat, b);
+  Var j = updec::ad::dot(x, x);
+  tape.backward(j);
+
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector bp = b0, bm = b0;
+    bp[i] += h;
+    bm[i] -= h;
+    const double g_fd = (objective(a0, bp) - objective(a0, bm)) / (2 * h);
+    EXPECT_NEAR(b[i].adjoint(), g_fd, 1e-4);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t jj = 0; jj < n; ++jj) {
+      Matrix ap = a0, am = a0;
+      ap(i, jj) += h;
+      am(i, jj) -= h;
+      const double g_fd = (objective(ap, b0) - objective(am, b0)) / (2 * h);
+      EXPECT_NEAR(a_flat[i * n + jj].adjoint(), g_fd, 1e-4);
+    }
+  }
+}
+
+TEST(AdOps, SolveRoundTripIdentity) {
+  // x = A^{-1} (A z) must reproduce z and pass gradients through cleanly.
+  const std::size_t n = 5;
+  const Matrix a = random_matrix(n, 31);
+  const LuFactorization lu(a);
+  const Vector z0 = random_vector(n, 32);
+
+  Tape tape;
+  VarVec z = updec::ad::make_variables(tape, z0);
+  VarVec az = updec::ad::gemv(a, z);
+  VarVec x = updec::ad::solve(lu, az);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i].value(), z0[i], 1e-10);
+  Var j = updec::ad::sum(x);
+  tape.backward(j);
+  // J = sum(z) so dJ/dz = 1.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(z[i].adjoint(), 1.0, 1e-9);
+}
+
+TEST(AdOps, ElementwiseHelpers) {
+  Tape tape;
+  VarVec a = updec::ad::make_variables(tape, Vector{1.0, 2.0});
+  VarVec b = updec::ad::make_variables(tape, Vector{3.0, 5.0});
+  const VarVec s = updec::ad::add(a, b);
+  const VarVec d = updec::ad::sub(a, b);
+  const VarVec h = updec::ad::hadamard(a, b);
+  const VarVec sc = updec::ad::scale(2.0, a);
+  const VarVec ax = updec::ad::add_scaled(a, -1.0, b);
+  EXPECT_DOUBLE_EQ(s[1].value(), 7.0);
+  EXPECT_DOUBLE_EQ(d[0].value(), -2.0);
+  EXPECT_DOUBLE_EQ(h[1].value(), 10.0);
+  EXPECT_DOUBLE_EQ(sc[0].value(), 2.0);
+  EXPECT_DOUBLE_EQ(ax[1].value(), -3.0);
+  Var j = updec::ad::sum(h);
+  tape.backward(j);
+  EXPECT_DOUBLE_EQ(a[0].adjoint(), 3.0);
+  EXPECT_DOUBLE_EQ(b[1].adjoint(), 2.0);
+}
+
+TEST(AdOps, StopGradientVec) {
+  Tape tape;
+  VarVec a = updec::ad::make_variables(tape, Vector{2.0, 3.0});
+  const VarVec frozen = updec::ad::stop_gradient(a);
+  Var j = updec::ad::dot(a, frozen);  // sum a_i * const(a_i)
+  tape.backward(j);
+  EXPECT_DOUBLE_EQ(a[0].adjoint(), 2.0);
+  EXPECT_DOUBLE_EQ(a[1].adjoint(), 3.0);
+}
+
+TEST(AdOps, ValuesAndAdjointsExtraction) {
+  Tape tape;
+  VarVec a = updec::ad::make_variables(tape, Vector{1.5, -2.5});
+  const Vector vals = updec::ad::values(a);
+  EXPECT_DOUBLE_EQ(vals[0], 1.5);
+  Var j = updec::ad::dot(a, a);
+  tape.backward(j);
+  const Vector adj = updec::ad::adjoints(a);
+  EXPECT_DOUBLE_EQ(adj[0], 3.0);
+  EXPECT_DOUBLE_EQ(adj[1], -5.0);
+}
+
+// Property: chained custom ops (spmv -> solve -> dot) give the textbook
+// adjoint chain, across sizes.
+class ChainedCustomOps : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChainedCustomOps, GradientMatchesAnalytic) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_matrix(n, 100 + n);
+  const LuFactorization lu(a);
+  SparseBuilder sb(n, n);
+  updec::Rng rng(200 + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sb.add(i, i, 2.0 + rng.uniform());
+    sb.add(i, (i + 1) % n, -rng.uniform());
+  }
+  const CsrMatrix m(sb);
+  const Vector c0 = random_vector(n, 300 + n);
+  const Vector w = random_vector(n, 400 + n);
+
+  Tape tape;
+  VarVec c = updec::ad::make_variables(tape, c0);
+  VarVec b = updec::ad::spmv(m, c);
+  VarVec x = updec::ad::solve(lu, b);
+  Var j = updec::ad::dot(x, w);
+  tape.backward(j);
+  // Analytic: dJ/dc = M^T A^{-T} w.
+  const Vector expected = m.apply_transpose(lu.solve_transpose(w));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(c[i].adjoint(), expected[i], 1e-9 * (1.0 + std::abs(expected[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChainedCustomOps,
+                         ::testing::Values(2, 5, 10, 25, 60));
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Cross-module integration tests: identities that hold only when several
+// subsystems compose correctly (tape x LU, RBF-FD x global collocation,
+// dual-derived kernels x solvers, discrete-adjoint equivalence).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/ops.hpp"
+#include "control/laplace_problem.hpp"
+#include "la/blas.hpp"
+#include "pde/channel_flow.hpp"
+#include "pde/laplace.hpp"
+#include "rbf/interpolation.hpp"
+#include "rbf/rbffd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using updec::ad::Tape;
+using updec::ad::Var;
+using updec::ad::VarVec;
+using updec::la::Vector;
+
+TEST(Integration, TapeGradientEqualsHandBuiltDiscreteAdjoint) {
+  // For the (linear) Laplace control problem the DP gradient has a closed
+  // form: g = S^T A^{-T} F^T W r, with S the control scatter, F the flux
+  // rows, W the quadrature and r = 2 (flux - target). Building that chain
+  // by hand from LU transpose-solves must reproduce the tape's answer --
+  // i.e. reverse-mode AD *is* the discrete adjoint method.
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  const updec::pde::LaplaceSolver solver(12, kernel);
+  Vector control(solver.num_control(), 0.0);
+  control[3] = 0.25;
+
+  // Tape gradient.
+  Tape tape;
+  const VarVec c = updec::ad::make_variables(tape, control);
+  const VarVec coeffs = solver.solve(tape, c);
+  const VarVec flux = solver.flux_top(coeffs);
+  Var j = tape.constant(0.0);
+  const auto& w = solver.quadrature_weights();
+  const auto& xs = solver.top_x();
+  for (std::size_t i = 0; i < flux.size(); ++i) {
+    const Var d = flux[i] - updec::pde::LaplaceSolver::target_flux(xs[i]);
+    j = j + w[i] * (d * d);
+  }
+  tape.backward(j);
+  const Vector g_tape = updec::ad::adjoints(c);
+
+  // Hand-built discrete adjoint.
+  const Vector coeffs_v = solver.solve(control);
+  const Vector flux_v = solver.flux_top(coeffs_v);
+  Vector r(flux_v.size());
+  for (std::size_t i = 0; i < r.size(); ++i)
+    r[i] = 2.0 * w[i] *
+           (flux_v[i] - updec::pde::LaplaceSolver::target_flux(xs[i]));
+  const Vector ft_r = updec::la::matvec_t(solver.flux_matrix(), r);
+  const Vector lambda = solver.collocation().lu().solve_transpose(ft_r);
+  Vector g_hand(solver.num_control(), 0.0);
+  const auto& top = solver.top_nodes();
+  for (std::size_t i = 0; i < top.size(); ++i)
+    g_hand[solver.control_index(i)] += lambda[top[i]];
+
+  ASSERT_EQ(g_tape.size(), g_hand.size());
+  for (std::size_t i = 0; i < g_tape.size(); ++i)
+    EXPECT_NEAR(g_tape[i], g_hand[i], 1e-9 * (1.0 + std::abs(g_hand[i])));
+}
+
+TEST(Integration, RbffdMatchesGlobalInterpolantDerivatives) {
+  // Local RBF-FD derivatives and derivatives of the global interpolant are
+  // different discretisations of the same operator; on a smooth field they
+  // must agree to discretisation accuracy.
+  const updec::pc::PointCloud cloud = updec::pc::unit_square_grid(16, 16);
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  Vector f(cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const auto p = cloud.node(i).pos;
+    f[i] = std::sin(2.0 * p.x) * std::cos(p.y);
+  }
+  const updec::rbf::RbffdOperators ops(cloud, kernel);
+  const Vector fx_local = ops.dx().apply(f);
+
+  const updec::rbf::RbfInterpolant interp(cloud, kernel, 1, f);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < cloud.num_internal(); i += 9) {
+    const double fx_global =
+        interp.apply(updec::rbf::LinearOp::d_dx(), cloud.node(i).pos);
+    max_diff = std::max(max_diff, std::abs(fx_local[i] - fx_global));
+  }
+  EXPECT_LT(max_diff, 0.05);
+}
+
+TEST(Integration, DualDerivedKernelSolvesThePdeIdentically) {
+  // A user-defined r^3 via forward-mode AD must produce the same Laplace
+  // solution as the hand-coded polyharmonic spline.
+  const updec::pc::PointCloud cloud = updec::pc::unit_square_grid(10, 10);
+  const updec::rbf::PolyharmonicSpline analytic(3);
+  const updec::rbf::DualDerivedKernel derived(
+      "phs3-ad", [](auto r) { return r * r * r; });
+  const auto solve_with = [&](const updec::rbf::Kernel& kernel) {
+    const updec::rbf::GlobalCollocation colloc(
+        cloud, kernel, 1, updec::rbf::LinearOp::laplacian());
+    const Vector rhs = colloc.assemble_rhs(
+        [](const updec::pc::Node&) { return 0.0; },
+        [](const updec::pc::Node& n) { return n.pos.x + 2.0 * n.pos.y; });
+    return colloc.evaluate_at_nodes(colloc.solve(rhs),
+                                    updec::rbf::LinearOp::identity());
+  };
+  const Vector u1 = solve_with(analytic);
+  const Vector u2 = solve_with(derived);
+  for (std::size_t i = 0; i < u1.size(); i += 7)
+    EXPECT_NEAR(u1[i], u2[i], 1e-8);
+}
+
+TEST(Integration, TapeReuseIsDeterministic) {
+  // Clearing and re-recording the channel rollout on the same tape must
+  // reproduce values and gradients bit-for-bit (no stale state).
+  updec::pc::ChannelSpec spec;
+  spec.target_nodes = 280;
+  const updec::pc::PointCloud cloud = updec::pc::channel_cloud(spec);
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  updec::pde::ChannelFlowConfig config;
+  config.reynolds = 20.0;
+  config.refinements = 1;
+  config.steps_per_refinement = 20;
+  const updec::pde::ChannelFlowSolver solver(cloud, kernel, config, spec);
+  const Vector inflow = solver.parabolic_inflow();
+
+  Tape tape;
+  Vector g1, g2;
+  double j1 = 0.0, j2 = 0.0;
+  for (int round = 0; round < 2; ++round) {
+    tape.clear();
+    const VarVec c = updec::ad::make_variables(tape, inflow);
+    const updec::pde::FlowAd flow = solver.solve(tape, c);
+    Var j = updec::ad::dot(flow.u, flow.u);
+    tape.backward(j);
+    if (round == 0) {
+      j1 = j.value();
+      g1 = updec::ad::adjoints(c);
+    } else {
+      j2 = j.value();
+      g2 = updec::ad::adjoints(c);
+    }
+  }
+  EXPECT_DOUBLE_EQ(j1, j2);
+  for (std::size_t i = 0; i < g1.size(); ++i) EXPECT_DOUBLE_EQ(g1[i], g2[i]);
+}
+
+TEST(Integration, ProblemCostMatchesStrategyCostEverywhere) {
+  // ControlProblem::cost and every strategy's reported value must agree on
+  // random controls (one forward-solve semantics across the module).
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  auto problem =
+      std::make_shared<updec::control::LaplaceControlProblem>(12, kernel);
+  auto dp = updec::control::make_laplace_dp(problem);
+  auto dal = updec::control::make_laplace_dal(problem);
+  updec::Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    Vector c(problem->control_size());
+    for (auto& v : c) v = rng.uniform(-0.3, 0.3);
+    const double j_ref = problem->cost(c);
+    Vector g;
+    EXPECT_NEAR(dp->value_and_gradient(c, g), j_ref, 1e-12);
+    EXPECT_NEAR(dal->value_and_gradient(c, g), j_ref, 1e-12);
+  }
+}
+
+// Property sweep: the channel solver stays finite and channel-like across
+// cloud realizations (the stability engineering of DESIGN.md 3b).
+class ChannelStability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChannelStability, SteadySolveIsFiniteAcrossSeeds) {
+  updec::pc::ChannelSpec spec;
+  spec.target_nodes = 300;
+  spec.seed = GetParam();
+  const updec::pc::PointCloud cloud = updec::pc::channel_cloud(spec);
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  updec::pde::ChannelFlowConfig config;
+  config.reynolds = 100.0;
+  config.refinements = 2;
+  config.steps_per_refinement = 200;
+  const updec::pde::ChannelFlowSolver solver(cloud, kernel, config, spec);
+  const updec::pde::Flow flow = solver.solve(solver.parabolic_inflow());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(flow.u[i])) << "node " << i;
+    ASSERT_TRUE(std::isfinite(flow.v[i])) << "node " << i;
+  }
+  EXPECT_LT(updec::la::nrm_inf(flow.u), 3.0);
+  EXPECT_LT(updec::la::nrm_inf(flow.v), 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelStability,
+                         ::testing::Values(7, 13, 42, 99, 123));
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Unit tests for dense containers and BLAS-like kernels.
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/dense.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using updec::la::Matrix;
+using updec::la::Vector;
+
+TEST(Vector, ConstructionAndAccess) {
+  Vector v(4, 2.5);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[3], 2.5);
+  v[0] = -1.0;
+  EXPECT_DOUBLE_EQ(v[0], -1.0);
+  v.fill(0.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(Vector, InitializerListAndArithmetic) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, 5.0, 6.0};
+  const Vector sum = a + b;
+  const Vector diff = b - a;
+  const Vector scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(sum[2], 9.0);
+  EXPECT_DOUBLE_EQ(diff[0], 3.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+}
+
+TEST(Vector, MismatchedSizesThrow) {
+  const Vector a{1.0};
+  const Vector b{1.0, 2.0};
+  EXPECT_THROW(a + b, updec::Error);
+  EXPECT_THROW(a - b, updec::Error);
+}
+
+TEST(Matrix, IdentityAndTranspose) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 2), 0.0);
+  Matrix a(2, 3);
+  a(0, 1) = 5.0;
+  a(1, 2) = -2.0;
+  const Matrix at = a.transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(at(2, 1), -2.0);
+}
+
+TEST(Blas, AxpyDotNorms) {
+  Vector x{1.0, -2.0, 2.0};
+  Vector y{0.0, 1.0, 1.0};
+  updec::la::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], -3.0);
+  EXPECT_DOUBLE_EQ(updec::la::dot(x, x), 9.0);
+  EXPECT_DOUBLE_EQ(updec::la::nrm2(x), 3.0);
+  EXPECT_DOUBLE_EQ(updec::la::nrm_inf(x), 2.0);
+  EXPECT_DOUBLE_EQ(updec::la::nrm1(x), 5.0);
+}
+
+TEST(Blas, GemvMatchesManual) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;  a(0, 1) = 2;  a(0, 2) = 3;
+  a(1, 0) = -1; a(1, 1) = 0;  a(1, 2) = 4;
+  const Vector x{1.0, 1.0, 1.0};
+  Vector y{10.0, 10.0};
+  updec::la::gemv(1.0, a, x, 0.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  // beta accumulation
+  updec::la::gemv(1.0, a, x, 1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+}
+
+TEST(Blas, GemvTransposeConsistentWithExplicitTranspose) {
+  updec::Rng rng(3);
+  Matrix a(5, 4);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.normal();
+  Vector x(5);
+  for (auto& v : x) v = rng.normal();
+  const Vector y1 = updec::la::matvec_t(a, x);
+  const Vector y2 = updec::la::matvec(a.transposed(), x);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(y1[j], y2[j], 1e-14);
+}
+
+TEST(Blas, GerRankOneUpdate) {
+  Matrix a(2, 2, 0.0);
+  const Vector x{1.0, 2.0};
+  const Vector y{3.0, 4.0};
+  updec::la::ger(1.0, x, y, a);
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 8.0);
+}
+
+TEST(Blas, GemmMatchesManualSmall) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = updec::la::matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Blas, GemmAssociativityProperty) {
+  updec::Rng rng(17);
+  const std::size_t n = 8;
+  Matrix a(n, n), b(n, n), c(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.normal();
+      b(i, j) = rng.normal();
+      c(i, j) = rng.normal();
+    }
+  const Matrix left = updec::la::matmul(updec::la::matmul(a, b), c);
+  const Matrix right = updec::la::matmul(a, updec::la::matmul(b, c));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(left(i, j), right(i, j), 1e-11);
+}
+
+TEST(Blas, ResidualNormZeroForExactSolution) {
+  const Matrix eye = Matrix::identity(3);
+  const Vector b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(updec::la::residual_norm(eye, b, b), 0.0);
+}
+
+TEST(Blas, DimensionMismatchesThrow) {
+  Matrix a(2, 3);
+  Vector x(2), y(2);
+  EXPECT_THROW(updec::la::gemv(1.0, a, x, 0.0, y), updec::Error);
+  Matrix b(4, 4), c(2, 4);
+  EXPECT_THROW(updec::la::gemm(1.0, a, b, 0.0, c), updec::Error);
+}
+
+// Property sweep: gemv linearity alpha*A(x+y) == alpha*Ax + alpha*Ay.
+class GemvLinearity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GemvLinearity, Additivity) {
+  const std::size_t n = GetParam();
+  updec::Rng rng(n);
+  Matrix a(n, n);
+  Vector x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  }
+  const Vector lhs = updec::la::matvec(a, x + y);
+  const Vector rhs = updec::la::matvec(a, x) + updec::la::matvec(a, y);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-12 * (1.0 + std::abs(lhs[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemvLinearity,
+                         ::testing::Values(1, 2, 5, 16, 33, 64));
+
+}  // namespace

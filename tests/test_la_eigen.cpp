@@ -1,0 +1,87 @@
+// Tests for the power-iteration dominant-eigenvalue estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/eigen.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using updec::la::Matrix;
+using updec::la::Vector;
+
+TEST(PowerIteration, DiagonalMatrixDominantEntry) {
+  Matrix a(3, 3, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = -5.0;  // dominant in magnitude, negative
+  a(2, 2) = 2.0;
+  const auto result = updec::la::power_iteration(a);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalue, -5.0, 1e-6);
+  // Eigenvector concentrates on coordinate 1.
+  EXPECT_GT(std::abs(result.eigenvector[1]), 0.99);
+}
+
+TEST(PowerIteration, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  const auto result = updec::la::power_iteration(a);
+  EXPECT_NEAR(result.eigenvalue, 3.0, 1e-8);
+  EXPECT_NEAR(std::abs(result.eigenvector[0]),
+              std::abs(result.eigenvector[1]), 1e-6);
+}
+
+TEST(PowerIteration, FunctionalFormMatchesMatrixForm) {
+  updec::Rng rng(4);
+  const std::size_t n = 20;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  // Symmetrise so the dominant eigenvalue is real and power iteration is
+  // guaranteed to settle.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) a(j, i) = a(i, j);
+  const auto direct = updec::la::power_iteration(a, 2000, 1e-12);
+  const auto functional = updec::la::power_iteration(
+      [&a](const Vector& x) { return updec::la::matvec(a, x); }, n, 2000,
+      1e-12);
+  EXPECT_NEAR(direct.eigenvalue, functional.eigenvalue,
+              1e-6 * (1.0 + std::abs(direct.eigenvalue)));
+}
+
+TEST(PowerIteration, GershgorinBoundHolds) {
+  updec::Rng rng(9);
+  const std::size_t n = 15;
+  Matrix a(n, n);
+  double bound = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1.0, 1.0);
+      row_sum += std::abs(a(i, j));
+    }
+    bound = std::max(bound, row_sum);
+  }
+  const auto result = updec::la::power_iteration(a, 500);
+  EXPECT_LE(std::abs(result.eigenvalue), bound + 1e-9);
+}
+
+TEST(PowerIteration, ZeroMapReportsZero) {
+  const auto result = updec::la::power_iteration(
+      [](const Vector& x) { return Vector(x.size(), 0.0); }, 5);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.eigenvalue, 0.0);
+}
+
+TEST(PowerIteration, RejectsNonSquareAndEmpty) {
+  EXPECT_THROW(updec::la::power_iteration(Matrix(2, 3)), updec::Error);
+  EXPECT_THROW(updec::la::power_iteration(
+                   [](const Vector& x) { return x; }, 0),
+               updec::Error);
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// Unit and property tests for direct dense solvers: LU, Cholesky, QR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/lu.hpp"
+#include "la/qr.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using updec::la::CholeskyFactorization;
+using updec::la::LuFactorization;
+using updec::la::Matrix;
+using updec::la::QrFactorization;
+using updec::la::Vector;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  updec::Rng rng(seed);
+  Matrix a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) a(i, j) = rng.normal();
+  return a;
+}
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  const Matrix b = random_matrix(n, n, seed);
+  Matrix a = updec::la::matmul(b.transposed(), b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Lu, SolvesSmallKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 3;
+  const Vector b{3.0, 5.0};
+  const Vector x = updec::la::solve(a, b);
+  EXPECT_NEAR(x[0], 0.8, 1e-14);
+  EXPECT_NEAR(x[1], 1.4, 1e-14);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 0;
+  const Vector b{2.0, 3.0};
+  const Vector x = updec::la::solve(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(LuFactorization{a}, updec::Error);
+}
+
+TEST(Lu, TransposeSolveMatchesExplicitTranspose) {
+  const Matrix a = random_matrix(20, 20, 77);
+  updec::Rng rng(5);
+  Vector b(20);
+  for (auto& v : b) v = rng.normal();
+  const LuFactorization lu(a);
+  const Vector x1 = lu.solve_transpose(b);
+  const Vector x2 = updec::la::solve(a.transposed(), b);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-10);
+}
+
+TEST(Lu, DeterminantMatchesKnownValues) {
+  Matrix a(2, 2);
+  a(0, 0) = 3; a(0, 1) = 1; a(1, 0) = 4; a(1, 1) = 2;
+  EXPECT_NEAR(LuFactorization(a).determinant(), 2.0, 1e-12);
+  EXPECT_NEAR(LuFactorization(Matrix::identity(5)).determinant(), 1.0, 1e-14);
+}
+
+TEST(Lu, ConditionEstimateIdentityIsOne) {
+  const LuFactorization lu(Matrix::identity(10));
+  EXPECT_NEAR(lu.condition_estimate(), 1.0, 1e-12);
+}
+
+TEST(Lu, ConditionEstimateDetectsIllConditioning) {
+  Matrix a = Matrix::identity(4);
+  a(3, 3) = 1e-10;
+  const LuFactorization lu(a);
+  EXPECT_GT(lu.condition_estimate(), 1e8);
+}
+
+TEST(Lu, SolveManyMatchesColumnwiseSolve) {
+  const Matrix a = random_matrix(12, 12, 3);
+  const Matrix b = random_matrix(12, 3, 4);
+  const LuFactorization lu(a);
+  const Matrix x = lu.solve_many(b);
+  for (std::size_t j = 0; j < 3; ++j) {
+    Vector col(12);
+    for (std::size_t i = 0; i < 12; ++i) col[i] = b(i, j);
+    const Vector xj = lu.solve(col);
+    for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(x(i, j), xj[i], 1e-12);
+  }
+}
+
+// Property sweep: random systems of growing size solve to tight residuals.
+class LuRandomSystems : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandomSystems, ResidualIsTiny) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_matrix(n, n, 1000 + n);
+  updec::Rng rng(n);
+  Vector b(n);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = updec::la::solve(a, b);
+  EXPECT_LT(updec::la::residual_norm(a, x, b), 1e-9 * (1.0 + updec::la::nrm2(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomSystems,
+                         ::testing::Values(1, 2, 3, 8, 17, 50, 120));
+
+TEST(Cholesky, SolvesSpdSystem) {
+  const Matrix a = random_spd(15, 9);
+  updec::Rng rng(2);
+  Vector b(15);
+  for (auto& v : b) v = rng.normal();
+  const CholeskyFactorization chol(a);
+  const Vector x = chol.solve(b);
+  EXPECT_LT(updec::la::residual_norm(a, x, b), 1e-10);
+}
+
+TEST(Cholesky, MatchesLuOnSpdSystem) {
+  const Matrix a = random_spd(10, 21);
+  updec::Rng rng(6);
+  Vector b(10);
+  for (auto& v : b) v = rng.normal();
+  const Vector x_chol = CholeskyFactorization(a).solve(b);
+  const Vector x_lu = updec::la::solve(a, b);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(x_chol[i], x_lu[i], 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a = Matrix::identity(3);
+  a(2, 2) = -1.0;
+  EXPECT_THROW(CholeskyFactorization{a}, updec::Error);
+}
+
+TEST(Cholesky, LogDeterminantMatchesLu) {
+  const Matrix a = random_spd(8, 33);
+  const double logdet = CholeskyFactorization(a).log_determinant();
+  const double det = LuFactorization(a).determinant();
+  EXPECT_NEAR(logdet, std::log(det), 1e-8);
+}
+
+TEST(Qr, ExactSolveForSquareSystem) {
+  const Matrix a = random_matrix(10, 10, 55);
+  updec::Rng rng(8);
+  Vector b(10);
+  for (auto& v : b) v = rng.normal();
+  const Vector x_qr = QrFactorization(a).solve_least_squares(b);
+  const Vector x_lu = updec::la::solve(a, b);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(x_qr[i], x_lu[i], 1e-9);
+}
+
+TEST(Qr, LeastSquaresMatchesNormalEquations) {
+  const Matrix a = random_matrix(30, 8, 70);
+  updec::Rng rng(9);
+  Vector b(30);
+  for (auto& v : b) v = rng.normal();
+  const Vector x_qr = QrFactorization(a).solve_least_squares(b);
+  // Normal equations: (A^T A) x = A^T b via Cholesky.
+  const Matrix ata = updec::la::matmul(a.transposed(), a);
+  const Vector atb = updec::la::matvec_t(a, b);
+  const Vector x_ne = CholeskyFactorization(ata).solve(atb);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(x_qr[i], x_ne[i], 1e-8);
+}
+
+TEST(Qr, ResidualOrthogonalToColumnSpace) {
+  const Matrix a = random_matrix(25, 5, 81);
+  updec::Rng rng(10);
+  Vector b(25);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = QrFactorization(a).solve_least_squares(b);
+  Vector r = b;
+  updec::la::gemv(-1.0, a, x, 1.0, r);
+  const Vector atr = updec::la::matvec_t(a, r);
+  EXPECT_LT(updec::la::nrm2(atr), 1e-10 * updec::la::nrm2(b));
+}
+
+TEST(Qr, DiagonalRatioSignalsRankDeficiency) {
+  Matrix a(6, 3);
+  updec::Rng rng(12);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = rng.normal();
+    a(i, 1) = 2.0 * a(i, 0);  // dependent column
+    a(i, 2) = rng.normal();
+  }
+  EXPECT_LT(QrFactorization(a).diagonal_ratio(), 1e-12);
+}
+
+TEST(Qr, RequiresTallMatrix) {
+  const Matrix a = random_matrix(2, 5, 1);
+  EXPECT_THROW(QrFactorization{a}, updec::Error);
+}
+
+}  // namespace

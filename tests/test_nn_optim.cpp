@@ -1,0 +1,297 @@
+// Tests for the MLP substrate and the optimisers: forward correctness,
+// gradients (tape) and input derivatives (Dual2), Adam/SGD/L-BFGS on
+// standard landscapes, and the paper's learning-rate schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "autodiff/dual2.hpp"
+#include "autodiff/ops.hpp"
+#include "nn/mlp.hpp"
+#include "la/blas.hpp"
+#include "optim/lbfgs.hpp"
+#include "optim/optimizer.hpp"
+
+namespace {
+
+using updec::ad::Dual2;
+using updec::ad::Tape;
+using updec::ad::Var;
+using updec::ad::VarVec;
+using updec::la::Vector;
+using updec::nn::Activation;
+using updec::nn::Mlp;
+
+TEST(Mlp, ParameterCountMatchesArchitecture) {
+  // Paper's Laplace network: 2 inputs, 3 hidden layers of 30, 1 output.
+  const Mlp mlp({2, 30, 30, 30, 1}, Activation::kTanh);
+  EXPECT_EQ(mlp.num_parameters(),
+            (2 * 30 + 30) + (30 * 30 + 30) + (30 * 30 + 30) + (30 * 1 + 1));
+  EXPECT_EQ(mlp.num_inputs(), 2u);
+  EXPECT_EQ(mlp.num_outputs(), 1u);
+  EXPECT_NE(mlp.summary().find("2x30x30x30x1"), std::string::npos);
+}
+
+TEST(Mlp, ForwardMatchesManualTinyNetwork) {
+  // 1-2-1 tanh network with hand-set weights.
+  Mlp mlp({1, 2, 1}, Activation::kTanh);
+  // Layout: W1 (2x1) = [w10, w11], b1 (2), W2 (1x2), b2 (1).
+  const std::vector<double> params = {0.5, -1.0, 0.1, 0.2, 2.0, -3.0, 0.25};
+  mlp.set_parameters(params);
+  const double x = 0.7;
+  const double h0 = std::tanh(0.5 * x + 0.1);
+  const double h1 = std::tanh(-1.0 * x + 0.2);
+  const double expected = 2.0 * h0 - 3.0 * h1 + 0.25;
+  const auto out = mlp.forward(std::vector<double>{x});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], expected, 1e-14);
+}
+
+TEST(Mlp, DeterministicInitialisationPerSeed) {
+  const Mlp a({2, 8, 1}, Activation::kTanh, 3);
+  const Mlp b({2, 8, 1}, Activation::kTanh, 3);
+  const Mlp c({2, 8, 1}, Activation::kTanh, 4);
+  EXPECT_EQ(a.parameters(), b.parameters());
+  EXPECT_NE(a.parameters(), c.parameters());
+}
+
+TEST(Mlp, GlorotInitialisationBounded) {
+  const Mlp mlp({10, 20, 1}, Activation::kTanh, 1);
+  const double a1 = std::sqrt(6.0 / 30.0);
+  for (std::size_t i = 0; i < 200; ++i)
+    EXPECT_LE(std::abs(mlp.parameters()[i]), a1);
+}
+
+TEST(Mlp, TapeGradientMatchesFiniteDifferences) {
+  Mlp mlp({2, 6, 1}, Activation::kTanh, 7);
+  const Vector x0{0.3, -0.5};
+  const auto loss_of = [&](const std::vector<double>& params) {
+    Mlp m = mlp;
+    m.set_parameters(params);
+    const auto out = m.forward(std::span<const double>(x0.std()));
+    return out[0] * out[0];
+  };
+
+  Tape tape;
+  VarVec theta = updec::ad::make_variables(tape, Vector(mlp.parameters()));
+  std::vector<Var> inputs = {tape.constant(x0[0]), tape.constant(x0[1])};
+  const auto out = mlp.forward<Var, Var>(
+      std::span<const Var>(theta), std::span<const Var>(inputs),
+      [](const Var& w) { return w; });
+  Var loss = out[0] * out[0];
+  tape.backward(loss);
+
+  const double h = 1e-6;
+  for (const std::size_t i : {0ul, 5ul, 12ul, mlp.num_parameters() - 1}) {
+    auto pp = mlp.parameters();
+    auto pm = mlp.parameters();
+    pp[i] += h;
+    pm[i] -= h;
+    const double g_fd = (loss_of(pp) - loss_of(pm)) / (2 * h);
+    EXPECT_NEAR(theta[i].adjoint(), g_fd, 1e-6 * (1.0 + std::abs(g_fd)));
+  }
+}
+
+TEST(Mlp, Dual2InputDerivativesMatchFiniteDifferences) {
+  const Mlp mlp({2, 10, 10, 1}, Activation::kTanh, 11);
+  const double x0 = 0.4, y0 = -0.2;
+  const auto f = [&](double x, double y) {
+    return mlp.forward(std::vector<double>{x, y})[0];
+  };
+  std::vector<Dual2<double>> inputs = {updec::ad::dual2_x(x0),
+                                       updec::ad::dual2_y(y0)};
+  const auto out = mlp.forward<Dual2<double>, double>(
+      std::span<const double>(mlp.parameters()),
+      std::span<const Dual2<double>>(inputs),
+      [](double w) { return updec::ad::dual2_constant(w); });
+  const double h = 1e-5;
+  EXPECT_NEAR(out[0].v, f(x0, y0), 1e-14);
+  EXPECT_NEAR(out[0].gx, (f(x0 + h, y0) - f(x0 - h, y0)) / (2 * h), 1e-7);
+  EXPECT_NEAR(out[0].gy, (f(x0, y0 + h) - f(x0, y0 - h)) / (2 * h), 1e-7);
+  EXPECT_NEAR(out[0].hxx,
+              (f(x0 + h, y0) - 2 * f(x0, y0) + f(x0 - h, y0)) / (h * h), 1e-4);
+  EXPECT_NEAR(out[0].hyy,
+              (f(x0, y0 + h) - 2 * f(x0, y0) + f(x0, y0 - h)) / (h * h), 1e-4);
+}
+
+TEST(Mlp, ForwardOverReverseResidualGradient) {
+  // d/dtheta of the PINN residual u_xx + u_yy at one point, against FD.
+  Mlp mlp({2, 5, 1}, Activation::kTanh, 13);
+  const double x0 = 0.25, y0 = 0.65;
+  const auto residual_of = [&](const std::vector<double>& params) {
+    Mlp m = mlp;
+    m.set_parameters(params);
+    std::vector<Dual2<double>> in = {updec::ad::dual2_x(x0),
+                                     updec::ad::dual2_y(y0)};
+    const auto out = m.forward<Dual2<double>, double>(
+        std::span<const double>(m.parameters()),
+        std::span<const Dual2<double>>(in),
+        [](double w) { return updec::ad::dual2_constant(w); });
+    return out[0].hxx + out[0].hyy;
+  };
+
+  Tape tape;
+  VarVec theta = updec::ad::make_variables(tape, Vector(mlp.parameters()));
+  const Var zero = tape.constant(0.0);
+  const Var one = tape.constant(1.0);
+  std::vector<Dual2<Var>> in = {
+      {tape.constant(x0), one, zero, zero, zero, zero},
+      {tape.constant(y0), zero, one, zero, zero, zero}};
+  const auto out = mlp.forward<Dual2<Var>, Var>(
+      std::span<const Var>(theta), std::span<const Dual2<Var>>(in),
+      [&](const Var& w) {
+        return Dual2<Var>{w, zero, zero, zero, zero, zero};
+      });
+  Var r = out[0].hxx + out[0].hyy;
+  tape.backward(r);
+  EXPECT_NEAR(r.value(), residual_of(mlp.parameters()), 1e-12);
+
+  const double h = 1e-6;
+  for (const std::size_t i : {0ul, 3ul, 9ul, mlp.num_parameters() - 1}) {
+    auto pp = mlp.parameters();
+    auto pm = mlp.parameters();
+    pp[i] += h;
+    pm[i] -= h;
+    const double g_fd = (residual_of(pp) - residual_of(pm)) / (2 * h);
+    EXPECT_NEAR(theta[i].adjoint(), g_fd, 1e-4 * (1.0 + std::abs(g_fd)));
+  }
+}
+
+TEST(Mlp, ReluAndSinActivationsWork) {
+  Mlp relu({1, 4, 1}, Activation::kRelu, 5);
+  Mlp sinnet({1, 4, 1}, Activation::kSin, 5);
+  EXPECT_TRUE(std::isfinite(relu.forward(std::vector<double>{0.5})[0]));
+  EXPECT_TRUE(std::isfinite(sinnet.forward(std::vector<double>{0.5})[0]));
+  EXPECT_NE(relu.forward(std::vector<double>{0.5})[0],
+            sinnet.forward(std::vector<double>{0.5})[0]);
+}
+
+TEST(Optim, PaperScheduleDropsTwice) {
+  const updec::optim::PaperSchedule schedule(1e-2, 1000);
+  EXPECT_DOUBLE_EQ(schedule.rate(0), 1e-2);
+  EXPECT_DOUBLE_EQ(schedule.rate(499), 1e-2);
+  EXPECT_DOUBLE_EQ(schedule.rate(500), 1e-3);
+  EXPECT_DOUBLE_EQ(schedule.rate(749), 1e-3);
+  EXPECT_DOUBLE_EQ(schedule.rate(750), 1e-4);
+  EXPECT_DOUBLE_EQ(schedule.rate(999), 1e-4);
+}
+
+TEST(Optim, ExponentialScheduleDecays) {
+  const updec::optim::ExponentialSchedule schedule(1.0, 0.5, 10);
+  EXPECT_DOUBLE_EQ(schedule.rate(0), 1.0);
+  EXPECT_NEAR(schedule.rate(10), 0.5, 1e-12);
+  EXPECT_NEAR(schedule.rate(20), 0.25, 1e-12);
+}
+
+TEST(Optim, AdamMinimisesQuadratic) {
+  auto schedule = std::make_shared<updec::optim::ConstantSchedule>(0.1);
+  updec::optim::Adam adam(schedule);
+  Vector x{5.0, -3.0};
+  for (std::size_t it = 0; it < 500; ++it) {
+    const Vector g{2.0 * (x[0] - 1.0), 2.0 * (x[1] + 2.0)};
+    adam.step(x, g, it);
+  }
+  EXPECT_NEAR(x[0], 1.0, 1e-3);
+  EXPECT_NEAR(x[1], -2.0, 1e-3);
+}
+
+TEST(Optim, AdamHandlesRosenbrock) {
+  auto schedule = std::make_shared<updec::optim::ConstantSchedule>(0.02);
+  updec::optim::Adam adam(schedule);
+  Vector x{-1.2, 1.0};
+  for (std::size_t it = 0; it < 20000; ++it) {
+    const double a = x[0], b = x[1];
+    const Vector g{-2.0 * (1.0 - a) - 400.0 * a * (b - a * a),
+                   200.0 * (b - a * a)};
+    adam.step(x, g, it);
+  }
+  EXPECT_NEAR(x[0], 1.0, 5e-2);
+  EXPECT_NEAR(x[1], 1.0, 1e-1);
+}
+
+TEST(Optim, SgdWithMomentumBeatsPlainSgdOnIllConditionedQuadratic) {
+  const auto grad = [](const Vector& x) {
+    return Vector{2.0 * x[0], 100.0 * x[1]};
+  };
+  auto schedule = std::make_shared<updec::optim::ConstantSchedule>(0.008);
+  updec::optim::Sgd plain(schedule, 0.0);
+  updec::optim::Sgd momentum(schedule, 0.9);
+  Vector xp{1.0, 1.0}, xm{1.0, 1.0};
+  for (std::size_t it = 0; it < 300; ++it) {
+    plain.step(xp, grad(xp), it);
+    momentum.step(xm, grad(xm), it);
+  }
+  const double fp = xp[0] * xp[0] + 50.0 * xp[1] * xp[1];
+  const double fm = xm[0] * xm[0] + 50.0 * xm[1] * xm[1];
+  EXPECT_LT(fm, fp);
+}
+
+TEST(Optim, ClipByNorm) {
+  Vector g{3.0, 4.0};
+  const double norm = updec::optim::clip_by_norm(g, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(updec::la::nrm2(g), 1.0, 1e-14);
+  Vector small{0.1, 0.0};
+  updec::optim::clip_by_norm(small, 1.0);
+  EXPECT_DOUBLE_EQ(small[0], 0.1);  // untouched below the cap
+}
+
+TEST(Optim, LbfgsSolvesQuadraticInFewIterations) {
+  const auto objective = [](const Vector& x, Vector& g) {
+    g = Vector{2.0 * (x[0] - 3.0), 8.0 * (x[1] + 1.0)};
+    return (x[0] - 3.0) * (x[0] - 3.0) + 4.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const auto result =
+      updec::optim::lbfgs_minimize(objective, Vector{0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 30u);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-6);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-6);
+}
+
+TEST(Optim, LbfgsSolvesRosenbrockFasterThanAdam) {
+  const auto objective = [](const Vector& x, Vector& g) {
+    const double a = x[0], b = x[1];
+    g = Vector{-2.0 * (1.0 - a) - 400.0 * a * (b - a * a),
+               200.0 * (b - a * a)};
+    return (1.0 - a) * (1.0 - a) + 100.0 * (b - a * a) * (b - a * a);
+  };
+  updec::optim::LbfgsOptions options;
+  options.max_iterations = 200;
+  const auto result =
+      updec::optim::lbfgs_minimize(objective, Vector{-1.2, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-4);
+  EXPECT_LT(result.iterations, 200u);  // Adam above needed 20k steps
+  // Objective history is monotonically non-increasing (Armijo guarantees).
+  for (std::size_t i = 1; i < result.history.size(); ++i)
+    EXPECT_LE(result.history[i], result.history[i - 1] + 1e-12);
+}
+
+// Property sweep: Adam converges on random strongly convex quadratics.
+class AdamConvex : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdamConvex, Converges) {
+  updec::Rng rng(GetParam());
+  const std::size_t n = 5;
+  Vector target(n), scale(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    target[i] = rng.uniform(-2.0, 2.0);
+    scale[i] = rng.uniform(0.5, 5.0);
+  }
+  auto schedule = std::make_shared<updec::optim::PaperSchedule>(0.1, 2000);
+  updec::optim::Adam adam(schedule);
+  Vector x(n, 0.0);
+  for (std::size_t it = 0; it < 2000; ++it) {
+    Vector g(n);
+    for (std::size_t i = 0; i < n; ++i)
+      g[i] = 2.0 * scale[i] * (x[i] - target[i]);
+    adam.step(x, g, it);
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], target[i], 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdamConvex, ::testing::Range(1, 9));
+
+}  // namespace

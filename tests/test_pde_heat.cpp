@@ -1,0 +1,114 @@
+// Tests for the unsteady heat solver (the paper's "incorporate time"
+// future-work direction): analytic mode decay, steady-state recovery,
+// maximum-principle sanity and theta-scheme consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "la/blas.hpp"
+#include "pde/heat.hpp"
+#include "pointcloud/generators.hpp"
+
+namespace {
+
+using updec::la::Vector;
+using updec::pc::PointCloud;
+using updec::pde::HeatSolver;
+
+constexpr double kPi = std::numbers::pi;
+
+Vector mode_field(const PointCloud& cloud) {
+  Vector u(cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const auto p = cloud.node(i).pos;
+    u[i] = std::sin(kPi * p.x) * std::sin(kPi * p.y);
+  }
+  return u;
+}
+
+const auto kZeroBoundary = [](const updec::pc::Node&, double) { return 0.0; };
+
+TEST(Heat, FundamentalModeDecaysAtTheAnalyticRate) {
+  // u0 = sin(pi x) sin(pi y) decays as exp(-2 pi^2 alpha t).
+  const PointCloud cloud = updec::pc::unit_square_grid(16, 16);
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  const double alpha = 0.1, dt = 2e-3;
+  const HeatSolver solver(cloud, kernel, alpha, dt);
+  const std::size_t steps = 50;
+  const Vector u0 = mode_field(cloud);
+  const Vector u = solver.advance(u0, kZeroBoundary, 0.0, steps);
+  const double t = dt * static_cast<double>(steps);
+  const double factor = std::exp(-2.0 * kPi * kPi * alpha * t);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < cloud.num_internal(); ++i)
+    max_err = std::max(max_err, std::abs(u[i] - factor * u0[i]));
+  EXPECT_LT(max_err, 0.02);
+}
+
+TEST(Heat, ConvergesToTheSteadyLaplaceSolution) {
+  // With fixed boundary data the long-time limit solves Lap u = 0; check
+  // against the harmonic function u = x + 2y whose trace we impose.
+  const PointCloud cloud = updec::pc::unit_square_grid(12, 12);
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  const HeatSolver solver(cloud, kernel, 0.5, 5e-3);
+  const auto boundary = [](const updec::pc::Node& n, double) {
+    return n.pos.x + 2.0 * n.pos.y;
+  };
+  Vector u(cloud.size(), 0.0);
+  u = solver.advance(u, boundary, 0.0, 800);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const auto p = cloud.node(i).pos;
+    max_err = std::max(max_err, std::abs(u[i] - (p.x + 2.0 * p.y)));
+  }
+  EXPECT_LT(max_err, 5e-3);
+}
+
+TEST(Heat, RespectsTheMaximumPrincipleApproximately) {
+  const PointCloud cloud = updec::pc::unit_square_grid(14, 14);
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  const HeatSolver solver(cloud, kernel, 0.2, 2e-3);
+  const Vector u0 = mode_field(cloud);
+  Vector u = u0;
+  for (int s = 0; s < 100; ++s) {
+    u = solver.step(u, kZeroBoundary, 0.0);
+    EXPECT_LE(updec::la::nrm_inf(u), 1.0 + 1e-6);  // bounded by the initial max
+  }
+  // Strictly decaying energy.
+  EXPECT_LT(updec::la::nrm2(u), updec::la::nrm2(u0));
+}
+
+TEST(Heat, RejectsBadParameters) {
+  const PointCloud cloud = updec::pc::unit_square_grid(8, 8);
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  EXPECT_THROW(HeatSolver(cloud, kernel, -1.0, 1e-3), updec::Error);
+  EXPECT_THROW(HeatSolver(cloud, kernel, 1.0, 0.0), updec::Error);
+  EXPECT_THROW(HeatSolver(cloud, kernel, 1.0, 1e-3, 1.5), updec::Error);
+}
+
+// Property sweep: implicit Euler (theta = 1) stays stable at large dt where
+// the explicit scheme (theta = 0) diverges.
+class HeatThetaStability : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeatThetaStability, LargeStepBehaviour) {
+  const double theta = GetParam();
+  const PointCloud cloud = updec::pc::unit_square_grid(12, 12);
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  const double big_dt = 0.05;  // far above the explicit diffusive limit
+  const HeatSolver solver(cloud, kernel, 1.0, big_dt, theta);
+  Vector u = mode_field(cloud);
+  u = solver.advance(u, kZeroBoundary, 0.0, 40);
+  const double norm = updec::la::nrm_inf(u);
+  if (theta >= 0.5) {
+    EXPECT_TRUE(std::isfinite(norm));
+    EXPECT_LT(norm, 1.0);  // decayed
+  } else {
+    EXPECT_GT(norm, 10.0);  // explicit scheme blows up at this dt
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, HeatThetaStability,
+                         ::testing::Values(0.0, 0.5, 0.55, 1.0));
+
+}  // namespace

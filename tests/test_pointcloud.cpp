@@ -1,0 +1,256 @@
+// Tests for point clouds, generators (incl. the GMSH-substitute channel) and
+// the k-d tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "pointcloud/generators.hpp"
+#include "pointcloud/kdtree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using updec::pc::BoundaryKind;
+using updec::pc::ChannelSpec;
+using updec::pc::KdTree;
+using updec::pc::Node;
+using updec::pc::PointCloud;
+using updec::pc::Vec2;
+namespace tags = updec::pc::tags;
+
+TEST(Cloud, CanonicalOrderingAfterConstruction) {
+  std::vector<Node> nodes(5);
+  nodes[0].kind = BoundaryKind::kNeumann;
+  nodes[1].kind = BoundaryKind::kInternal;
+  nodes[2].kind = BoundaryKind::kDirichlet;
+  nodes[3].kind = BoundaryKind::kInternal;
+  nodes[4].kind = BoundaryKind::kRobin;
+  const PointCloud cloud(std::move(nodes));
+  EXPECT_EQ(cloud.num_internal(), 2u);
+  EXPECT_EQ(cloud.num_dirichlet(), 1u);
+  EXPECT_EQ(cloud.num_neumann(), 1u);
+  EXPECT_EQ(cloud.num_robin(), 1u);
+  // Blocks are contiguous: internal < dirichlet < neumann < robin.
+  EXPECT_EQ(cloud.begin_of(BoundaryKind::kInternal), 0u);
+  EXPECT_EQ(cloud.begin_of(BoundaryKind::kDirichlet), 2u);
+  EXPECT_EQ(cloud.begin_of(BoundaryKind::kNeumann), 3u);
+  EXPECT_EQ(cloud.begin_of(BoundaryKind::kRobin), 4u);
+  EXPECT_EQ(cloud.end_of(BoundaryKind::kRobin), 5u);
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    if (i < 2) EXPECT_EQ(cloud.node(i).kind, BoundaryKind::kInternal);
+  }
+}
+
+TEST(Cloud, VecArithmetic) {
+  const Vec2 a{3.0, 4.0};
+  const Vec2 b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(updec::pc::norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(updec::pc::distance(a, b), std::sqrt(13.0));
+  EXPECT_DOUBLE_EQ(updec::pc::dot(a, b), 7.0);
+  const Vec2 s = 2.0 * (a - b);
+  EXPECT_DOUBLE_EQ(s.x, 4.0);
+  EXPECT_DOUBLE_EQ(s.y, 6.0);
+}
+
+TEST(Generators, VanDerCorputFirstElements) {
+  EXPECT_DOUBLE_EQ(updec::pc::van_der_corput(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(updec::pc::van_der_corput(2, 2), 0.25);
+  EXPECT_DOUBLE_EQ(updec::pc::van_der_corput(3, 2), 0.75);
+  EXPECT_DOUBLE_EQ(updec::pc::van_der_corput(1, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(updec::pc::van_der_corput(2, 3), 2.0 / 3.0);
+}
+
+TEST(Generators, HaltonIsLowDiscrepancy) {
+  // All points in the unit square; no exact duplicates in the first 1000.
+  std::set<std::pair<double, double>> seen;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    const Vec2 p = updec::pc::halton2(i);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+    EXPECT_TRUE(seen.insert({p.x, p.y}).second);
+  }
+  // Quadrant balance within 10%.
+  int q = 0;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    const Vec2 p = updec::pc::halton2(i);
+    if (p.x < 0.5 && p.y < 0.5) ++q;
+  }
+  EXPECT_NEAR(q, 250, 25);
+}
+
+TEST(Generators, UnitSquareGridStructure) {
+  const PointCloud cloud = updec::pc::unit_square_grid(10, 10);
+  EXPECT_EQ(cloud.size(), 121u);
+  EXPECT_EQ(cloud.num_internal(), 81u);
+  EXPECT_EQ(cloud.num_dirichlet(), 40u);
+  EXPECT_EQ(cloud.num_neumann(), 0u);
+  // The controlled top wall has nx+1 nodes (owns both corners).
+  EXPECT_EQ(cloud.indices_with_tag(tags::kTop).size(), 11u);
+  EXPECT_EQ(cloud.indices_with_tag(tags::kLeft).size(), 9u);
+  // Normals point outward.
+  for (const std::size_t i : cloud.indices_with_tag(tags::kTop)) {
+    EXPECT_DOUBLE_EQ(cloud.node(i).normal.y, 1.0);
+    EXPECT_DOUBLE_EQ(cloud.node(i).pos.y, 1.0);
+  }
+}
+
+TEST(Generators, UnitSquareScatteredRespectsCounts) {
+  const PointCloud cloud = updec::pc::unit_square_scattered(200, 20, 3);
+  EXPECT_EQ(cloud.num_internal(), 200u);
+  EXPECT_EQ(cloud.num_dirichlet(), 80u);
+  // Interior nodes strictly inside.
+  for (std::size_t i = 0; i < cloud.num_internal(); ++i) {
+    const Vec2 p = cloud.node(i).pos;
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GT(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+  // No duplicated corners on the perimeter.
+  std::set<std::pair<double, double>> boundary;
+  for (std::size_t i = cloud.num_internal(); i < cloud.size(); ++i) {
+    const Vec2 p = cloud.node(i).pos;
+    EXPECT_TRUE(boundary.insert({p.x, p.y}).second);
+  }
+}
+
+TEST(Generators, ChannelCloudMatchesSpec) {
+  ChannelSpec spec;
+  spec.target_nodes = 600;
+  const PointCloud cloud = updec::pc::channel_cloud(spec);
+  EXPECT_NEAR(static_cast<double>(cloud.size()), 600.0, 60.0);
+  // All four segment families present.
+  EXPECT_FALSE(cloud.indices_with_tag(tags::kInlet).empty());
+  EXPECT_FALSE(cloud.indices_with_tag(tags::kOutlet).empty());
+  EXPECT_FALSE(cloud.indices_with_tag(tags::kWall).empty());
+  EXPECT_FALSE(cloud.indices_with_tag(tags::kBlowing).empty());
+  EXPECT_FALSE(cloud.indices_with_tag(tags::kSuction).empty());
+  // Outlet nodes are Neumann; inlet/wall/patch nodes Dirichlet.
+  for (const std::size_t i : cloud.indices_with_tag(tags::kOutlet))
+    EXPECT_EQ(cloud.node(i).kind, BoundaryKind::kNeumann);
+  for (const std::size_t i : cloud.indices_with_tag(tags::kInlet))
+    EXPECT_EQ(cloud.node(i).kind, BoundaryKind::kDirichlet);
+  // Geometry: inlet at x=0, outlet at x=Lx, blowing on the bottom wall
+  // inside its x-range.
+  for (const std::size_t i : cloud.indices_with_tag(tags::kInlet))
+    EXPECT_DOUBLE_EQ(cloud.node(i).pos.x, 0.0);
+  for (const std::size_t i : cloud.indices_with_tag(tags::kOutlet))
+    EXPECT_DOUBLE_EQ(cloud.node(i).pos.x, spec.lx);
+  for (const std::size_t i : cloud.indices_with_tag(tags::kBlowing)) {
+    EXPECT_DOUBLE_EQ(cloud.node(i).pos.y, 0.0);
+    EXPECT_GE(cloud.node(i).pos.x, spec.blow_start);
+    EXPECT_LE(cloud.node(i).pos.x, spec.blow_end);
+  }
+}
+
+TEST(Generators, ChannelGradingRefinesNearWalls) {
+  ChannelSpec spec;
+  spec.target_nodes = 800;
+  spec.grading = 0.7;
+  const PointCloud cloud = updec::pc::channel_cloud(spec);
+  // Count interior nodes in a wall strip vs an equally thick centre strip.
+  std::size_t near_wall = 0, centre = 0;
+  const double strip = 0.1 * spec.ly;
+  for (std::size_t i = 0; i < cloud.num_internal(); ++i) {
+    const double y = cloud.node(i).pos.y;
+    if (y < strip || y > spec.ly - strip) ++near_wall;
+    if (std::abs(y - 0.5 * spec.ly) < strip) ++centre;
+  }
+  EXPECT_GT(near_wall, centre);
+}
+
+TEST(Generators, ChannelCloudAtPaperScale) {
+  ChannelSpec spec;  // default target 1385, the paper's node count
+  const PointCloud cloud = updec::pc::channel_cloud(spec);
+  EXPECT_NEAR(static_cast<double>(cloud.size()), 1385.0, 140.0);
+  EXPECT_GT(cloud.min_spacing(), 1e-4);
+}
+
+TEST(Generators, CloudSummaryListsTags) {
+  const PointCloud cloud = updec::pc::unit_square_grid(4, 4);
+  const std::string s = cloud.summary();
+  EXPECT_NE(s.find("25 nodes"), std::string::npos);
+  EXPECT_NE(s.find("Dirichlet"), std::string::npos);
+}
+
+TEST(KdTree, NearestOnKnownLayout) {
+  std::vector<Vec2> pts = {{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}};
+  const KdTree tree(pts);
+  EXPECT_EQ(tree.nearest({0.45, 0.55}), 4u);
+  EXPECT_EQ(tree.nearest({0.9, 0.1}), 1u);
+}
+
+TEST(KdTree, KNearestMatchesBruteForce) {
+  updec::Rng rng(7);
+  std::vector<Vec2> pts(500);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  const KdTree tree(pts);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 q{rng.uniform(), rng.uniform()};
+    const std::size_t k = 1 + rng.uniform_index(12);
+    const auto result = tree.k_nearest(q, k);
+    ASSERT_EQ(result.size(), k);
+    // Brute force reference.
+    std::vector<std::size_t> idx(pts.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return updec::pc::distance(pts[a], q) < updec::pc::distance(pts[b], q);
+    });
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(updec::pc::distance(pts[result[i]], q),
+                  updec::pc::distance(pts[idx[i]], q), 1e-12);
+    }
+  }
+}
+
+TEST(KdTree, RadiusSearchMatchesBruteForce) {
+  updec::Rng rng(9);
+  std::vector<Vec2> pts(300);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  const KdTree tree(pts);
+  const Vec2 q{0.4, 0.6};
+  const double r = 0.2;
+  auto found = tree.radius_search(q, r);
+  std::sort(found.begin(), found.end());
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    if (updec::pc::distance(pts[i], q) <= r) expected.push_back(i);
+  EXPECT_EQ(found, expected);
+}
+
+TEST(KdTree, ClampsKToSize) {
+  const KdTree tree(std::vector<Vec2>{{0, 0}, {1, 1}});
+  EXPECT_EQ(tree.k_nearest({0, 0}, 10).size(), 2u);
+}
+
+TEST(KdTree, WorksOnCloud) {
+  const PointCloud cloud = updec::pc::unit_square_grid(8, 8);
+  const KdTree tree(cloud);
+  EXPECT_EQ(tree.size(), cloud.size());
+  // The nearest node to an interior grid point is itself.
+  const auto nn = tree.k_nearest(cloud.node(3).pos, 1);
+  EXPECT_EQ(nn[0], 3u);
+}
+
+// Property: k_nearest distances are sorted ascending for many queries/sizes.
+class KdTreeSorted : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KdTreeSorted, DistancesAscending) {
+  updec::Rng rng(GetParam());
+  std::vector<Vec2> pts(GetParam() * 40 + 10);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  const KdTree tree(pts);
+  const Vec2 q{rng.uniform(), rng.uniform()};
+  const auto result = tree.k_nearest(q, 9);
+  for (std::size_t i = 1; i < result.size(); ++i)
+    EXPECT_LE(updec::pc::distance(pts[result[i - 1]], q),
+              updec::pc::distance(pts[result[i]], q) + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KdTreeSorted, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace

@@ -1,0 +1,319 @@
+// Tests for global RBF collocation, RBF-FD differentiation matrices and
+// scattered-data interpolation: manufactured PDE solutions, polynomial
+// reproduction, and convergence behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "la/blas.hpp"
+#include "pointcloud/generators.hpp"
+#include "rbf/collocation.hpp"
+#include "rbf/interpolation.hpp"
+#include "rbf/rbffd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using updec::la::Vector;
+using updec::pc::BoundaryKind;
+using updec::pc::Node;
+using updec::pc::PointCloud;
+using updec::pc::Vec2;
+using updec::rbf::GlobalCollocation;
+using updec::rbf::LinearOp;
+using updec::rbf::PolyharmonicSpline;
+using updec::rbf::RbffdConfig;
+using updec::rbf::RbffdOperators;
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(GlobalCollocation, SolvesLaplaceWithHarmonicSolution) {
+  // u = exp(x) sin(y) is harmonic; Dirichlet data from the exact solution.
+  const PointCloud cloud = updec::pc::unit_square_grid(14, 14);
+  const PolyharmonicSpline phs(3);
+  const GlobalCollocation colloc(cloud, phs, 1, LinearOp::laplacian());
+  const auto exact = [](const Vec2& p) { return std::exp(p.x) * std::sin(p.y); };
+  const Vector rhs = colloc.assemble_rhs(
+      [](const Node&) { return 0.0; },
+      [&](const Node& n) { return exact(n.pos); });
+  const Vector coeffs = colloc.solve(rhs);
+  const Vector u = colloc.evaluate_at_nodes(coeffs, LinearOp::identity());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    max_err = std::max(max_err, std::abs(u[i] - exact(cloud.node(i).pos)));
+  EXPECT_LT(max_err, 3e-3);  // PHS-r^3 + degree-1 on a 14x14 grid
+}
+
+TEST(GlobalCollocation, SolvesPoissonWithManufacturedSolution) {
+  // u = sin(pi x) sin(pi y): Lap u = -2 pi^2 u; homogeneous Dirichlet data.
+  const PointCloud cloud = updec::pc::unit_square_grid(16, 16);
+  const PolyharmonicSpline phs(3);
+  const GlobalCollocation colloc(cloud, phs, 1, LinearOp::laplacian());
+  const auto exact = [](const Vec2& p) {
+    return std::sin(kPi * p.x) * std::sin(kPi * p.y);
+  };
+  const Vector rhs = colloc.assemble_rhs(
+      [&](const Node& n) { return -2.0 * kPi * kPi * exact(n.pos); },
+      [](const Node&) { return 0.0; });
+  const Vector coeffs = colloc.solve(rhs);
+  const Vector u = colloc.evaluate_at_nodes(coeffs, LinearOp::identity());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    max_err = std::max(max_err, std::abs(u[i] - exact(cloud.node(i).pos)));
+  EXPECT_LT(max_err, 5e-3);
+}
+
+TEST(GlobalCollocation, HandlesNeumannBoundary) {
+  // u = x^2 - y^2 (harmonic). Right wall (x=1) Neumann: du/dn = du/dx = 2x.
+  std::vector<Node> nodes;
+  const std::size_t n = 12;
+  for (std::size_t j = 0; j <= n; ++j) {
+    for (std::size_t i = 0; i <= n; ++i) {
+      Node node;
+      node.pos = {static_cast<double>(i) / n, static_cast<double>(j) / n};
+      const bool right = (i == n && j > 0 && j < n);
+      if (i == 0 || j == 0 || j == n) {
+        node.kind = BoundaryKind::kDirichlet;
+      } else if (right) {
+        node.kind = BoundaryKind::kNeumann;
+        node.normal = {1.0, 0.0};
+      }
+      nodes.push_back(node);
+    }
+  }
+  const PointCloud cloud(std::move(nodes));
+  const PolyharmonicSpline phs(3);
+  const GlobalCollocation colloc(cloud, phs, 2, LinearOp::laplacian());
+  const auto exact = [](const Vec2& p) { return p.x * p.x - p.y * p.y; };
+  const Vector rhs = colloc.assemble_rhs(
+      [](const Node&) { return 0.0; },
+      [&](const Node& node) {
+        if (node.kind == BoundaryKind::kNeumann) return 2.0 * node.pos.x;
+        return exact(node.pos);
+      });
+  const Vector u =
+      colloc.evaluate_at_nodes(colloc.solve(rhs), LinearOp::identity());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    max_err = std::max(max_err, std::abs(u[i] - exact(cloud.node(i).pos)));
+  // Quadratic solution with degree-2 augmentation: near machine exactness.
+  EXPECT_LT(max_err, 1e-7);
+}
+
+TEST(GlobalCollocation, HandlesRobinBoundary) {
+  // u = x + y; on the right wall enforce du/dn + beta u = 1 + beta(1 + y).
+  std::vector<Node> nodes;
+  const std::size_t n = 10;
+  const double beta = 2.0;
+  for (std::size_t j = 0; j <= n; ++j) {
+    for (std::size_t i = 0; i <= n; ++i) {
+      Node node;
+      node.pos = {static_cast<double>(i) / n, static_cast<double>(j) / n};
+      if (i == n && j > 0 && j < n) {
+        node.kind = BoundaryKind::kRobin;
+        node.normal = {1.0, 0.0};
+      } else if (i == 0 || j == 0 || j == n) {
+        node.kind = BoundaryKind::kDirichlet;
+      }
+      nodes.push_back(node);
+    }
+  }
+  const PointCloud cloud(std::move(nodes));
+  EXPECT_GT(cloud.num_robin(), 0u);
+  const PolyharmonicSpline phs(3);
+  const GlobalCollocation colloc(cloud, phs, 1, LinearOp::laplacian(), beta);
+  const auto exact = [](const Vec2& p) { return p.x + p.y; };
+  const Vector rhs = colloc.assemble_rhs(
+      [](const Node&) { return 0.0; },
+      [&](const Node& node) {
+        if (node.kind == BoundaryKind::kRobin)
+          return 1.0 + beta * (1.0 + node.pos.y);
+        return exact(node.pos);
+      });
+  const Vector u =
+      colloc.evaluate_at_nodes(colloc.solve(rhs), LinearOp::identity());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    max_err = std::max(max_err, std::abs(u[i] - exact(cloud.node(i).pos)));
+  EXPECT_LT(max_err, 1e-8);  // linear solution, degree-1 augmentation
+}
+
+TEST(GlobalCollocation, DerivativeEvaluationMatchesExact) {
+  const PointCloud cloud = updec::pc::unit_square_grid(14, 14);
+  const PolyharmonicSpline phs(3);
+  const GlobalCollocation colloc(cloud, phs, 1, LinearOp::laplacian());
+  const auto exact = [](const Vec2& p) { return std::exp(p.x) * std::sin(p.y); };
+  const Vector rhs = colloc.assemble_rhs(
+      [](const Node&) { return 0.0; },
+      [&](const Node& n) { return exact(n.pos); });
+  const Vector coeffs = colloc.solve(rhs);
+  // du/dy at interior evaluation points.
+  const std::vector<Vec2> pts{{0.5, 0.5}, {0.3, 0.8}, {0.7, 0.2}};
+  const updec::la::Matrix e = colloc.evaluation_matrix(pts, LinearOp::d_dy());
+  const Vector uy = updec::la::matvec(e, coeffs);
+  for (std::size_t p = 0; p < pts.size(); ++p) {
+    const double exact_uy = std::exp(pts[p].x) * std::cos(pts[p].y);
+    EXPECT_NEAR(uy[p], exact_uy, 5e-3);
+  }
+}
+
+TEST(GlobalCollocation, ConditionEstimateIsLarge) {
+  // Global PHS collocation matrices are famously ill-conditioned; the
+  // estimate should reflect that (and still solve accurately).
+  const PointCloud cloud = updec::pc::unit_square_grid(10, 10);
+  const PolyharmonicSpline phs(3);
+  const GlobalCollocation colloc(cloud, phs, 1, LinearOp::laplacian());
+  EXPECT_GT(colloc.condition_estimate(), 1e3);
+}
+
+TEST(GlobalCollocation, RejectsTinyClouds) {
+  std::vector<Node> nodes(2);
+  nodes[0].pos = {0.0, 0.0};
+  nodes[1].pos = {1.0, 0.0};
+  const PointCloud cloud(std::move(nodes));
+  const PolyharmonicSpline phs(3);
+  EXPECT_THROW(GlobalCollocation(cloud, phs, 1, LinearOp::laplacian()),
+               updec::Error);
+}
+
+TEST(Rbffd, ReproducesPolynomialDerivativesExactly) {
+  const PointCloud cloud = updec::pc::unit_square_scattered(250, 20, 1);
+  const PolyharmonicSpline phs(3);
+  RbffdConfig config;
+  config.poly_degree = 2;
+  config.stencil_size = 15;
+  const RbffdOperators ops(cloud, phs, config);
+  // u = 1 + 2x - y + x^2 + 3xy: du/dx = 2 + 2x + 3y, Lap u = 2.
+  Vector u(cloud.size()), ux_exact(cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const Vec2 p = cloud.node(i).pos;
+    u[i] = 1.0 + 2.0 * p.x - p.y + p.x * p.x + 3.0 * p.x * p.y;
+    ux_exact[i] = 2.0 + 2.0 * p.x + 3.0 * p.y;
+  }
+  const Vector ux = ops.dx().apply(u);
+  const Vector lap = ops.laplacian().apply(u);
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    EXPECT_NEAR(ux[i], ux_exact[i], 1e-7);
+    EXPECT_NEAR(lap[i], 2.0, 1e-6);
+  }
+}
+
+TEST(Rbffd, ApproximatesSmoothFunctionDerivatives) {
+  const PointCloud cloud = updec::pc::unit_square_grid(25, 25);
+  const PolyharmonicSpline phs(3);
+  const RbffdOperators ops(cloud, phs);
+  Vector u(cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const Vec2 p = cloud.node(i).pos;
+    u[i] = std::sin(kPi * p.x) * std::cos(kPi * p.y);
+  }
+  const Vector uy = ops.dy().apply(u);
+  // Check interior accuracy only (one-sided stencils at the boundary are
+  // noisier -- the Runge phenomenon the paper discusses).
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < cloud.num_internal(); ++i) {
+    const Vec2 p = cloud.node(i).pos;
+    const double exact = -kPi * std::sin(kPi * p.x) * std::sin(kPi * p.y);
+    max_err = std::max(max_err, std::abs(uy[i] - exact));
+  }
+  EXPECT_LT(max_err, 0.05);
+}
+
+TEST(Rbffd, StencilSizeValidation) {
+  const PointCloud cloud = updec::pc::unit_square_grid(6, 6);
+  const PolyharmonicSpline phs(3);
+  RbffdConfig tiny;
+  tiny.stencil_size = 4;  // < 2 * M = 6 for degree 1
+  EXPECT_THROW(RbffdOperators(cloud, phs, tiny), updec::Error);
+  RbffdConfig huge;
+  huge.stencil_size = 100;
+  EXPECT_THROW(RbffdOperators(cloud, phs, huge), updec::Error);
+}
+
+TEST(Rbffd, MatrixStructure) {
+  const PointCloud cloud = updec::pc::unit_square_grid(9, 9);
+  const PolyharmonicSpline phs(3);
+  RbffdConfig config;
+  const RbffdOperators ops(cloud, phs, config);
+  const auto& dx = ops.dx();
+  EXPECT_EQ(dx.rows(), cloud.size());
+  EXPECT_EQ(dx.nnz(), cloud.size() * config.stencil_size);
+  // Derivative of a constant field is zero (weights sum to 0 per row).
+  const Vector ones(cloud.size(), 1.0);
+  const Vector d = dx.apply(ones);
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_NEAR(d[i], 0.0, 1e-9);
+}
+
+TEST(Interpolation, ReproducesDataAtNodes) {
+  const PointCloud cloud = updec::pc::unit_square_scattered(80, 12, 2);
+  const PolyharmonicSpline phs(3);
+  updec::Rng rng(3);
+  Vector data(cloud.size());
+  for (auto& v : data) v = rng.normal();
+  const updec::rbf::RbfInterpolant interp(cloud, phs, 1, data);
+  for (std::size_t i = 0; i < cloud.size(); i += 7)
+    EXPECT_NEAR(interp(cloud.node(i).pos), data[i], 1e-7);
+}
+
+TEST(Interpolation, ExactForLinearFields) {
+  const PointCloud cloud = updec::pc::unit_square_scattered(60, 10, 4);
+  const PolyharmonicSpline phs(3);
+  Vector data(cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const Vec2 p = cloud.node(i).pos;
+    data[i] = 3.0 - 2.0 * p.x + 0.5 * p.y;
+  }
+  const updec::rbf::RbfInterpolant interp(cloud, phs, 1, data);
+  // Off-node evaluation is exact for degree <= augmentation degree.
+  EXPECT_NEAR(interp({0.123, 0.456}), 3.0 - 2.0 * 0.123 + 0.5 * 0.456, 1e-8);
+  // Exact derivatives too.
+  EXPECT_NEAR(interp.apply(LinearOp::d_dx(), {0.4, 0.3}), -2.0, 1e-7);
+  EXPECT_NEAR(interp.apply(LinearOp::d_dy(), {0.4, 0.3}), 0.5, 1e-7);
+}
+
+TEST(Interpolation, ApproximatesSmoothFunction) {
+  const PointCloud cloud = updec::pc::unit_square_scattered(300, 24, 5);
+  const PolyharmonicSpline phs(3);
+  Vector data(cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const Vec2 p = cloud.node(i).pos;
+    data[i] = std::sin(2 * p.x) * std::exp(p.y);
+  }
+  const updec::rbf::RbfInterpolant interp(cloud, phs, 1, data);
+  updec::Rng rng(6);
+  for (int t = 0; t < 20; ++t) {
+    const Vec2 p{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
+    EXPECT_NEAR(interp(p), std::sin(2 * p.x) * std::exp(p.y), 2e-3);
+  }
+}
+
+// Property: collocation converges as the grid is refined (errors shrink
+// monotonically within tolerance across resolutions).
+class CollocationConvergence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CollocationConvergence, ErrorBelowResolutionBudget) {
+  const std::size_t n = GetParam();
+  const PointCloud cloud = updec::pc::unit_square_grid(n, n);
+  const PolyharmonicSpline phs(3);
+  const GlobalCollocation colloc(cloud, phs, 1, LinearOp::laplacian());
+  const auto exact = [](const Vec2& p) {
+    return std::sinh(p.y) * std::sin(p.x) / std::sinh(1.0);
+  };
+  const Vector rhs = colloc.assemble_rhs(
+      [](const Node&) { return 0.0; },
+      [&](const Node& node) { return exact(node.pos); });
+  const Vector u =
+      colloc.evaluate_at_nodes(colloc.solve(rhs), LinearOp::identity());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    max_err = std::max(max_err, std::abs(u[i] - exact(cloud.node(i).pos)));
+  // Generous budget h^2-ish: coarse grids pass loosely, fine ones tightly.
+  const double h = 1.0 / static_cast<double>(n);
+  EXPECT_LT(max_err, 0.5 * h * h + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, CollocationConvergence,
+                         ::testing::Values(8, 12, 16, 20));
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Unit tests for the util substrate: RNG determinism and statistics, memory
+// probes, table/CSV formatting, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/memory.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using updec::CliArgs;
+using updec::Rng;
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(123);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, NormalMeanAndStd) {
+  Rng rng(99);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 1e-2);
+  EXPECT_NEAR(var, 1.0, 2e-2);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(11);
+  const auto s = rng.sample_without_replacement(100, 30);
+  ASSERT_EQ(s.size(), 30u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (const auto i : uniq) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), updec::Error);
+}
+
+TEST(Memory, PeakRssIsPositiveAndAtLeastCurrent) {
+  const auto peak = updec::peak_rss_bytes();
+  const auto cur = updec::current_rss_bytes();
+  EXPECT_GT(peak, 0u);
+  EXPECT_GT(cur, 0u);
+  EXPECT_GE(peak + (1u << 20), cur);  // peak >= current, modulo probe skew
+}
+
+TEST(Memory, PeakRssGrowsAfterAllocation) {
+  const auto before = updec::peak_rss_bytes();
+  std::vector<double> big(32 << 20, 1.5);  // 256 MiB touched
+  volatile double sink = big[big.size() / 2];
+  (void)sink;
+  const auto after = updec::peak_rss_bytes();
+  EXPECT_GT(after, before + (100u << 20));
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  updec::Stopwatch sw;
+  volatile double x = 0.0;
+  for (int i = 0; i < 2000000; ++i) x = x + std::sqrt(static_cast<double>(i));
+  EXPECT_GT(sw.seconds(), 0.0);
+  const double t1 = sw.millis();
+  const double t2 = sw.millis();
+  EXPECT_GE(t2, t1);  // monotonic
+  sw.reset();
+  EXPECT_LT(sw.millis(), t2);  // reset restarts the clock
+}
+
+TEST(TextTable, RendersAlignedRows) {
+  updec::TextTable t("demo");
+  t.set_header({"method", "J"});
+  t.add_row({"DP", updec::TextTable::sci(2.2e-9)});
+  t.add_row({"DAL", updec::TextTable::sci(4.6e-3)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("DP"), std::string::npos);
+  EXPECT_NE(out.find("2.20e-09"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  updec::TextTable t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), updec::Error);
+}
+
+TEST(SeriesWriter, WritesCsvFiles) {
+  const std::string dir = ::testing::TempDir() + "/updec_series";
+  updec::SeriesWriter w(dir);
+  w.add("costs", {1.0, 0.5, 0.25}, "iter", "J");
+  w.flush();
+  std::ifstream f(dir + "/costs.csv");
+  ASSERT_TRUE(f.good());
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "iter,J");
+}
+
+TEST(SeriesWriter, RejectsMismatchedXY) {
+  updec::SeriesWriter w;
+  updec::Series s;
+  s.name = "bad";
+  s.x = {1.0};
+  s.y = {1.0, 2.0};
+  EXPECT_THROW(w.add(std::move(s)), updec::Error);
+}
+
+TEST(CliArgs, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--grid", "30", "--paper-scale",
+                        "--lr=0.01", "positional"};
+  CliArgs args(6, argv);
+  EXPECT_EQ(args.get_int("grid", 0), 30);
+  EXPECT_TRUE(args.flag("paper-scale"));
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.0), 0.01);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(CliArgs, BooleanFlagAtEnd) {
+  const char* argv[] = {"prog", "--verbose"};
+  CliArgs args(2, argv);
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_EQ(args.get("verbose", "x"), "");
+}
+
+}  // namespace
