@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gradients.dir/bench_ablation_gradients.cpp.o"
+  "CMakeFiles/bench_ablation_gradients.dir/bench_ablation_gradients.cpp.o.d"
+  "bench_ablation_gradients"
+  "bench_ablation_gradients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

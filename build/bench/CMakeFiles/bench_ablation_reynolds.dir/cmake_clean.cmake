@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reynolds.dir/bench_ablation_reynolds.cpp.o"
+  "CMakeFiles/bench_ablation_reynolds.dir/bench_ablation_reynolds.cpp.o.d"
+  "bench_ablation_reynolds"
+  "bench_ablation_reynolds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reynolds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

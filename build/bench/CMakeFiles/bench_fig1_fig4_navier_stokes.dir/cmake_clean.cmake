@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_fig4_navier_stokes.dir/bench_fig1_fig4_navier_stokes.cpp.o"
+  "CMakeFiles/bench_fig1_fig4_navier_stokes.dir/bench_fig1_fig4_navier_stokes.cpp.o.d"
+  "bench_fig1_fig4_navier_stokes"
+  "bench_fig1_fig4_navier_stokes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fig4_navier_stokes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

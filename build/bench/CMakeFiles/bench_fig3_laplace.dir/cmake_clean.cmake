@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_laplace.dir/bench_fig3_laplace.cpp.o"
+  "CMakeFiles/bench_fig3_laplace.dir/bench_fig3_laplace.cpp.o.d"
+  "bench_fig3_laplace"
+  "bench_fig3_laplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

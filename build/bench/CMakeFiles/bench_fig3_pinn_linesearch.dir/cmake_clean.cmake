@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_pinn_linesearch.dir/bench_fig3_pinn_linesearch.cpp.o"
+  "CMakeFiles/bench_fig3_pinn_linesearch.dir/bench_fig3_pinn_linesearch.cpp.o.d"
+  "bench_fig3_pinn_linesearch"
+  "bench_fig3_pinn_linesearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pinn_linesearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_flow_control.dir/channel_flow_control.cpp.o"
+  "CMakeFiles/channel_flow_control.dir/channel_flow_control.cpp.o.d"
+  "channel_flow_control"
+  "channel_flow_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_flow_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

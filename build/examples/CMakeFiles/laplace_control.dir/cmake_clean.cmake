@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplace_control.dir/laplace_control.cpp.o"
+  "CMakeFiles/laplace_control.dir/laplace_control.cpp.o.d"
+  "laplace_control"
+  "laplace_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplace_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinn_laplace.dir/pinn_laplace.cpp.o"
+  "CMakeFiles/pinn_laplace.dir/pinn_laplace.cpp.o.d"
+  "pinn_laplace"
+  "pinn_laplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinn_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

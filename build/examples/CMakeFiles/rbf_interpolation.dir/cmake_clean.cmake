@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbf_interpolation.dir/rbf_interpolation.cpp.o"
+  "CMakeFiles/rbf_interpolation.dir/rbf_interpolation.cpp.o.d"
+  "rbf_interpolation"
+  "rbf_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbf_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

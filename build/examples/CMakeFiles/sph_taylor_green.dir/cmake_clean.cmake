@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sph_taylor_green.dir/sph_taylor_green.cpp.o"
+  "CMakeFiles/sph_taylor_green.dir/sph_taylor_green.cpp.o.d"
+  "sph_taylor_green"
+  "sph_taylor_green.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sph_taylor_green.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

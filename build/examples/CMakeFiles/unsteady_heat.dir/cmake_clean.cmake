@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsteady_heat.dir/unsteady_heat.cpp.o"
+  "CMakeFiles/unsteady_heat.dir/unsteady_heat.cpp.o.d"
+  "unsteady_heat"
+  "unsteady_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsteady_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

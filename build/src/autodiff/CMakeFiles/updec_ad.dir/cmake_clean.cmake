@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updec_ad.dir/ops.cpp.o"
+  "CMakeFiles/updec_ad.dir/ops.cpp.o.d"
+  "CMakeFiles/updec_ad.dir/tape.cpp.o"
+  "CMakeFiles/updec_ad.dir/tape.cpp.o.d"
+  "libupdec_ad.a"
+  "libupdec_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updec_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for updec_ad.
+# This may be replaced when dependencies are built.

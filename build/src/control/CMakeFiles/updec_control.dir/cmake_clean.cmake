@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updec_control.dir/channel_problem.cpp.o"
+  "CMakeFiles/updec_control.dir/channel_problem.cpp.o.d"
+  "CMakeFiles/updec_control.dir/driver.cpp.o"
+  "CMakeFiles/updec_control.dir/driver.cpp.o.d"
+  "CMakeFiles/updec_control.dir/laplace_problem.cpp.o"
+  "CMakeFiles/updec_control.dir/laplace_problem.cpp.o.d"
+  "CMakeFiles/updec_control.dir/omega_search.cpp.o"
+  "CMakeFiles/updec_control.dir/omega_search.cpp.o.d"
+  "CMakeFiles/updec_control.dir/pinn_channel.cpp.o"
+  "CMakeFiles/updec_control.dir/pinn_channel.cpp.o.d"
+  "CMakeFiles/updec_control.dir/pinn_laplace.cpp.o"
+  "CMakeFiles/updec_control.dir/pinn_laplace.cpp.o.d"
+  "libupdec_control.a"
+  "libupdec_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updec_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libupdec_control.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updec_la.dir/blas.cpp.o"
+  "CMakeFiles/updec_la.dir/blas.cpp.o.d"
+  "CMakeFiles/updec_la.dir/cholesky.cpp.o"
+  "CMakeFiles/updec_la.dir/cholesky.cpp.o.d"
+  "CMakeFiles/updec_la.dir/dense.cpp.o"
+  "CMakeFiles/updec_la.dir/dense.cpp.o.d"
+  "CMakeFiles/updec_la.dir/eigen.cpp.o"
+  "CMakeFiles/updec_la.dir/eigen.cpp.o.d"
+  "CMakeFiles/updec_la.dir/iterative.cpp.o"
+  "CMakeFiles/updec_la.dir/iterative.cpp.o.d"
+  "CMakeFiles/updec_la.dir/lu.cpp.o"
+  "CMakeFiles/updec_la.dir/lu.cpp.o.d"
+  "CMakeFiles/updec_la.dir/qr.cpp.o"
+  "CMakeFiles/updec_la.dir/qr.cpp.o.d"
+  "CMakeFiles/updec_la.dir/sparse.cpp.o"
+  "CMakeFiles/updec_la.dir/sparse.cpp.o.d"
+  "libupdec_la.a"
+  "libupdec_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updec_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updec_nn.dir/mlp.cpp.o"
+  "CMakeFiles/updec_nn.dir/mlp.cpp.o.d"
+  "libupdec_nn.a"
+  "libupdec_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updec_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updec_optim.dir/lbfgs.cpp.o"
+  "CMakeFiles/updec_optim.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/updec_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/updec_optim.dir/optimizer.cpp.o.d"
+  "libupdec_optim.a"
+  "libupdec_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updec_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pde/channel_flow.cpp" "src/pde/CMakeFiles/updec_pde.dir/channel_flow.cpp.o" "gcc" "src/pde/CMakeFiles/updec_pde.dir/channel_flow.cpp.o.d"
+  "/root/repo/src/pde/heat.cpp" "src/pde/CMakeFiles/updec_pde.dir/heat.cpp.o" "gcc" "src/pde/CMakeFiles/updec_pde.dir/heat.cpp.o.d"
+  "/root/repo/src/pde/laplace.cpp" "src/pde/CMakeFiles/updec_pde.dir/laplace.cpp.o" "gcc" "src/pde/CMakeFiles/updec_pde.dir/laplace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rbf/CMakeFiles/updec_rbf.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/updec_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/updec_pc.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/updec_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/updec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updec_pde.dir/channel_flow.cpp.o"
+  "CMakeFiles/updec_pde.dir/channel_flow.cpp.o.d"
+  "CMakeFiles/updec_pde.dir/heat.cpp.o"
+  "CMakeFiles/updec_pde.dir/heat.cpp.o.d"
+  "CMakeFiles/updec_pde.dir/laplace.cpp.o"
+  "CMakeFiles/updec_pde.dir/laplace.cpp.o.d"
+  "libupdec_pde.a"
+  "libupdec_pde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updec_pde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

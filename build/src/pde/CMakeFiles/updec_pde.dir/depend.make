@@ -1,0 +1,2 @@
+# Empty dependencies file for updec_pde.
+# This may be replaced when dependencies are built.

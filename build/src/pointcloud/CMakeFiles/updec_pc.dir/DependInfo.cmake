@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pointcloud/cloud.cpp" "src/pointcloud/CMakeFiles/updec_pc.dir/cloud.cpp.o" "gcc" "src/pointcloud/CMakeFiles/updec_pc.dir/cloud.cpp.o.d"
+  "/root/repo/src/pointcloud/generators.cpp" "src/pointcloud/CMakeFiles/updec_pc.dir/generators.cpp.o" "gcc" "src/pointcloud/CMakeFiles/updec_pc.dir/generators.cpp.o.d"
+  "/root/repo/src/pointcloud/kdtree.cpp" "src/pointcloud/CMakeFiles/updec_pc.dir/kdtree.cpp.o" "gcc" "src/pointcloud/CMakeFiles/updec_pc.dir/kdtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/updec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updec_pc.dir/cloud.cpp.o"
+  "CMakeFiles/updec_pc.dir/cloud.cpp.o.d"
+  "CMakeFiles/updec_pc.dir/generators.cpp.o"
+  "CMakeFiles/updec_pc.dir/generators.cpp.o.d"
+  "CMakeFiles/updec_pc.dir/kdtree.cpp.o"
+  "CMakeFiles/updec_pc.dir/kdtree.cpp.o.d"
+  "libupdec_pc.a"
+  "libupdec_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updec_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

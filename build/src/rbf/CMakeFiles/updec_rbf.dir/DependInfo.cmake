@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rbf/collocation.cpp" "src/rbf/CMakeFiles/updec_rbf.dir/collocation.cpp.o" "gcc" "src/rbf/CMakeFiles/updec_rbf.dir/collocation.cpp.o.d"
+  "/root/repo/src/rbf/interpolation.cpp" "src/rbf/CMakeFiles/updec_rbf.dir/interpolation.cpp.o" "gcc" "src/rbf/CMakeFiles/updec_rbf.dir/interpolation.cpp.o.d"
+  "/root/repo/src/rbf/kernels.cpp" "src/rbf/CMakeFiles/updec_rbf.dir/kernels.cpp.o" "gcc" "src/rbf/CMakeFiles/updec_rbf.dir/kernels.cpp.o.d"
+  "/root/repo/src/rbf/operators.cpp" "src/rbf/CMakeFiles/updec_rbf.dir/operators.cpp.o" "gcc" "src/rbf/CMakeFiles/updec_rbf.dir/operators.cpp.o.d"
+  "/root/repo/src/rbf/rbffd.cpp" "src/rbf/CMakeFiles/updec_rbf.dir/rbffd.cpp.o" "gcc" "src/rbf/CMakeFiles/updec_rbf.dir/rbffd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/updec_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/updec_pc.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/updec_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/updec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updec_rbf.dir/collocation.cpp.o"
+  "CMakeFiles/updec_rbf.dir/collocation.cpp.o.d"
+  "CMakeFiles/updec_rbf.dir/interpolation.cpp.o"
+  "CMakeFiles/updec_rbf.dir/interpolation.cpp.o.d"
+  "CMakeFiles/updec_rbf.dir/kernels.cpp.o"
+  "CMakeFiles/updec_rbf.dir/kernels.cpp.o.d"
+  "CMakeFiles/updec_rbf.dir/operators.cpp.o"
+  "CMakeFiles/updec_rbf.dir/operators.cpp.o.d"
+  "CMakeFiles/updec_rbf.dir/rbffd.cpp.o"
+  "CMakeFiles/updec_rbf.dir/rbffd.cpp.o.d"
+  "libupdec_rbf.a"
+  "libupdec_rbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updec_rbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updec_sph.dir/sph.cpp.o"
+  "CMakeFiles/updec_sph.dir/sph.cpp.o.d"
+  "libupdec_sph.a"
+  "libupdec_sph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updec_sph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

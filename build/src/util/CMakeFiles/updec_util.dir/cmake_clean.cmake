@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updec_util.dir/cli.cpp.o"
+  "CMakeFiles/updec_util.dir/cli.cpp.o.d"
+  "CMakeFiles/updec_util.dir/csv.cpp.o"
+  "CMakeFiles/updec_util.dir/csv.cpp.o.d"
+  "CMakeFiles/updec_util.dir/log.cpp.o"
+  "CMakeFiles/updec_util.dir/log.cpp.o.d"
+  "CMakeFiles/updec_util.dir/memory.cpp.o"
+  "CMakeFiles/updec_util.dir/memory.cpp.o.d"
+  "CMakeFiles/updec_util.dir/rng.cpp.o"
+  "CMakeFiles/updec_util.dir/rng.cpp.o.d"
+  "CMakeFiles/updec_util.dir/table.cpp.o"
+  "CMakeFiles/updec_util.dir/table.cpp.o.d"
+  "libupdec_util.a"
+  "libupdec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

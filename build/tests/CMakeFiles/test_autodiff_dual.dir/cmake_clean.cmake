@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autodiff_dual.dir/test_autodiff_dual.cpp.o"
+  "CMakeFiles/test_autodiff_dual.dir/test_autodiff_dual.cpp.o.d"
+  "test_autodiff_dual"
+  "test_autodiff_dual.pdb"
+  "test_autodiff_dual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autodiff_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autodiff_ops.dir/test_autodiff_ops.cpp.o"
+  "CMakeFiles/test_autodiff_ops.dir/test_autodiff_ops.cpp.o.d"
+  "test_autodiff_ops"
+  "test_autodiff_ops.pdb"
+  "test_autodiff_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autodiff_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

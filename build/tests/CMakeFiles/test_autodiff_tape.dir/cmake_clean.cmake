@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autodiff_tape.dir/test_autodiff_tape.cpp.o"
+  "CMakeFiles/test_autodiff_tape.dir/test_autodiff_tape.cpp.o.d"
+  "test_autodiff_tape"
+  "test_autodiff_tape.pdb"
+  "test_autodiff_tape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autodiff_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_laplace.dir/test_control_laplace.cpp.o"
+  "CMakeFiles/test_control_laplace.dir/test_control_laplace.cpp.o.d"
+  "test_control_laplace"
+  "test_control_laplace.pdb"
+  "test_control_laplace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

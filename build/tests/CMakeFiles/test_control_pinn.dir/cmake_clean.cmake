@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_pinn.dir/test_control_pinn.cpp.o"
+  "CMakeFiles/test_control_pinn.dir/test_control_pinn.cpp.o.d"
+  "test_control_pinn"
+  "test_control_pinn.pdb"
+  "test_control_pinn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_pinn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

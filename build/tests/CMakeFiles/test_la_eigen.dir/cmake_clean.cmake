@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_eigen.dir/test_la_eigen.cpp.o"
+  "CMakeFiles/test_la_eigen.dir/test_la_eigen.cpp.o.d"
+  "test_la_eigen"
+  "test_la_eigen.pdb"
+  "test_la_eigen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

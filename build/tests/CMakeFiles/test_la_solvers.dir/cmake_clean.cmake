@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_solvers.dir/test_la_solvers.cpp.o"
+  "CMakeFiles/test_la_solvers.dir/test_la_solvers.cpp.o.d"
+  "test_la_solvers"
+  "test_la_solvers.pdb"
+  "test_la_solvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

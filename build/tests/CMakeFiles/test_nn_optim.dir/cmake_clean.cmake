@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_optim.dir/test_nn_optim.cpp.o"
+  "CMakeFiles/test_nn_optim.dir/test_nn_optim.cpp.o.d"
+  "test_nn_optim"
+  "test_nn_optim.pdb"
+  "test_nn_optim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

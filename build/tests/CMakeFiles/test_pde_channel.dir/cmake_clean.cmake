@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pde_channel.dir/test_pde_channel.cpp.o"
+  "CMakeFiles/test_pde_channel.dir/test_pde_channel.cpp.o.d"
+  "test_pde_channel"
+  "test_pde_channel.pdb"
+  "test_pde_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pde_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pde_heat.dir/test_pde_heat.cpp.o"
+  "CMakeFiles/test_pde_heat.dir/test_pde_heat.cpp.o.d"
+  "test_pde_heat"
+  "test_pde_heat.pdb"
+  "test_pde_heat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pde_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pde_heat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pde_laplace.dir/test_pde_laplace.cpp.o"
+  "CMakeFiles/test_pde_laplace.dir/test_pde_laplace.cpp.o.d"
+  "test_pde_laplace"
+  "test_pde_laplace.pdb"
+  "test_pde_laplace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pde_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

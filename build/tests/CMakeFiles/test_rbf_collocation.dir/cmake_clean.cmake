@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rbf_collocation.dir/test_rbf_collocation.cpp.o"
+  "CMakeFiles/test_rbf_collocation.dir/test_rbf_collocation.cpp.o.d"
+  "test_rbf_collocation"
+  "test_rbf_collocation.pdb"
+  "test_rbf_collocation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rbf_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_la_dense[1]_include.cmake")
+include("/root/repo/build/tests/test_la_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_la_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_la_eigen[1]_include.cmake")
+include("/root/repo/build/tests/test_autodiff_tape[1]_include.cmake")
+include("/root/repo/build/tests/test_autodiff_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_autodiff_dual[1]_include.cmake")
+include("/root/repo/build/tests/test_pointcloud[1]_include.cmake")
+include("/root/repo/build/tests/test_rbf_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_rbf_collocation[1]_include.cmake")
+include("/root/repo/build/tests/test_pde_laplace[1]_include.cmake")
+include("/root/repo/build/tests/test_pde_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_pde_heat[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_optim[1]_include.cmake")
+include("/root/repo/build/tests/test_control_laplace[1]_include.cmake")
+include("/root/repo/build/tests/test_control_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_control_pinn[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sph[1]_include.cmake")
