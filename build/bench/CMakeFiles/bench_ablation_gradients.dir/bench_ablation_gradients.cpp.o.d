@@ -216,6 +216,18 @@ bench/CMakeFiles/bench_ablation_gradients.dir/bench_ablation_gradients.cpp.o: \
  /root/repo/src/util/../la/dense.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/util/../util/error.hpp \
  /root/repo/src/util/../pde/channel_flow.hpp \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
+ /root/repo/src/util/../la/sparse.hpp /root/repo/src/util/../la/lu.hpp \
  /root/repo/src/util/../pde/backend.hpp \
  /root/repo/src/util/../autodiff/ops.hpp \
  /root/repo/src/util/../autodiff/var_math.hpp /usr/include/c++/12/cmath \
@@ -240,17 +252,7 @@ bench/CMakeFiles/bench_ablation_gradients.dir/bench_ablation_gradients.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/util/../autodiff/tape.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/util/../la/lu.hpp /root/repo/src/util/../la/sparse.hpp \
+ /root/repo/src/util/../autodiff/tape.hpp \
  /root/repo/src/util/../pointcloud/generators.hpp \
  /root/repo/src/util/../pointcloud/cloud.hpp \
  /root/repo/src/util/../rbf/rbffd.hpp \

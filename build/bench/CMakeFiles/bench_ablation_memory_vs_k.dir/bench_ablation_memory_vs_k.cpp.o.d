@@ -252,6 +252,8 @@ bench/CMakeFiles/bench_ablation_memory_vs_k.dir/bench_ablation_memory_vs_k.cpp.o
  /root/repo/src/util/../control/channel_problem.hpp \
  /root/repo/src/util/../control/problem.hpp \
  /root/repo/src/util/../pde/channel_flow.hpp \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp /usr/include/c++/12/optional \
  /root/repo/src/util/../pde/backend.hpp \
  /root/repo/src/util/../pointcloud/generators.hpp \
  /root/repo/src/util/../pointcloud/cloud.hpp \

@@ -252,6 +252,8 @@ bench/CMakeFiles/bench_ablation_rbf_kernels.dir/bench_ablation_rbf_kernels.cpp.o
  /root/repo/src/util/../pointcloud/generators.hpp \
  /root/repo/src/util/../pointcloud/cloud.hpp \
  /root/repo/src/util/../rbf/collocation.hpp \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp /usr/include/c++/12/optional \
  /root/repo/src/util/../rbf/operators.hpp \
  /root/repo/src/util/../rbf/kernels.hpp \
  /root/repo/src/util/../autodiff/dual.hpp

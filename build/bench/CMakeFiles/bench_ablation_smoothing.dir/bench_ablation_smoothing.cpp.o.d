@@ -238,10 +238,8 @@ bench/CMakeFiles/bench_ablation_smoothing.dir/bench_ablation_smoothing.cpp.o: \
  /root/repo/src/util/../la/dense.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/util/../util/error.hpp \
  /root/repo/src/util/../pde/channel_flow.hpp \
- /root/repo/src/util/../pde/backend.hpp \
- /root/repo/src/util/../autodiff/ops.hpp \
- /root/repo/src/util/../autodiff/var_math.hpp \
- /root/repo/src/util/../autodiff/tape.hpp /usr/include/c++/12/functional \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -250,8 +248,12 @@ bench/CMakeFiles/bench_ablation_smoothing.dir/bench_ablation_smoothing.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/util/../la/lu.hpp /root/repo/src/util/../la/sparse.hpp \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
+ /root/repo/src/util/../la/sparse.hpp /root/repo/src/util/../la/lu.hpp \
+ /root/repo/src/util/../pde/backend.hpp \
+ /root/repo/src/util/../autodiff/ops.hpp \
+ /root/repo/src/util/../autodiff/var_math.hpp \
+ /root/repo/src/util/../autodiff/tape.hpp \
  /root/repo/src/util/../pointcloud/generators.hpp \
  /root/repo/src/util/../pointcloud/cloud.hpp \
  /root/repo/src/util/../rbf/rbffd.hpp \

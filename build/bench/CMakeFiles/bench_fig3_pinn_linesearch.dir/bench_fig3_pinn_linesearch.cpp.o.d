@@ -254,11 +254,12 @@ bench/CMakeFiles/bench_fig3_pinn_linesearch.dir/bench_fig3_pinn_linesearch.cpp.o
  /root/repo/src/util/../pointcloud/generators.hpp \
  /root/repo/src/util/../pointcloud/cloud.hpp \
  /root/repo/src/util/../rbf/collocation.hpp \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp /usr/include/c++/12/optional \
  /root/repo/src/util/../rbf/operators.hpp \
  /root/repo/src/util/../rbf/kernels.hpp \
  /root/repo/src/util/../autodiff/dual.hpp \
  /root/repo/src/util/../control/omega_search.hpp \
- /usr/include/c++/12/optional \
  /root/repo/src/util/../control/pinn_channel.hpp \
  /root/repo/src/util/../control/pinn_common.hpp \
  /root/repo/src/util/../autodiff/dual2.hpp \

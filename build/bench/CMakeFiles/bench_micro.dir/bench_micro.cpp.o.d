@@ -249,6 +249,8 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /root/repo/src/util/../la/blas.hpp /root/repo/src/util/../nn/mlp.hpp \
  /root/repo/src/util/../util/rng.hpp \
  /root/repo/src/util/../pde/channel_flow.hpp \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp /usr/include/c++/12/optional \
  /root/repo/src/util/../pde/backend.hpp \
  /root/repo/src/util/../pointcloud/generators.hpp \
  /root/repo/src/util/../pointcloud/cloud.hpp \

@@ -243,6 +243,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/util/../pointcloud/generators.hpp \
  /root/repo/src/util/../pointcloud/cloud.hpp \
  /root/repo/src/util/../rbf/collocation.hpp \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp /usr/include/c++/12/optional \
  /root/repo/src/util/../rbf/operators.hpp \
  /root/repo/src/util/../rbf/kernels.hpp \
  /root/repo/src/util/../autodiff/dual.hpp \

@@ -241,7 +241,10 @@ examples/CMakeFiles/rbf_interpolation.dir/rbf_interpolation.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/util/../la/lu.hpp /root/repo/src/util/../la/dense.hpp \
- /usr/include/c++/12/span /root/repo/src/util/../rbf/operators.hpp \
+ /usr/include/c++/12/span /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp /usr/include/c++/12/optional \
+ /root/repo/src/util/../la/sparse.hpp \
+ /root/repo/src/util/../rbf/operators.hpp \
  /root/repo/src/util/../rbf/kernels.hpp \
  /root/repo/src/util/../autodiff/dual.hpp \
  /root/repo/src/util/../autodiff/var_math.hpp \

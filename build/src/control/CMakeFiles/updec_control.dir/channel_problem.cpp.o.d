@@ -205,6 +205,20 @@ src/control/CMakeFiles/updec_control.dir/channel_problem.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/control/../pde/channel_flow.hpp \
+ /root/repo/src/control/../la/robust_solve.hpp \
+ /root/repo/src/control/../la/iterative.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
+ /root/repo/src/control/../la/sparse.hpp \
+ /root/repo/src/control/../la/lu.hpp \
  /root/repo/src/control/../pde/backend.hpp \
  /root/repo/src/control/../autodiff/ops.hpp \
  /root/repo/src/control/../autodiff/var_math.hpp \
@@ -232,18 +246,6 @@ src/control/CMakeFiles/updec_control.dir/channel_problem.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/control/../autodiff/tape.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/control/../la/lu.hpp \
- /root/repo/src/control/../la/sparse.hpp \
  /root/repo/src/control/../pointcloud/generators.hpp \
  /root/repo/src/control/../pointcloud/cloud.hpp \
  /root/repo/src/control/../rbf/rbffd.hpp \

@@ -246,6 +246,8 @@ src/control/CMakeFiles/updec_control.dir/laplace_problem.cpp.o: \
  /root/repo/src/control/../pointcloud/generators.hpp \
  /root/repo/src/control/../pointcloud/cloud.hpp \
  /root/repo/src/control/../rbf/collocation.hpp \
+ /root/repo/src/control/../la/robust_solve.hpp \
+ /root/repo/src/control/../la/iterative.hpp /usr/include/c++/12/optional \
  /root/repo/src/control/../rbf/operators.hpp \
  /root/repo/src/control/../rbf/kernels.hpp \
  /root/repo/src/control/../autodiff/dual.hpp \

@@ -251,5 +251,7 @@ src/control/CMakeFiles/updec_control.dir/pinn_laplace.cpp.o: \
  /root/repo/src/control/../pde/laplace.hpp \
  /root/repo/src/control/../pointcloud/generators.hpp \
  /root/repo/src/control/../rbf/collocation.hpp \
+ /root/repo/src/control/../la/robust_solve.hpp \
+ /root/repo/src/control/../la/iterative.hpp /usr/include/c++/12/optional \
  /root/repo/src/control/../rbf/operators.hpp \
  /root/repo/src/control/../rbf/kernels.hpp

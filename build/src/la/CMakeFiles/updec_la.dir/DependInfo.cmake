@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/la/iterative.cpp" "src/la/CMakeFiles/updec_la.dir/iterative.cpp.o" "gcc" "src/la/CMakeFiles/updec_la.dir/iterative.cpp.o.d"
   "/root/repo/src/la/lu.cpp" "src/la/CMakeFiles/updec_la.dir/lu.cpp.o" "gcc" "src/la/CMakeFiles/updec_la.dir/lu.cpp.o.d"
   "/root/repo/src/la/qr.cpp" "src/la/CMakeFiles/updec_la.dir/qr.cpp.o" "gcc" "src/la/CMakeFiles/updec_la.dir/qr.cpp.o.d"
+  "/root/repo/src/la/robust_solve.cpp" "src/la/CMakeFiles/updec_la.dir/robust_solve.cpp.o" "gcc" "src/la/CMakeFiles/updec_la.dir/robust_solve.cpp.o.d"
   "/root/repo/src/la/sparse.cpp" "src/la/CMakeFiles/updec_la.dir/sparse.cpp.o" "gcc" "src/la/CMakeFiles/updec_la.dir/sparse.cpp.o.d"
   )
 

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/updec_la.dir/lu.cpp.o.d"
   "CMakeFiles/updec_la.dir/qr.cpp.o"
   "CMakeFiles/updec_la.dir/qr.cpp.o.d"
+  "CMakeFiles/updec_la.dir/robust_solve.cpp.o"
+  "CMakeFiles/updec_la.dir/robust_solve.cpp.o.d"
   "CMakeFiles/updec_la.dir/sparse.cpp.o"
   "CMakeFiles/updec_la.dir/sparse.cpp.o.d"
   "libupdec_la.a"

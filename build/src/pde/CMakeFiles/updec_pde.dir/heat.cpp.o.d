@@ -243,4 +243,6 @@ src/pde/CMakeFiles/updec_pde.dir/heat.cpp.o: /root/repo/src/pde/heat.cpp \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/pde/../autodiff/var_math.hpp \
  /root/repo/src/pde/../autodiff/tape.hpp \
- /root/repo/src/pde/../la/blas.hpp
+ /root/repo/src/pde/../la/blas.hpp \
+ /root/repo/src/pde/../la/robust_solve.hpp \
+ /root/repo/src/pde/../la/iterative.hpp /usr/include/c++/12/optional

@@ -242,6 +242,8 @@ src/pde/CMakeFiles/updec_pde.dir/laplace.cpp.o: \
  /root/repo/src/pde/../pointcloud/generators.hpp \
  /root/repo/src/pde/../pointcloud/cloud.hpp \
  /root/repo/src/pde/../rbf/collocation.hpp \
+ /root/repo/src/pde/../la/robust_solve.hpp \
+ /root/repo/src/pde/../la/iterative.hpp /usr/include/c++/12/optional \
  /root/repo/src/pde/../rbf/operators.hpp \
  /root/repo/src/pde/../rbf/kernels.hpp \
  /root/repo/src/pde/../autodiff/dual.hpp /usr/include/c++/12/algorithm \

@@ -213,6 +213,9 @@ src/rbf/CMakeFiles/updec_rbf.dir/collocation.cpp.o: \
  /root/repo/src/rbf/../util/error.hpp /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/rbf/../la/robust_solve.hpp \
+ /root/repo/src/rbf/../la/iterative.hpp /usr/include/c++/12/optional \
+ /root/repo/src/rbf/../la/sparse.hpp \
  /root/repo/src/rbf/../pointcloud/cloud.hpp \
  /root/repo/src/rbf/../rbf/operators.hpp \
  /root/repo/src/rbf/../rbf/kernels.hpp \
@@ -241,4 +244,6 @@ src/rbf/CMakeFiles/updec_rbf.dir/collocation.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/rbf/../autodiff/var_math.hpp \
  /root/repo/src/rbf/../autodiff/tape.hpp \
- /root/repo/src/rbf/../la/blas.hpp
+ /root/repo/src/rbf/../la/blas.hpp \
+ /root/repo/src/rbf/../util/faultinject.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/rbf/../util/log.hpp

@@ -214,6 +214,9 @@ src/rbf/CMakeFiles/updec_rbf.dir/interpolation.cpp.o: \
  /root/repo/src/rbf/../util/error.hpp /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/rbf/../la/robust_solve.hpp \
+ /root/repo/src/rbf/../la/iterative.hpp /usr/include/c++/12/optional \
+ /root/repo/src/rbf/../la/sparse.hpp \
  /root/repo/src/rbf/../pointcloud/cloud.hpp \
  /root/repo/src/rbf/../rbf/operators.hpp \
  /root/repo/src/rbf/../rbf/kernels.hpp \

@@ -242,4 +242,6 @@ src/rbf/CMakeFiles/updec_rbf.dir/rbffd.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/rbf/../autodiff/var_math.hpp \
- /root/repo/src/rbf/../autodiff/tape.hpp
+ /root/repo/src/rbf/../autodiff/tape.hpp \
+ /root/repo/src/rbf/../la/robust_solve.hpp \
+ /root/repo/src/rbf/../la/iterative.hpp /usr/include/c++/12/optional

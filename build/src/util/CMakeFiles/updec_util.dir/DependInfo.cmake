@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/updec_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/updec_util.dir/cli.cpp.o.d"
   "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/updec_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/updec_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/faultinject.cpp" "src/util/CMakeFiles/updec_util.dir/faultinject.cpp.o" "gcc" "src/util/CMakeFiles/updec_util.dir/faultinject.cpp.o.d"
   "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/updec_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/updec_util.dir/log.cpp.o.d"
   "/root/repo/src/util/memory.cpp" "src/util/CMakeFiles/updec_util.dir/memory.cpp.o" "gcc" "src/util/CMakeFiles/updec_util.dir/memory.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/updec_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/updec_util.dir/rng.cpp.o.d"

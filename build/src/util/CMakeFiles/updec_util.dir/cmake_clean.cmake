@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/updec_util.dir/cli.cpp.o.d"
   "CMakeFiles/updec_util.dir/csv.cpp.o"
   "CMakeFiles/updec_util.dir/csv.cpp.o.d"
+  "CMakeFiles/updec_util.dir/faultinject.cpp.o"
+  "CMakeFiles/updec_util.dir/faultinject.cpp.o.d"
   "CMakeFiles/updec_util.dir/log.cpp.o"
   "CMakeFiles/updec_util.dir/log.cpp.o.d"
   "CMakeFiles/updec_util.dir/memory.cpp.o"

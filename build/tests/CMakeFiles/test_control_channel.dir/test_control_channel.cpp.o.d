@@ -320,11 +320,13 @@ tests/CMakeFiles/test_control_channel.dir/test_control_channel.cpp.o: \
  /root/repo/src/util/../la/dense.hpp /usr/include/c++/12/span \
  /root/repo/src/util/../util/error.hpp \
  /root/repo/src/util/../pde/channel_flow.hpp \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp \
+ /root/repo/src/util/../la/sparse.hpp /root/repo/src/util/../la/lu.hpp \
  /root/repo/src/util/../pde/backend.hpp \
  /root/repo/src/util/../autodiff/ops.hpp \
  /root/repo/src/util/../autodiff/var_math.hpp \
  /root/repo/src/util/../autodiff/tape.hpp \
- /root/repo/src/util/../la/lu.hpp /root/repo/src/util/../la/sparse.hpp \
  /root/repo/src/util/../pointcloud/generators.hpp \
  /root/repo/src/util/../pointcloud/cloud.hpp \
  /root/repo/src/util/../rbf/rbffd.hpp \

@@ -330,6 +330,8 @@ tests/CMakeFiles/test_control_laplace.dir/test_control_laplace.cpp.o: \
  /root/repo/src/util/../pointcloud/generators.hpp \
  /root/repo/src/util/../pointcloud/cloud.hpp \
  /root/repo/src/util/../rbf/collocation.hpp \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp \
  /root/repo/src/util/../rbf/operators.hpp \
  /root/repo/src/util/../rbf/kernels.hpp \
  /root/repo/src/util/../autodiff/dual.hpp \

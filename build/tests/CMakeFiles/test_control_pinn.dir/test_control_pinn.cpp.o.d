@@ -338,5 +338,7 @@ tests/CMakeFiles/test_control_pinn.dir/test_control_pinn.cpp.o: \
  /root/repo/src/util/../control/problem.hpp \
  /root/repo/src/util/../pde/laplace.hpp \
  /root/repo/src/util/../rbf/collocation.hpp \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp \
  /root/repo/src/util/../rbf/operators.hpp \
  /root/repo/src/util/../rbf/kernels.hpp

@@ -327,6 +327,8 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/repo/src/util/../pointcloud/generators.hpp \
  /root/repo/src/util/../pointcloud/cloud.hpp \
  /root/repo/src/util/../rbf/collocation.hpp \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp \
  /root/repo/src/util/../rbf/operators.hpp \
  /root/repo/src/util/../rbf/kernels.hpp \
  /root/repo/src/util/../autodiff/dual.hpp \

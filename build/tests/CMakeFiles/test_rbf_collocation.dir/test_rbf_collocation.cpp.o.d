@@ -321,6 +321,9 @@ tests/CMakeFiles/test_rbf_collocation.dir/test_rbf_collocation.cpp.o: \
  /root/repo/src/util/../pointcloud/cloud.hpp \
  /root/repo/src/util/../rbf/collocation.hpp \
  /root/repo/src/util/../la/lu.hpp \
+ /root/repo/src/util/../la/robust_solve.hpp \
+ /root/repo/src/util/../la/iterative.hpp \
+ /root/repo/src/util/../la/sparse.hpp \
  /root/repo/src/util/../rbf/operators.hpp \
  /root/repo/src/util/../rbf/kernels.hpp \
  /root/repo/src/util/../autodiff/dual.hpp \
@@ -328,6 +331,5 @@ tests/CMakeFiles/test_rbf_collocation.dir/test_rbf_collocation.cpp.o: \
  /root/repo/src/util/../autodiff/tape.hpp \
  /root/repo/src/util/../rbf/interpolation.hpp \
  /root/repo/src/util/../rbf/rbffd.hpp \
- /root/repo/src/util/../la/sparse.hpp \
  /root/repo/src/util/../pointcloud/kdtree.hpp \
  /root/repo/src/util/../util/rng.hpp

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_resilience.cpp" "tests/CMakeFiles/test_resilience.dir/test_resilience.cpp.o" "gcc" "tests/CMakeFiles/test_resilience.dir/test_resilience.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/control/CMakeFiles/updec_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/pde/CMakeFiles/updec_pde.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbf/CMakeFiles/updec_rbf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/updec_pc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/updec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/updec_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/updec_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/updec_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/sph/CMakeFiles/updec_sph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/updec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

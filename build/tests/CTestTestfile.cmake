@@ -23,4 +23,5 @@ include("/root/repo/build/tests/test_control_laplace[1]_include.cmake")
 include("/root/repo/build/tests/test_control_channel[1]_include.cmake")
 include("/root/repo/build/tests/test_control_pinn[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_resilience[1]_include.cmake")
 include("/root/repo/build/tests/test_sph[1]_include.cmake")

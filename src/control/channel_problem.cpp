@@ -5,6 +5,7 @@
 
 #include "autodiff/ops.hpp"
 #include "la/blas.hpp"
+#include "la/robust_solve.hpp"
 
 namespace updec::control {
 
@@ -139,7 +140,7 @@ class ChannelDalStrategy final : public GradientStrategy {
       for (std::size_t j = 0; j < n; ++j)
         momentum(i, j) -= nu_dt * lap(i, j);
     }
-    momentum_lu_ = la::LuFactorization(std::move(momentum));
+    momentum_lu_ = la::robust_lu_factor(momentum);
     // Inlet quadrature (trapezoid in y).
     const auto& ys = solver.inlet_y();
     inlet_quad_ = la::Vector(ys.size(), 0.0);
@@ -210,8 +211,10 @@ class ChannelDalStrategy final : public GradientStrategy {
         rhs_v[i] = lv[i] + dt * (flow.u[i] * dxlv[i] + flow.v[i] * dylv[i] -
                                  (dyu[i] * lu[i] + dyv[i] * lv[i]));
       }
-      la::Vector lu_star = momentum_lu_.solve(rhs_u);
-      la::Vector lv_star = momentum_lu_.solve(rhs_v);
+      la::Vector lu_star =
+          la::checked_solve(momentum_lu_, rhs_u, "DAL adjoint momentum (u)");
+      la::Vector lv_star =
+          la::checked_solve(momentum_lu_, rhs_v, "DAL adjoint momentum (v)");
       apply_bcs(lu_star, lv_star);
       // Projection onto divergence-free adjoint fields: Lap q = div/dt,
       // lambda -= dt grad q, sigma = -q.
@@ -220,7 +223,8 @@ class ChannelDalStrategy final : public GradientStrategy {
       const la::Vector div_y = dy.apply(lv_star);
       for (std::size_t i = 0; i < n; ++i)
         if (interior[i]) prhs[i] = (div_x[i] + div_y[i]) / dt;
-      q_p = solver.pressure_lu().solve(prhs);
+      q_p = la::checked_solve(solver.pressure_lu(), prhs,
+                              "DAL adjoint pressure projection");
       const la::Vector dxq = dx.apply(q_p);
       const la::Vector dyq = dy.apply(q_p);
       for (std::size_t i = 0; i < n; ++i) {

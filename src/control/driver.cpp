@@ -1,12 +1,217 @@
 #include "control/driver.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ios>
+#include <limits>
 #include <memory>
+#include <string>
+#include <utility>
 
+#include "la/robust_solve.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/log.hpp"
 #include "util/memory.hpp"
 #include "util/timer.hpp"
 
 namespace updec::control {
+
+namespace {
+
+/// Multiplies a base schedule by a mutable scale factor. Divergence
+/// recovery shrinks the scale (options.recovery_lr_decay) without touching
+/// the paper schedule's breakpoints, so the 50%/75% drops still happen at
+/// the same iteration indices.
+class ScaledSchedule final : public optim::LrSchedule {
+ public:
+  explicit ScaledSchedule(std::shared_ptr<const optim::LrSchedule> base)
+      : base_(std::move(base)) {}
+
+  [[nodiscard]] double rate(std::size_t iteration) const override {
+    return scale_ * base_->rate(iteration);
+  }
+
+  void set_scale(double s) { scale_ = s; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  std::shared_ptr<const optim::LrSchedule> base_;
+  double scale_ = 1.0;
+};
+
+/// Hexfloat round-trips doubles exactly; resumed runs must replay the
+/// uninterrupted trajectory bit-for-bit.
+void write_values(std::ostream& os, const std::vector<double>& v) {
+  os << v.size() << std::hexfloat;
+  for (const double x : v) os << ' ' << x;
+  os << std::defaultfloat << '\n';
+}
+
+/// operator>> cannot parse hexfloat back (the num_get grammar stops at the
+/// 'x'), so read a token and hand it to strtod, which can.
+bool read_double(std::istream& is, double& out) {
+  std::string token;
+  if (!(is >> token)) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size() && !token.empty();
+}
+
+bool read_values(std::istream& is, std::vector<double>& v) {
+  std::size_t n = 0;
+  if (!(is >> n)) return false;
+  v.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!read_double(is, v[i])) return false;
+  return true;
+}
+
+constexpr const char* kCheckpointMagic = "updec-checkpoint";
+constexpr int kCheckpointVersion = 1;
+
+/// Write the checkpoint to `path + ".tmp"` and rename it into place, so a
+/// crash mid-write never corrupts the previous checkpoint.
+void write_checkpoint(const std::string& path, std::size_t next_iteration,
+                      double lr_scale, std::size_t recoveries,
+                      const DriverResult& result,
+                      const optim::Optimizer& optimizer) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    UPDEC_REQUIRE(os.good(), "cannot open checkpoint file " + tmp);
+    os << kCheckpointMagic << " v" << kCheckpointVersion << '\n';
+    os << "iteration " << next_iteration << '\n';
+    os << "recoveries " << recoveries << '\n';
+    os << "lr_scale " << std::hexfloat << lr_scale << std::defaultfloat
+       << '\n';
+    os << "control ";
+    write_values(os, result.control.std());
+    os << "history ";
+    write_values(os, result.cost_history);
+    optimizer.save_state(os);
+    UPDEC_REQUIRE(os.good(), "checkpoint write failed: " + tmp);
+  }
+  UPDEC_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot rename checkpoint " + tmp + " -> " + path);
+}
+
+struct Checkpoint {
+  std::size_t iteration = 0;
+  std::size_t recoveries = 0;
+  double lr_scale = 1.0;
+  la::Vector control;
+  std::vector<double> history;
+};
+
+/// Parse the header + vectors; leaves `is` positioned at the optimiser
+/// state so the caller can hand it to Optimizer::load_state().
+Checkpoint read_checkpoint_header(std::istream& is, const std::string& path) {
+  Checkpoint cp;
+  std::string magic, version, key;
+  UPDEC_REQUIRE(
+      (is >> magic >> version) && magic == kCheckpointMagic && version == "v1",
+      "not a v1 updec checkpoint: " + path);
+  UPDEC_REQUIRE((is >> key >> cp.iteration) && key == "iteration",
+                "malformed checkpoint (iteration): " + path);
+  UPDEC_REQUIRE((is >> key >> cp.recoveries) && key == "recoveries",
+                "malformed checkpoint (recoveries): " + path);
+  UPDEC_REQUIRE((is >> key) && key == "lr_scale" &&
+                    read_double(is, cp.lr_scale),
+                "malformed checkpoint (lr_scale): " + path);
+  UPDEC_REQUIRE((is >> key) && key == "control" &&
+                    read_values(is, cp.control.std()),
+                "malformed checkpoint (control): " + path);
+  UPDEC_REQUIRE((is >> key) && key == "history" &&
+                    read_values(is, cp.history),
+                "malformed checkpoint (history): " + path);
+  return cp;
+}
+
+/// The guarded descent loop, shared by fresh and resumed runs. `start`
+/// is the first iteration index to execute; result.control /
+/// result.cost_history hold the state up to that point.
+void run_loop(DriverResult& result, GradientStrategy& strategy,
+              const DriverOptions& options, optim::Optimizer& optimizer,
+              ScaledSchedule& schedule, std::size_t start) {
+  if (options.checkpoint_every > 0)
+    UPDEC_REQUIRE(!options.checkpoint_path.empty(),
+                  "checkpoint_every > 0 requires a checkpoint_path");
+
+  la::Vector gradient(result.control.size());
+  la::Vector last_good = result.control;
+  std::size_t it = start;
+  while (it < options.iterations) {
+    double j = 0.0;
+    bool ok = true;
+    std::string why;
+    try {
+      j = strategy.value_and_gradient(result.control, gradient);
+      if (UPDEC_FAULT_POINT("driver.nan_cost"))
+        j = std::numeric_limits<double>::quiet_NaN();
+      if (UPDEC_FAULT_POINT("driver.nan_gradient") && !gradient.empty())
+        gradient[0] = std::numeric_limits<double>::quiet_NaN();
+      if (!std::isfinite(j)) {
+        ok = false;
+        why = "non-finite cost";
+      } else if (!la::all_finite(gradient)) {
+        ok = false;
+        why = "non-finite gradient";
+      }
+    } catch (const Error& e) {
+      ok = false;
+      why = e.what();
+    }
+
+    if (!ok) {
+      if (!options.recover_divergence ||
+          result.recoveries >= options.max_recoveries) {
+        result.aborted = true;
+        log_error() << strategy.name() << " iteration " << it
+                    << " diverged (" << why << "); recovery "
+                    << (options.recover_divergence ? "budget exhausted"
+                                                   : "disabled")
+                    << " after " << result.recoveries
+                    << " attempt(s) -- aborting";
+        break;
+      }
+      ++result.recoveries;
+      result.control = last_good;
+      schedule.set_scale(schedule.scale() * options.recovery_lr_decay);
+      optimizer.reset();
+      log_warn() << strategy.name() << " iteration " << it << " diverged ("
+                 << why << "); rolled back to last good control, lr scale "
+                 << schedule.scale() << " (recovery " << result.recoveries
+                 << "/" << options.max_recoveries << ")";
+      continue;  // retry the same iteration index from the rollback point
+    }
+
+    last_good = result.control;
+    result.cost_history.push_back(j);
+    if (options.gradient_clip > 0.0)
+      optim::clip_by_norm(gradient, options.gradient_clip);
+    optimizer.step(result.control, gradient, it);
+    ++result.iterations;
+    if (options.verbose && (it % 50 == 0 || it + 1 == options.iterations))
+      log_info() << strategy.name() << " iteration " << it << ": J = " << j;
+    ++it;
+    if (options.checkpoint_every > 0 && it % options.checkpoint_every == 0)
+      write_checkpoint(options.checkpoint_path, it, schedule.scale(),
+                       result.recoveries, result, optimizer);
+  }
+  result.final_cost =
+      result.cost_history.empty() ? 0.0 : result.cost_history.back();
+}
+
+std::shared_ptr<ScaledSchedule> make_schedule(const DriverOptions& options) {
+  return std::make_shared<ScaledSchedule>(
+      std::make_shared<optim::PaperSchedule>(options.initial_learning_rate,
+                                             options.iterations));
+}
+
+}  // namespace
 
 DriverResult optimize_from(la::Vector control, GradientStrategy& strategy,
                            const DriverOptions& options) {
@@ -15,24 +220,10 @@ DriverResult optimize_from(la::Vector control, GradientStrategy& strategy,
   result.control = std::move(control);
   result.cost_history.reserve(options.iterations);
 
-  auto schedule = std::make_shared<optim::PaperSchedule>(
-      options.initial_learning_rate, options.iterations);
+  auto schedule = make_schedule(options);
   optim::Adam adam(schedule);
+  run_loop(result, strategy, options, adam, *schedule, 0);
 
-  la::Vector gradient(result.control.size());
-  for (std::size_t it = 0; it < options.iterations; ++it) {
-    const double j = strategy.value_and_gradient(result.control, gradient);
-    result.cost_history.push_back(j);
-    if (options.gradient_clip > 0.0)
-      optim::clip_by_norm(gradient, options.gradient_clip);
-    adam.step(result.control, gradient, it);
-    ++result.iterations;
-    if (options.verbose && (it % 50 == 0 || it + 1 == options.iterations))
-      log_info() << strategy.name() << " iteration " << it << ": J = " << j;
-  }
-  result.final_cost = result.cost_history.empty()
-                          ? 0.0
-                          : result.cost_history.back();
   result.seconds = watch.seconds();
   result.peak_rss_bytes = peak_rss_bytes();
   return result;
@@ -42,6 +233,39 @@ DriverResult optimize(const ControlProblem& problem,
                       GradientStrategy& strategy,
                       const DriverOptions& options) {
   return optimize_from(problem.initial_control(), strategy, options);
+}
+
+DriverResult optimize_resume(const std::string& checkpoint_path,
+                             GradientStrategy& strategy,
+                             const DriverOptions& options) {
+  const Stopwatch watch;
+
+  std::ifstream is(checkpoint_path);
+  UPDEC_REQUIRE(is.good(), "cannot open checkpoint " + checkpoint_path);
+  Checkpoint cp = read_checkpoint_header(is, checkpoint_path);
+  UPDEC_REQUIRE(cp.iteration <= options.iterations,
+                "checkpoint is past options.iterations; resume with the "
+                "iteration count the run was checkpointed under");
+
+  DriverResult result;
+  result.control = std::move(cp.control);
+  result.cost_history = std::move(cp.history);
+  result.cost_history.reserve(options.iterations);
+  result.recoveries = cp.recoveries;
+
+  auto schedule = make_schedule(options);
+  schedule->set_scale(cp.lr_scale);
+  optim::Adam adam(schedule);
+  UPDEC_REQUIRE(adam.load_state(is),
+                "malformed optimiser state in checkpoint " + checkpoint_path);
+
+  log_info() << strategy.name() << " resuming from " << checkpoint_path
+             << " at iteration " << cp.iteration;
+  run_loop(result, strategy, options, adam, *schedule, cp.iteration);
+
+  result.seconds = watch.seconds();
+  result.peak_rss_bytes = peak_rss_bytes();
+  return result;
 }
 
 }  // namespace updec::control

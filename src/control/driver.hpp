@@ -4,9 +4,17 @@
 /// piecewise learning-rate schedule (divide by 10 at 50% and 75%), a cost
 /// history for the Fig. 3b / 4b curves, and wall-clock + peak-memory
 /// accounting for Table 3.
+///
+/// The loop is guarded for the long 350-500-iteration runs: a non-finite
+/// cost or gradient (or an updec::Error thrown by the PDE solve) rolls the
+/// control back to the last good iterate, halves the learning rate and
+/// retries within a bounded recovery budget; optional periodic
+/// checkpointing lets a crashed Navier-Stokes run resume via
+/// optimize_resume() instead of restarting.
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "control/problem.hpp"
@@ -19,6 +27,18 @@ struct DriverOptions {
   double initial_learning_rate = 1e-2;
   double gradient_clip = 0.0;      ///< 0 disables clipping
   bool verbose = false;
+
+  // Divergence recovery.
+  bool recover_divergence = true;  ///< roll back + shrink LR on failure
+  std::size_t max_recoveries = 8;  ///< total budget before aborting the run
+  double recovery_lr_decay = 0.5;  ///< LR multiplier applied per recovery
+
+  // Checkpointing. When checkpoint_every > 0 the driver writes (and
+  /// atomically replaces) `checkpoint_path` every that-many accepted
+  /// iterations; resume with optimize_resume() under the SAME iteration
+  /// count and initial learning rate (the LR schedule depends on both).
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
 };
 
 struct DriverResult {
@@ -28,6 +48,8 @@ struct DriverResult {
   double seconds = 0.0;              ///< wall-clock (Table 3 "Time")
   std::size_t peak_rss_bytes = 0;    ///< VmHWM after the run (Table 3 "Peak mem.")
   std::size_t iterations = 0;
+  std::size_t recoveries = 0;        ///< divergence rollbacks performed
+  bool aborted = false;              ///< recovery budget exhausted
 };
 
 /// Run gradient descent with `strategy` from the problem's initial control.
@@ -38,5 +60,14 @@ DriverResult optimize(const ControlProblem& problem,
 /// Same, from an explicit starting control.
 DriverResult optimize_from(la::Vector control, GradientStrategy& strategy,
                            const DriverOptions& options);
+
+/// Resume a checkpointed run from `checkpoint_path`: restores the control,
+/// the optimiser state, the learning-rate scale and the cost history, then
+/// continues until options.iterations. The returned cost_history includes
+/// the checkpointed prefix, so a resumed run reproduces the uninterrupted
+/// one bit-for-bit. Throws updec::Error if the checkpoint is unreadable.
+DriverResult optimize_resume(const std::string& checkpoint_path,
+                             GradientStrategy& strategy,
+                             const DriverOptions& options);
 
 }  // namespace updec::control

@@ -116,7 +116,8 @@ class LaplaceDalStrategy final : public GradientStrategy {
     const auto& xs = solver.top_x();
     for (std::size_t i = 0; i < top.size(); ++i)
       rhs[top[i]] = 2.0 * (flux[i] - LaplaceSolver::target_flux(xs[i]));
-    const la::Vector adj_coeffs = colloc.lu().solve(rhs);
+    // Guarded adjoint solve: shares the collocation NaN-recovery path.
+    const la::Vector adj_coeffs = colloc.solve(rhs);
 
     // Continuous gradient d(lambda)/dy on the top wall, weighted by the
     // quadrature to approximate the discrete gradient DP computes. The two

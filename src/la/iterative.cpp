@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "la/blas.hpp"
+#include "util/faultinject.hpp"
+#include "util/log.hpp"
 
 namespace updec::la {
+
+const IterativeResult& IterativeResult::require_converged(
+    const char* context) const {
+  if (!converged) {
+    std::ostringstream os;
+    os << context << ": iterative solve did not converge (residual "
+       << residual_norm << " after " << iterations << " iterations)";
+    throw Error(os.str());
+  }
+  return *this;
+}
 
 Preconditioner identity_preconditioner() {
   return [](const Vector& r, Vector& z) { z = r; };
@@ -13,8 +27,22 @@ Preconditioner identity_preconditioner() {
 
 Preconditioner jacobi_preconditioner(const CsrMatrix& a) {
   Vector inv_diag = a.diagonal();
-  for (std::size_t i = 0; i < inv_diag.size(); ++i)
-    inv_diag[i] = (inv_diag[i] != 0.0) ? 1.0 / inv_diag[i] : 1.0;
+  std::size_t zeros = 0;
+  std::size_t first_zero = 0;
+  for (std::size_t i = 0; i < inv_diag.size(); ++i) {
+    if (inv_diag[i] != 0.0) {
+      inv_diag[i] = 1.0 / inv_diag[i];
+    } else {
+      if (zeros == 0) first_zero = i;
+      ++zeros;
+      inv_diag[i] = 1.0;
+    }
+  }
+  if (zeros > 0)
+    log_warn() << "jacobi_preconditioner: " << zeros
+               << " zero diagonal entr" << (zeros == 1 ? "y" : "ies")
+               << " (first at row " << first_zero
+               << ") substituted with identity";
   return [inv_diag](const Vector& r, Vector& z) {
     z.resize(r.size());
     for (std::size_t i = 0; i < r.size(); ++i) z[i] = inv_diag[i] * r[i];
@@ -35,12 +63,28 @@ Ilu0::Ilu0(const CsrMatrix& a) {
     UPDEC_REQUIRE(diag_[i] != static_cast<std::size_t>(-1),
                   "ILU(0) requires a structurally nonzero diagonal");
   }
+  // Small-pivot guard: pivots below this fraction of the largest diagonal
+  // magnitude are clamped (with a warning) instead of dividing by ~0 and
+  // poisoning the preconditioner with huge or non-finite entries.
+  double diag_scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    diag_scale = std::max(diag_scale, std::abs(values[diag_[i]]));
+  const double pivot_floor =
+      (diag_scale > 0.0 ? diag_scale : 1.0) * kSmallPivotRelThreshold;
+  const auto guarded_pivot = [&](std::size_t row) {
+    double& pivot = values[diag_[row]];
+    if (std::abs(pivot) < pivot_floor) {
+      log_warn() << "ILU(0): small pivot " << pivot << " at row " << row
+                 << "; clamping to " << pivot_floor;
+      pivot = (pivot < 0.0) ? -pivot_floor : pivot_floor;
+    }
+    return pivot;
+  };
   for (std::size_t i = 1; i < n; ++i) {
     for (std::size_t k = row_ptr[i];
          k < row_ptr[i + 1] && col_idx[k] < i; ++k) {
       const std::size_t j = col_idx[k];
-      UPDEC_REQUIRE(values[diag_[j]] != 0.0, "zero pivot in ILU(0)");
-      const double lij = values[k] / values[diag_[j]];
+      const double lij = values[k] / guarded_pivot(j);
       values[k] = lij;
       // Subtract lij * row j from row i on the shared pattern only.
       for (std::size_t kj = diag_[j] + 1; kj < row_ptr[j + 1]; ++kj) {
@@ -57,6 +101,9 @@ Ilu0::Ilu0(const CsrMatrix& a) {
       }
     }
   }
+  // The back-substitution divides by every diagonal entry, including rows
+  // never visited as pivots above (e.g. the last row): clamp them all.
+  for (std::size_t i = 0; i < n; ++i) guarded_pivot(i);
   lu_ = CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
                   std::move(values));
 }
@@ -103,6 +150,11 @@ IterativeResult cg(const CsrMatrix& a, const Vector& b,
   const std::size_t n = b.size();
   IterativeResult res;
   res.x = x0.value_or(Vector(n, 0.0));
+  if (UPDEC_FAULT_POINT("cg.converge")) {
+    res.residual_norm = nrm2(b);
+    res.iterations = opts.max_iterations;
+    return res;
+  }
   Vector r = b;
   a.spmv(-1.0, res.x, 1.0, r);
   Vector z(n);
@@ -143,6 +195,11 @@ IterativeResult bicgstab(const CsrMatrix& a, const Vector& b,
   const std::size_t n = b.size();
   IterativeResult res;
   res.x = x0.value_or(Vector(n, 0.0));
+  if (UPDEC_FAULT_POINT("bicgstab.converge")) {
+    res.residual_norm = nrm2(b);
+    res.iterations = opts.max_iterations;
+    return res;
+  }
   Vector r = b;
   a.spmv(-1.0, res.x, 1.0, r);
   const Vector r_hat = r;
@@ -200,6 +257,11 @@ IterativeResult gmres(const CsrMatrix& a, const Vector& b,
   const std::size_t m = std::min(opts.gmres_restart, n);
   IterativeResult res;
   res.x = x0.value_or(Vector(n, 0.0));
+  if (UPDEC_FAULT_POINT("gmres.converge")) {
+    res.residual_norm = nrm2(b);
+    res.iterations = opts.max_iterations;
+    return res;
+  }
   const double tol = stop_threshold(opts, nrm2(b));
   std::size_t total_iters = 0;
 

@@ -12,12 +12,18 @@
 
 namespace updec::la {
 
-/// Outcome of an iterative solve.
-struct IterativeResult {
+/// Outcome of an iterative solve. Marked nodiscard: silently using `x`
+/// from a non-converged solve is the dominant failure mode of the long
+/// optimisation loops, so callers must at least see the report.
+struct [[nodiscard]] IterativeResult {
   Vector x;
   std::size_t iterations = 0;
   double residual_norm = 0.0;
   bool converged = false;
+
+  /// Throw updec::Error naming `context` unless the solve converged.
+  /// Returns *this so call sites can chain: cg(...).require_converged("x").x
+  const IterativeResult& require_converged(const char* context) const;
 };
 
 /// Solver tolerances and limits.
@@ -34,12 +40,19 @@ using Preconditioner = std::function<void(const Vector& r, Vector& z)>;
 /// Identity preconditioner.
 Preconditioner identity_preconditioner();
 
-/// Jacobi (diagonal) preconditioner built from A; zero diagonals map to 1.
+/// Jacobi (diagonal) preconditioner built from A; zero diagonals map to 1
+/// (each substitution is reported once at warn level with its row index).
 Preconditioner jacobi_preconditioner(const CsrMatrix& a);
 
-/// ILU(0) incomplete factorisation preconditioner (no fill-in).
+/// ILU(0) incomplete factorisation preconditioner (no fill-in). Pivots
+/// smaller than kSmallPivotRelThreshold times the largest diagonal
+/// magnitude are clamped (and reported at warn level with the row index)
+/// so near-singular rows degrade the preconditioner instead of poisoning
+/// it with non-finite entries.
 class Ilu0 {
  public:
+  static constexpr double kSmallPivotRelThreshold = 1e-13;
+
   explicit Ilu0(const CsrMatrix& a);
   void apply(const Vector& r, Vector& z) const;
   [[nodiscard]] Preconditioner as_preconditioner() const;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "la/blas.hpp"
+#include "util/faultinject.hpp"
 
 namespace updec::la {
 
@@ -22,6 +23,8 @@ double matrix_norm1(const Matrix& a) {
 
 LuFactorization::LuFactorization(Matrix a) {
   UPDEC_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  UPDEC_REQUIRE(!UPDEC_FAULT_POINT("lu.singular_pivot"),
+                "injected fault: simulated singular pivot");
   const std::size_t n = a.rows();
   a_norm1_ = matrix_norm1(a);
   perm_.resize(n);
@@ -38,7 +41,9 @@ LuFactorization::LuFactorization(Matrix a) {
         piv = i;
       }
     }
-    UPDEC_REQUIRE(piv_val > 0.0, "matrix is singular to working precision");
+    // A NaN column makes piv_val NaN, which also fails this comparison.
+    UPDEC_REQUIRE(piv_val > 0.0,
+                  "matrix is singular to working precision or non-finite");
     if (piv != k) {
       double* rk = a.row(k);
       double* rp = a.row(piv);

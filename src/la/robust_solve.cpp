@@ -1,0 +1,246 @@
+#include "la/robust_solve.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "la/blas.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace updec::la {
+
+namespace {
+
+/// 1-norm (max column absolute sum) of a CSR matrix; scale for shifts.
+double csr_norm1(const CsrMatrix& a) {
+  Vector col_sums(a.cols(), 0.0);
+  const auto& values = a.values();
+  const auto& col_idx = a.col_idx();
+  for (std::size_t k = 0; k < values.size(); ++k)
+    col_sums[col_idx[k]] += std::abs(values[k]);
+  double best = 0.0;
+  for (const double s : col_sums) best = std::max(best, s);
+  return best;
+}
+
+double dense_norm1(const Matrix& a) {
+  double best = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) s += std::abs(a(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+/// ||b - A x||_2, or +inf when x has non-finite entries.
+double true_residual(const CsrMatrix& a, const Vector& b, const Vector& x) {
+  if (!all_finite(x)) return std::numeric_limits<double>::infinity();
+  Vector r = b;
+  a.spmv(-1.0, x, 1.0, r);
+  return nrm2(r);
+}
+
+}  // namespace
+
+const char* to_string(SolveMethod method) {
+  switch (method) {
+    case SolveMethod::kIterative: return "iterative";
+    case SolveMethod::kDenseLu: return "dense-lu";
+    case SolveMethod::kShiftedLu: return "shifted-lu";
+  }
+  return "?";
+}
+
+const SolveReport& SolveReport::require_converged(const char* context) const {
+  if (!converged) {
+    std::ostringstream os;
+    os << context << ": robust solve did not converge (method "
+       << to_string(method) << ", " << attempts << " stage(s), residual "
+       << residual_norm << ", shift " << shift << ")";
+    throw Error(os.str());
+  }
+  return *this;
+}
+
+LuFactorization shifted_lu_factor(const Matrix& a, double relative_shift) {
+  const double shift = relative_shift * std::max(dense_norm1(a), 1.0);
+  Matrix shifted = a;
+  for (std::size_t i = 0; i < shifted.rows(); ++i) shifted(i, i) += shift;
+  return LuFactorization(std::move(shifted));
+}
+
+bool all_finite(const Vector& v) {
+  for (const double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+Vector checked_solve(const LuFactorization& lu, const Vector& b,
+                     const char* context) {
+  Vector x = lu.solve(b);
+  if (!all_finite(x)) {
+    std::ostringstream os;
+    os << context << ": linear solve produced non-finite entries";
+    throw Error(os.str());
+  }
+  return x;
+}
+
+RobustSolver::RobustSolver(CsrMatrix a, RobustSolveOptions options)
+    : a_(std::move(a)), options_(options) {
+  UPDEC_REQUIRE(a_.rows() == a_.cols(), "RobustSolver needs a square matrix");
+  try {
+    precond_ = Ilu0(a_).as_preconditioner();
+  } catch (const Error& e) {
+    log_warn() << "RobustSolver: ILU(0) preconditioner failed ("
+               << e.what() << "); falling back to Jacobi";
+    precond_ = jacobi_preconditioner(a_);
+  }
+}
+
+SolveReport RobustSolver::solve(const Vector& b, Vector& x) const {
+  UPDEC_REQUIRE(b.size() == a_.rows(), "RobustSolver rhs size mismatch");
+  const Stopwatch watch;
+  SolveReport report;
+  const double b_norm = nrm2(b);
+  const double accept = std::max(options_.iterative.abs_tol,
+                                 options_.accept_rel_residual * b_norm);
+
+  // Stage 1: preconditioned GMRES.
+  if (options_.use_gmres) {
+    ++report.attempts;
+    IterativeResult res = gmres(a_, b, options_.iterative, precond_);
+    const double true_res = true_residual(a_, b, res.x);
+    if (res.converged && std::isfinite(true_res)) {
+      x = std::move(res.x);
+      report.method = SolveMethod::kIterative;
+      report.iterations = res.iterations;
+      report.residual_norm = true_res;
+      report.converged = true;
+      report.seconds = watch.seconds();
+      return report;
+    }
+    log_warn() << "RobustSolver: GMRES failed to converge (residual "
+               << res.residual_norm << " after " << res.iterations
+               << " iterations); escalating to BiCGSTAB";
+  }
+
+  // Stage 2: BiCGSTAB.
+  if (options_.use_bicgstab) {
+    ++report.attempts;
+    IterativeResult res = bicgstab(a_, b, options_.iterative, precond_);
+    const double true_res = true_residual(a_, b, res.x);
+    if (res.converged && std::isfinite(true_res)) {
+      x = std::move(res.x);
+      report.method = SolveMethod::kIterative;
+      report.iterations = res.iterations;
+      report.residual_norm = true_res;
+      report.converged = true;
+      report.seconds = watch.seconds();
+      return report;
+    }
+    log_warn() << "RobustSolver: BiCGSTAB failed to converge (residual "
+               << res.residual_norm << " after " << res.iterations
+               << " iterations); escalating to dense LU";
+  }
+
+  // Stages 3-4: densify; plain LU first, then growing Tikhonov shifts.
+  UPDEC_REQUIRE(options_.use_dense_fallback,
+                "robust solve exhausted its iterative stages and the dense "
+                "fallback is disabled");
+  ++report.attempts;
+  FactorReport factor;
+  const LuFactorization lu =
+      robust_lu_factor(a_.to_dense(), &factor, options_);
+  report.attempts += factor.attempts - 1;  // count the shifted retries
+  report.shift = factor.shift;
+  x = lu.solve(b);
+  report.residual_norm = true_residual(a_, b, x);
+  report.method =
+      factor.shifted ? SolveMethod::kShiftedLu : SolveMethod::kDenseLu;
+  report.converged =
+      std::isfinite(report.residual_norm) && report.residual_norm <= accept;
+
+  // A shifted factorisation regularises the system; if its residual misses
+  // the acceptance threshold, keep escalating the shift while it helps.
+  double shift = factor.shift;
+  for (std::size_t extra = 0;
+       !report.converged && factor.shifted && extra < options_.max_shift_attempts;
+       ++extra) {
+    shift *= options_.shift_growth;
+    Matrix shifted = a_.to_dense();
+    for (std::size_t i = 0; i < shifted.rows(); ++i) shifted(i, i) += shift;
+    ++report.attempts;
+    try {
+      const LuFactorization retry(std::move(shifted));
+      Vector x_retry = retry.solve(b);
+      const double res = true_residual(a_, b, x_retry);
+      if (res < report.residual_norm || !std::isfinite(report.residual_norm)) {
+        x = std::move(x_retry);
+        report.residual_norm = res;
+        report.shift = shift;
+        report.converged = std::isfinite(res) && res <= accept;
+      } else {
+        break;  // larger shifts only move further from the true solution
+      }
+    } catch (const Error&) {
+      break;
+    }
+  }
+
+  if (!report.converged)
+    log_warn() << "RobustSolver: escalation chain exhausted; returning "
+               << "best-effort solution (method " << to_string(report.method)
+               << ", residual " << report.residual_norm << ", shift "
+               << report.shift << ")";
+  report.seconds = watch.seconds();
+  return report;
+}
+
+LuFactorization robust_lu_factor(const Matrix& a, FactorReport* report,
+                                 const RobustSolveOptions& options) {
+  FactorReport local;
+  FactorReport& out = report != nullptr ? *report : local;
+  out = FactorReport{};
+
+  // Unshifted attempt.
+  ++out.attempts;
+  try {
+    LuFactorization lu{Matrix(a)};
+    out.ok = true;
+    return lu;
+  } catch (const Error& e) {
+    log_warn() << "robust_lu_factor: factorisation failed (" << e.what()
+               << "); retrying with Tikhonov shift";
+  }
+
+  // Escalating shifts, scaled by the matrix magnitude so lambda is
+  // meaningful for both O(1) and O(1e6) collocation systems.
+  const double scale = std::max(dense_norm1(a), 1.0);
+  double shift = options.shift_initial * scale;
+  for (std::size_t attempt = 0; attempt < options.max_shift_attempts;
+       ++attempt, shift *= options.shift_growth) {
+    ++out.attempts;
+    Matrix shifted = a;
+    for (std::size_t i = 0; i < shifted.rows(); ++i) shifted(i, i) += shift;
+    try {
+      LuFactorization lu{std::move(shifted)};
+      out.ok = true;
+      out.shifted = true;
+      out.shift = shift;
+      log_warn() << "robust_lu_factor: factored with Tikhonov shift "
+                 << shift << " after " << out.attempts << " attempt(s)";
+      return lu;
+    } catch (const Error&) {
+      // grow the shift and retry
+    }
+  }
+  std::ostringstream os;
+  os << "robust_lu_factor: matrix remained singular after " << out.attempts
+     << " attempts (final shift " << shift / options.shift_growth << ")";
+  throw Error(os.str());
+}
+
+}  // namespace updec::la

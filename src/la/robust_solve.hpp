@@ -1,0 +1,110 @@
+#pragma once
+/// \file robust_solve.hpp
+/// Resilient linear solves for the optimisation stack.
+///
+/// The paper's three strategies each run hundreds of back-to-back linear
+/// solves inside 350-500-iteration optimisation loops; an ill-conditioned
+/// collocation system or a stalled Krylov solve must degrade gracefully
+/// instead of silently corrupting the run. Two entry points:
+///
+///  * RobustSolver (sparse): an escalation chain
+///      preconditioned GMRES -> BiCGSTAB -> dense LU -> LU of A + lambda I
+///    with growing Tikhonov shift, validating residual finiteness at every
+///    stage and returning a structured SolveReport callers must consume.
+///
+///  * robust_lu_factor (dense): factor A, escalating to A + lambda I on a
+///    singular pivot or non-finite entries; used by every cached dense
+///    factorisation in src/pde, src/rbf and src/control.
+
+#include "la/iterative.hpp"
+#include "la/lu.hpp"
+#include "la/sparse.hpp"
+
+namespace updec::la {
+
+/// Which stage of the escalation chain produced the accepted solution.
+enum class SolveMethod {
+  kIterative,  ///< preconditioned GMRES or BiCGSTAB converged
+  kDenseLu,    ///< dense LU of the (unshifted) matrix
+  kShiftedLu,  ///< dense LU of A + lambda I (Tikhonov-regularised)
+};
+
+[[nodiscard]] const char* to_string(SolveMethod method);
+
+/// Structured outcome of a robust solve. Marked nodiscard so call sites
+/// must consume it (satisfying or explicitly waiving the converged check).
+struct [[nodiscard]] SolveReport {
+  SolveMethod method = SolveMethod::kIterative;
+  std::size_t attempts = 0;     ///< escalation stages tried (>= 1)
+  std::size_t iterations = 0;   ///< Krylov iterations of the winning stage
+  double residual_norm = 0.0;   ///< ||b - A x|| of the accepted solution
+  double shift = 0.0;           ///< final Tikhonov lambda (0 when unshifted)
+  double seconds = 0.0;         ///< wall time across all stages
+  bool converged = false;       ///< accepted solution meets the tolerance
+
+  /// Throw updec::Error naming `context` unless the solve converged.
+  const SolveReport& require_converged(const char* context) const;
+};
+
+/// Tuning knobs for the escalation chain and the shifted refactorisation.
+struct RobustSolveOptions {
+  IterativeOptions iterative;       ///< tolerances for the Krylov stages
+  bool use_gmres = true;            ///< stage 1
+  bool use_bicgstab = true;         ///< stage 2
+  bool use_dense_fallback = true;   ///< stages 3-4 (densify + LU)
+  double accept_rel_residual = 1e-8;  ///< direct-solve acceptance threshold
+  double shift_initial = 1e-12;     ///< first lambda, scaled by ||A||_1
+  double shift_growth = 100.0;      ///< lambda multiplier per attempt
+  std::size_t max_shift_attempts = 6;
+};
+
+/// Escalating solver for one sparse system, reusable across right-hand
+/// sides. Builds an ILU(0) preconditioner up front (falling back to Jacobi
+/// if the incomplete factorisation itself fails).
+class RobustSolver {
+ public:
+  explicit RobustSolver(CsrMatrix a, RobustSolveOptions options = {});
+
+  /// Run the escalation chain for `b`; `x` receives the accepted solution
+  /// (best-effort Tikhonov-regularised when nothing converged).
+  SolveReport solve(const Vector& b, Vector& x) const;
+
+  [[nodiscard]] const CsrMatrix& matrix() const { return a_; }
+  [[nodiscard]] const RobustSolveOptions& options() const { return options_; }
+
+ private:
+  CsrMatrix a_;
+  RobustSolveOptions options_;
+  Preconditioner precond_;
+};
+
+/// Outcome of a robust dense factorisation.
+struct FactorReport {
+  std::size_t attempts = 0;  ///< factorisation attempts (>= 1)
+  double shift = 0.0;        ///< Tikhonov lambda actually applied
+  bool shifted = false;      ///< true iff a shift was needed
+  bool ok = false;           ///< a usable factorisation was produced
+};
+
+/// Factor `a`, escalating to `a + lambda I` with growing lambda on a
+/// singular pivot or non-finite breakdown. Each escalation is logged at
+/// warn level with the shift used. Throws updec::Error only when every
+/// attempt (including the largest shift) fails.
+LuFactorization robust_lu_factor(const Matrix& a,
+                                 FactorReport* report = nullptr,
+                                 const RobustSolveOptions& options = {});
+
+/// Factor `a + shift * max(||a||_1, 1) * I` directly — the "already known to
+/// need regularisation" path used by NaN-recovery re-solves.
+LuFactorization shifted_lu_factor(const Matrix& a, double relative_shift);
+
+/// True iff every entry of `v` is finite (no NaN / Inf).
+[[nodiscard]] bool all_finite(const Vector& v);
+
+/// Solve against a cached factorisation and validate the result is finite;
+/// throws updec::Error naming `context` otherwise. Use at call sites that
+/// previously consumed lu.solve(...) unchecked.
+[[nodiscard]] Vector checked_solve(const LuFactorization& lu, const Vector& b,
+                                   const char* context);
+
+}  // namespace updec::la

@@ -1,11 +1,52 @@
 #include "optim/optimizer.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <ios>
+#include <istream>
+#include <ostream>
+#include <string>
 
 #include "la/blas.hpp"
 #include "util/error.hpp"
 
 namespace updec::optim {
+
+namespace {
+
+/// Hexfloat round-trips doubles exactly, which checkpoint/resume needs for
+/// bit-identical optimisation trajectories.
+void write_vector(std::ostream& os, const la::Vector& v) {
+  os << v.size();
+  os << std::hexfloat;
+  for (const double x : v) os << ' ' << x;
+  os << std::defaultfloat << '\n';
+}
+
+/// operator>> cannot parse hexfloat back (the num_get grammar stops at the
+/// 'x'), so read a token and hand it to strtod, which can.
+bool read_double(std::istream& is, double& out) {
+  std::string token;
+  if (!(is >> token)) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size() && !token.empty();
+}
+
+bool read_vector(std::istream& is, la::Vector& v) {
+  std::size_t n = 0;
+  if (!(is >> n)) return false;
+  v.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!read_double(is, v[i])) return false;
+  return true;
+}
+
+}  // namespace
+
+void Optimizer::save_state(std::ostream&) const {}
+
+bool Optimizer::load_state(std::istream&) { return true; }
 
 double ExponentialSchedule::rate(std::size_t iteration) const {
   return initial_ *
@@ -47,6 +88,22 @@ void Adam::reset() {
   t_ = 0;
 }
 
+void Adam::save_state(std::ostream& os) const {
+  os << "adam " << t_ << '\n';
+  write_vector(os, m_);
+  write_vector(os, v_);
+}
+
+bool Adam::load_state(std::istream& is) {
+  std::string tag;
+  if (!(is >> tag) || tag != "adam" || !(is >> t_) ||
+      !read_vector(is, m_) || !read_vector(is, v_)) {
+    reset();
+    return false;
+  }
+  return true;
+}
+
 Sgd::Sgd(std::shared_ptr<const LrSchedule> schedule, double momentum)
     : schedule_(std::move(schedule)), momentum_(momentum) {
   UPDEC_REQUIRE(schedule_ != nullptr, "SGD needs a schedule");
@@ -70,6 +127,20 @@ void Sgd::step(la::Vector& params, const la::Vector& gradient,
 }
 
 void Sgd::reset() { velocity_ = la::Vector(); }
+
+void Sgd::save_state(std::ostream& os) const {
+  os << "sgd\n";
+  write_vector(os, velocity_);
+}
+
+bool Sgd::load_state(std::istream& is) {
+  std::string tag;
+  if (!(is >> tag) || tag != "sgd" || !read_vector(is, velocity_)) {
+    reset();
+    return false;
+  }
+  return true;
+}
 
 double clip_by_norm(la::Vector& gradient, double max_norm) {
   UPDEC_REQUIRE(max_norm > 0.0, "max_norm must be positive");

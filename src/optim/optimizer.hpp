@@ -5,6 +5,7 @@
 /// noisy boundary gradients caused by the Runge phenomenon.
 
 #include <cstddef>
+#include <iosfwd>
 #include <memory>
 
 #include "la/dense.hpp"
@@ -24,6 +25,15 @@ class Optimizer {
 
   /// Reset internal state (momentum buffers, step counters).
   virtual void reset() = 0;
+
+  /// Serialise internal state (momentum buffers, step counter) so a
+  /// checkpointed optimisation resumes bit-exactly. Values are written in
+  /// hexfloat; the default implementations cover stateless optimisers.
+  virtual void save_state(std::ostream& os) const;
+
+  /// Restore state written by save_state(). Returns false on a malformed
+  /// stream (the optimiser is then reset()).
+  virtual bool load_state(std::istream& is);
 };
 
 /// Adam (Kingma & Ba) with bias correction.
@@ -42,6 +52,8 @@ class Adam final : public Optimizer {
   void step(la::Vector& params, const la::Vector& gradient,
             std::size_t iteration) override;
   void reset() override;
+  void save_state(std::ostream& os) const override;
+  bool load_state(std::istream& is) override;
 
  private:
   std::shared_ptr<const LrSchedule> schedule_;
@@ -58,6 +70,8 @@ class Sgd final : public Optimizer {
   void step(la::Vector& params, const la::Vector& gradient,
             std::size_t iteration) override;
   void reset() override;
+  void save_state(std::ostream& os) const override;
+  bool load_state(std::istream& is) override;
 
  private:
   std::shared_ptr<const LrSchedule> schedule_;

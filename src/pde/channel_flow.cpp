@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <string>
 
 #include "la/blas.hpp"
+#include "la/robust_solve.hpp"
 
 namespace updec::pde {
 
@@ -89,7 +91,7 @@ ChannelFlowSolver::ChannelFlowSolver(const pc::PointCloud& cloud,
       scatter_row(dy_, i, node.normal.y, pressure);
     }
   }
-  pressure_lu_ = la::LuFactorization(std::move(pressure));
+  pressure_lu_ = la::robust_lu_factor(pressure, &pressure_factor_);
 
   // Semi-implicit momentum operator: (I - dt/Re Lap) on interior rows,
   // identity on Dirichlet velocity rows, and the outflow condition
@@ -131,7 +133,7 @@ ChannelFlowSolver::ChannelFlowSolver(const pc::PointCloud& cloud,
       momentum(i, i) = 1.0;
     }
   }
-  momentum_lu_ = la::LuFactorization(std::move(momentum));
+  momentum_lu_ = la::robust_lu_factor(momentum, &momentum_factor_);
 }
 
 double ChannelFlowSolver::target_outflow(double y) const {
@@ -288,6 +290,13 @@ void ChannelFlowSolver::run_refinements(
       state.v = std::move(vnew);
       state.p = p;
       ++state.steps_taken;
+      // Divergence guard: a non-finite velocity would otherwise defeat the
+      // steady-state test (NaN comparisons are false) and silently burn the
+      // whole step budget before corrupting the cost downstream.
+      UPDEC_REQUIRE(std::isfinite(max_delta),
+                    "channel flow diverged (non-finite velocity) at "
+                    "projection step " +
+                        std::to_string(state.steps_taken));
       if (max_delta / dt < config_.steady_tol) break;
     }
   }

@@ -13,6 +13,7 @@
 /// memory footprint Table 3 of the paper measures (it grows linearly in the
 /// total number of pseudo-time steps, i.e. super-linearly in k).
 
+#include "la/robust_solve.hpp"
 #include "pde/backend.hpp"
 #include "pointcloud/generators.hpp"
 #include "rbf/rbffd.hpp"
@@ -128,6 +129,14 @@ class ChannelFlowSolver {
     return momentum_lu_;
   }
 
+  /// How the cached factorisations were obtained (Tikhonov shift applied?).
+  [[nodiscard]] const la::FactorReport& pressure_factor_report() const {
+    return pressure_factor_;
+  }
+  [[nodiscard]] const la::FactorReport& momentum_factor_report() const {
+    return momentum_factor_;
+  }
+
   /// Consistent Laplacian Dx.Dx + Dy.Dy restricted to interior rows
   /// (boundary rows zero). Shared with the DAL adjoint solver, which builds
   /// its own momentum operator with adjoint boundary rows from it.
@@ -185,6 +194,8 @@ class ChannelFlowSolver {
   la::Matrix lap_consistent_;  // Dx.Dx + Dy.Dy on interior rows
   la::LuFactorization pressure_lu_;
   la::LuFactorization momentum_lu_;
+  la::FactorReport pressure_factor_;
+  la::FactorReport momentum_factor_;
 
   std::vector<std::size_t> inlet_nodes_, outlet_nodes_;
   std::vector<double> inlet_y_, outlet_y_;

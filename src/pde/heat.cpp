@@ -1,6 +1,7 @@
 #include "pde/heat.hpp"
 
 #include "la/blas.hpp"
+#include "la/robust_solve.hpp"
 
 namespace updec::pde {
 
@@ -43,7 +44,7 @@ HeatSolver::HeatSolver(const pc::PointCloud& cloud, const rbf::Kernel& kernel,
     // Boundary rows: identity in the implicit matrix, zero in the explicit
     // part -- the RHS carries the boundary datum directly.
   }
-  implicit_lu_ = la::LuFactorization(std::move(implicit_part));
+  implicit_lu_ = la::robust_lu_factor(implicit_part);
 }
 
 la::Vector HeatSolver::step(const la::Vector& u, const HeatBoundary& boundary,
@@ -53,7 +54,7 @@ la::Vector HeatSolver::step(const la::Vector& u, const HeatBoundary& boundary,
   const double t_next = t + dt_;
   for (std::size_t i = cloud_->num_internal(); i < cloud_->size(); ++i)
     rhs[i] = boundary(cloud_->node(i), t_next);
-  return implicit_lu_.solve(rhs);
+  return la::checked_solve(implicit_lu_, rhs, "HeatSolver::step");
 }
 
 la::Vector HeatSolver::advance(la::Vector u0, const HeatBoundary& boundary,

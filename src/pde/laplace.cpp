@@ -112,7 +112,9 @@ la::Vector LaplaceSolver::assemble_rhs(const la::Vector& control) const {
 }
 
 la::Vector LaplaceSolver::solve(const la::Vector& control) const {
-  return collocation_.lu().solve(assemble_rhs(control));
+  // Route through the guarded collocation solve: non-finite coefficients
+  // trigger a Tikhonov-shifted recovery instead of poisoning the cost.
+  return collocation_.solve(assemble_rhs(control));
 }
 
 ad::VarVec LaplaceSolver::solve(ad::Tape& tape,

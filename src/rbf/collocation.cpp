@@ -1,6 +1,10 @@
 #include "rbf/collocation.hpp"
 
+#include <limits>
+
 #include "la/blas.hpp"
+#include "util/faultinject.hpp"
+#include "util/log.hpp"
 
 namespace updec::rbf {
 
@@ -74,7 +78,9 @@ GlobalCollocation::GlobalCollocation(const pc::PointCloud& cloud,
 }
 
 const la::LuFactorization& GlobalCollocation::lu() const {
-  if (!lu_) lu_ = std::make_unique<la::LuFactorization>(a_);
+  if (!lu_)
+    lu_ = std::make_unique<la::LuFactorization>(
+        la::robust_lu_factor(a_, &factor_report_));
   return *lu_;
 }
 
@@ -92,7 +98,23 @@ la::Vector GlobalCollocation::assemble_rhs(
 
 la::Vector GlobalCollocation::solve(const la::Vector& rhs) const {
   UPDEC_REQUIRE(rhs.size() == system_size(), "rhs size mismatch");
-  return lu().solve(rhs);
+  UPDEC_REQUIRE(la::all_finite(rhs),
+                "collocation rhs has non-finite entries");
+  la::Vector x = lu().solve(rhs);
+  if (UPDEC_FAULT_POINT("collocation.nan_solution"))
+    x[0] = std::numeric_limits<double>::quiet_NaN();
+  if (!la::all_finite(x)) {
+    // The cached factorisation produced garbage (overflow in the
+    // triangular sweeps of a near-singular system): re-solve once against
+    // a Tikhonov-shifted refactorisation before giving up.
+    log_warn() << "collocation solve produced non-finite entries; "
+               << "re-solving with a Tikhonov-shifted refactorisation";
+    x = la::shifted_lu_factor(a_, 1e-12).solve(rhs);
+    UPDEC_REQUIRE(la::all_finite(x),
+                  "collocation solve non-finite even after Tikhonov-shifted "
+                  "recovery");
+  }
+  return x;
 }
 
 la::Matrix GlobalCollocation::evaluation_matrix(

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "la/lu.hpp"
+#include "la/robust_solve.hpp"
 #include "pointcloud/cloud.hpp"
 #include "rbf/operators.hpp"
 
@@ -62,7 +63,16 @@ class GlobalCollocation {
   [[nodiscard]] const pc::PointCloud& cloud() const { return *cloud_; }
 
   /// LU of the collocation matrix (factored on first use, then cached).
+  /// Factored robustly: a singular or non-finite breakdown escalates to a
+  /// Tikhonov-shifted refactorisation instead of aborting (see
+  /// factor_report() for what actually happened).
   [[nodiscard]] const la::LuFactorization& lu() const;
+
+  /// How the cached factorisation was obtained (valid after first lu() /
+  /// solve() call; attempts == 0 before that).
+  [[nodiscard]] const la::FactorReport& factor_report() const {
+    return factor_report_;
+  }
 
   /// Right-hand side of length system_size(): `interior` gives the source
   /// q(x_i) for row i of each internal node, `boundary` the boundary datum
@@ -71,7 +81,9 @@ class GlobalCollocation {
       const std::function<double(const pc::Node&)>& interior,
       const std::function<double(const pc::Node&)>& boundary) const;
 
-  /// Solve for the N + M coefficients (lambda, gamma).
+  /// Solve for the N + M coefficients (lambda, gamma). Guarded: a
+  /// non-finite solution triggers one Tikhonov-shifted re-solve before
+  /// giving up with a structured updec::Error.
   [[nodiscard]] la::Vector solve(const la::Vector& rhs) const;
 
   /// Evaluation matrix E with E(p, :) . coeffs == (L u)(points[p]): one row
@@ -97,6 +109,7 @@ class GlobalCollocation {
   double robin_beta_ = 0.0;
   la::Matrix a_;
   mutable std::unique_ptr<la::LuFactorization> lu_;
+  mutable la::FactorReport factor_report_;
 };
 
 }  // namespace updec::rbf

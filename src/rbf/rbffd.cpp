@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "la/robust_solve.hpp"
+
 namespace updec::rbf {
 
 RbffdOperators::RbffdOperators(const pc::PointCloud& cloud,
@@ -77,7 +79,9 @@ la::CsrMatrix RbffdOperators::weights_for(const LinearOp& op) const {
     for (std::size_t q = 0; q < m; ++q)
       rhs[k + q] = basis.apply(q, scaled, origin);
 
-    const la::Vector w = la::solve(std::move(system), rhs);
+    // Robust factor: a degenerate stencil (duplicated or collinear nodes)
+    // escalates to a Tikhonov-shifted solve instead of aborting assembly.
+    const la::Vector w = la::robust_lu_factor(system).solve(rhs);
     for (std::size_t a = 0; a < k; ++a) {
       col_idx[i * k + a] = stencil[a];
       values[i * k + a] = w[a];

@@ -1,0 +1,112 @@
+#include "util/faultinject.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace updec::fault {
+
+namespace {
+
+struct SiteState {
+  std::size_t remaining = 0;
+  std::size_t fired = 0;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<std::string, SiteState>& registry() {
+  static std::unordered_map<std::string, SiteState> sites;
+  return sites;
+}
+
+// Arm sites from the environment once, at program start. The initializer
+// lives in this TU, which is always linked when any fault API is used.
+const bool g_env_armed = [] {
+  arm_from_env();
+  return true;
+}();
+
+std::string trim(const std::string& s) {
+  const std::size_t first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return {};
+  const std::size_t last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+void arm(const std::string& site, std::size_t count) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[site] = SiteState{count, 0};
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool should_trigger(const char* site) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  if (it == registry().end() || it->second.remaining == 0) return false;
+  --it->second.remaining;
+  ++it->second.fired;
+  log_warn() << "fault injection: firing site '" << site << "' ("
+             << it->second.remaining << " arming(s) left)";
+  return true;
+}
+
+std::size_t trigger_count(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.fired;
+}
+
+std::size_t armed_count(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.remaining;
+}
+
+void arm_from_env() {
+  const char* spec = std::getenv("UPDEC_FAULTS");
+  if (spec == nullptr || *spec == '\0') return;
+  // Comma-separated "site" or "site:count" entries.
+  const std::string s(spec);
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    std::size_t end = s.find(',', begin);
+    if (end == std::string::npos) end = s.size();
+    std::string entry = trim(s.substr(begin, end - begin));
+    begin = end + 1;
+    if (entry.empty()) continue;
+    std::size_t count = 1;
+    const std::size_t colon = entry.find(':');
+    if (colon != std::string::npos) {
+      const std::string count_str = trim(entry.substr(colon + 1));
+      entry = trim(entry.substr(0, colon));
+      char* parse_end = nullptr;
+      const unsigned long parsed =
+          std::strtoul(count_str.c_str(), &parse_end, 10);
+      if (parse_end == nullptr || *parse_end != '\0' || parsed == 0) {
+        log_warn() << "UPDEC_FAULTS: ignoring bad count '" << count_str
+                   << "' for site '" << entry << "'";
+        continue;
+      }
+      count = static_cast<std::size_t>(parsed);
+    }
+    if (entry.empty()) continue;
+    arm(entry, count);
+    log_info() << "UPDEC_FAULTS: armed site '" << entry << "' x" << count;
+  }
+}
+
+}  // namespace updec::fault

@@ -1,6 +1,9 @@
 #include "util/log.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
@@ -18,11 +21,45 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// Apply UPDEC_LOG_LEVEL once at program start, before any driver code runs.
+const bool g_env_init = [] {
+  init_log_level_from_env();
+  return true;
+}();
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+LogLevel parse_log_level(const std::string& text, LogLevel fallback) {
+  std::string t = text;
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (t == "debug" || t == "0") return LogLevel::kDebug;
+  if (t == "info" || t == "1") return LogLevel::kInfo;
+  if (t == "warn" || t == "warning" || t == "2") return LogLevel::kWarn;
+  if (t == "error" || t == "3") return LogLevel::kError;
+  return fallback;
+}
+
+void init_log_level_from_env() {
+  const char* env = std::getenv("UPDEC_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  // Parse against two distinct fallbacks: they disagree iff `env` fell
+  // through unrecognised.
+  const LogLevel a = parse_log_level(env, LogLevel::kDebug);
+  const LogLevel b = parse_log_level(env, LogLevel::kError);
+  if (a != b) {
+    log_warn() << "UPDEC_LOG_LEVEL='" << env
+               << "' not recognised (want debug/info/warn/error); keeping "
+               << level_name(log_level());
+    return;
+  }
+  set_log_level(a);
+}
 
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load()) return;

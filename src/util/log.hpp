@@ -11,9 +11,21 @@ namespace updec {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global log threshold; messages below it are dropped.
+/// Global log threshold; messages below it are dropped. The initial
+/// threshold honours the UPDEC_LOG_LEVEL environment variable
+/// (debug/info/warn/error, case-insensitive, or a numeric 0-3) so drivers
+/// and CI can raise verbosity without recompiling; it defaults to info.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parse a level name ("debug", "info", "warn"/"warning", "error", or a
+/// digit 0-3, case-insensitive). Returns `fallback` on anything else.
+LogLevel parse_log_level(const std::string& text, LogLevel fallback);
+
+/// Re-read UPDEC_LOG_LEVEL and apply it (no-op when unset or malformed).
+/// Runs automatically at program start; exposed for tests and for drivers
+/// that mutate the environment.
+void init_log_level_from_env();
 
 /// Emit a message at the given level (thread-safe append to stderr).
 void log_message(LogLevel level, const std::string& msg);

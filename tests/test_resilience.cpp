@@ -1,0 +1,451 @@
+// Fault-injection tests for the robustness stack: every recovery path --
+// Krylov escalation to dense LU, Tikhonov-shifted factorisation, NaN
+// gradient rollback with learning-rate halving, checkpoint/resume -- is
+// exercised under a deterministically armed fault, and a disabled-injection
+// run is checked to be bit-identical to an unfaulted one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "control/driver.hpp"
+#include "control/laplace_problem.hpp"
+#include "la/blas.hpp"
+#include "la/iterative.hpp"
+#include "la/lu.hpp"
+#include "la/robust_solve.hpp"
+#include "la/sparse.hpp"
+#include "rbf/kernels.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using updec::control::DriverOptions;
+using updec::control::DriverResult;
+using updec::control::GradientStrategy;
+using updec::la::CsrMatrix;
+using updec::la::Matrix;
+using updec::la::SparseBuilder;
+using updec::la::Vector;
+
+/// Every test leaves the global fault registry clean.
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { updec::fault::disarm_all(); }
+  void TearDown() override { updec::fault::disarm_all(); }
+};
+
+/// Small diagonally dominant nonsymmetric sparse test matrix.
+CsrMatrix test_csr(std::size_t n) {
+  SparseBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.add(i, i, 4.0 + 0.01 * static_cast<double>(i));
+    if (i + 1 < n) builder.add(i, i + 1, -1.0);
+    if (i > 0) builder.add(i, i - 1, -1.5);
+  }
+  return CsrMatrix(builder);
+}
+
+Vector ones(std::size_t n) { return Vector(n, 1.0); }
+
+// ---------------------------------------------------------------------------
+// Fault-injection plumbing.
+
+TEST_F(ResilienceTest, FaultPointFiresArmedCountTimesThenDisarms) {
+  EXPECT_FALSE(updec::fault::enabled());
+  EXPECT_FALSE(UPDEC_FAULT_POINT("test.site"));
+
+  updec::fault::arm("test.site", 2);
+  EXPECT_TRUE(updec::fault::enabled());
+  EXPECT_EQ(updec::fault::armed_count("test.site"), 2u);
+  EXPECT_TRUE(UPDEC_FAULT_POINT("test.site"));
+  EXPECT_TRUE(UPDEC_FAULT_POINT("test.site"));
+  EXPECT_FALSE(UPDEC_FAULT_POINT("test.site"));
+  EXPECT_EQ(updec::fault::trigger_count("test.site"), 2u);
+  EXPECT_EQ(updec::fault::armed_count("test.site"), 0u);
+
+  // Other sites stay silent.
+  EXPECT_FALSE(UPDEC_FAULT_POINT("test.other"));
+
+  updec::fault::disarm_all();
+  EXPECT_FALSE(updec::fault::enabled());
+}
+
+TEST_F(ResilienceTest, ArmFromEnvParsesSitesAndCounts) {
+  ::setenv("UPDEC_FAULTS", "env.a:3, env.b", 1);
+  updec::fault::arm_from_env();
+  ::unsetenv("UPDEC_FAULTS");
+  EXPECT_EQ(updec::fault::armed_count("env.a"), 3u);
+  EXPECT_EQ(updec::fault::armed_count("env.b"), 1u);
+}
+
+TEST_F(ResilienceTest, ArmFromEnvIgnoresMalformedEntries) {
+  ::setenv("UPDEC_FAULTS", "bad:xyz,:5,good:2", 1);
+  updec::fault::arm_from_env();
+  ::unsetenv("UPDEC_FAULTS");
+  EXPECT_EQ(updec::fault::armed_count("good"), 2u);
+  EXPECT_EQ(updec::fault::armed_count("bad"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Log-level environment parsing.
+
+TEST_F(ResilienceTest, ParseLogLevelAcceptsNamesAndDigits) {
+  using updec::LogLevel;
+  const LogLevel fb = LogLevel::kInfo;
+  EXPECT_EQ(updec::parse_log_level("debug", fb), LogLevel::kDebug);
+  EXPECT_EQ(updec::parse_log_level("INFO", fb), LogLevel::kInfo);
+  EXPECT_EQ(updec::parse_log_level("Warn", fb), LogLevel::kWarn);
+  EXPECT_EQ(updec::parse_log_level("warning", fb), LogLevel::kWarn);
+  EXPECT_EQ(updec::parse_log_level("error", fb), LogLevel::kError);
+  EXPECT_EQ(updec::parse_log_level("0", fb), LogLevel::kDebug);
+  EXPECT_EQ(updec::parse_log_level("3", fb), LogLevel::kError);
+  EXPECT_EQ(updec::parse_log_level("bogus", fb), fb);
+  EXPECT_EQ(updec::parse_log_level("", fb), fb);
+}
+
+TEST_F(ResilienceTest, InitLogLevelFromEnvAppliesAndRejectsGarbage) {
+  const updec::LogLevel before = updec::log_level();
+  ::setenv("UPDEC_LOG_LEVEL", "error", 1);
+  updec::init_log_level_from_env();
+  EXPECT_EQ(updec::log_level(), updec::LogLevel::kError);
+
+  // Unrecognised values keep the current level.
+  ::setenv("UPDEC_LOG_LEVEL", "shouting", 1);
+  updec::init_log_level_from_env();
+  EXPECT_EQ(updec::log_level(), updec::LogLevel::kError);
+
+  ::unsetenv("UPDEC_LOG_LEVEL");
+  updec::set_log_level(before);
+}
+
+// ---------------------------------------------------------------------------
+// Preconditioner guards.
+
+TEST_F(ResilienceTest, JacobiZeroDiagonalFallsBackToIdentity) {
+  SparseBuilder builder(3, 3);
+  builder.add(0, 0, 2.0);
+  builder.add(1, 1, 0.0);  // explicit zero diagonal
+  builder.add(2, 2, 4.0);
+  builder.add(0, 1, 1.0);
+  const CsrMatrix a(builder);
+  const auto precond = updec::la::jacobi_preconditioner(a);
+  const Vector r{2.0, 3.0, 4.0};
+  Vector z;
+  precond(r, z);
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+  EXPECT_DOUBLE_EQ(z[1], 3.0);  // zero diagonal -> identity for that row
+  EXPECT_DOUBLE_EQ(z[2], 1.0);
+  EXPECT_TRUE(updec::la::all_finite(z));
+}
+
+TEST_F(ResilienceTest, Ilu0ClampsNearZeroPivotInsteadOfThrowing) {
+  SparseBuilder builder(3, 3);
+  builder.add(0, 0, 2.0);
+  builder.add(1, 0, 1.0);
+  builder.add(1, 1, 1e-300);  // effectively singular pivot
+  builder.add(2, 2, 3.0);
+  const CsrMatrix a(builder);
+  const updec::la::Ilu0 ilu(a);  // must not throw
+  Vector z;
+  ilu.apply(ones(3), z);
+  EXPECT_TRUE(updec::la::all_finite(z));
+}
+
+TEST_F(ResilienceTest, RequireConvergedThrowsWithContext) {
+  updec::la::IterativeResult res;
+  res.converged = false;
+  res.residual_norm = 0.5;
+  EXPECT_THROW(res.require_converged("unit test"), updec::Error);
+  res.converged = true;
+  EXPECT_NO_THROW(res.require_converged("unit test"));
+}
+
+// ---------------------------------------------------------------------------
+// RobustSolver escalation chain.
+
+TEST_F(ResilienceTest, RobustSolverUsesIterativeStageWhenHealthy) {
+  const CsrMatrix a = test_csr(40);
+  const Vector b = a.apply(ones(40));
+  const updec::la::RobustSolver solver(a);
+  Vector x;
+  const auto report = solver.solve(b, x);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.method, updec::la::SolveMethod::kIterative);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], 1.0, 1e-7);
+  EXPECT_NO_THROW(report.require_converged("healthy solve"));
+}
+
+TEST_F(ResilienceTest, RobustSolverEscalatesInjectedStagnationToDenseLu) {
+  const CsrMatrix a = test_csr(40);
+  const Vector b = a.apply(ones(40));
+  const updec::la::RobustSolver solver(a);
+  updec::fault::arm("gmres.converge");
+  updec::fault::arm("bicgstab.converge");
+  Vector x;
+  const auto report = solver.solve(b, x);
+  EXPECT_EQ(updec::fault::trigger_count("gmres.converge"), 1u);
+  EXPECT_EQ(updec::fault::trigger_count("bicgstab.converge"), 1u);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.method, updec::la::SolveMethod::kDenseLu);
+  EXPECT_GE(report.attempts, 3u);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], 1.0, 1e-9);
+}
+
+TEST_F(ResilienceTest, RobustSolverShiftsTrulySingularSystem) {
+  // Rank-deficient: row 2 duplicates row 1; b is in the range, so the
+  // shifted factorisation still produces a small-residual solution.
+  SparseBuilder builder(3, 3);
+  builder.add(0, 0, 2.0);
+  builder.add(0, 1, 1.0);
+  builder.add(1, 0, 1.0);
+  builder.add(1, 1, 3.0);
+  builder.add(2, 0, 1.0);
+  builder.add(2, 1, 3.0);
+  const CsrMatrix a(builder);
+  const Vector b{3.0, 4.0, 4.0};
+  updec::la::RobustSolveOptions opts;
+  opts.use_gmres = false;  // go straight to the dense stages
+  opts.use_bicgstab = false;
+  const updec::la::RobustSolver solver(a, opts);
+  Vector x;
+  const auto report = solver.solve(b, x);
+  EXPECT_EQ(report.method, updec::la::SolveMethod::kShiftedLu);
+  EXPECT_GT(report.shift, 0.0);
+  EXPECT_TRUE(updec::la::all_finite(x));
+  EXPECT_LT(report.residual_norm, 1e-6);
+}
+
+TEST_F(ResilienceTest, RobustLuFactorRetriesInjectedSingularPivot) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0; a(1, 0) = 1.0; a(1, 1) = 3.0;
+  updec::fault::arm("lu.singular_pivot");
+  updec::la::FactorReport report;
+  const auto lu = updec::la::robust_lu_factor(a, &report);
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.shifted);
+  EXPECT_GE(report.attempts, 2u);
+  EXPECT_GT(report.shift, 0.0);
+  const Vector x = lu.solve(Vector{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-9);  // tiny shift, nearly exact
+  EXPECT_NEAR(x[1], 1.4, 1e-9);
+}
+
+TEST_F(ResilienceTest, RobustLuFactorShiftsGenuinelySingularMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0; a(1, 0) = 2.0; a(1, 1) = 4.0;
+  updec::la::FactorReport report;
+  const auto lu = updec::la::robust_lu_factor(a, &report);
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.shifted);
+  const Vector x = lu.solve(Vector{3.0, 6.0});  // consistent rhs
+  EXPECT_TRUE(updec::la::all_finite(x));
+}
+
+TEST_F(ResilienceTest, CheckedSolveRejectsInjectedNaN) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 0.0; a(1, 0) = 0.0; a(1, 1) = 2.0;
+  const updec::la::LuFactorization lu(a);
+  const Vector bad{1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(updec::la::checked_solve(lu, bad, "unit test"),
+               updec::Error);
+  const Vector good{2.0, 4.0};
+  const Vector x = updec::la::checked_solve(lu, good, "unit test");
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Collocation NaN recovery.
+
+TEST_F(ResilienceTest, CollocationRecoversInjectedNanSolution) {
+  updec::rbf::PolyharmonicSpline kernel(3);
+  const updec::control::LaplaceControlProblem problem(10, kernel);
+  const Vector c = problem.initial_control();
+  const double j_clean = problem.cost(c);
+
+  updec::fault::arm("collocation.nan_solution");
+  const double j_faulted = problem.cost(c);
+  EXPECT_EQ(updec::fault::trigger_count("collocation.nan_solution"), 1u);
+  EXPECT_TRUE(std::isfinite(j_faulted));
+  // The shifted re-solve perturbs the system by ~1e-12 relative.
+  EXPECT_NEAR(j_faulted, j_clean, 1e-6 * std::max(1.0, std::abs(j_clean)));
+}
+
+// ---------------------------------------------------------------------------
+// Driver divergence recovery and checkpointing.
+
+/// J(c) = |c - target|^2 with exact gradient; cheap and deterministic.
+class QuadraticStrategy final : public GradientStrategy {
+ public:
+  explicit QuadraticStrategy(Vector target) : target_(std::move(target)) {}
+
+  [[nodiscard]] std::string name() const override { return "quadratic"; }
+
+  double value_and_gradient(const Vector& control,
+                            Vector& gradient) override {
+    gradient.resize(control.size());
+    double j = 0.0;
+    for (std::size_t i = 0; i < control.size(); ++i) {
+      const double d = control[i] - target_[i];
+      j += d * d;
+      gradient[i] = 2.0 * d;
+    }
+    return j;
+  }
+
+ private:
+  Vector target_;
+};
+
+/// Always produces a non-finite cost; recovery can never succeed.
+class NanStrategy final : public GradientStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "nan"; }
+  double value_and_gradient(const Vector& control, Vector& gradient) override {
+    gradient = Vector(control.size(), 0.0);
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+};
+
+DriverOptions quad_options(std::size_t iterations) {
+  DriverOptions options;
+  options.iterations = iterations;
+  options.initial_learning_rate = 0.1;
+  return options;
+}
+
+TEST_F(ResilienceTest, DriverRecoversFromInjectedNanCost) {
+  QuadraticStrategy strategy(Vector{1.0, -2.0, 0.5});
+  updec::fault::arm("driver.nan_cost");
+  const DriverResult result = updec::control::optimize_from(
+      Vector(3, 0.0), strategy, quad_options(80));
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.recoveries, 1u);
+  EXPECT_EQ(result.iterations, 80u);
+  EXPECT_EQ(result.cost_history.size(), 80u);
+  // The halved learning rate slows convergence but the run still makes
+  // strong progress from J0 = 5.25.
+  EXPECT_LT(result.final_cost, 0.5);
+}
+
+TEST_F(ResilienceTest, DriverRecoversFromInjectedNanGradient) {
+  QuadraticStrategy strategy(Vector{1.0, -2.0, 0.5});
+  updec::fault::arm("driver.nan_gradient", 2);
+  const DriverResult result = updec::control::optimize_from(
+      Vector(3, 0.0), strategy, quad_options(80));
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.recoveries, 2u);
+  EXPECT_EQ(result.iterations, 80u);
+  // Two recoveries quarter the learning rate; progress is slower still.
+  EXPECT_LT(result.final_cost, result.cost_history.front() * 0.5);
+}
+
+TEST_F(ResilienceTest, DriverAbortsWhenRecoveryBudgetExhausted) {
+  NanStrategy strategy;
+  DriverOptions options = quad_options(20);
+  options.max_recoveries = 3;
+  const DriverResult result =
+      updec::control::optimize_from(Vector(2, 0.0), strategy, options);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.recoveries, 3u);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_TRUE(result.cost_history.empty());
+}
+
+TEST_F(ResilienceTest, DriverAbortsImmediatelyWhenRecoveryDisabled) {
+  NanStrategy strategy;
+  DriverOptions options = quad_options(20);
+  options.recover_divergence = false;
+  const DriverResult result =
+      updec::control::optimize_from(Vector(2, 0.0), strategy, options);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.recoveries, 0u);
+}
+
+TEST_F(ResilienceTest, DriverTreatsThrownSolverErrorAsRecoverable) {
+  // A strategy that throws updec::Error once (as a diverged PDE solve
+  // would), then behaves.
+  class ThrowOnceStrategy final : public GradientStrategy {
+   public:
+    [[nodiscard]] std::string name() const override { return "throw-once"; }
+    double value_and_gradient(const Vector& control,
+                              Vector& gradient) override {
+      if (!thrown_) {
+        thrown_ = true;
+        throw updec::Error("simulated PDE divergence");
+      }
+      gradient = Vector(control.size(), 0.0);
+      return 1.0;
+    }
+   private:
+    bool thrown_ = false;
+  };
+  ThrowOnceStrategy strategy;
+  const DriverResult result = updec::control::optimize_from(
+      Vector(2, 0.0), strategy, quad_options(5));
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.recoveries, 1u);
+  EXPECT_EQ(result.iterations, 5u);
+}
+
+TEST_F(ResilienceTest, CheckpointResumeReplaysTrajectoryExactly) {
+  const Vector target{2.0, -1.0, 0.25, 3.0};
+  const std::string path = ::testing::TempDir() + "updec_resume_ckpt.txt";
+
+  // Uninterrupted reference run, checkpointing along the way (last
+  // checkpoint lands at iteration 50 of 60).
+  DriverOptions options = quad_options(60);
+  options.checkpoint_every = 25;
+  options.checkpoint_path = path;
+  QuadraticStrategy full_strategy(target);
+  const DriverResult full = updec::control::optimize_from(
+      Vector(4, 0.0), full_strategy, options);
+  EXPECT_EQ(full.cost_history.size(), 60u);
+
+  // Resume from the iteration-50 checkpoint; same options (the LR schedule
+  // depends on the total iteration count).
+  QuadraticStrategy resumed_strategy(target);
+  const DriverResult resumed =
+      updec::control::optimize_resume(path, resumed_strategy, options);
+  ASSERT_EQ(resumed.cost_history.size(), 60u);
+  for (std::size_t i = 0; i < 60; ++i)
+    EXPECT_DOUBLE_EQ(resumed.cost_history[i], full.cost_history[i])
+        << "cost history diverged at iteration " << i;
+  ASSERT_EQ(resumed.control.size(), full.control.size());
+  for (std::size_t i = 0; i < full.control.size(); ++i)
+    EXPECT_DOUBLE_EQ(resumed.control[i], full.control[i]);
+
+  std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, ResumeFromMissingCheckpointThrows) {
+  QuadraticStrategy strategy(Vector{1.0});
+  EXPECT_THROW(updec::control::optimize_resume(
+                   ::testing::TempDir() + "updec_no_such_ckpt.txt", strategy,
+                   quad_options(10)),
+               updec::Error);
+}
+
+TEST_F(ResilienceTest, DisabledInjectionRunsAreBitIdentical) {
+  ASSERT_FALSE(updec::fault::enabled());
+  QuadraticStrategy a(Vector{1.0, -2.0, 0.5});
+  QuadraticStrategy b(Vector{1.0, -2.0, 0.5});
+  const DriverResult ra = updec::control::optimize_from(
+      Vector(3, 0.0), a, quad_options(40));
+  const DriverResult rb = updec::control::optimize_from(
+      Vector(3, 0.0), b, quad_options(40));
+  ASSERT_EQ(ra.cost_history.size(), rb.cost_history.size());
+  for (std::size_t i = 0; i < ra.cost_history.size(); ++i)
+    EXPECT_DOUBLE_EQ(ra.cost_history[i], rb.cost_history[i]);
+  for (std::size_t i = 0; i < ra.control.size(); ++i)
+    EXPECT_DOUBLE_EQ(ra.control[i], rb.control[i]);
+  EXPECT_EQ(ra.recoveries, 0u);
+  EXPECT_EQ(rb.recoveries, 0u);
+}
+
+}  // namespace
