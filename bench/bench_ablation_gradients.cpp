@@ -25,6 +25,7 @@ double cosine(const updec::la::Vector& a, const updec::la::Vector& b) {
 int main(int argc, char** argv) {
   using namespace updec;
   const CliArgs args(argc, argv);
+  const bench::MetricsSession metrics_session("ablation_gradients", args);
   const bench::Scale scale = bench::Scale::from_args(args);
   scale.print("Ablation: gradient accuracy of DP vs DAL vs FD");
 

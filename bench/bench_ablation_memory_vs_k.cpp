@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace updec;
   const CliArgs args(argc, argv);
+  const bench::MetricsSession metrics_session("ablation_memory_vs_k", args);
   const bench::Scale scale = bench::Scale::from_args(args);
   scale.print("Ablation: DP cost vs refinements k (tape memory, time)");
   SeriesWriter writer = bench::make_writer(args);

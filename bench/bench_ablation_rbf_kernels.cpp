@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace updec;
   const CliArgs args(argc, argv);
+  const bench::MetricsSession metrics_session("ablation_rbf_kernels", args);
   const bench::Scale scale = bench::Scale::from_args(args);
   scale.print("Ablation: RBF kernel and augmentation degree (Laplace)");
 

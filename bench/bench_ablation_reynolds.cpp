@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace updec;
   const CliArgs args(argc, argv);
+  const bench::MetricsSession metrics_session("ablation_reynolds", args);
   const bench::Scale scale = bench::Scale::from_args(args);
   scale.print("Ablation: DAL vs DP across Reynolds numbers");
   SeriesWriter writer = bench::make_writer(args);

@@ -27,6 +27,7 @@ double total_variation(const updec::la::Vector& c) {
 int main(int argc, char** argv) {
   using namespace updec;
   const CliArgs args(argc, argv);
+  const bench::MetricsSession metrics_session("ablation_smoothing", args);
   const bench::Scale scale = bench::Scale::from_args(args);
   scale.print("Ablation: DP control smoothing (the section-4 suggestion)");
   SeriesWriter writer = bench::make_writer(args);

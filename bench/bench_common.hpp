@@ -6,16 +6,55 @@
 /// explicit --grid/--nodes/--iters/--epochs flags. Series are dumped inline
 /// and, with --out <dir>, as CSV files for plotting.
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/memory.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace updec::bench {
+
+/// Per-binary observability session: enables the metrics registry for the
+/// bench's lifetime and, on destruction, dumps the whole registry as
+/// `BENCH_<name>.json` next to the CSVs (the --out directory, or the
+/// working directory without --out). $UPDEC_METRICS_OUT overrides the
+/// destination outright. The committed bench/baselines/BENCH_baseline.json
+/// is one of these dumps; perf PRs diff their fresh dump against it.
+class MetricsSession {
+ public:
+  MetricsSession(std::string name, const CliArgs& args)
+      : name_(std::move(name)), out_dir_(args.get("out", "")) {
+    metrics::set_enabled(true);
+    metrics::set_label("bench", name_);
+    metrics::set_label("scale", args.flag("paper-scale") ? "paper" : "reduced");
+  }
+
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+
+  ~MetricsSession() {
+    if (metrics::dump_json_file(path()))
+      std::cout << "# metrics: wrote " << path() << "\n";
+  }
+
+  /// Destination the dump will be written to.
+  [[nodiscard]] std::string path() const {
+    const char* env = std::getenv("UPDEC_METRICS_OUT");
+    if (env != nullptr && env[0] != '\0') return env;
+    return (out_dir_.empty() ? std::string(".") : out_dir_) + "/BENCH_" +
+           name_ + ".json";
+  }
+
+ private:
+  std::string name_;
+  std::string out_dir_;
+};
 
 /// Common experiment scales derived from the CLI.
 struct Scale {

@@ -22,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace updec;
   const CliArgs args(argc, argv);
+  const bench::MetricsSession metrics_session("fig1_fig4_navier_stokes", args);
   const bench::Scale scale = bench::Scale::from_args(args);
   scale.print(
       "Fig. 1 / Fig. 4 / Table 2: Navier-Stokes channel inflow control");

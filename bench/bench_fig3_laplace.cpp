@@ -22,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace updec;
   const CliArgs args(argc, argv);
+  const bench::MetricsSession metrics_session("fig3_laplace", args);
   const bench::Scale scale = bench::Scale::from_args(args);
   scale.print("Fig. 3 / Table 1: Laplace optimal control (DAL vs PINN vs DP)");
   SeriesWriter writer = bench::make_writer(args);

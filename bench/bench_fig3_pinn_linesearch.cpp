@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace updec;
   const CliArgs args(argc, argv);
+  const bench::MetricsSession metrics_session("fig3_pinn_linesearch", args);
   const bench::Scale scale = bench::Scale::from_args(args);
   scale.print("Fig. 3c-e: PINN omega line search (Laplace)");
   SeriesWriter writer = bench::make_writer(args);

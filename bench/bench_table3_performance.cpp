@@ -32,6 +32,7 @@ struct Row {
 int main(int argc, char** argv) {
   using namespace updec;
   const CliArgs args(argc, argv);
+  const bench::MetricsSession metrics_session("table3_performance", args);
   const bench::Scale scale = bench::Scale::from_args(args);
   scale.print("Table 3: performance comparison (time / memory / final J)");
 

@@ -1,5 +1,8 @@
 #include "autodiff/tape.hpp"
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace updec::ad {
 
 Var Tape::variable(double value) {
@@ -44,8 +47,11 @@ std::int64_t Tape::custom_op(const std::vector<double>& out_values,
 }
 
 void Tape::backward(const Var& root) {
+  UPDEC_TRACE_SCOPE("autodiff/backward");
   UPDEC_REQUIRE(root.tape() == this, "backward() root from another tape");
   const std::size_t n = val_.size();
+  UPDEC_METRIC_ADD("autodiff/tape.backward_passes", 1);
+  UPDEC_METRIC_ADD("autodiff/tape.nodes_swept", n);
   adj_.assign(n, 0.0);
   adj_[static_cast<std::size_t>(root.index())] = 1.0;
 
@@ -68,6 +74,10 @@ void Tape::backward(const Var& root) {
       --next_custom;
     }
   }
+  // Peak accounting after the sweep, when the adjoint array is live too.
+  UPDEC_METRIC_GAUGE_MAX("autodiff/tape.peak_nodes", static_cast<double>(n));
+  UPDEC_METRIC_GAUGE_MAX("autodiff/tape.peak_bytes",
+                         static_cast<double>(memory_bytes()));
 }
 
 std::size_t Tape::memory_bytes() const {

@@ -10,12 +10,15 @@
 #include <string>
 #include <utility>
 
+#include "la/blas.hpp"
 #include "la/robust_solve.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
 #include "util/memory.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace updec::control {
 
@@ -144,6 +147,7 @@ void run_loop(DriverResult& result, GradientStrategy& strategy,
   la::Vector last_good = result.control;
   std::size_t it = start;
   while (it < options.iterations) {
+    const Stopwatch iter_watch;
     double j = 0.0;
     bool ok = true;
     std::string why;
@@ -169,6 +173,7 @@ void run_loop(DriverResult& result, GradientStrategy& strategy,
       if (!options.recover_divergence ||
           result.recoveries >= options.max_recoveries) {
         result.aborted = true;
+        UPDEC_METRIC_ADD("control/driver.aborts", 1);
         log_error() << strategy.name() << " iteration " << it
                     << " diverged (" << why << "); recovery "
                     << (options.recover_divergence ? "budget exhausted"
@@ -178,6 +183,7 @@ void run_loop(DriverResult& result, GradientStrategy& strategy,
         break;
       }
       ++result.recoveries;
+      UPDEC_METRIC_ADD("control/driver.recoveries", 1);
       result.control = last_good;
       schedule.set_scale(schedule.scale() * options.recovery_lr_decay);
       optimizer.reset();
@@ -190,10 +196,20 @@ void run_loop(DriverResult& result, GradientStrategy& strategy,
 
     last_good = result.control;
     result.cost_history.push_back(j);
+    const double grad_norm = la::nrm2(gradient);
+    result.grad_norm_history.push_back(grad_norm);
     if (options.gradient_clip > 0.0)
       optim::clip_by_norm(gradient, options.gradient_clip);
     optimizer.step(result.control, gradient, it);
     ++result.iterations;
+    const double iter_seconds = iter_watch.seconds();
+    result.iteration_seconds.push_back(iter_seconds);
+    if (metrics::enabled()) {
+      metrics::counter_add("control/driver.iterations");
+      metrics::observe("control/driver.iteration_seconds", iter_seconds);
+      metrics::observe("control/driver.grad_norm", grad_norm);
+      metrics::gauge_set("control/driver.last_cost", j);
+    }
     if (options.verbose && (it % 50 == 0 || it + 1 == options.iterations))
       log_info() << strategy.name() << " iteration " << it << ": J = " << j;
     ++it;
@@ -215,10 +231,13 @@ std::shared_ptr<ScaledSchedule> make_schedule(const DriverOptions& options) {
 
 DriverResult optimize_from(la::Vector control, GradientStrategy& strategy,
                            const DriverOptions& options) {
+  UPDEC_TRACE_SCOPE("control/optimize");
   const Stopwatch watch;
   DriverResult result;
   result.control = std::move(control);
   result.cost_history.reserve(options.iterations);
+  result.grad_norm_history.reserve(options.iterations);
+  result.iteration_seconds.reserve(options.iterations);
 
   auto schedule = make_schedule(options);
   optim::Adam adam(schedule);
@@ -238,6 +257,7 @@ DriverResult optimize(const ControlProblem& problem,
 DriverResult optimize_resume(const std::string& checkpoint_path,
                              GradientStrategy& strategy,
                              const DriverOptions& options) {
+  UPDEC_TRACE_SCOPE("control/optimize");
   const Stopwatch watch;
 
   std::ifstream is(checkpoint_path);

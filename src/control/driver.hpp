@@ -44,6 +44,8 @@ struct DriverOptions {
 struct DriverResult {
   la::Vector control;                ///< final control c*
   std::vector<double> cost_history;  ///< J per iteration (Fig. 3b / 4b)
+  std::vector<double> grad_norm_history;  ///< ||dJ/dc||_2 per accepted iteration
+  std::vector<double> iteration_seconds;  ///< wall-clock per accepted iteration
   double final_cost = 0.0;
   double seconds = 0.0;              ///< wall-clock (Table 3 "Time")
   std::size_t peak_rss_bytes = 0;    ///< VmHWM after the run (Table 3 "Peak mem.")

@@ -3,6 +3,9 @@
 #include <limits>
 
 #include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace updec::control {
 
@@ -19,7 +22,10 @@ OmegaSearchResult run_search(const PinnConfig& base,
                              const MakeFn& make) {
   OmegaSearchResult result;
   double best = std::numeric_limits<double>::infinity();
+  UPDEC_TRACE_SCOPE("control/omega_search");
   for (std::size_t k = 0; k < omegas.size(); ++k) {
+    UPDEC_TRACE_SCOPE("control/omega_candidate");
+    const Stopwatch candidate_watch;
     OmegaSearchEntry entry;
     entry.omega = omegas[k];
 
@@ -61,6 +67,14 @@ OmegaSearchResult run_search(const PinnConfig& base,
       result.best_control_net = pinn1.c_net();
     }
     result.entries.push_back(entry);
+    if (metrics::enabled()) {
+      metrics::counter_add("control/omega_search.candidates");
+      // Per-candidate line-search cost (Mowlavi & Nabi report this per omega).
+      metrics::observe("control/omega_search.candidate_seconds",
+                       candidate_watch.seconds());
+      metrics::observe("control/omega_search.step2_cost",
+                       entry.step2_network_cost);
+    }
   }
   return result;
 }

@@ -1,6 +1,6 @@
 #pragma once
 /// \file blas.hpp
-/// BLAS-like dense kernels. Level-1/2/3 operations used by the direct and
+/// \brief BLAS-like dense kernels. Level-1/2/3 operations used by the direct and
 /// iterative solvers and by the autodiff vector layer. Level-2/3 kernels are
 /// OpenMP-parallel when built with UPDEC_HAVE_OPENMP.
 

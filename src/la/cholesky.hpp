@@ -1,6 +1,6 @@
 #pragma once
 /// \file cholesky.hpp
-/// Cholesky factorisation for symmetric positive-definite systems
+/// \brief Cholesky factorisation for symmetric positive-definite systems
 /// (e.g. normal equations of RBF least-squares fits, Gram matrices of
 /// strictly positive-definite kernels such as Gaussians).
 

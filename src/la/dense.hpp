@@ -1,6 +1,6 @@
 #pragma once
 /// \file dense.hpp
-/// Dense vector and row-major matrix containers.
+/// \brief Dense vector and row-major matrix containers.
 ///
 /// These are the storage types for RBF collocation systems. They own
 /// contiguous heap buffers, expose bounds-checked access in debug builds and

@@ -1,6 +1,6 @@
 #pragma once
 /// \file eigen.hpp
-/// Dominant-eigenvalue estimation by power iteration. Used as a diagnostic
+/// \brief Dominant-eigenvalue estimation by power iteration. Used as a diagnostic
 /// for iteration maps: scattered-node RBF-FD operators can carry spurious
 /// eigenvalues with positive real part (DESIGN.md 3b), and the spectral
 /// radius of a time-stepping map certifies whether a march can diverge.

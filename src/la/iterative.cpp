@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "la/blas.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace updec::la {
 
@@ -144,9 +148,10 @@ double stop_threshold(const IterativeOptions& opts, double b_norm) {
 }
 }  // namespace
 
-IterativeResult cg(const CsrMatrix& a, const Vector& b,
-                   const IterativeOptions& opts, const Preconditioner& precond,
-                   std::optional<Vector> x0) {
+static IterativeResult cg_body(const CsrMatrix& a, const Vector& b,
+                               const IterativeOptions& opts,
+                               const Preconditioner& precond,
+                               std::optional<Vector> x0) {
   const std::size_t n = b.size();
   IterativeResult res;
   res.x = x0.value_or(Vector(n, 0.0));
@@ -188,10 +193,10 @@ IterativeResult cg(const CsrMatrix& a, const Vector& b,
   return res;
 }
 
-IterativeResult bicgstab(const CsrMatrix& a, const Vector& b,
-                         const IterativeOptions& opts,
-                         const Preconditioner& precond,
-                         std::optional<Vector> x0) {
+static IterativeResult bicgstab_body(const CsrMatrix& a, const Vector& b,
+                                     const IterativeOptions& opts,
+                                     const Preconditioner& precond,
+                                     std::optional<Vector> x0) {
   const std::size_t n = b.size();
   IterativeResult res;
   res.x = x0.value_or(Vector(n, 0.0));
@@ -249,10 +254,10 @@ IterativeResult bicgstab(const CsrMatrix& a, const Vector& b,
   return res;
 }
 
-IterativeResult gmres(const CsrMatrix& a, const Vector& b,
-                      const IterativeOptions& opts,
-                      const Preconditioner& precond,
-                      std::optional<Vector> x0) {
+static IterativeResult gmres_body(const CsrMatrix& a, const Vector& b,
+                                  const IterativeOptions& opts,
+                                  const Preconditioner& precond,
+                                  std::optional<Vector> x0) {
   const std::size_t n = b.size();
   const std::size_t m = std::min(opts.gmres_restart, n);
   IterativeResult res;
@@ -338,6 +343,43 @@ IterativeResult gmres(const CsrMatrix& a, const Vector& b,
   res.iterations = total_iters;
   res.converged = res.residual_norm <= tol;
   return res;
+}
+
+/// Aggregate a Krylov solve into the metrics registry under `span`
+/// ("<span>.calls" / ".iterations" / ".failures").
+static IterativeResult record_solve(const char* span, IterativeResult res) {
+  if (metrics::enabled()) {
+    const std::string base(span);
+    metrics::counter_add((base + ".calls").c_str());
+    metrics::counter_add((base + ".iterations").c_str(), res.iterations);
+    if (!res.converged) metrics::counter_add((base + ".failures").c_str());
+  }
+  return res;
+}
+
+IterativeResult cg(const CsrMatrix& a, const Vector& b,
+                   const IterativeOptions& opts, const Preconditioner& precond,
+                   std::optional<Vector> x0) {
+  UPDEC_TRACE_SCOPE("la/cg");
+  return record_solve("la/cg", cg_body(a, b, opts, precond, std::move(x0)));
+}
+
+IterativeResult bicgstab(const CsrMatrix& a, const Vector& b,
+                         const IterativeOptions& opts,
+                         const Preconditioner& precond,
+                         std::optional<Vector> x0) {
+  UPDEC_TRACE_SCOPE("la/bicgstab");
+  return record_solve("la/bicgstab",
+                      bicgstab_body(a, b, opts, precond, std::move(x0)));
+}
+
+IterativeResult gmres(const CsrMatrix& a, const Vector& b,
+                      const IterativeOptions& opts,
+                      const Preconditioner& precond,
+                      std::optional<Vector> x0) {
+  UPDEC_TRACE_SCOPE("la/gmres");
+  return record_solve("la/gmres",
+                      gmres_body(a, b, opts, precond, std::move(x0)));
 }
 
 }  // namespace updec::la

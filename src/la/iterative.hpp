@@ -1,6 +1,6 @@
 #pragma once
 /// \file iterative.hpp
-/// Krylov iterative solvers for sparse systems: CG (SPD), BiCGSTAB and
+/// \brief Krylov iterative solvers for sparse systems: CG (SPD), BiCGSTAB and
 /// restarted GMRES(m) for nonsymmetric RBF-FD operators, with Jacobi and
 /// ILU(0) preconditioners. Used by the pressure-Poisson and implicit
 /// momentum solves when dense factorisation is too expensive.

@@ -1,6 +1,6 @@
 #pragma once
 /// \file lu.hpp
-/// LU factorisation with partial pivoting.
+/// \brief LU factorisation with partial pivoting.
 ///
 /// The collocation matrix of a (linear) RBF problem depends only on the node
 /// layout, not on the control, so a single factorisation is reused for every

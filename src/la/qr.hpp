@@ -1,6 +1,6 @@
 #pragma once
 /// \file qr.hpp
-/// Householder QR factorisation and least-squares solves. Used for
+/// \brief Householder QR factorisation and least-squares solves. Used for
 /// overdetermined RBF-FD stencil weight systems and as a robust fallback
 /// when collocation matrices are ill-conditioned (flat-kernel regimes).
 

@@ -6,7 +6,9 @@
 
 #include "la/blas.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace updec::la {
 
@@ -101,6 +103,32 @@ RobustSolver::RobustSolver(CsrMatrix a, RobustSolveOptions options)
 }
 
 SolveReport RobustSolver::solve(const Vector& b, Vector& x) const {
+  UPDEC_TRACE_SCOPE("la/robust_solve");
+  SolveReport report = solve_impl(b, x);
+  if (metrics::enabled()) {
+    metrics::counter_add("la/robust_solve.calls");
+    metrics::counter_add("la/robust_solve.iterations", report.iterations);
+    // Escalations = stages beyond the first that had to be tried.
+    if (report.attempts > 1)
+      metrics::counter_add("la/robust_solve.escalations", report.attempts - 1);
+    switch (report.method) {
+      case SolveMethod::kIterative:
+        metrics::counter_add("la/robust_solve.method.iterative");
+        break;
+      case SolveMethod::kDenseLu:
+        metrics::counter_add("la/robust_solve.method.dense_lu");
+        break;
+      case SolveMethod::kShiftedLu:
+        metrics::counter_add("la/robust_solve.method.shifted_lu");
+        break;
+    }
+    if (!report.converged) metrics::counter_add("la/robust_solve.failures");
+    metrics::observe("la/robust_solve.residual", report.residual_norm);
+  }
+  return report;
+}
+
+SolveReport RobustSolver::solve_impl(const Vector& b, Vector& x) const {
   UPDEC_REQUIRE(b.size() == a_.rows(), "RobustSolver rhs size mismatch");
   const Stopwatch watch;
   SolveReport report;
@@ -201,6 +229,8 @@ SolveReport RobustSolver::solve(const Vector& b, Vector& x) const {
 
 LuFactorization robust_lu_factor(const Matrix& a, FactorReport* report,
                                  const RobustSolveOptions& options) {
+  UPDEC_TRACE_SCOPE("la/lu_factor");
+  UPDEC_METRIC_ADD("la/lu_factor.calls", 1);
   FactorReport local;
   FactorReport& out = report != nullptr ? *report : local;
   out = FactorReport{};
@@ -230,6 +260,7 @@ LuFactorization robust_lu_factor(const Matrix& a, FactorReport* report,
       out.ok = true;
       out.shifted = true;
       out.shift = shift;
+      UPDEC_METRIC_ADD("la/lu_factor.shifted", 1);
       log_warn() << "robust_lu_factor: factored with Tikhonov shift "
                  << shift << " after " << out.attempts << " attempt(s)";
       return lu;

@@ -1,6 +1,6 @@
 #pragma once
 /// \file robust_solve.hpp
-/// Resilient linear solves for the optimisation stack.
+/// \brief Resilient linear solves for the optimisation stack.
 ///
 /// The paper's three strategies each run hundreds of back-to-back linear
 /// solves inside 350-500-iteration optimisation loops; an ill-conditioned
@@ -73,6 +73,9 @@ class RobustSolver {
   [[nodiscard]] const RobustSolveOptions& options() const { return options_; }
 
  private:
+  /// The escalation chain itself; solve() wraps it with trace/metrics.
+  SolveReport solve_impl(const Vector& b, Vector& x) const;
+
   CsrMatrix a_;
   RobustSolveOptions options_;
   Preconditioner precond_;

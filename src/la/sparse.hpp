@@ -1,6 +1,6 @@
 #pragma once
 /// \file sparse.hpp
-/// Compressed sparse row (CSR) matrices.
+/// \brief Compressed sparse row (CSR) matrices.
 ///
 /// RBF-FD differentiation operators (Dx, Dy, Laplacian) are sparse with one
 /// stencil-sized row per node; they are assembled once per point cloud and

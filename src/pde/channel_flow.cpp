@@ -1,5 +1,8 @@
 #include "pde/channel_flow.hpp"
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <numbers>
@@ -311,18 +314,27 @@ FlowState<typename Backend::Vec> ChannelFlowSolver::run(
 }
 
 Flow ChannelFlowSolver::solve(const la::Vector& inflow) const {
+  UPDEC_TRACE_SCOPE("pde/channel_solve");
+  UPDEC_METRIC_ADD("pde/channel.solves", 1);
   const DoubleBackend backend;
-  return run(backend, inflow);
+  Flow flow = run(backend, inflow);
+  UPDEC_METRIC_OBSERVE("pde/channel.steps_to_steady",
+                       static_cast<double>(flow.steps_taken));
+  return flow;
 }
 
 FlowAd ChannelFlowSolver::solve(ad::Tape& tape,
                                 const ad::VarVec& inflow) const {
+  UPDEC_TRACE_SCOPE("pde/channel_solve_ad");
+  UPDEC_METRIC_ADD("pde/channel.ad_solves", 1);
   const TapeBackend backend{&tape};
   return run(backend, inflow);
 }
 
 FlowAd ChannelFlowSolver::solve_last_refinement(
     ad::Tape& tape, const ad::VarVec& inflow) const {
+  UPDEC_TRACE_SCOPE("pde/channel_solve_ad");
+  UPDEC_METRIC_ADD("pde/channel.ad_solves", 1);
   const TapeBackend taped{&tape};
   if (config_.refinements <= 1) {
     auto state = initial_state(taped, inflow);

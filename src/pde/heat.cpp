@@ -2,6 +2,8 @@
 
 #include "la/blas.hpp"
 #include "la/robust_solve.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace updec::pde {
 
@@ -49,6 +51,8 @@ HeatSolver::HeatSolver(const pc::PointCloud& cloud, const rbf::Kernel& kernel,
 
 la::Vector HeatSolver::step(const la::Vector& u, const HeatBoundary& boundary,
                             double t) const {
+  UPDEC_TRACE_SCOPE("pde/heat_step");
+  UPDEC_METRIC_ADD("pde/heat.steps", 1);
   UPDEC_REQUIRE(u.size() == cloud_->size(), "field size mismatch");
   la::Vector rhs = la::matvec(explicit_part_, u);
   const double t_next = t + dt_;

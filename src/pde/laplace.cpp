@@ -5,6 +5,8 @@
 #include <numbers>
 
 #include "la/blas.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace updec::pde {
 
@@ -112,6 +114,8 @@ la::Vector LaplaceSolver::assemble_rhs(const la::Vector& control) const {
 }
 
 la::Vector LaplaceSolver::solve(const la::Vector& control) const {
+  UPDEC_TRACE_SCOPE("pde/laplace_solve");
+  UPDEC_METRIC_ADD("pde/laplace.solves", 1);
   // Route through the guarded collocation solve: non-finite coefficients
   // trigger a Tikhonov-shifted recovery instead of poisoning the cost.
   return collocation_.solve(assemble_rhs(control));
@@ -119,6 +123,8 @@ la::Vector LaplaceSolver::solve(const la::Vector& control) const {
 
 ad::VarVec LaplaceSolver::solve(ad::Tape& tape,
                                 const ad::VarVec& control) const {
+  UPDEC_TRACE_SCOPE("pde/laplace_solve_ad");
+  UPDEC_METRIC_ADD("pde/laplace.ad_solves", 1);
   UPDEC_REQUIRE(control.size() == num_control(),
                 "one control value per control DOF required");
   // RHS on tape: fixed-wall entries as constants, control vars scattered

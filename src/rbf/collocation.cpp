@@ -5,6 +5,8 @@
 #include "la/blas.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace updec::rbf {
 
@@ -47,7 +49,11 @@ GlobalCollocation::GlobalCollocation(const pc::PointCloud& cloud,
                                      const Kernel& kernel, int poly_degree,
                                      const RowSpec& rows)
     : cloud_(&cloud), kernel_(&kernel), basis_(poly_degree) {
+  UPDEC_TRACE_SCOPE("rbf/assemble");
   const std::size_t n = cloud.size();
+  UPDEC_METRIC_ADD("rbf/collocation.systems", 1);
+  UPDEC_METRIC_GAUGE_MAX("rbf/collocation.max_system_size",
+                         static_cast<double>(n + basis_.size()));
   const std::size_t m = basis_.size();
   UPDEC_REQUIRE(n > m, "cloud must have more nodes than appended monomials");
   a_ = la::Matrix(n + m, n + m, 0.0);
@@ -78,9 +84,11 @@ GlobalCollocation::GlobalCollocation(const pc::PointCloud& cloud,
 }
 
 const la::LuFactorization& GlobalCollocation::lu() const {
-  if (!lu_)
+  if (!lu_) {
+    UPDEC_TRACE_SCOPE("rbf/factor");
     lu_ = std::make_unique<la::LuFactorization>(
         la::robust_lu_factor(a_, &factor_report_));
+  }
   return *lu_;
 }
 
@@ -97,6 +105,8 @@ la::Vector GlobalCollocation::assemble_rhs(
 }
 
 la::Vector GlobalCollocation::solve(const la::Vector& rhs) const {
+  UPDEC_TRACE_SCOPE("rbf/solve");
+  UPDEC_METRIC_ADD("rbf/collocation.solves", 1);
   UPDEC_REQUIRE(rhs.size() == system_size(), "rhs size mismatch");
   UPDEC_REQUIRE(la::all_finite(rhs),
                 "collocation rhs has non-finite entries");

@@ -3,12 +3,15 @@
 #include <cmath>
 
 #include "la/robust_solve.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace updec::rbf {
 
 RbffdOperators::RbffdOperators(const pc::PointCloud& cloud,
                                const Kernel& kernel, const RbffdConfig& config)
     : cloud_(&cloud), kernel_(&kernel), config_(config), tree_(cloud) {
+  UPDEC_TRACE_SCOPE("rbf/rbffd_stencils");
   const MonomialBasis basis(config_.poly_degree);
   UPDEC_REQUIRE(config_.stencil_size > 2 * basis.size(),
                 "stencil must be larger than twice the polynomial basis "
@@ -18,9 +21,12 @@ RbffdOperators::RbffdOperators(const pc::PointCloud& cloud,
   stencils_.resize(cloud.size());
   for (std::size_t i = 0; i < cloud.size(); ++i)
     stencils_[i] = tree_.k_nearest(cloud.node(i).pos, config_.stencil_size);
+  UPDEC_METRIC_ADD("rbf/rbffd.stencils", cloud.size());
 }
 
 la::CsrMatrix RbffdOperators::weights_for(const LinearOp& op) const {
+  UPDEC_TRACE_SCOPE("rbf/rbffd_weights");
+  UPDEC_METRIC_ADD("rbf/rbffd.operators_built", 1);
   const std::size_t n = cloud_->size();
   const std::size_t k = config_.stencil_size;
   const MonomialBasis basis(config_.poly_degree);

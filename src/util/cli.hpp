@@ -1,6 +1,6 @@
 #pragma once
 /// \file cli.hpp
-/// Minimal command-line option parsing for examples and bench binaries.
+/// \brief Minimal command-line option parsing for examples and bench binaries.
 /// Supports `--key value`, `--key=value` and boolean `--flag` forms.
 
 #include <map>

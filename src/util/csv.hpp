@@ -1,6 +1,6 @@
 #pragma once
 /// \file csv.hpp
-/// Series (figure-data) emission. Each figure in the paper corresponds to
+/// \brief Series (figure-data) emission. Each figure in the paper corresponds to
 /// one or more named series printed by the bench binaries; the SeriesWriter
 /// renders them either inline (stdout, '# series:' blocks) or to CSV files
 /// for external plotting.

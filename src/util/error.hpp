@@ -1,6 +1,6 @@
 #pragma once
 /// \file error.hpp
-/// Error-handling primitives shared by every updec module.
+/// \brief Error-handling primitives shared by every updec module.
 ///
 /// Library code throws `updec::Error` (a `std::runtime_error`) on contract
 /// violations via UPDEC_REQUIRE; hot loops use UPDEC_ASSERT which compiles

@@ -1,6 +1,6 @@
 #pragma once
 /// \file faultinject.hpp
-/// Deterministic fault-injection sites for resilience testing.
+/// \brief Deterministic fault-injection sites for resilience testing.
 ///
 /// Long optimisation runs chain hundreds of linear solves; the recovery
 /// paths for a stalled GMRES, a singular pivot or a NaN gradient must be

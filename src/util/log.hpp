@@ -1,6 +1,6 @@
 #pragma once
 /// \file log.hpp
-/// Leveled logging with a global verbosity switch. Kept deliberately tiny:
+/// \brief Leveled logging with a global verbosity switch. Kept deliberately tiny:
 /// the library is CPU-bound numerics, logging is for drivers only.
 
 #include <iosfwd>

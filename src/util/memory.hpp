@@ -1,6 +1,6 @@
 #pragma once
 /// \file memory.hpp
-/// Process memory probes used to reproduce the "Peak mem." column of the
+/// \brief Process memory probes used to reproduce the "Peak mem." column of the
 /// paper's Table 3.
 
 #include <cstddef>

@@ -1,6 +1,6 @@
 #pragma once
 /// \file rng.hpp
-/// Deterministic, seedable random number generation.
+/// \brief Deterministic, seedable random number generation.
 ///
 /// All stochastic components in updec (network initialisation, scattered
 /// node jitter, mini-batch sampling) draw from this generator so that every

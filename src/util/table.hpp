@@ -1,6 +1,6 @@
 #pragma once
 /// \file table.hpp
-/// Aligned-column text tables for the benchmark harness. Every table the
+/// \brief Aligned-column text tables for the benchmark harness. Every table the
 /// paper reports (Tables 1-3) is printed through this formatter so the bench
 /// output can be compared to the paper row for row.
 

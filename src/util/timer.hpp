@@ -1,6 +1,6 @@
 #pragma once
 /// \file timer.hpp
-/// Monotonic wall-clock stopwatch used by the benchmark harness (Table 3).
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harness (Table 3).
 
 #include <chrono>
 

@@ -1,0 +1,36 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+
+namespace updec::trace {
+
+namespace {
+/// Innermost open span on this thread (nesting is per-thread by design:
+/// spans inside OpenMP worker regions form their own stacks).
+thread_local Span* t_top = nullptr;
+}  // namespace
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!metrics::enabled()) return;  // stays inert even if enabled mid-scope
+  active_ = true;
+  parent_ = t_top;
+  t_top = this;
+  start_seconds_ = now_seconds();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double total = now_seconds() - start_seconds_;
+  const double self = total - child_seconds_;
+  t_top = parent_;
+  if (parent_ != nullptr) parent_->child_seconds_ += total;
+  metrics::record_span(name_, total, self < 0.0 ? 0.0 : self);
+}
+
+}  // namespace updec::trace

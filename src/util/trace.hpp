@@ -1,0 +1,55 @@
+#pragma once
+/// \file trace.hpp
+/// \brief RAII wall-clock trace spans with nested (self vs total) accounting.
+///
+/// Drop `UPDEC_TRACE_SCOPE("rbf/assemble")` at the top of a scope and the
+/// span's inclusive wall-clock is aggregated into the metrics registry
+/// under that name when the scope exits. Spans nest: each occurrence also
+/// reports *self* time (inclusive minus time spent inside nested spans on
+/// the same thread), so the dump reads like a collapsed flame graph --
+/// `control/optimize` self-time is loop overhead, not the PDE solves it
+/// contains.
+///
+/// Span names are slash-separated `layer/operation` literals ("la/
+/// robust_solve", "autodiff/backward"). They must be string literals or
+/// otherwise outlive the scope; the span stores the pointer only.
+///
+/// Overhead follows the faultinject/metrics pattern: disabled, constructing
+/// a span is one relaxed atomic load; compiled out (UPDEC_METRICS=OFF), the
+/// macro expands to nothing. Nesting is tracked per thread, so spans inside
+/// OpenMP regions attribute correctly to their own thread's stack.
+
+#include "util/metrics.hpp"
+
+namespace updec::trace {
+
+/// One timed scope. Non-copyable; meant to be created by UPDEC_TRACE_SCOPE.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  Span* parent_ = nullptr;     ///< enclosing span on this thread, if any
+  double start_seconds_ = 0.0;
+  double child_seconds_ = 0.0; ///< inclusive time of directly nested spans
+  bool active_ = false;        ///< false when metrics were disabled at entry
+};
+
+/// Monotonic seconds since an arbitrary epoch (steady_clock).
+[[nodiscard]] double now_seconds();
+
+}  // namespace updec::trace
+
+#if defined(UPDEC_DISABLE_METRICS)
+#define UPDEC_TRACE_SCOPE(name) ((void)0)
+#else
+#define UPDEC_TRACE_CONCAT_INNER(a, b) a##b
+#define UPDEC_TRACE_CONCAT(a, b) UPDEC_TRACE_CONCAT_INNER(a, b)
+/// Time the current scope as a span named `name` (a string literal).
+#define UPDEC_TRACE_SCOPE(name) \
+  ::updec::trace::Span UPDEC_TRACE_CONCAT(updec_trace_span_, __LINE__)(name)
+#endif
