@@ -1,0 +1,103 @@
+/// bench_serve: serving-throughput benchmark for the operator cache.
+///
+/// Runs the same 16-job Laplace DAL batch twice:
+///   * cold -- sequentially, against a zero-budget cache, so every job pays
+///     its own collocation assembly + O(N^3) LU factorisation (this is what
+///     serving looked like before src/serve existed);
+///   * warm -- through the serve::Scheduler with a real cache budget, so the
+///     batch pays ONE assembly + factorisation and every other job reuses it
+///     (plus whatever thread-level parallelism the machine offers).
+///
+/// Prints the per-mode wall clock and the speedup, and (via MetricsSession)
+/// dumps BENCH_serve.json including the serve/cache.* hit/miss/eviction
+/// counters. The PR gate is a >= 2x speedup on the default scale; on a
+/// single-core machine all of it comes from the cache, not from threads.
+
+#include "bench_common.hpp"
+#include "serve/cache.hpp"
+#include "serve/scheduler.hpp"
+
+namespace {
+
+using namespace updec;
+
+serve::Scenario make_job(std::size_t i, std::size_t grid, std::size_t iters) {
+  serve::Scenario sc;
+  sc.id = "dal-" + std::to_string(i);
+  sc.problem = serve::ProblemKind::kLaplace;
+  sc.strategy = serve::Strategy::kDal;
+  sc.grid_n = grid;
+  sc.iterations = iters;
+  sc.seed = i + 1;
+  sc.control_jitter = 0.02;  // distinct trajectories, shared discretisation
+  return sc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::MetricsSession session("serve", args);
+
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 16));
+  const std::size_t grid = static_cast<std::size_t>(
+      args.get_int("grid", args.flag("paper-scale") ? 48 : 28));
+  const std::size_t iters =
+      static_cast<std::size_t>(args.get_int("iters", 20));
+  std::cout << "### bench_serve: " << jobs << " Laplace DAL jobs, grid "
+            << grid << ", " << iters << " iters each\n";
+
+  // Cold: no cache, no pool -- each job rebuilds and refactors everything.
+  serve::OperatorCache cold_cache(0);
+  const Stopwatch cold_watch;
+  std::size_t cold_ok = 0;
+  for (std::size_t i = 0; i < jobs; ++i)
+    cold_ok += serve::run_scenario(make_job(i, grid, iters), cold_cache).ok();
+  const double cold_seconds = cold_watch.seconds();
+  std::cout << "cold (sequential, cache disabled): " << cold_seconds
+            << " s, " << cold_ok << "/" << jobs << " succeeded\n";
+
+  // Warm: scheduler + real cache. One bundle build + one factorisation.
+  serve::OperatorCache warm_cache(std::size_t{512} << 20);
+  serve::SchedulerOptions options;
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  options.cache = &warm_cache;
+  const Stopwatch warm_watch;
+  std::size_t warm_ok = 0;
+  std::size_t threads = 0;
+  {
+    serve::Scheduler scheduler(options);
+    threads = scheduler.thread_count();
+    for (std::size_t i = 0; i < jobs; ++i)
+      (void)scheduler.submit(make_job(i, grid, iters));
+    for (const serve::JobReport& r : scheduler.wait_all()) warm_ok += r.ok();
+  }
+  const double warm_seconds = warm_watch.seconds();
+  const serve::OperatorCache::Stats stats = warm_cache.stats();
+  std::cout << "warm (scheduler, " << threads << " thread(s), cache on): "
+            << warm_seconds << " s, " << warm_ok << "/" << jobs
+            << " succeeded\n";
+  std::cout << "cache: " << stats.hits << " hits, " << stats.misses
+            << " misses, " << stats.evictions << " evictions, "
+            << stats.bytes << " bytes resident\n";
+
+  const double speedup = warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+  std::cout << "speedup (cold/warm): " << speedup << "x\n";
+
+  metrics::gauge_set("serve_bench/cold_seconds", cold_seconds);
+  metrics::gauge_set("serve_bench/warm_seconds", warm_seconds);
+  metrics::gauge_set("serve_bench/speedup", speedup);
+  metrics::gauge_set("serve_bench/jobs", static_cast<double>(jobs));
+  metrics::gauge_set("serve_bench/threads", static_cast<double>(threads));
+
+  if (cold_ok != jobs || warm_ok != jobs) {
+    std::cerr << "bench_serve: some jobs failed\n";
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::cerr << "bench_serve: speedup " << speedup
+              << "x is below the 2x serving gate\n";
+    return 1;
+  }
+  return 0;
+}

@@ -147,6 +147,13 @@ void run_loop(DriverResult& result, GradientStrategy& strategy,
   la::Vector last_good = result.control;
   std::size_t it = start;
   while (it < options.iterations) {
+    if (options.should_stop && options.should_stop()) {
+      result.stopped = true;
+      UPDEC_METRIC_ADD("control/driver.stops", 1);
+      log_info() << strategy.name() << " iteration " << it
+                 << ": cooperative stop requested; returning current state";
+      break;
+    }
     const Stopwatch iter_watch;
     double j = 0.0;
     bool ok = true;

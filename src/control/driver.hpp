@@ -39,6 +39,12 @@ struct DriverOptions {
   /// count and initial learning rate (the LR schedule depends on both).
   std::size_t checkpoint_every = 0;
   std::string checkpoint_path;
+
+  /// Cooperative stop hook, polled once per iteration before the gradient
+  /// evaluation. Returning true ends the run cleanly with the state
+  /// accumulated so far (DriverResult::stopped set, not aborted). The serve
+  /// scheduler routes job cancellation and per-job deadlines through this.
+  std::function<bool()> should_stop;
 };
 
 struct DriverResult {
@@ -52,6 +58,7 @@ struct DriverResult {
   std::size_t iterations = 0;
   std::size_t recoveries = 0;        ///< divergence rollbacks performed
   bool aborted = false;              ///< recovery budget exhausted
+  bool stopped = false;              ///< options.should_stop ended the run early
 };
 
 /// Run gradient descent with `strategy` from the problem's initial control.

@@ -41,6 +41,9 @@ class LaplaceControlProblem final : public ControlProblem {
   [[nodiscard]] double state_error(const la::Vector& control) const;
 
   [[nodiscard]] const pde::LaplaceSolver& solver() const { return solver_; }
+  /// Mutable access for serve-layer cache plumbing (install a memoized
+  /// factorisation into the collocation before the first solve).
+  [[nodiscard]] pde::LaplaceSolver& solver() { return solver_; }
 
  private:
   pde::LaplaceSolver solver_;

@@ -382,4 +382,66 @@ IterativeResult gmres(const CsrMatrix& a, const Vector& b,
                       gmres_body(a, b, opts, precond, std::move(x0)));
 }
 
+const BatchedIterativeResult& BatchedIterativeResult::require_converged(
+    const char* context) const {
+  if (!all_converged()) {
+    std::ostringstream os;
+    os << context << ": " << (columns - converged_columns) << " of " << columns
+       << " batched solves did not converge (worst residual "
+       << max_residual_norm << ")";
+    throw Error(os.str());
+  }
+  return *this;
+}
+
+namespace {
+
+/// Column-by-column driver shared by the *_many wrappers: the operator and
+/// preconditioner are fixed, only the RHS varies, so the per-column cost is
+/// pure Krylov work (no preconditioner rebuild).
+template <typename SolveFn>
+BatchedIterativeResult solve_columns(const CsrMatrix& a, const Matrix& b,
+                                     const SolveFn& solve) {
+  UPDEC_REQUIRE(b.rows() == a.rows(), "batched solve dimension mismatch");
+  BatchedIterativeResult out;
+  out.columns = b.cols();
+  out.x = Matrix(b.rows(), b.cols());
+  Vector rhs(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) rhs[i] = b(i, j);
+    const IterativeResult res = solve(rhs);
+    for (std::size_t i = 0; i < b.rows(); ++i) out.x(i, j) = res.x[i];
+    if (res.converged) ++out.converged_columns;
+    out.total_iterations += res.iterations;
+    out.max_residual_norm = std::max(out.max_residual_norm, res.residual_norm);
+  }
+  return out;
+}
+
+}  // namespace
+
+BatchedIterativeResult cg_many(const CsrMatrix& a, const Matrix& b,
+                               const IterativeOptions& opts,
+                               const Preconditioner& precond) {
+  return solve_columns(a, b, [&](const Vector& rhs) {
+    return cg(a, rhs, opts, precond);
+  });
+}
+
+BatchedIterativeResult bicgstab_many(const CsrMatrix& a, const Matrix& b,
+                                     const IterativeOptions& opts,
+                                     const Preconditioner& precond) {
+  return solve_columns(a, b, [&](const Vector& rhs) {
+    return bicgstab(a, rhs, opts, precond);
+  });
+}
+
+BatchedIterativeResult gmres_many(const CsrMatrix& a, const Matrix& b,
+                                  const IterativeOptions& opts,
+                                  const Preconditioner& precond) {
+  return solve_columns(a, b, [&](const Vector& rhs) {
+    return gmres(a, rhs, opts, precond);
+  });
+}
+
 }  // namespace updec::la

@@ -82,4 +82,38 @@ IterativeResult gmres(const CsrMatrix& a, const Vector& b,
                           identity_preconditioner(),
                       std::optional<Vector> x0 = std::nullopt);
 
+// ---- batched multi-RHS wrappers ------------------------------------------
+// One Krylov run per column of B against the same operator, sharing the
+// (expensive to build) preconditioner across the whole batch. API parity
+// with LuFactorization::solve_many for call sites -- the serve-layer cache
+// solve path -- that switch between direct and iterative backends.
+
+/// Aggregate outcome of a multi-RHS iterative solve.
+struct [[nodiscard]] BatchedIterativeResult {
+  Matrix x;  ///< column j solves A x_j = b_j
+  std::size_t converged_columns = 0;
+  std::size_t total_iterations = 0;   ///< summed across columns
+  double max_residual_norm = 0.0;     ///< worst column
+  std::size_t columns = 0;
+
+  [[nodiscard]] bool all_converged() const {
+    return converged_columns == columns;
+  }
+  /// Throw updec::Error naming `context` unless every column converged.
+  const BatchedIterativeResult& require_converged(const char* context) const;
+};
+
+BatchedIterativeResult cg_many(const CsrMatrix& a, const Matrix& b,
+                               const IterativeOptions& opts = {},
+                               const Preconditioner& precond =
+                                   identity_preconditioner());
+BatchedIterativeResult bicgstab_many(const CsrMatrix& a, const Matrix& b,
+                                     const IterativeOptions& opts = {},
+                                     const Preconditioner& precond =
+                                         identity_preconditioner());
+BatchedIterativeResult gmres_many(const CsrMatrix& a, const Matrix& b,
+                                  const IterativeOptions& opts = {},
+                                  const Preconditioner& precond =
+                                      identity_preconditioner());
+
 }  // namespace updec::la

@@ -122,13 +122,43 @@ Vector LuFactorization::solve_transpose(const Vector& b) const {
 }
 
 Matrix LuFactorization::solve_many(const Matrix& b) const {
+  UPDEC_REQUIRE(valid(), "solve_many on empty factorisation");
   UPDEC_REQUIRE(b.rows() == size(), "solve_many dimension mismatch");
-  Matrix x(b.rows(), b.cols());
-  Vector col(b.rows());
-  for (std::size_t j = 0; j < b.cols(); ++j) {
-    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
-    const Vector sol = solve(col);
-    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  const std::size_t n = size();
+  const std::size_t k = b.cols();
+  // Pivot bookkeeping once for the whole batch: gather permuted rows of B
+  // (contiguous row copies), instead of re-applying the permutation per
+  // column as the old per-column path did.
+  Matrix x(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* src = b.row(perm_[i]);
+    double* dst = x.row(i);
+    for (std::size_t j = 0; j < k; ++j) dst[j] = src[j];
+  }
+  // Forward sweep L Y = P B, all columns at once. The inner axpy runs over
+  // the contiguous row of X, so one traversal of L serves every RHS.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = lu_.row(i);
+    double* xi = x.row(i);
+    for (std::size_t p = 0; p < i; ++p) {
+      const double l = li[p];
+      if (l == 0.0) continue;
+      const double* xp = x.row(p);
+      for (std::size_t j = 0; j < k; ++j) xi[j] -= l * xp[j];
+    }
+  }
+  // Backward sweep U X = Y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* ui = lu_.row(ii);
+    double* xi = x.row(ii);
+    for (std::size_t p = ii + 1; p < n; ++p) {
+      const double u = ui[p];
+      if (u == 0.0) continue;
+      const double* xp = x.row(p);
+      for (std::size_t j = 0; j < k; ++j) xi[j] -= u * xp[j];
+    }
+    const double inv = 1.0 / ui[ii];
+    for (std::size_t j = 0; j < k; ++j) xi[j] *= inv;
   }
   return x;
 }
@@ -170,6 +200,10 @@ double LuFactorization::condition_estimate() const {
 
 Vector solve(Matrix a, const Vector& b) {
   return LuFactorization(std::move(a)).solve(b);
+}
+
+Matrix lu_solve_many(Matrix a, const Matrix& b) {
+  return LuFactorization(std::move(a)).solve_many(b);
 }
 
 }  // namespace updec::la

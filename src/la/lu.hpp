@@ -30,7 +30,11 @@ class LuFactorization {
   /// Solve A^T x = b (used by adjoint/VJP paths).
   [[nodiscard]] Vector solve_transpose(const Vector& b) const;
 
-  /// Solve in place for many right-hand sides stored as columns of B.
+  /// Solve for many right-hand sides stored as columns of B. The pivot
+  /// permutation is applied once as whole-row gathers and the triangular
+  /// sweeps run row-major across all columns simultaneously, so k solves
+  /// cost one pass over L/U instead of k per-column passes -- the batched
+  /// path the serve-layer operator cache and the FD probe batching use.
   [[nodiscard]] Matrix solve_many(const Matrix& b) const;
 
   /// Determinant from the factorisation (sign of the permutation included).
@@ -55,5 +59,9 @@ class LuFactorization {
 
 /// One-shot dense solve (factor + solve). Prefer LuFactorization for reuse.
 [[nodiscard]] Vector solve(Matrix a, const Vector& b);
+
+/// One-shot multi-RHS dense solve: factor once, then the batched
+/// solve_many() sweep over all columns of B.
+[[nodiscard]] Matrix lu_solve_many(Matrix a, const Matrix& b);
 
 }  // namespace updec::la

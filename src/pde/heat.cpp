@@ -69,4 +69,27 @@ la::Vector HeatSolver::advance(la::Vector u0, const HeatBoundary& boundary,
   return u;
 }
 
+la::Matrix HeatSolver::step_many(const la::Matrix& u,
+                                 const HeatBoundary& boundary,
+                                 double t) const {
+  UPDEC_TRACE_SCOPE("pde/heat_step");
+  UPDEC_METRIC_ADD("pde/heat.steps", u.cols());
+  UPDEC_REQUIRE(u.rows() == cloud_->size(), "field size mismatch");
+  la::Matrix rhs = la::matmul(explicit_part_, u);
+  const double t_next = t + dt_;
+  for (std::size_t i = cloud_->num_internal(); i < cloud_->size(); ++i) {
+    const double g = boundary(cloud_->node(i), t_next);
+    for (std::size_t j = 0; j < u.cols(); ++j) rhs(i, j) = g;
+  }
+  return implicit_lu_.solve_many(rhs);
+}
+
+la::Matrix HeatSolver::advance_many(la::Matrix u0, const HeatBoundary& boundary,
+                                    double t0, std::size_t steps) const {
+  la::Matrix u = std::move(u0);
+  for (std::size_t s = 0; s < steps; ++s)
+    u = step_many(u, boundary, t0 + static_cast<double>(s) * dt_);
+  return u;
+}
+
 }  // namespace updec::pde

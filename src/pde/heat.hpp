@@ -39,6 +39,19 @@ class HeatSolver {
   [[nodiscard]] la::Vector advance(la::Vector u0, const HeatBoundary& boundary,
                                    double t0, std::size_t steps) const;
 
+  /// Batched theta-scheme step: column j of U is one temperature field (an
+  /// ensemble of initial conditions / scenario batch); all columns advance
+  /// through one multi-RHS solve against the shared implicit factorisation
+  /// instead of one triangular sweep per member.
+  [[nodiscard]] la::Matrix step_many(const la::Matrix& u,
+                                     const HeatBoundary& boundary,
+                                     double t) const;
+
+  /// March a whole ensemble `steps` steps (batched twin of advance()).
+  [[nodiscard]] la::Matrix advance_many(la::Matrix u0,
+                                        const HeatBoundary& boundary,
+                                        double t0, std::size_t steps) const;
+
   [[nodiscard]] const pc::PointCloud& cloud() const { return *cloud_; }
   [[nodiscard]] double dt() const { return dt_; }
   [[nodiscard]] double alpha() const { return alpha_; }

@@ -121,6 +121,42 @@ la::Vector LaplaceSolver::solve(const la::Vector& control) const {
   return collocation_.solve(assemble_rhs(control));
 }
 
+la::Matrix LaplaceSolver::solve_many(const la::Matrix& controls) const {
+  UPDEC_TRACE_SCOPE("pde/laplace_solve_many");
+  UPDEC_REQUIRE(controls.rows() == num_control(),
+                "one control value per control DOF required (rows)");
+  const std::size_t k = controls.cols();
+  UPDEC_METRIC_ADD("pde/laplace.solves", k);
+  la::Matrix rhs(collocation_.system_size(), k);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < rhs.rows(); ++i) rhs(i, j) = base_rhs_[i];
+  for (std::size_t i = 0; i < top_nodes_.size(); ++i) {
+    const std::size_t row = top_nodes_[i];
+    const std::size_t c = control_index(i);
+    for (std::size_t j = 0; j < k; ++j) rhs(row, j) = controls(c, j);
+  }
+  la::Matrix x = collocation_.lu().solve_many(rhs);
+  // Parity with the guarded scalar path: a non-finite batch falls back to
+  // the per-column collocation solve, which carries the Tikhonov recovery.
+  bool finite = true;
+  const double* data = x.data();
+  for (std::size_t i = 0, e = x.rows() * x.cols(); i < e && finite; ++i)
+    finite = std::isfinite(data[i]);
+  if (!finite) {
+    la::Vector col(rhs.rows());
+    for (std::size_t j = 0; j < k; ++j) {
+      for (std::size_t i = 0; i < rhs.rows(); ++i) col[i] = rhs(i, j);
+      const la::Vector sol = collocation_.solve(col);
+      for (std::size_t i = 0; i < rhs.rows(); ++i) x(i, j) = sol[i];
+    }
+  }
+  return x;
+}
+
+la::Matrix LaplaceSolver::flux_top_many(const la::Matrix& coeffs) const {
+  return la::matmul(flux_matrix_, coeffs);
+}
+
 ad::VarVec LaplaceSolver::solve(ad::Tape& tape,
                                 const ad::VarVec& control) const {
   UPDEC_TRACE_SCOPE("pde/laplace_solve_ad");

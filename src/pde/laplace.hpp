@@ -44,10 +44,24 @@ class LaplaceSolver {
   [[nodiscard]] const rbf::GlobalCollocation& collocation() const {
     return collocation_;
   }
+  /// Mutable access for serve-layer cache plumbing (install_lu of a
+  /// memoized factorisation before the first solve).
+  [[nodiscard]] rbf::GlobalCollocation& collocation() { return collocation_; }
 
   /// Solve with control values c (one per top node; the other walls carry
   /// the fixed data of eq. (7)). Returns the N+M RBF coefficients.
   [[nodiscard]] la::Vector solve(const la::Vector& control) const;
+
+  /// Batched solve: column j of `controls` is one control vector; column j
+  /// of the result its N+M coefficients. One pass over the cached LU for
+  /// the whole batch (LuFactorization::solve_many), so k candidate controls
+  /// -- FD probe sweeps, omega candidates, concurrent serve jobs sharing a
+  /// factorisation -- cost far less than k separate solves.
+  [[nodiscard]] la::Matrix solve_many(const la::Matrix& controls) const;
+
+  /// du/dy at the top-wall nodes for each coefficient column (the batched
+  /// twin of flux_top).
+  [[nodiscard]] la::Matrix flux_top_many(const la::Matrix& coeffs) const;
 
   /// Differentiable twin: control lives on a tape; the solve is recorded as
   /// one custom op against the cached LU (the DP path).

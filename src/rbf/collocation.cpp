@@ -84,12 +84,59 @@ GlobalCollocation::GlobalCollocation(const pc::PointCloud& cloud,
 }
 
 const la::LuFactorization& GlobalCollocation::lu() const {
-  if (!lu_) {
-    UPDEC_TRACE_SCOPE("rbf/factor");
-    lu_ = std::make_unique<la::LuFactorization>(
-        la::robust_lu_factor(a_, &factor_report_));
+  // The mutex makes concurrent first calls factor exactly once; the
+  // returned factorisation itself is immutable, so callers may solve
+  // against it from many threads. One uncontended lock per solve is noise
+  // next to the O(N^2) triangular sweeps.
+  {
+    const std::lock_guard<std::mutex> lock(lu_mutex_);
+    if (!lu_) {
+      UPDEC_TRACE_SCOPE("rbf/factor");
+      lu_ = std::make_shared<const la::LuFactorization>(
+          la::robust_lu_factor(a_, &factor_report_));
+    }
   }
   return *lu_;
+}
+
+std::shared_ptr<const la::LuFactorization> GlobalCollocation::shared_lu()
+    const {
+  lu();  // ensure factored
+  const std::lock_guard<std::mutex> lock(lu_mutex_);
+  return lu_;
+}
+
+void GlobalCollocation::install_lu(
+    std::shared_ptr<const la::LuFactorization> lu) {
+  UPDEC_REQUIRE(lu && lu->valid(), "install_lu: empty factorisation");
+  UPDEC_REQUIRE(lu->size() == system_size(),
+                "install_lu: factorisation size does not match the system");
+  const std::lock_guard<std::mutex> lock(lu_mutex_);
+  lu_ = std::move(lu);
+  factor_report_.attempts = std::max<std::size_t>(factor_report_.attempts, 1);
+  factor_report_.ok = true;
+}
+
+std::uint64_t GlobalCollocation::content_hash() const {
+  const std::lock_guard<std::mutex> lock(lu_mutex_);
+  if (content_hash_ == 0) {
+    // FNV-1a over dimensions then raw matrix bytes. Doubles hash by bit
+    // pattern: assembly is deterministic for a fixed (cloud, kernel, rows),
+    // so bitwise equality is the right equivalence.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](const unsigned char* p, std::size_t len) {
+      for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+      }
+    };
+    const std::uint64_t dims[2] = {a_.rows(), a_.cols()};
+    mix(reinterpret_cast<const unsigned char*>(dims), sizeof dims);
+    mix(reinterpret_cast<const unsigned char*>(a_.data()),
+        a_.rows() * a_.cols() * sizeof(double));
+    content_hash_ = h == 0 ? 1 : h;  // reserve 0 for "not computed"
+  }
+  return content_hash_;
 }
 
 la::Vector GlobalCollocation::assemble_rhs(

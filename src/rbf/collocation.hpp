@@ -12,8 +12,10 @@
 ///  * every adjoint solve of the DAL strategy (A^T),
 ///  * every VJP requested by the DP tape (ad::solve with the same LU).
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "la/lu.hpp"
 #include "la/robust_solve.hpp"
@@ -65,8 +67,26 @@ class GlobalCollocation {
   /// LU of the collocation matrix (factored on first use, then cached).
   /// Factored robustly: a singular or non-finite breakdown escalates to a
   /// Tikhonov-shifted refactorisation instead of aborting (see
-  /// factor_report() for what actually happened).
+  /// factor_report() for what actually happened). Thread-safe: concurrent
+  /// first calls factor exactly once (serve-layer jobs share problems).
   [[nodiscard]] const la::LuFactorization& lu() const;
+
+  /// Shared handle to the cached factorisation (factoring first if needed).
+  /// The serve-layer operator cache holds these across jobs, so a
+  /// factorisation outlives any single problem instance.
+  [[nodiscard]] std::shared_ptr<const la::LuFactorization> shared_lu() const;
+
+  /// Adopt an externally computed factorisation (typically a serve-layer
+  /// cache hit keyed on content_hash()), skipping the O(N^3) factor step.
+  /// The factorisation must be of this system's matrix: sizes are checked,
+  /// content is the caller's contract.
+  void install_lu(std::shared_ptr<const la::LuFactorization> lu);
+
+  /// FNV-1a hash of the assembled matrix bytes (plus dimensions). This is
+  /// the content address under which serve/cache memoizes factorisations:
+  /// identical node layout + kernel + rows => identical matrix => one
+  /// factorisation for every job. O(N^2), computed once and cached.
+  [[nodiscard]] std::uint64_t content_hash() const;
 
   /// How the cached factorisation was obtained (valid after first lu() /
   /// solve() call; attempts == 0 before that).
@@ -108,8 +128,10 @@ class GlobalCollocation {
   LinearOp interior_op_;
   double robin_beta_ = 0.0;
   la::Matrix a_;
-  mutable std::unique_ptr<la::LuFactorization> lu_;
+  mutable std::mutex lu_mutex_;  ///< guards lu_/factor_report_/hash on first use
+  mutable std::shared_ptr<const la::LuFactorization> lu_;
   mutable la::FactorReport factor_report_;
+  mutable std::uint64_t content_hash_ = 0;  ///< 0 = not yet computed
 };
 
 }  // namespace updec::rbf

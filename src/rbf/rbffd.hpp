@@ -36,6 +36,7 @@ class RbffdOperators {
   [[nodiscard]] const la::CsrMatrix& laplacian() const;
 
   [[nodiscard]] const pc::PointCloud& cloud() const { return *cloud_; }
+  [[nodiscard]] const Kernel& kernel() const { return *kernel_; }
   [[nodiscard]] const RbffdConfig& config() const { return config_; }
 
  private:

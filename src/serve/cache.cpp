@@ -1,0 +1,279 @@
+#include "serve/cache.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace updec::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::uint64_t kFnvBasisLo = 14695981039346656037ULL;
+// Second lane: same prime, independent starting state, so the lanes walk
+// different orbits over identical input bytes.
+constexpr std::uint64_t kFnvBasisHi = kFnvBasisLo ^ 0x9e3779b97f4a7c15ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const unsigned char* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Single-lane FNV-1a over raw bytes, for the std::uint64_t fingerprints.
+class Fnv {
+ public:
+  Fnv& bytes(const void* data, std::size_t n) {
+    h_ = fnv1a(h_, static_cast<const unsigned char*>(data), n);
+    return *this;
+  }
+  Fnv& u64(std::uint64_t v) { return bytes(&v, sizeof v); }
+  Fnv& f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    return u64(bits);
+  }
+  Fnv& str(std::string_view s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_ ? h_ : 1; }
+
+ private:
+  std::uint64_t h_ = kFnvBasisLo;
+};
+
+}  // namespace
+
+KeyBuilder::KeyBuilder(std::string_view domain)
+    : hi_(kFnvBasisHi), lo_(kFnvBasisLo) {
+  add(domain);
+}
+
+KeyBuilder& KeyBuilder::add_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  lo_ = fnv1a(lo_, p, n);
+  hi_ = fnv1a(hi_, p, n);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::uint64_t v) {
+  return add_bytes(&v, sizeof v);
+}
+
+KeyBuilder& KeyBuilder::add(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return add(bits);
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view s) {
+  add(static_cast<std::uint64_t>(s.size()));
+  return add_bytes(s.data(), s.size());
+}
+
+std::uint64_t fingerprint(const pc::PointCloud& cloud) {
+  Fnv h;
+  h.u64(cloud.size());
+  for (const pc::Node& n : cloud.nodes()) {
+    h.f64(n.pos.x).f64(n.pos.y);
+    h.u64(static_cast<std::uint64_t>(n.kind));
+    h.f64(n.normal.x).f64(n.normal.y);
+    h.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(n.tag)));
+  }
+  return h.value();
+}
+
+std::uint64_t fingerprint(const rbf::Kernel& kernel) {
+  // Probe radii span the [0, O(1)] range a unit-domain collocation sees;
+  // irrational-ish spacing avoids accidental symmetry (e.g. even kernels
+  // sampled only at integers).
+  static constexpr double kProbes[] = {0.0,  0.125, 0.31830988618,
+                                       0.5,  0.7071067811865476,
+                                       1.0,  1.61803398875, 2.718281828459045};
+  Fnv h;
+  h.str(kernel.name());
+  for (const double r : kProbes) {
+    h.f64(kernel.phi(r)).f64(kernel.dphi(r)).f64(kernel.d2phi(r));
+  }
+  return h.value();
+}
+
+std::uint64_t fingerprint(const la::Matrix& m) {
+  Fnv h;
+  h.u64(m.rows()).u64(m.cols());
+  h.bytes(m.data(), m.rows() * m.cols() * sizeof(double));
+  return h.value();
+}
+
+std::uint64_t fingerprint(const rbf::LinearOp& op) {
+  Fnv h;
+  h.f64(op.id).f64(op.ddx).f64(op.ddy).f64(op.lap);
+  return h.value();
+}
+
+std::size_t byte_budget_from_env() {
+  if (const char* env = std::getenv("UPDEC_CACHE_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env) return static_cast<std::size_t>(v);
+    log_warn() << "UPDEC_CACHE_BYTES='" << env
+               << "' is not a byte count; using the 512 MiB default";
+  }
+  return std::size_t{512} << 20;
+}
+
+OperatorCache::OperatorCache(std::size_t byte_budget)
+    : byte_budget_(byte_budget) {
+  stats_.byte_budget = byte_budget;
+}
+
+bool OperatorCache::contains(const CacheKey& key) const {
+  std::lock_guard lock(mutex_);
+  return index_.count(key) != 0;
+}
+
+void OperatorCache::clear() {
+  std::lock_guard lock(mutex_);
+  // In-flight computes are untouched: their futures complete normally, the
+  // results just land in an empty table.
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+OperatorCache::Stats OperatorCache::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats s = stats_;
+  s.bytes = bytes_;
+  s.entries = index_.size();
+  s.byte_budget = byte_budget_;
+  return s;
+}
+
+void OperatorCache::store_locked(const CacheKey& key,
+                                 const Computed& computed) {
+  if (byte_budget_ == 0 || computed.bytes > byte_budget_) return;
+  if (index_.count(key) != 0) return;  // raced with an identical insert
+  lru_.push_front(Entry{key, computed.value, computed.bytes});
+  index_.emplace(key, lru_.begin());
+  bytes_ += computed.bytes;
+  while (bytes_ > byte_budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    UPDEC_METRIC_ADD("serve/cache.evictions", 1);
+  }
+  UPDEC_METRIC_GAUGE_SET("serve/cache.bytes", static_cast<double>(bytes_));
+}
+
+std::shared_ptr<const void> OperatorCache::get_or_compute_erased(
+    const CacheKey& key, const std::function<Computed()>& compute) {
+  std::shared_future<Computed> wait_on;
+  std::promise<Computed> mine;
+  {
+    std::unique_lock lock(mutex_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+      // Hit: refresh LRU position, hand out the shared value.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      UPDEC_METRIC_ADD("serve/cache.hits", 1);
+      return it->second->value;
+    }
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+      // Someone else is computing this key: join their flight.
+      wait_on = it->second;
+      ++stats_.inflight_waits;
+      UPDEC_METRIC_ADD("serve/cache.inflight_waits", 1);
+    } else {
+      inflight_.emplace(key, mine.get_future().share());
+      ++stats_.misses;
+      UPDEC_METRIC_ADD("serve/cache.misses", 1);
+    }
+  }
+
+  if (wait_on.valid()) return wait_on.get().value;  // rethrows leader errors
+
+  // We are the leader: compute outside the lock.
+  Computed computed;
+  try {
+    computed = compute();
+  } catch (...) {
+    {
+      std::lock_guard lock(mutex_);
+      inflight_.erase(key);
+    }
+    mine.set_exception(std::current_exception());
+    throw;
+  }
+  UPDEC_REQUIRE(computed.value != nullptr,
+                "OperatorCache compute returned a null value");
+  {
+    std::lock_guard lock(mutex_);
+    inflight_.erase(key);
+    store_locked(key, computed);
+  }
+  mine.set_value(computed);
+  return computed.value;
+}
+
+OperatorCache& global_cache() {
+  // Leaked: jobs may still touch the cache from atexit dump paths.
+  static OperatorCache* cache = new OperatorCache();
+  return *cache;
+}
+
+std::size_t lu_bytes(const la::LuFactorization& lu) {
+  const std::size_t n = lu.size();
+  return n * n * sizeof(double) + n * sizeof(std::size_t);
+}
+
+std::shared_ptr<const la::LuFactorization> cached_lu(
+    OperatorCache& cache, const rbf::GlobalCollocation& colloc) {
+  KeyBuilder kb("lu-factorization");
+  kb.add(colloc.content_hash());
+  kb.add(static_cast<std::uint64_t>(colloc.system_size()));
+  return cache.get_or_compute<la::LuFactorization>(kb.key(), [&colloc] {
+    UPDEC_TRACE_SCOPE("serve/cache_factor");
+    std::shared_ptr<const la::LuFactorization> lu = colloc.shared_lu();
+    return OperatorCache::Sized<la::LuFactorization>{lu, lu_bytes(*lu)};
+  });
+}
+
+void memoize_lu(OperatorCache& cache, rbf::GlobalCollocation& colloc) {
+  colloc.install_lu(cached_lu(cache, colloc));
+}
+
+std::shared_ptr<const la::CsrMatrix> cached_rbffd_weights(
+    OperatorCache& cache, const rbf::RbffdOperators& ops,
+    const rbf::LinearOp& op) {
+  KeyBuilder kb("rbffd-weights");
+  kb.add(fingerprint(ops.cloud()));
+  kb.add(fingerprint(ops.kernel()));
+  kb.add(static_cast<std::uint64_t>(ops.config().stencil_size));
+  kb.add(static_cast<std::int64_t>(ops.config().poly_degree));
+  kb.add(fingerprint(op));
+  return cache.get_or_compute<la::CsrMatrix>(kb.key(), [&ops, &op] {
+    UPDEC_TRACE_SCOPE("serve/cache_rbffd");
+    auto w = std::make_shared<const la::CsrMatrix>(ops.weights_for(op));
+    const std::size_t bytes =
+        w->values().size() * sizeof(double) +
+        w->nnz() * sizeof(std::size_t) +  // col indices
+        w->row_ptr().size() * sizeof(std::size_t);
+    return OperatorCache::Sized<la::CsrMatrix>{std::move(w), bytes};
+  });
+}
+
+}  // namespace updec::serve

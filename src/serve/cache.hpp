@@ -1,0 +1,207 @@
+#pragma once
+/// \file cache.hpp
+/// \brief Content-addressed operator cache for the scenario-serving runtime.
+///
+/// Assembling a global collocation matrix is O(N^2 k) and factoring it is
+/// O(N^3); both depend only on (node layout, kernel, operator/row config).
+/// A batch of scenarios that share a discretisation should therefore pay
+/// for assembly + factorisation exactly once. This cache memoizes those
+/// artefacts under 128-bit content keys built from fingerprints of their
+/// inputs:
+///
+///   * fingerprint(PointCloud) -- positions, boundary kinds, normals, tags;
+///   * fingerprint(Kernel)     -- name + phi/phi'/phi'' sampled at probe
+///                                radii, so shape parameters (epsilon) and
+///                                PHS exponents change the key even though
+///                                they are hidden behind the virtual
+///                                interface;
+///   * fingerprint(Matrix)     -- raw bytes of an assembled operator (the
+///                                same content address
+///                                rbf::GlobalCollocation::content_hash()
+///                                uses).
+///
+/// Eviction is LRU under a byte budget (UPDEC_CACHE_BYTES, default 512 MiB;
+/// 0 disables storage entirely -- get_or_compute() then degenerates to
+/// single-flight compute). Lookups are thread-safe, and concurrent misses on
+/// the same key are single-flighted: one caller computes, the rest block on
+/// a shared future, so a 16-job batch never factors the same matrix twice.
+///
+/// Counters (when metrics are enabled): serve/cache.hits, .misses,
+/// .evictions, .inflight_waits; gauge serve/cache.bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "la/lu.hpp"
+#include "la/sparse.hpp"
+#include "pointcloud/cloud.hpp"
+#include "rbf/collocation.hpp"
+#include "rbf/kernels.hpp"
+#include "rbf/operators.hpp"
+#include "rbf/rbffd.hpp"
+
+namespace updec::serve {
+
+/// 128-bit content address (two independent FNV-1a lanes). Two lanes make
+/// an accidental full-key collision astronomically unlikely even across the
+/// ~2^32-entry birthday bound of a single 64-bit hash.
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const CacheKey& a, const CacheKey& b) {
+    return !(a == b);
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Incremental key construction: seed with a domain string (namespacing
+/// different artefact types computed from the same inputs), then mix in
+/// fingerprints, config scalars and strings.
+class KeyBuilder {
+ public:
+  explicit KeyBuilder(std::string_view domain);
+
+  KeyBuilder& add_bytes(const void* data, std::size_t n);
+  KeyBuilder& add(std::uint64_t v);
+  KeyBuilder& add(std::int64_t v) { return add(static_cast<std::uint64_t>(v)); }
+  KeyBuilder& add(double v);  ///< bit pattern, so -0.0 != 0.0 by design
+  KeyBuilder& add(std::string_view s);
+
+  [[nodiscard]] CacheKey key() const { return {hi_, lo_}; }
+
+ private:
+  std::uint64_t hi_;
+  std::uint64_t lo_;
+};
+
+/// Content fingerprints of the cache's input objects.
+[[nodiscard]] std::uint64_t fingerprint(const pc::PointCloud& cloud);
+/// Behavioural: name() + phi/dphi/d2phi sampled at fixed probe radii, so
+/// kernels that differ only in hidden parameters (epsilon, exponent) get
+/// distinct fingerprints.
+[[nodiscard]] std::uint64_t fingerprint(const rbf::Kernel& kernel);
+[[nodiscard]] std::uint64_t fingerprint(const la::Matrix& m);
+[[nodiscard]] std::uint64_t fingerprint(const rbf::LinearOp& op);
+
+/// Byte budget implied by the environment: UPDEC_CACHE_BYTES when set and
+/// parseable (0 allowed: disables storage), else 512 MiB.
+[[nodiscard]] std::size_t byte_budget_from_env();
+
+/// Thread-safe LRU cache of type-erased immutable artefacts.
+class OperatorCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;          ///< compute actually ran
+    std::uint64_t evictions = 0;
+    std::uint64_t inflight_waits = 0;  ///< joined another caller's compute
+    std::size_t bytes = 0;             ///< currently resident
+    std::size_t entries = 0;
+    std::size_t byte_budget = 0;
+  };
+
+  /// A computed artefact plus its resident size (for budget accounting).
+  template <typename T>
+  struct Sized {
+    std::shared_ptr<const T> value;
+    std::size_t bytes = 0;
+  };
+
+  explicit OperatorCache(std::size_t byte_budget = byte_budget_from_env());
+
+  OperatorCache(const OperatorCache&) = delete;
+  OperatorCache& operator=(const OperatorCache&) = delete;
+
+  /// Return the cached value for `key`, or run `compute` (exactly once
+  /// across concurrent callers) and cache its result. `compute` must return
+  /// Sized<T>; it runs outside the cache lock. An exception thrown by the
+  /// leader's compute propagates to every caller waiting on that key and
+  /// nothing is cached.
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> get_or_compute(const CacheKey& key, Fn&& compute) {
+    std::shared_ptr<const void> p =
+        get_or_compute_erased(key, [&compute]() -> Computed {
+          Sized<T> sized = compute();
+          return {std::static_pointer_cast<const void>(std::move(sized.value)),
+                  sized.bytes};
+        });
+    return std::static_pointer_cast<const T>(std::move(p));
+  }
+
+  /// Probe without computing (testing / diagnostics). Does not count as a
+  /// hit and does not touch LRU order.
+  [[nodiscard]] bool contains(const CacheKey& key) const;
+
+  void clear();
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Computed {
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+  };
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+  };
+
+  std::shared_ptr<const void> get_or_compute_erased(
+      const CacheKey& key, const std::function<Computed()>& compute);
+  /// Insert under the budget, evicting LRU tail entries. Caller holds mutex_.
+  void store_locked(const CacheKey& key, const Computed& computed);
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
+  std::unordered_map<CacheKey, std::shared_future<Computed>, CacheKeyHash>
+      inflight_;
+  std::size_t byte_budget_;
+  std::size_t bytes_ = 0;
+  Stats stats_;
+};
+
+/// Process-wide cache instance used by the serve scheduler (budget from
+/// UPDEC_CACHE_BYTES at first use).
+OperatorCache& global_cache();
+
+// ---- high-level memoization helpers --------------------------------------
+
+/// Resident size of a factorisation: the packed LU matrix plus the
+/// permutation vector.
+[[nodiscard]] std::size_t lu_bytes(const la::LuFactorization& lu);
+
+/// Factorisation of `colloc`'s matrix, memoized under its content hash.
+/// On a hit the O(N^3) factor step is skipped entirely.
+[[nodiscard]] std::shared_ptr<const la::LuFactorization> cached_lu(
+    OperatorCache& cache, const rbf::GlobalCollocation& colloc);
+
+/// cached_lu() + install: after this call, colloc.lu()/solve()/solve_many()
+/// reuse the memoized factorisation.
+void memoize_lu(OperatorCache& cache, rbf::GlobalCollocation& colloc);
+
+/// RBF-FD differentiation matrix for `op`, memoized under
+/// (cloud, kernel, stencil config, op coefficients).
+[[nodiscard]] std::shared_ptr<const la::CsrMatrix> cached_rbffd_weights(
+    OperatorCache& cache, const rbf::RbffdOperators& ops,
+    const rbf::LinearOp& op);
+
+}  // namespace updec::serve

@@ -1,0 +1,115 @@
+#include "serve/pool.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
+namespace updec::serve {
+
+namespace {
+/// Which pool (if any) the current thread belongs to. Lets drain() detect a
+/// self-drain from a worker (which would deadlock) and turn it into a no-op.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("UPDEC_SERVE_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t max_queue)
+    : max_queue_(max_queue) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  predump_token_ = metrics::register_predump_hook([this] { drain(); });
+}
+
+ThreadPool::~ThreadPool() {
+  metrics::unregister_predump_hook(predump_token_);
+  shutdown();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  UPDEC_REQUIRE(job != nullptr, "ThreadPool::submit: null job");
+  {
+    std::unique_lock lock(mutex_);
+    cv_space_.wait(lock, [this] {
+      return stop_ || max_queue_ == 0 || queue_.size() < max_queue_;
+    });
+    UPDEC_REQUIRE(!stop_, "ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  UPDEC_METRIC_ADD("serve/pool.jobs_submitted", 1);
+  cv_job_.notify_one();
+}
+
+void ThreadPool::drain() {
+  if (on_worker_thread()) return;  // self-drain would deadlock; see header
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  cv_space_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
+
+void ThreadPool::worker_loop() {
+  t_worker_pool = this;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_job_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    cv_space_.notify_one();
+    try {
+      job();
+    } catch (const std::exception& e) {
+      UPDEC_METRIC_ADD("serve/pool.job_exceptions", 1);
+      log_error() << "serve pool job threw: " << e.what();
+    } catch (...) {
+      UPDEC_METRIC_ADD("serve/pool.job_exceptions", 1);
+      log_error() << "serve pool job threw a non-std exception";
+    }
+    UPDEC_METRIC_ADD("serve/pool.jobs_completed", 1);
+    bool idle = false;
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      idle = queue_.empty() && active_ == 0;
+    }
+    if (idle) cv_done_.notify_all();
+  }
+}
+
+}  // namespace updec::serve

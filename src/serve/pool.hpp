@@ -1,0 +1,85 @@
+#pragma once
+/// \file pool.hpp
+/// \brief Bounded thread pool for the scenario-serving runtime.
+///
+/// A fixed set of worker threads drains a bounded FIFO job queue: no work
+/// stealing, no dynamic resizing -- the serving layer wants predictable
+/// backpressure (submit() blocks once `max_queue` jobs are waiting) and a
+/// drain()/shutdown() story that the metrics layer can rely on. Each pool
+/// registers a metrics pre-dump hook that drains in-flight jobs before the
+/// registry is snapshotted, so the atexit `BENCH_*.json` dump never races
+/// live workers (see util/metrics.hpp, register_predump_hook).
+///
+/// Job exceptions are caught in the worker loop (counted under
+/// `serve/pool.job_exceptions` and logged at error level); a throwing job
+/// never takes a worker thread down.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace updec::serve {
+
+/// Worker count implied by the environment: UPDEC_SERVE_THREADS when set to
+/// a positive integer, else std::thread::hardware_concurrency() (min 1).
+[[nodiscard]] std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  /// \param threads   worker count; 0 -> default_thread_count().
+  /// \param max_queue bound on jobs waiting in the queue (not counting the
+  ///                  ones being executed); submit() blocks when full.
+  ///                  0 -> unbounded.
+  explicit ThreadPool(std::size_t threads = 0, std::size_t max_queue = 1024);
+
+  /// Drains outstanding work, joins the workers, unregisters the pre-dump
+  /// hook.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue one job. Blocks while the queue is at max_queue (backpressure);
+  /// throws updec::Error after shutdown().
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and every worker is idle. Jobs may be
+  /// submitted concurrently with a drain; it returns at a moment when all
+  /// work submitted *before* the call has finished. Safe to call from a
+  /// worker thread only in the degenerate sense that it returns immediately
+  /// (a worker draining itself would deadlock, so the call is a no-op there
+  /// -- this is what makes the metrics pre-dump hook safe even if a dump is
+  /// triggered from inside a job).
+  void drain();
+
+  /// Stop accepting jobs, run what is queued, join the workers. Idempotent.
+  void shutdown();
+
+  /// Jobs queued but not yet started.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// True when called from one of this pool's worker threads.
+  [[nodiscard]] bool on_worker_thread() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_job_;    ///< workers wait for work / stop
+  std::condition_variable cv_done_;   ///< drainers wait for quiescence
+  std::condition_variable cv_space_;  ///< submitters wait for queue space
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;  ///< jobs currently executing
+  std::size_t max_queue_;
+  bool stop_ = false;
+  std::size_t predump_token_ = 0;
+};
+
+}  // namespace updec::serve

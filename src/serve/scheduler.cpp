@@ -1,0 +1,341 @@
+#include "serve/scheduler.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+#include "control/channel_problem.hpp"
+#include "control/driver.hpp"
+#include "control/laplace_problem.hpp"
+#include "pointcloud/generators.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+namespace updec::serve {
+
+const char* to_string(ProblemKind kind) {
+  switch (kind) {
+    case ProblemKind::kLaplace: return "laplace";
+    case ProblemKind::kChannel: return "channel";
+  }
+  return "?";
+}
+
+const char* to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kDp: return "dp";
+    case Strategy::kDal: return "dal";
+    case Strategy::kFd: return "fd";
+  }
+  return "?";
+}
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kPending: return "pending";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kSucceeded: return "succeeded";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kDeadlineExpired: return "deadline_expired";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+ProblemKind parse_problem_kind(const std::string& s) {
+  if (s == "laplace") return ProblemKind::kLaplace;
+  if (s == "channel" || s == "navier-stokes") return ProblemKind::kChannel;
+  throw Error("unknown problem kind '" + s + "' (want laplace|channel)");
+}
+
+Strategy parse_strategy(const std::string& s) {
+  if (s == "dp") return Strategy::kDp;
+  if (s == "dal") return Strategy::kDal;
+  if (s == "fd") return Strategy::kFd;
+  throw Error("unknown strategy '" + s + "' (want dp|dal|fd)");
+}
+
+double default_deadline_ms_from_env() {
+  if (const char* env = std::getenv("UPDEC_SERVE_DEADLINE_MS")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v > 0.0) return v;
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Everything a Laplace scenario family shares: the kernel, the assembled
+/// problem (collocation + flux operators) and -- via memoize_lu -- the
+/// factorisation. Immutable after construction, so one bundle serves any
+/// number of concurrent jobs (GlobalCollocation's lazy LU is mutex-guarded,
+/// and each DP strategy instance owns its private tape).
+struct LaplaceBundle {
+  std::unique_ptr<const rbf::Kernel> kernel;
+  std::shared_ptr<control::LaplaceControlProblem> problem;
+};
+
+std::shared_ptr<const LaplaceBundle> laplace_bundle(OperatorCache& cache,
+                                                    const Scenario& sc) {
+  const rbf::PolyharmonicSpline probe_kernel(3);
+  KeyBuilder kb("laplace-bundle");
+  kb.add(static_cast<std::uint64_t>(sc.grid_n));
+  kb.add(static_cast<std::int64_t>(sc.poly_degree));
+  kb.add(fingerprint(probe_kernel));
+  return cache.get_or_compute<LaplaceBundle>(kb.key(), [&cache, &sc] {
+    UPDEC_TRACE_SCOPE("serve/build_laplace_bundle");
+    auto bundle = std::make_shared<LaplaceBundle>();
+    bundle->kernel = std::make_unique<rbf::PolyharmonicSpline>(3);
+    bundle->problem = std::make_shared<control::LaplaceControlProblem>(
+        sc.grid_n, *bundle->kernel, sc.poly_degree);
+    // Level 2: the factorisation is ALSO cached under the matrix content
+    // hash, so it survives bundle eviction and is shared with any other
+    // bundle whose collocation matrix is bit-identical.
+    memoize_lu(cache, bundle->problem->solver().collocation());
+    const std::size_t ss =
+        bundle->problem->solver().collocation().system_size();
+    // Dominant storage: collocation matrix + flux/evaluation operators +
+    // the (separately accounted but bundle-pinned) LU.
+    return OperatorCache::Sized<LaplaceBundle>{
+        std::move(bundle), 3 * ss * ss * sizeof(double)};
+  });
+}
+
+/// A built job: the strategy plus whatever owns the problem's lifetime.
+struct Built {
+  std::shared_ptr<const control::ControlProblem> problem;
+  std::unique_ptr<control::GradientStrategy> strategy;
+  std::shared_ptr<const void> keepalive;
+};
+
+/// Channel problems are built per job (the projection solver caches state
+/// internally and is not documented concurrency-safe), so only hold the
+/// kernel + problem together.
+struct ChannelHolder {
+  rbf::PolyharmonicSpline kernel{3};
+  std::shared_ptr<control::ChannelFlowControlProblem> problem;
+};
+
+Built build_job(const Scenario& sc, OperatorCache& cache) {
+  Built built;
+  if (sc.problem == ProblemKind::kLaplace) {
+    std::shared_ptr<const LaplaceBundle> bundle = laplace_bundle(cache, sc);
+    std::shared_ptr<const control::LaplaceControlProblem> problem =
+        bundle->problem;
+    switch (sc.strategy) {
+      case Strategy::kDp:
+        built.strategy = control::make_laplace_dp(problem);
+        break;
+      case Strategy::kDal:
+        built.strategy = control::make_laplace_dal(problem);
+        break;
+      case Strategy::kFd:
+        built.strategy = control::make_laplace_fd(problem, sc.fd_step);
+        break;
+    }
+    built.problem = problem;
+    built.keepalive = bundle;
+  } else {
+    auto holder = std::make_shared<ChannelHolder>();
+    pc::ChannelSpec spec;
+    spec.target_nodes = sc.target_nodes;
+    pde::ChannelFlowConfig config;
+    config.reynolds = sc.reynolds;
+    holder->problem = std::make_shared<control::ChannelFlowControlProblem>(
+        spec, holder->kernel, config);
+    std::shared_ptr<const control::ChannelFlowControlProblem> problem =
+        holder->problem;
+    switch (sc.strategy) {
+      case Strategy::kDp:
+        built.strategy = control::make_channel_dp(problem);
+        break;
+      case Strategy::kDal:
+        built.strategy = control::make_channel_dal(problem);
+        break;
+      case Strategy::kFd:
+        built.strategy = control::make_channel_fd(problem);
+        break;
+    }
+    built.problem = problem;
+    built.keepalive = holder;
+  }
+  return built;
+}
+
+}  // namespace
+
+JobReport run_scenario(const Scenario& scenario, OperatorCache& cache,
+                       double deadline_ms,
+                       const std::function<bool()>& external_stop) {
+  UPDEC_TRACE_SCOPE("serve/run_scenario");
+  JobReport report;
+  report.id = scenario.id;
+  report.status = JobStatus::kRunning;
+  const Stopwatch watch;
+
+  // The deadline and cancellation are observed cooperatively from
+  // should_stop, which runs on this thread inside the driver loop, so
+  // plain captured flags suffice to record which trigger fired.
+  const double effective_deadline_ms =
+      scenario.deadline_ms > 0.0 ? scenario.deadline_ms : deadline_ms;
+  const auto start = std::chrono::steady_clock::now();
+  bool cancelled = false;
+  bool deadline_expired = false;
+
+  try {
+    Built built = build_job(scenario, cache);
+
+    la::Vector control = built.problem->initial_control();
+    if (scenario.control_jitter > 0.0) {
+      Rng rng(scenario.seed ? scenario.seed : 0x9E3779B97F4A7C15ull);
+      for (std::size_t i = 0; i < control.size(); ++i)
+        control[i] += rng.normal(0.0, scenario.control_jitter);
+    }
+
+    control::DriverOptions options;
+    options.iterations = scenario.iterations;
+    options.initial_learning_rate = scenario.learning_rate;
+    options.should_stop = [&]() {
+      if (external_stop && external_stop()) {
+        cancelled = true;
+        return true;
+      }
+      if (effective_deadline_ms > 0.0) {
+        const auto elapsed = std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start);
+        if (elapsed.count() >= effective_deadline_ms) {
+          deadline_expired = true;
+          return true;
+        }
+      }
+      return false;
+    };
+
+    control::DriverResult result =
+        control::optimize_from(std::move(control), *built.strategy, options);
+
+    report.final_cost = result.final_cost;
+    report.iterations = result.iterations;
+    report.cost_history = std::move(result.cost_history);
+    if (result.aborted) {
+      report.status = JobStatus::kFailed;
+      report.error = "divergence recovery budget exhausted";
+    } else if (cancelled) {
+      report.status = JobStatus::kCancelled;
+    } else if (deadline_expired) {
+      report.status = JobStatus::kDeadlineExpired;
+    } else {
+      report.status = JobStatus::kSucceeded;
+    }
+  } catch (const std::exception& e) {
+    report.status = JobStatus::kFailed;
+    report.error = e.what();
+  } catch (...) {
+    report.status = JobStatus::kFailed;
+    report.error = "unknown exception";
+  }
+
+  report.seconds = watch.seconds();
+  if (metrics::enabled()) {
+    metrics::observe("serve/job.seconds", report.seconds);
+    switch (report.status) {
+      case JobStatus::kSucceeded:
+        metrics::counter_add("serve/jobs.succeeded");
+        break;
+      case JobStatus::kCancelled:
+        metrics::counter_add("serve/jobs.cancelled");
+        break;
+      case JobStatus::kDeadlineExpired:
+        metrics::counter_add("serve/jobs.deadline_expired");
+        break;
+      default:
+        metrics::counter_add("serve/jobs.failed");
+        break;
+    }
+  }
+  if (report.status == JobStatus::kFailed)
+    log_warn() << "serve job '" << report.id << "' failed: " << report.error;
+  return report;
+}
+
+Scheduler::Scheduler(SchedulerOptions options)
+    : cache_(options.cache != nullptr ? options.cache : &global_cache()),
+      default_deadline_ms_(options.default_deadline_ms < 0.0
+                               ? default_deadline_ms_from_env()
+                               : options.default_deadline_ms),
+      pool_(options.threads, options.max_queue) {}
+
+Scheduler::~Scheduler() { pool_.shutdown(); }
+
+Scheduler::JobId Scheduler::submit(Scenario scenario) {
+  auto state = std::make_shared<JobState>();
+  state->scenario = std::move(scenario);
+  state->future = state->promise.get_future().share();
+  JobId id = 0;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    id = next_id_++;
+    jobs_.emplace(id, state);
+  }
+  UPDEC_METRIC_ADD("serve/jobs.submitted", 1);
+  pool_.submit([state, deadline = default_deadline_ms_, cache = cache_] {
+    JobReport report;
+    if (state->cancelled.load(std::memory_order_relaxed)) {
+      // Cancelled before it ever ran: resolve without building anything.
+      report.id = state->scenario.id;
+      report.status = JobStatus::kCancelled;
+      UPDEC_METRIC_ADD("serve/jobs.cancelled", 1);
+    } else {
+      report = run_scenario(state->scenario, *cache, deadline, [state] {
+        return state->cancelled.load(std::memory_order_relaxed);
+      });
+    }
+    state->done.store(true, std::memory_order_release);
+    state->promise.set_value(std::move(report));
+  });
+  return id;
+}
+
+bool Scheduler::cancel(JobId id) {
+  std::shared_ptr<JobState> state;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    state = it->second;
+  }
+  state->cancelled.store(true, std::memory_order_relaxed);
+  return !state->done.load(std::memory_order_acquire);
+}
+
+JobReport Scheduler::wait(JobId id) {
+  std::shared_future<JobReport> future;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    const auto it = jobs_.find(id);
+    UPDEC_REQUIRE(it != jobs_.end(), "Scheduler::wait: unknown job id");
+    future = it->second->future;
+  }
+  return future.get();
+}
+
+std::vector<JobReport> Scheduler::wait_all() {
+  std::vector<std::shared_future<JobReport>> futures;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    futures.reserve(jobs_.size());
+    for (const auto& [id, state] : jobs_) futures.push_back(state->future);
+  }
+  std::vector<JobReport> reports;
+  reports.reserve(futures.size());
+  for (auto& f : futures) reports.push_back(f.get());
+  return reports;
+}
+
+}  // namespace updec::serve

@@ -1,0 +1,178 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Batch scenario-serving: fan optimal-control scenarios across a
+///        thread pool with per-job cancellation, deadlines and reports.
+///
+/// A Scenario names one optimisation run: which problem (Laplace boundary
+/// control or Navier-Stokes inflow control), which gradient strategy
+/// (DP / DAL / FD), the discretisation, and the run budget. The Scheduler
+/// executes scenarios on a serve::ThreadPool and memoizes the expensive
+/// discretisation artefacts in a serve::OperatorCache, two-level:
+///
+///   1. problem bundles (assembled collocation + solver + problem object)
+///      keyed by configuration -- jobs sharing a discretisation share ONE
+///      problem instance (safe: the shared state is immutable after
+///      construction; the lazily factored LU is mutex-guarded);
+///   2. LU factorisations keyed by rbf::GlobalCollocation::content_hash()
+///      -- survives bundle eviction and deduplicates across distinct
+///      problem objects whose matrices happen to be identical.
+///
+/// Cancellation and deadlines are cooperative: they are routed into
+/// control::DriverOptions::should_stop, polled once per optimisation
+/// iteration, so a stopped job returns a well-formed JobReport with the
+/// trajectory accumulated so far -- the pool itself never aborts.
+///
+/// Per-job isolation: each job draws its initial-control jitter from its own
+/// Rng(seed) (never a process-global stream), so a batch's results are
+/// independent of scheduling order and thread count.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/pool.hpp"
+
+namespace updec::serve {
+
+enum class ProblemKind : std::uint8_t { kLaplace = 0, kChannel = 1 };
+enum class Strategy : std::uint8_t { kDp = 0, kDal = 1, kFd = 2 };
+
+[[nodiscard]] const char* to_string(ProblemKind kind);
+[[nodiscard]] const char* to_string(Strategy strategy);
+/// Parse "laplace"/"channel" and "dp"/"dal"/"fd" (throws updec::Error).
+[[nodiscard]] ProblemKind parse_problem_kind(const std::string& s);
+[[nodiscard]] Strategy parse_strategy(const std::string& s);
+
+/// One optimisation run to serve.
+struct Scenario {
+  std::string id;                ///< caller-chosen label for the report
+  ProblemKind problem = ProblemKind::kLaplace;
+  Strategy strategy = Strategy::kDal;
+
+  // Discretisation.
+  std::size_t grid_n = 16;        ///< Laplace: nodes per side
+  std::size_t target_nodes = 500; ///< Channel: cloud size
+  double reynolds = 1.0;          ///< Channel only
+  int poly_degree = 1;
+
+  // Optimisation budget.
+  std::size_t iterations = 50;
+  double learning_rate = 1e-2;
+  double fd_step = 1e-6;
+
+  // Per-job initial-control perturbation: control[i] += jitter * N(0, 1)
+  // drawn from Rng(seed). jitter == 0 reproduces the problem's canonical
+  // initial control regardless of seed.
+  std::uint64_t seed = 0;
+  double control_jitter = 0.0;
+
+  /// Wall-clock budget for THIS job; 0 falls back to the scheduler's
+  /// default (SchedulerOptions::default_deadline_ms), which itself
+  /// defaults to "no deadline".
+  double deadline_ms = 0.0;
+};
+
+enum class JobStatus : std::uint8_t {
+  kPending = 0,
+  kRunning = 1,
+  kSucceeded = 2,
+  kCancelled = 3,         ///< Scheduler::cancel() before/while running
+  kDeadlineExpired = 4,   ///< cooperative deadline stop
+  kFailed = 5,            ///< solver threw or the driver aborted
+};
+
+[[nodiscard]] const char* to_string(JobStatus status);
+
+/// Outcome of one scenario.
+struct JobReport {
+  std::string id;
+  JobStatus status = JobStatus::kPending;
+  double seconds = 0.0;              ///< wall-clock inside the job
+  double final_cost = 0.0;
+  std::size_t iterations = 0;        ///< accepted optimisation iterations
+  std::vector<double> cost_history;  ///< J per iteration (possibly truncated)
+  std::string error;                 ///< populated for kFailed
+
+  [[nodiscard]] bool ok() const { return status == JobStatus::kSucceeded; }
+};
+
+struct SchedulerOptions {
+  std::size_t threads = 0;          ///< 0 -> default_thread_count()
+  std::size_t max_queue = 1024;     ///< ThreadPool backpressure bound
+  /// Deadline applied to scenarios with deadline_ms == 0. Defaults to
+  /// UPDEC_SERVE_DEADLINE_MS from the environment (0 / unset = none).
+  double default_deadline_ms = -1.0;  ///< -1 -> read the environment
+  OperatorCache* cache = nullptr;     ///< nullptr -> global_cache()
+};
+
+/// UPDEC_SERVE_DEADLINE_MS when set to a positive number, else 0 (none).
+[[nodiscard]] double default_deadline_ms_from_env();
+
+/// Execute one scenario synchronously on the calling thread. This is the
+/// exact function scheduler jobs run; exposed for sequential baselines
+/// (bench_serve's cold path) and tests. `external_stop` (may be empty) is
+/// polled alongside the deadline; returning true cancels the job.
+[[nodiscard]] JobReport run_scenario(
+    const Scenario& scenario, OperatorCache& cache,
+    double deadline_ms = 0.0,
+    const std::function<bool()>& external_stop = {});
+
+class Scheduler {
+ public:
+  using JobId = std::size_t;
+
+  explicit Scheduler(SchedulerOptions options = {});
+  /// Waits for in-flight jobs (pool drain + join).
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueue one scenario; returns a handle for cancel()/wait(). Blocks
+  /// under queue backpressure.
+  JobId submit(Scenario scenario);
+
+  /// Request cancellation. A job that has not started yet resolves to
+  /// kCancelled without running; a running job stops at its next iteration
+  /// boundary. Returns false iff the job had already finished (the report
+  /// is unaffected then).
+  bool cancel(JobId id);
+
+  /// Block until the job resolves and return its report. Each job's report
+  /// can be waited on from any number of threads.
+  [[nodiscard]] JobReport wait(JobId id);
+
+  /// Wait for every job submitted so far, in submission order.
+  [[nodiscard]] std::vector<JobReport> wait_all();
+
+  [[nodiscard]] std::size_t thread_count() const {
+    return pool_.thread_count();
+  }
+  [[nodiscard]] OperatorCache& cache() { return *cache_; }
+
+ private:
+  struct JobState {
+    Scenario scenario;
+    std::atomic<bool> cancelled{false};
+    std::atomic<bool> done{false};
+    std::promise<JobReport> promise;
+    std::shared_future<JobReport> future;
+  };
+
+  OperatorCache* cache_;
+  double default_deadline_ms_;
+  mutable std::mutex jobs_mutex_;
+  std::map<JobId, std::shared_ptr<JobState>> jobs_;
+  JobId next_id_ = 1;
+  ThreadPool pool_;  ///< last member: workers die before the state above
+};
+
+}  // namespace updec::serve

@@ -143,6 +143,20 @@ struct Registrar {
 };
 Registrar g_registrar;  // arm from the environment at program start
 
+/// Pre-dump hooks behind their own mutex (never held while a hook runs, and
+/// disjoint from the registry mutex so hooks may record metrics). Leaked for
+/// the same atexit-ordering reason as the registry.
+struct HookTable {
+  std::mutex mutex;
+  std::size_t next_token = 1;
+  std::map<std::size_t, PredumpHook> hooks;
+};
+
+HookTable& hook_table() {
+  static HookTable* t = new HookTable();
+  return *t;
+}
+
 }  // namespace
 
 void set_enabled(bool on) {
@@ -256,6 +270,34 @@ void set_label(const std::string& key, const std::string& value) {
   r.labels[key] = value;
 }
 
+std::size_t register_predump_hook(PredumpHook hook) {
+  HookTable& t = hook_table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  const std::size_t token = t.next_token++;
+  t.hooks.emplace(token, std::move(hook));
+  return token;
+}
+
+void unregister_predump_hook(std::size_t token) {
+  HookTable& t = hook_table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  t.hooks.erase(token);
+}
+
+void run_predump_hooks() {
+  // Copy out under the lock, run without it: hooks drain worker pools and
+  // may take arbitrarily long or record metrics themselves.
+  std::vector<PredumpHook> hooks;
+  {
+    HookTable& t = hook_table();
+    const std::lock_guard<std::mutex> lock(t.mutex);
+    hooks.reserve(t.hooks.size());
+    for (const auto& [token, hook] : t.hooks) hooks.push_back(hook);
+  }
+  for (const auto& hook : hooks)
+    if (hook) hook();
+}
+
 void dump_json(std::ostream& os) {
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mutex);
@@ -358,6 +400,9 @@ std::string dump_json() {
 }
 
 bool dump_json_file(const std::string& path) {
+  // Quiesce producer threads (worker pools) before snapshotting, so the
+  // counters written out are final rather than a torn mid-flight view.
+  run_predump_hooks();
   std::ofstream os(path);
   if (!os.good()) {
     log_warn() << "metrics: cannot open " << path << " for writing";

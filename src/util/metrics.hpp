@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -113,6 +114,27 @@ struct SpanStats {
 
 // ---- labels (free-form run metadata carried into the dump) ---------------
 void set_label(const std::string& key, const std::string& value);
+
+// ---- pre-dump hooks (quiesce producers before a snapshot) ----------------
+
+/// Callback run before a file/env dump takes its registry snapshot. Used by
+/// components that own worker threads (serve::ThreadPool) to drain in-flight
+/// work, so the atexit JSON dump never races live producers and the emitted
+/// counters are final. Hooks run outside the registry mutex and may
+/// themselves record metrics.
+using PredumpHook = std::function<void()>;
+
+/// Register a hook; returns a token for unregister_predump_hook(). Hooks run
+/// in registration order. Owners with shorter lifetimes than the process
+/// MUST unregister in their destructor (C++ guarantees atexit handlers and
+/// static destructors interleave LIFO, so a pool that unregisters on
+/// destruction is never called back after death).
+std::size_t register_predump_hook(PredumpHook hook);
+void unregister_predump_hook(std::size_t token);
+
+/// Run all registered hooks (idempotent per call site; exposed for tests).
+/// Called automatically by dump_json_file() and dump_to_env_path().
+void run_predump_hooks();
 
 // ---- JSON export ---------------------------------------------------------
 

@@ -1,0 +1,475 @@
+// Tests for the scenario-serving runtime (src/serve): thread-pool ordering
+// and fault containment, operator-cache hit/miss/LRU/contention semantics,
+// scheduler cancellation and deadlines, the batched multi-RHS solve paths
+// they are built on, and the metrics predump hook that makes the atexit
+// JSON dump safe while pool workers are live.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/iterative.hpp"
+#include "la/lu.hpp"
+#include "la/sparse.hpp"
+#include "pde/heat.hpp"
+#include "pde/laplace.hpp"
+#include "pointcloud/generators.hpp"
+#include "rbf/kernels.hpp"
+#include "serve/cache.hpp"
+#include "serve/pool.hpp"
+#include "serve/scheduler.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace updec;
+using serve::CacheKey;
+using serve::KeyBuilder;
+using serve::OperatorCache;
+
+// ---- multi-RHS solve paths -----------------------------------------------
+
+la::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.normal();
+  return m;
+}
+
+TEST(SolveMany, LuMatchesPerColumnSolves) {
+  const std::size_t n = 24, k = 7;
+  la::Matrix a = random_matrix(n, n, 1);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 6.0;  // well-conditioned
+  const la::Matrix b = random_matrix(n, k, 2);
+
+  const la::LuFactorization lu(a);
+  ASSERT_TRUE(lu.valid());
+  const la::Matrix x = lu.solve_many(b);
+  ASSERT_EQ(x.rows(), n);
+  ASSERT_EQ(x.cols(), k);
+  la::Vector col(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+    const la::Vector xj = lu.solve(col);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(x(i, j), xj[i], 1e-12) << "column " << j << " row " << i;
+  }
+}
+
+TEST(SolveMany, LuSolveManyConvenienceMatchesFactorThenSolve) {
+  const std::size_t n = 12, k = 3;
+  la::Matrix a = random_matrix(n, n, 3);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 5.0;
+  const la::Matrix b = random_matrix(n, k, 4);
+  const la::Matrix x1 = la::lu_solve_many(a, b);
+  const la::Matrix x2 = la::LuFactorization(a).solve_many(b);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j) EXPECT_EQ(x1(i, j), x2(i, j));
+}
+
+la::CsrMatrix poisson_1d(std::size_t n) {
+  la::SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -1.0);
+  }
+  return la::CsrMatrix(b);
+}
+
+TEST(SolveMany, BatchedCgMatchesPerColumnCg) {
+  const std::size_t n = 32, k = 4;
+  const la::CsrMatrix a = poisson_1d(n);
+  const la::Matrix b = random_matrix(n, k, 5);
+  const la::BatchedIterativeResult batched = la::cg_many(a, b);
+  EXPECT_EQ(batched.columns, k);
+  EXPECT_TRUE(batched.all_converged());
+  la::Vector col(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+    const la::IterativeResult single = la::cg(a, col);
+    ASSERT_TRUE(single.converged);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(batched.x(i, j), single.x[i], 1e-8);
+  }
+}
+
+TEST(SolveMany, LaplaceSolveManyMatchesPerControlSolves) {
+  const rbf::PolyharmonicSpline kernel(3);
+  const pde::LaplaceSolver solver(8, kernel);
+  const std::size_t nc = solver.num_control(), k = 3;
+  const la::Matrix controls = random_matrix(nc, k, 6);
+
+  const la::Matrix coeffs = solver.solve_many(controls);
+  const la::Matrix flux = solver.flux_top_many(coeffs);
+  la::Vector c(nc);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < nc; ++i) c[i] = controls(i, j);
+    const la::Vector cj = solver.solve(c);
+    const la::Vector fj = solver.flux_top(cj);
+    for (std::size_t i = 0; i < cj.size(); ++i)
+      EXPECT_NEAR(coeffs(i, j), cj[i], 1e-9);
+    for (std::size_t i = 0; i < fj.size(); ++i)
+      EXPECT_NEAR(flux(i, j), fj[i], 1e-9);
+  }
+}
+
+TEST(SolveMany, HeatStepManyMatchesPerMemberSteps) {
+  const pc::PointCloud cloud = pc::unit_square_grid(10, 10);
+  const rbf::PolyharmonicSpline kernel(3);
+  const pde::HeatSolver solver(cloud, kernel, 0.2, 1e-3);
+  const auto boundary = [](const pc::Node& n, double) { return n.pos.x; };
+  const std::size_t k = 3;
+  const la::Matrix u0 = random_matrix(cloud.size(), k, 7);
+
+  const la::Matrix u1 = solver.advance_many(u0, boundary, 0.0, 2);
+  la::Vector member(cloud.size());
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < cloud.size(); ++i) member[i] = u0(i, j);
+    const la::Vector uj = solver.advance(member, boundary, 0.0, 2);
+    for (std::size_t i = 0; i < cloud.size(); ++i)
+      EXPECT_NEAR(u1(i, j), uj[i], 1e-10);
+  }
+}
+
+// ---- operator cache ------------------------------------------------------
+
+OperatorCache::Sized<int> sized_int(int v, std::size_t bytes) {
+  return {std::make_shared<const int>(v), bytes};
+}
+
+TEST(OperatorCache, HitAndMissCounting) {
+  OperatorCache cache(1 << 20);
+  int computes = 0;
+  const CacheKey key = KeyBuilder("t").add(std::uint64_t{1}).key();
+  const auto compute = [&] {
+    ++computes;
+    return sized_int(42, 100);
+  };
+  const auto a = cache.get_or_compute<int>(key, compute);
+  const auto b = cache.get_or_compute<int>(key, compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(*a, 42);
+  EXPECT_EQ(a.get(), b.get());  // same shared artefact, not a copy
+  const OperatorCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 100u);
+}
+
+TEST(OperatorCache, LruEvictionUnderByteBudget) {
+  OperatorCache cache(250);  // fits two 100-byte entries, not three
+  const auto key_of = [](std::uint64_t i) {
+    return KeyBuilder("lru").add(i).key();
+  };
+  (void)cache.get_or_compute<int>(key_of(1), [&] { return sized_int(1, 100); });
+  (void)cache.get_or_compute<int>(key_of(2), [&] { return sized_int(2, 100); });
+  // Touch 1 so 2 becomes least recently used...
+  (void)cache.get_or_compute<int>(key_of(1), [&] { return sized_int(1, 100); });
+  // ...then inserting 3 must evict 2, not 1.
+  (void)cache.get_or_compute<int>(key_of(3), [&] { return sized_int(3, 100); });
+  EXPECT_TRUE(cache.contains(key_of(1)));
+  EXPECT_FALSE(cache.contains(key_of(2)));
+  EXPECT_TRUE(cache.contains(key_of(3)));
+  const OperatorCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_LE(s.bytes, 250u);
+}
+
+TEST(OperatorCache, ZeroBudgetDisablesStorageButStillComputes) {
+  OperatorCache cache(0);
+  int computes = 0;
+  const CacheKey key = KeyBuilder("z").add(std::uint64_t{9}).key();
+  const auto compute = [&] {
+    ++computes;
+    return sized_int(7, 10);
+  };
+  EXPECT_EQ(*cache.get_or_compute<int>(key, compute), 7);
+  EXPECT_EQ(*cache.get_or_compute<int>(key, compute), 7);
+  EXPECT_EQ(computes, 2);  // nothing retained
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(OperatorCache, ConcurrentGetOrComputeRunsComputeOnce) {
+  OperatorCache cache(1 << 20);
+  const CacheKey key = KeyBuilder("flight").add(std::uint64_t{1}).key();
+  std::atomic<int> computes{0};
+  std::atomic<int> ready{0};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const int>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Rough barrier so the threads pile onto the key together.
+      ++ready;
+      while (ready.load() < kThreads) std::this_thread::yield();
+      results[t] = cache.get_or_compute<int>(key, [&] {
+        ++computes;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return sized_int(99, 50);
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(computes.load(), 1) << "duplicate factorisation under contention";
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(*r, 99);
+    EXPECT_EQ(r.get(), results[0].get());
+  }
+}
+
+TEST(OperatorCache, FingerprintsSeparateDistinctInputs) {
+  // Kernels differing only in hidden parameters must not collide.
+  const rbf::GaussianKernel g1(1.0), g2(2.0);
+  EXPECT_NE(serve::fingerprint(g1), serve::fingerprint(g2));
+  EXPECT_EQ(serve::fingerprint(g1), serve::fingerprint(rbf::GaussianKernel(1.0)));
+  const rbf::PolyharmonicSpline p3(3), p5(5);
+  EXPECT_NE(serve::fingerprint(p3), serve::fingerprint(p5));
+
+  const pc::PointCloud c1 = pc::unit_square_grid(4, 4);
+  const pc::PointCloud c2 = pc::unit_square_grid(5, 5);
+  EXPECT_NE(serve::fingerprint(c1), serve::fingerprint(c2));
+  EXPECT_EQ(serve::fingerprint(c1),
+            serve::fingerprint(pc::unit_square_grid(4, 4)));
+
+  // KeyBuilder: domain separation and order sensitivity.
+  EXPECT_FALSE(KeyBuilder("a").add(std::uint64_t{1}).key() ==
+               KeyBuilder("b").add(std::uint64_t{1}).key());
+  EXPECT_FALSE(KeyBuilder("a").add(1.0).add(2.0).key() ==
+               KeyBuilder("a").add(2.0).add(1.0).key());
+}
+
+TEST(OperatorCache, CachedLuIsSharedAndInstallable) {
+  const rbf::PolyharmonicSpline kernel(3);
+  pde::LaplaceSolver s1(6, kernel);
+  pde::LaplaceSolver s2(6, kernel);  // identical layout => identical matrix
+  ASSERT_EQ(s1.collocation().content_hash(), s2.collocation().content_hash());
+
+  OperatorCache cache(std::size_t{64} << 20);
+  serve::memoize_lu(cache, s1.collocation());
+  serve::memoize_lu(cache, s2.collocation());
+  // Second memoize must be a hit: both solvers share one factorisation.
+  const OperatorCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(&s1.collocation().lu(), &s2.collocation().lu());
+
+  // The installed factorisation must actually solve the system.
+  const la::Vector c(s1.num_control(), 0.25);
+  const la::Vector u1 = s1.solve(c);
+  const la::Vector u2 = s2.solve(c);
+  for (std::size_t i = 0; i < u1.size(); ++i) EXPECT_EQ(u1[i], u2[i]);
+}
+
+// ---- thread pool ---------------------------------------------------------
+
+TEST(ThreadPool, CompletesJobsSubmittedFasterThanExecuted) {
+  serve::ThreadPool pool(3, 4);  // small queue: exercises backpressure
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i)
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++done;
+    });
+  pool.drain();
+  EXPECT_EQ(done.load(), 32);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, JobsCompleteOutOfSubmissionOrder) {
+  serve::ThreadPool pool(2);
+  std::mutex order_mutex;
+  std::vector<int> order;
+  pool.submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    std::lock_guard lock(order_mutex);
+    order.push_back(0);
+  });
+  pool.submit([&] {
+    std::lock_guard lock(order_mutex);
+    order.push_back(1);
+  });
+  pool.drain();
+  ASSERT_EQ(order.size(), 2u);
+  // The fast job (1) must not have been serialised behind the slow one (0).
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(ThreadPool, ThrowingJobDoesNotKillWorkers) {
+  serve::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 4; ++i)
+    pool.submit([] { throw std::runtime_error("job boom"); });
+  for (int i = 0; i < 4; ++i) pool.submit([&done] { ++done; });
+  pool.drain();
+  EXPECT_EQ(done.load(), 4);
+}
+
+// ---- metrics predump hook (atexit-dump safety regression) ----------------
+
+#if !defined(UPDEC_DISABLE_METRICS)
+TEST(ThreadPool, MetricsDumpDrainsLiveWorkersFirst) {
+  metrics::reset();
+  metrics::set_enabled(true);
+  serve::ThreadPool pool(2);
+  constexpr int kJobs = 24;
+  for (int i = 0; i < kJobs; ++i)
+    pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      metrics::counter_add("test/predump.jobs");
+    });
+  // Dump immediately, while workers are mid-flight: the pool's predump hook
+  // must drain them before the snapshot, so the dump carries ALL increments.
+  const std::string path = ::testing::TempDir() + "predump_metrics.json";
+  ASSERT_TRUE(metrics::dump_json_file(path));
+  EXPECT_EQ(metrics::counter_value("test/predump.jobs"),
+            static_cast<std::uint64_t>(kJobs));
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  EXPECT_NE(ss.str().find("test/predump.jobs"), std::string::npos);
+  std::remove(path.c_str());
+  metrics::set_enabled(false);
+  metrics::reset();
+}
+#endif
+
+// ---- scheduler -----------------------------------------------------------
+
+serve::Scenario quick_laplace(const std::string& id, std::size_t iters) {
+  serve::Scenario sc;
+  sc.id = id;
+  sc.problem = serve::ProblemKind::kLaplace;
+  sc.strategy = serve::Strategy::kDal;
+  sc.grid_n = 8;
+  sc.iterations = iters;
+  return sc;
+}
+
+TEST(Scheduler, RunsABatchAndReportsInSubmissionOrder) {
+  OperatorCache cache(std::size_t{64} << 20);
+  serve::SchedulerOptions options;
+  options.threads = 2;
+  options.default_deadline_ms = 0.0;
+  options.cache = &cache;
+  serve::Scheduler scheduler(options);
+  for (int i = 0; i < 6; ++i)
+    (void)scheduler.submit(quick_laplace("job-" + std::to_string(i), 5));
+  const std::vector<serve::JobReport> reports = scheduler.wait_all();
+  ASSERT_EQ(reports.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(reports[i].id, "job-" + std::to_string(i));
+    EXPECT_EQ(reports[i].status, serve::JobStatus::kSucceeded)
+        << reports[i].error;
+    EXPECT_EQ(reports[i].iterations, 5u);
+    EXPECT_EQ(reports[i].cost_history.size(), 5u);
+    EXPECT_GT(reports[i].seconds, 0.0);
+  }
+  // All six jobs share one discretisation: exactly one bundle build and one
+  // factorisation; every other lookup is a hit or (when a job arrives while
+  // the leader is still building) an in-flight join -- never a recompute.
+  const OperatorCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 2u);  // bundle + LU
+  EXPECT_GE(s.hits + s.inflight_waits, 5u);
+}
+
+TEST(Scheduler, CancellationIsHonored) {
+  OperatorCache cache(std::size_t{64} << 20);
+  serve::SchedulerOptions options;
+  options.threads = 1;  // serialise: job 2 cannot start before job 1 ends
+  options.cache = &cache;
+  serve::Scheduler scheduler(options);
+  const auto long_id = scheduler.submit(quick_laplace("long", 100000));
+  const auto queued_id = scheduler.submit(quick_laplace("queued", 100000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(scheduler.cancel(long_id));
+  EXPECT_TRUE(scheduler.cancel(queued_id));
+
+  const serve::JobReport running = scheduler.wait(long_id);
+  EXPECT_EQ(running.status, serve::JobStatus::kCancelled);
+  EXPECT_LT(running.iterations, 100000u);  // stopped mid-run, state intact
+
+  const serve::JobReport queued = scheduler.wait(queued_id);
+  EXPECT_EQ(queued.status, serve::JobStatus::kCancelled);
+
+  // cancel() on a finished job reports "too late".
+  EXPECT_FALSE(scheduler.cancel(long_id));
+
+  // The pool survives: a fresh job still runs to completion.
+  const auto after = scheduler.submit(quick_laplace("after", 3));
+  EXPECT_EQ(scheduler.wait(after).status, serve::JobStatus::kSucceeded);
+}
+
+TEST(Scheduler, DeadlineExpiryFailsTheJobNotThePool) {
+  OperatorCache cache(std::size_t{64} << 20);
+  serve::SchedulerOptions options;
+  options.threads = 1;
+  options.cache = &cache;
+  serve::Scheduler scheduler(options);
+
+  serve::Scenario doomed = quick_laplace("doomed", 10000000);
+  doomed.deadline_ms = 30.0;
+  const auto doomed_id = scheduler.submit(doomed);
+  const serve::JobReport report = scheduler.wait(doomed_id);
+  EXPECT_EQ(report.status, serve::JobStatus::kDeadlineExpired);
+  EXPECT_LT(report.iterations, 10000000u);
+
+  const auto ok_id = scheduler.submit(quick_laplace("ok", 3));
+  EXPECT_EQ(scheduler.wait(ok_id).status, serve::JobStatus::kSucceeded);
+}
+
+TEST(Scheduler, JitteredSeedsProduceIsolatedTrajectories) {
+  OperatorCache cache(std::size_t{64} << 20);
+  serve::SchedulerOptions options;
+  options.threads = 2;
+  options.cache = &cache;
+  serve::Scheduler scheduler(options);
+  serve::Scenario a = quick_laplace("seed-1", 4);
+  a.seed = 1;
+  a.control_jitter = 0.1;
+  serve::Scenario b = quick_laplace("seed-2", 4);
+  b.seed = 2;
+  b.control_jitter = 0.1;
+  serve::Scenario a2 = quick_laplace("seed-1-again", 4);
+  a2.seed = 1;
+  a2.control_jitter = 0.1;
+  const auto ia = scheduler.submit(a);
+  const auto ib = scheduler.submit(b);
+  const auto ia2 = scheduler.submit(a2);
+  const serve::JobReport ra = scheduler.wait(ia);
+  const serve::JobReport rb = scheduler.wait(ib);
+  const serve::JobReport ra2 = scheduler.wait(ia2);
+  ASSERT_TRUE(ra.ok() && rb.ok() && ra2.ok());
+  // Same seed => identical trajectory regardless of scheduling; different
+  // seed => different trajectory (per-job Rng, no shared stream).
+  ASSERT_EQ(ra.cost_history.size(), ra2.cost_history.size());
+  for (std::size_t i = 0; i < ra.cost_history.size(); ++i)
+    EXPECT_EQ(ra.cost_history[i], ra2.cost_history[i]);
+  EXPECT_NE(ra.cost_history.front(), rb.cost_history.front());
+}
+
+TEST(Scheduler, ParsersRoundTrip) {
+  EXPECT_EQ(serve::parse_problem_kind("laplace"), serve::ProblemKind::kLaplace);
+  EXPECT_EQ(serve::parse_strategy("fd"), serve::Strategy::kFd);
+  EXPECT_THROW(serve::parse_problem_kind("poisson"), Error);
+  EXPECT_THROW(serve::parse_strategy("adjoint"), Error);
+  EXPECT_STREQ(serve::to_string(serve::JobStatus::kDeadlineExpired),
+               "deadline_expired");
+}
+
+}  // namespace
