@@ -1,0 +1,49 @@
+// Replays every pinned fuzz regression (check::pinned_cases) under
+// google-benchmark. Pinned cases are correctness reproducers first, but the
+// code paths they pin -- multi-solver agreement, batched sweeps, cache
+// warm/cold -- are also the serving hot paths, so tracking their wall-clock
+// catches a fix that quietly regresses performance. A pinned case that
+// fails its oracle aborts the benchmark with an error instead of reporting
+// a meaningless timing.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "check/oracles.hpp"
+
+namespace {
+
+void run_pinned(benchmark::State& state, const updec::check::Oracle* oracle,
+                updec::check::PinnedCase pin) {
+  updec::check::OracleCase c;
+  c.seed = pin.case_seed;
+  c.size = pin.size;
+  for (auto _ : state) {
+    const updec::check::OracleResult r = updec::check::run_guarded(*oracle, c);
+    if (!r.ok && !r.skipped) {
+      state.SkipWithError(("pinned case regressed: " + r.detail).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.error);
+  }
+  state.counters["size"] = static_cast<double>(pin.size);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const updec::check::PinnedCase& pin : updec::check::pinned_cases()) {
+    const updec::check::Oracle* oracle = updec::check::find_oracle(pin.oracle);
+    if (oracle == nullptr) continue;  // stale pin; tier-1 flags it loudly
+    const std::string name =
+        std::string("BM_Pinned/") + pin.oracle + "/" + std::to_string(pin.size);
+    benchmark::RegisterBenchmark(name.c_str(), run_pinned, oracle, pin);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

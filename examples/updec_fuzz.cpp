@@ -1,0 +1,119 @@
+// updec_fuzz -- seeded, shrinking fuzz driver over the differential-oracle
+// catalogue (src/check). Typical invocations:
+//
+//   updec_fuzz --trials 200                 # bounded randomized run
+//   updec_fuzz --seconds 600 --trials 0     # wall-clock-budgeted (CI nightly)
+//   updec_fuzz --list                       # print the oracle catalogue
+//   updec_fuzz --oracle solver_equivalence --trials 50
+//   updec_fuzz --oracle ad_vs_fd_ops --case-seed 0xdeadbeef --size 12
+//   UPDEC_FUZZ_SEED=0x1234 updec_fuzz --trials 100   # replay a reported run
+//
+// Every run prints its master seed up front; every failure prints both a
+// run-level and a minimal case-level replay command. Exit code: 0 on a clean
+// run, 1 when any oracle failed.
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "check/oracles.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+/// Accepts decimal or 0x-prefixed hex (the format the driver prints).
+bool parse_seed(const std::string& text, std::uint64_t* seed) {
+  try {
+    std::size_t consumed = 0;
+    *seed = std::stoull(text, &consumed, 0);
+    return consumed == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+int list_oracles() {
+  std::cout << "oracle catalogue (" << updec::check::all_oracles().size()
+            << " families):\n";
+  for (const auto& o : updec::check::all_oracles()) {
+    std::cout << "  " << o.name << " [" << o.min_size << ".." << o.max_size
+              << "]\n      " << o.summary << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const updec::CliArgs args(argc, argv);
+
+  if (args.flag("help")) {
+    std::cout
+        << "usage: updec_fuzz [--trials N] [--seconds S] [--seed S]\n"
+        << "                  [--oracle NAME] [--max-size N] [--no-shrink]\n"
+        << "                  [--list]\n"
+        << "       updec_fuzz --oracle NAME --case-seed S --size N\n"
+        << "UPDEC_FUZZ_SEED overrides the master seed (replay a printed run).\n";
+    return 0;
+  }
+  if (args.flag("list")) return list_oracles();
+
+  // Direct single-case replay (the command a failure report prints).
+  if (args.has("case-seed")) {
+    const std::string name = args.get("oracle", "");
+    const updec::check::Oracle* oracle = updec::check::find_oracle(name);
+    if (oracle == nullptr) {
+      std::cerr << "--case-seed needs a valid --oracle name (see --list); got '"
+                << name << "'\n";
+      return 2;
+    }
+    updec::check::OracleCase c;
+    if (!parse_seed(args.get("case-seed", ""), &c.seed)) {
+      std::cerr << "unparseable --case-seed\n";
+      return 2;
+    }
+    c.size = static_cast<std::size_t>(
+        args.get_int("size", static_cast<int>(oracle->min_size)));
+    const auto result = updec::check::replay_case(*oracle, c, std::cout);
+    return result.ok || result.skipped ? 0 : 1;
+  }
+
+  updec::check::FuzzOptions options;
+  options.trials = static_cast<std::size_t>(args.get_int("trials", 100));
+  options.max_seconds = args.get_double("seconds", 0.0);
+  options.only_oracle = args.get("oracle", "");
+  options.max_size = static_cast<std::size_t>(args.get_int("max-size", 0));
+  options.shrink = !args.flag("no-shrink");
+  if (options.trials == 0 && options.max_seconds <= 0.0) {
+    std::cerr << "refusing an unbounded run: set --trials or --seconds\n";
+    return 2;
+  }
+
+  // Master seed precedence: UPDEC_FUZZ_SEED env (replay) > --seed > clock.
+  bool seeded = false;
+  if (const char* env = std::getenv("UPDEC_FUZZ_SEED")) {
+    if (!parse_seed(env, &options.master_seed)) {
+      std::cerr << "unparseable UPDEC_FUZZ_SEED='" << env << "'\n";
+      return 2;
+    }
+    seeded = true;
+  } else if (args.has("seed")) {
+    if (!parse_seed(args.get("seed", ""), &options.master_seed)) {
+      std::cerr << "unparseable --seed\n";
+      return 2;
+    }
+    seeded = true;
+  }
+  if (!seeded) {
+    // Fresh entropy for exploratory runs; the seed is printed by run_fuzz,
+    // so any failure is still replayable.
+    options.master_seed = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+
+  const updec::check::FuzzReport report =
+      updec::check::run_fuzz(options, std::cout);
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+#pragma once
+/// \file fuzz.hpp
+/// \brief Seeded fuzz driver with failure shrinking over the oracle catalogue.
+///
+/// One master seed determines the entire run: each trial draws its oracle,
+/// case seed and problem size from an Rng seeded with the master seed, so
+/// `UPDEC_FUZZ_SEED=<master> updec_fuzz --trials N` replays a reported run
+/// exactly. On a failure the driver shrinks: holding the case seed fixed it
+/// scans sizes upward from the oracle's minimum and reports the smallest
+/// size that still fails, together with a one-line replay command.
+///
+/// Failures that prove to be genuine bugs graduate into pinned_cases(),
+/// which tier-1 (tests/test_properties.cpp) and the pinned bench replay
+/// forever (see docs/TESTING.md for the promotion workflow).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/oracles.hpp"
+
+namespace updec::check {
+
+/// Configuration of one fuzz run.
+struct FuzzOptions {
+  std::uint64_t master_seed = 0x9E3779B97F4A7C15ull;
+  std::size_t trials = 100;    ///< 0 = unbounded (use max_seconds)
+  double max_seconds = 0.0;    ///< wall-clock budget; 0 = unbounded
+  std::string only_oracle;     ///< restrict to one oracle family ("" = all)
+  std::size_t max_size = 0;    ///< clamp problem sizes (0 = oracle default)
+  bool shrink = true;          ///< minimise failing cases
+};
+
+/// One failing trial (after shrinking, if enabled).
+struct FuzzFailure {
+  std::string oracle;
+  std::uint64_t master_seed = 0;
+  std::size_t trial = 0;        ///< 0-based index within the run
+  std::uint64_t case_seed = 0;  ///< direct replay: --case-seed + --size
+  std::size_t size = 0;         ///< size as originally drawn
+  std::size_t shrunk_size = 0;  ///< smallest size that still fails
+  OracleResult result;          ///< result at the shrunk size
+};
+
+/// Aggregate outcome of a fuzz run.
+struct FuzzReport {
+  std::size_t trials_run = 0;
+  std::size_t skipped = 0;
+  std::vector<FuzzFailure> failures;
+  double seconds = 0.0;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Run the fuzz loop, streaming progress and failure replay lines to `out`.
+/// `catalogue` defaults to all_oracles(); tests inject a custom catalogue to
+/// exercise the driver (shrinking, replay lines) with known-failing oracles.
+FuzzReport run_fuzz(const FuzzOptions& options, std::ostream& out,
+                    const std::vector<Oracle>* catalogue = nullptr);
+
+/// Replay one explicit case (the --case-seed path and the pinned-case path).
+/// Returns the oracle result; prints a verdict line to `out`.
+OracleResult replay_case(const Oracle& oracle, const OracleCase& c,
+                         std::ostream& out);
+
+/// A fuzz finding promoted to a permanent regression case.
+struct PinnedCase {
+  const char* oracle;
+  std::uint64_t case_seed;
+  std::size_t size;
+  const char* note;
+};
+
+/// Pinned regression cases replayed by tier-1 tests and benchmarked by
+/// bench_fuzz_pinned. Add new entries here when promoting a fuzz find.
+const std::vector<PinnedCase>& pinned_cases();
+
+}  // namespace updec::check

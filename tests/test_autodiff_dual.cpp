@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "testing_common.hpp"
 #include "autodiff/dual.hpp"
 #include "autodiff/dual2.hpp"
 #include "util/rng.hpp"
@@ -181,7 +182,7 @@ TEST(Dual2OverVar, LaplacianResidualGradient) {
 class PhsLaplacian : public ::testing::TestWithParam<int> {};
 
 TEST_P(PhsLaplacian, MatchesAnalytic) {
-  updec::Rng rng(GetParam());
+  updec::Rng rng = updec::testing_support::test_rng(GetParam());
   const double cx = rng.uniform(-1.0, 1.0), cy = rng.uniform(-1.0, 1.0);
   const double px = rng.uniform(-1.0, 1.0), py = rng.uniform(-1.0, 1.0);
   const double r2v = (px - cx) * (px - cx) + (py - cy) * (py - cy);

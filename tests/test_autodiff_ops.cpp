@@ -6,6 +6,7 @@
 
 #include "autodiff/ops.hpp"
 #include "la/blas.hpp"
+#include "testing_common.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -19,20 +20,16 @@ using updec::la::Matrix;
 using updec::la::SparseBuilder;
 using updec::la::Vector;
 
+// Randomness routes through the shared logged-seed stack (testing_common);
+// the local names keep the historical (size, seed) call sites unchanged.
 Matrix random_matrix(std::size_t n, std::uint64_t seed) {
-  updec::Rng rng(seed);
-  Matrix a(n, n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  Matrix a = updec::testing_support::random_matrix(n, n, seed);
   for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // well-conditioned
   return a;
 }
 
 Vector random_vector(std::size_t n, std::uint64_t seed) {
-  updec::Rng rng(seed);
-  Vector v(n);
-  for (auto& x : v) x = rng.normal();
-  return v;
+  return updec::testing_support::random_vector(n, seed);
 }
 
 TEST(AdOps, SumReduction) {
@@ -260,7 +257,7 @@ TEST_P(ChainedCustomOps, GradientMatchesAnalytic) {
   const Matrix a = random_matrix(n, 100 + n);
   const LuFactorization lu(a);
   SparseBuilder sb(n, n);
-  updec::Rng rng(200 + n);
+  updec::Rng rng = updec::testing_support::test_rng(200 + n);
   for (std::size_t i = 0; i < n; ++i) {
     sb.add(i, i, 2.0 + rng.uniform());
     sb.add(i, (i + 1) % n, -rng.uniform());

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "testing_common.hpp"
 #include "autodiff/ops.hpp"
 #include "control/laplace_problem.hpp"
 #include "la/blas.hpp"
@@ -155,7 +156,7 @@ TEST(Integration, ProblemCostMatchesStrategyCostEverywhere) {
       std::make_shared<updec::control::LaplaceControlProblem>(12, kernel);
   auto dp = updec::control::make_laplace_dp(problem);
   auto dal = updec::control::make_laplace_dal(problem);
-  updec::Rng rng(17);
+  updec::Rng rng = updec::testing_support::test_rng(17);
   for (int trial = 0; trial < 5; ++trial) {
     Vector c(problem->control_size());
     for (auto& v : c) v = rng.uniform(-0.3, 0.3);

@@ -1,0 +1,110 @@
+// Dedicated unit tests for la::CholeskyFactorization: solve round-trips on
+// random SPD systems, agreement with LU, log-determinant consistency, and
+// the not-positive-definite / dimension contracts. Randomized inputs come
+// from the shared check:: generators with logged seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/cholesky.hpp"
+#include "la/lu.hpp"
+#include "testing_common.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using updec::la::CholeskyFactorization;
+using updec::la::Matrix;
+using updec::la::Vector;
+namespace ts = updec::testing_support;
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+TEST(CholeskyFactorization, SolveRoundTripOnRandomSpd) {
+  updec::Rng rng = ts::test_rng(0xc401u);
+  for (int rep = 0; rep < 6; ++rep) {
+    const std::size_t n = 2 + rng.uniform_index(40);
+    const Matrix a = updec::check::random_spd(rng, n);
+    const Vector x_true = updec::check::random_vector(rng, n);
+    const Vector b = matvec(a, x_true);
+    const Vector x = CholeskyFactorization(a).solve(b);
+    EXPECT_TRUE(ts::vectors_near(x, x_true, 1e-8)) << "size " << n;
+    EXPECT_LT(ts::relative_residual(a, x, b), 1e-9);
+  }
+}
+
+TEST(CholeskyFactorization, AgreesWithLuOnRandomSpd) {
+  updec::Rng rng = ts::test_rng(0xc402u);
+  for (int rep = 0; rep < 6; ++rep) {
+    const std::size_t n = 2 + rng.uniform_index(30);
+    const Matrix a = updec::check::random_spd(rng, n);
+    const Vector b = updec::check::random_vector(rng, n);
+    const Vector x_chol = CholeskyFactorization(a).solve(b);
+    const Vector x_lu = updec::la::solve(a, b);
+    EXPECT_TRUE(ts::vectors_near(x_chol, x_lu, 1e-8))
+        << "Cholesky and LU disagree on an SPD system of size " << n;
+  }
+}
+
+TEST(CholeskyFactorization, LogDeterminantMatchesLu) {
+  updec::Rng rng = ts::test_rng(0xc403u);
+  for (int rep = 0; rep < 4; ++rep) {
+    const std::size_t n = 2 + rng.uniform_index(16);
+    const Matrix a = updec::check::random_spd(rng, n);
+    const double log_det = CholeskyFactorization(a).log_determinant();
+    const double det_lu = updec::la::LuFactorization(a).determinant();
+    ASSERT_GT(det_lu, 0.0) << "SPD determinant must be positive";
+    EXPECT_NEAR(log_det, std::log(det_lu), 1e-8 * (1.0 + std::abs(log_det)));
+  }
+}
+
+TEST(CholeskyFactorization, HandlesModeratelyIllConditionedSpd) {
+  // The graded-diagonal generator is the flat-kernel regime; Cholesky must
+  // still produce a small residual (if not a small forward error).
+  updec::Rng rng = ts::test_rng(0xc404u);
+  const std::size_t n = 24;
+  const Matrix a = updec::check::random_ill_conditioned(rng, n, 6.0);
+  const Vector b = updec::check::random_vector(rng, n);
+  const Vector x = CholeskyFactorization(a).solve(b);
+  EXPECT_LT(ts::relative_residual(a, x, b), 1e-7);
+}
+
+TEST(CholeskyFactorization, IndefiniteMatrixThrows) {
+  // Symmetric but indefinite: diag(1, -1) plus noise-free off-diagonals.
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_THROW(CholeskyFactorization{a}, updec::Error);
+}
+
+TEST(CholeskyFactorization, SemidefiniteMatrixThrows) {
+  // Rank-1 Gram matrix: positive semi-definite, but not definite.
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = 1.0;
+  EXPECT_THROW(CholeskyFactorization{a}, updec::Error);
+}
+
+TEST(CholeskyFactorization, ContractViolationsThrow) {
+  EXPECT_THROW(CholeskyFactorization{Matrix(2, 3)}, updec::Error);
+
+  const CholeskyFactorization empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW((void)empty.solve(Vector(2)), updec::Error);
+  EXPECT_THROW((void)empty.log_determinant(), updec::Error);
+
+  updec::Rng rng = ts::test_rng(0xc405u);
+  const CholeskyFactorization chol(updec::check::random_spd(rng, 4));
+  EXPECT_THROW((void)chol.solve(Vector(5)), updec::Error);
+}
+
+}  // namespace

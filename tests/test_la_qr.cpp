@@ -1,0 +1,157 @@
+// Dedicated unit tests for la::QrFactorization (Householder QR): structural
+// invariants (orthogonality, residual orthogonal to the column space),
+// agreement with LU on square SPD systems, the rank-deficiency contract, and
+// the diagonal-ratio diagnostic. Randomized inputs come from the shared
+// check:: generators with logged seeds (see testing_common.hpp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/cholesky.hpp"
+#include "la/lu.hpp"
+#include "la/qr.hpp"
+#include "testing_common.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using updec::la::Matrix;
+using updec::la::QrFactorization;
+using updec::la::Vector;
+namespace ts = updec::testing_support;
+
+double norm2(const Vector& v) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) s += v[i] * v[i];
+  return std::sqrt(s);
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vector matvec_t(const Matrix& a, const Vector& x) {
+  Vector y(a.cols());
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) s += a(i, j) * x[i];
+    y[j] = s;
+  }
+  return y;
+}
+
+TEST(QrFactorization, ApplyQtPreservesNorm) {
+  updec::Rng rng = ts::test_rng(0x9a01u);
+  for (int rep = 0; rep < 5; ++rep) {
+    const std::size_t m = 8 + rng.uniform_index(16);
+    const std::size_t n = 2 + rng.uniform_index(m - 1);
+    const QrFactorization qr(updec::check::random_matrix(rng, m, n));
+    const Vector b = updec::check::random_vector(rng, m);
+    // Q is orthogonal, so ||Q^T b|| == ||b||.
+    EXPECT_NEAR(norm2(qr.apply_qt(b)), norm2(b), 1e-10 * (1.0 + norm2(b)));
+  }
+}
+
+TEST(QrFactorization, SquareSolveRoundTrip) {
+  updec::Rng rng = ts::test_rng(0x9a02u);
+  for (int rep = 0; rep < 5; ++rep) {
+    const std::size_t n = 3 + rng.uniform_index(20);
+    const Matrix a = updec::check::random_diag_dominant(rng, n);
+    const Vector x_true = updec::check::random_vector(rng, n);
+    const Vector b = matvec(a, x_true);
+    const Vector x = QrFactorization(a).solve_least_squares(b);
+    EXPECT_TRUE(ts::vectors_near(x, x_true, 1e-9));
+    EXPECT_LT(ts::relative_residual(a, x, b), 1e-10);
+  }
+}
+
+TEST(QrFactorization, AgreesWithLuOnRandomSpd) {
+  updec::Rng rng = ts::test_rng(0x9a03u);
+  for (int rep = 0; rep < 5; ++rep) {
+    const std::size_t n = 2 + rng.uniform_index(30);
+    const Matrix a = updec::check::random_spd(rng, n);
+    const Vector b = updec::check::random_vector(rng, n);
+    const Vector x_qr = QrFactorization(a).solve_least_squares(b);
+    const Vector x_lu = updec::la::solve(a, b);
+    EXPECT_TRUE(ts::vectors_near(x_qr, x_lu, 1e-8))
+        << "QR and LU disagree on an SPD system of size " << n;
+  }
+}
+
+TEST(QrFactorization, LeastSquaresResidualOrthogonalToColumnSpace) {
+  updec::Rng rng = ts::test_rng(0x9a04u);
+  for (int rep = 0; rep < 5; ++rep) {
+    const std::size_t m = 10 + rng.uniform_index(20);
+    const std::size_t n = 2 + rng.uniform_index(6);
+    const Matrix a = updec::check::random_matrix(rng, m, n);
+    const Vector b = updec::check::random_vector(rng, m);
+    const Vector x = QrFactorization(a).solve_least_squares(b);
+    // The least-squares minimiser satisfies A^T (A x - b) = 0.
+    Vector r = matvec(a, x);
+    for (std::size_t i = 0; i < m; ++i) r[i] -= b[i];
+    const Vector g = matvec_t(a, r);
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(g[j], 0.0, 1e-8 * (1.0 + norm2(b)));
+  }
+}
+
+TEST(QrFactorization, MatchesNormalEquationsOnTallSystem) {
+  updec::Rng rng = ts::test_rng(0x9a05u);
+  const std::size_t m = 24, n = 6;
+  const Matrix a = updec::check::random_matrix(rng, m, n);
+  const Vector b = updec::check::random_vector(rng, m);
+  const Vector x_qr = QrFactorization(a).solve_least_squares(b);
+
+  // Reference: solve A^T A x = A^T b by Cholesky.
+  Matrix ata(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < m; ++k) s += a(k, i) * a(k, j);
+      ata(i, j) = s;
+    }
+  const Vector x_ne =
+      updec::la::CholeskyFactorization(ata).solve(matvec_t(a, b));
+  EXPECT_TRUE(ts::vectors_near(x_qr, x_ne, 1e-7));
+}
+
+TEST(QrFactorization, RankDeficientSystemThrows) {
+  // An exactly zero column makes the Householder reflector vanish, so the
+  // corresponding R diagonal is exactly zero and back-substitution must
+  // refuse rather than divide.
+  updec::Rng rng = ts::test_rng(0x9a06u);
+  Matrix a = updec::check::random_matrix(rng, 12, 4);
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, 2) = 0.0;
+  const QrFactorization qr(a);
+  const Vector b = updec::check::random_vector(rng, 12);
+  EXPECT_THROW((void)qr.solve_least_squares(b), updec::Error);
+  EXPECT_EQ(qr.diagonal_ratio(), 0.0);
+}
+
+TEST(QrFactorization, DiagonalRatioFlagsNearDependence) {
+  updec::Rng rng = ts::test_rng(0x9a07u);
+  Matrix a = updec::check::random_matrix(rng, 16, 4);
+  const double healthy = QrFactorization(a).diagonal_ratio();
+  // Make column 3 a 1e-12 perturbation of column 0: nearly dependent.
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    a(i, 3) = a(i, 0) + 1e-12 * a(i, 1);
+  const double degenerate = QrFactorization(a).diagonal_ratio();
+  EXPECT_GT(healthy, 1e-4);
+  EXPECT_LT(degenerate, 1e-8);
+}
+
+TEST(QrFactorization, WideMatrixAndEmptyFactorisationAreRejected) {
+  EXPECT_THROW(QrFactorization(Matrix(3, 5)), updec::Error);
+  const QrFactorization empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW((void)empty.solve_least_squares(Vector(3)), updec::Error);
+}
+
+}  // namespace

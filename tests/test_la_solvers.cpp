@@ -7,6 +7,7 @@
 #include "la/cholesky.hpp"
 #include "la/lu.hpp"
 #include "la/qr.hpp"
+#include "testing_common.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -18,19 +19,14 @@ using updec::la::Matrix;
 using updec::la::QrFactorization;
 using updec::la::Vector;
 
+// Randomness routes through the shared logged-seed stack (testing_common);
+// the local names keep the historical (size, seed) call sites unchanged.
 Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
-  updec::Rng rng(seed);
-  Matrix a(rows, cols);
-  for (std::size_t i = 0; i < rows; ++i)
-    for (std::size_t j = 0; j < cols; ++j) a(i, j) = rng.normal();
-  return a;
+  return updec::testing_support::random_matrix(rows, cols, seed);
 }
 
 Matrix random_spd(std::size_t n, std::uint64_t seed) {
-  const Matrix b = random_matrix(n, n, seed);
-  Matrix a = updec::la::matmul(b.transposed(), b);
-  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
-  return a;
+  return updec::testing_support::random_spd(n, seed);
 }
 
 TEST(Lu, SolvesSmallKnownSystem) {
@@ -59,7 +55,7 @@ TEST(Lu, SingularMatrixThrows) {
 
 TEST(Lu, TransposeSolveMatchesExplicitTranspose) {
   const Matrix a = random_matrix(20, 20, 77);
-  updec::Rng rng(5);
+  updec::Rng rng = updec::testing_support::test_rng(5);
   Vector b(20);
   for (auto& v : b) v = rng.normal();
   const LuFactorization lu(a);
@@ -106,7 +102,7 @@ class LuRandomSystems : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(LuRandomSystems, ResidualIsTiny) {
   const std::size_t n = GetParam();
   const Matrix a = random_matrix(n, n, 1000 + n);
-  updec::Rng rng(n);
+  updec::Rng rng = updec::testing_support::test_rng(n);
   Vector b(n);
   for (auto& v : b) v = rng.normal();
   const Vector x = updec::la::solve(a, b);
@@ -118,7 +114,7 @@ INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomSystems,
 
 TEST(Cholesky, SolvesSpdSystem) {
   const Matrix a = random_spd(15, 9);
-  updec::Rng rng(2);
+  updec::Rng rng = updec::testing_support::test_rng(2);
   Vector b(15);
   for (auto& v : b) v = rng.normal();
   const CholeskyFactorization chol(a);
@@ -128,7 +124,7 @@ TEST(Cholesky, SolvesSpdSystem) {
 
 TEST(Cholesky, MatchesLuOnSpdSystem) {
   const Matrix a = random_spd(10, 21);
-  updec::Rng rng(6);
+  updec::Rng rng = updec::testing_support::test_rng(6);
   Vector b(10);
   for (auto& v : b) v = rng.normal();
   const Vector x_chol = CholeskyFactorization(a).solve(b);
@@ -151,7 +147,7 @@ TEST(Cholesky, LogDeterminantMatchesLu) {
 
 TEST(Qr, ExactSolveForSquareSystem) {
   const Matrix a = random_matrix(10, 10, 55);
-  updec::Rng rng(8);
+  updec::Rng rng = updec::testing_support::test_rng(8);
   Vector b(10);
   for (auto& v : b) v = rng.normal();
   const Vector x_qr = QrFactorization(a).solve_least_squares(b);
@@ -161,7 +157,7 @@ TEST(Qr, ExactSolveForSquareSystem) {
 
 TEST(Qr, LeastSquaresMatchesNormalEquations) {
   const Matrix a = random_matrix(30, 8, 70);
-  updec::Rng rng(9);
+  updec::Rng rng = updec::testing_support::test_rng(9);
   Vector b(30);
   for (auto& v : b) v = rng.normal();
   const Vector x_qr = QrFactorization(a).solve_least_squares(b);
@@ -174,7 +170,7 @@ TEST(Qr, LeastSquaresMatchesNormalEquations) {
 
 TEST(Qr, ResidualOrthogonalToColumnSpace) {
   const Matrix a = random_matrix(25, 5, 81);
-  updec::Rng rng(10);
+  updec::Rng rng = updec::testing_support::test_rng(10);
   Vector b(25);
   for (auto& v : b) v = rng.normal();
   const Vector x = QrFactorization(a).solve_least_squares(b);
@@ -186,7 +182,7 @@ TEST(Qr, ResidualOrthogonalToColumnSpace) {
 
 TEST(Qr, DiagonalRatioSignalsRankDeficiency) {
   Matrix a(6, 3);
-  updec::Rng rng(12);
+  updec::Rng rng = updec::testing_support::test_rng(12);
   for (std::size_t i = 0; i < 6; ++i) {
     a(i, 0) = rng.normal();
     a(i, 1) = 2.0 * a(i, 0);  // dependent column

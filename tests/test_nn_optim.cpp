@@ -6,6 +6,7 @@
 #include <cmath>
 #include <memory>
 
+#include "testing_common.hpp"
 #include "autodiff/dual2.hpp"
 #include "autodiff/ops.hpp"
 #include "nn/mlp.hpp"
@@ -273,7 +274,7 @@ TEST(Optim, LbfgsSolvesRosenbrockFasterThanAdam) {
 class AdamConvex : public ::testing::TestWithParam<int> {};
 
 TEST_P(AdamConvex, Converges) {
-  updec::Rng rng(GetParam());
+  updec::Rng rng = updec::testing_support::test_rng(GetParam());
   const std::size_t n = 5;
   Vector target(n), scale(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <set>
 
+#include "testing_common.hpp"
 #include "pointcloud/generators.hpp"
 #include "pointcloud/kdtree.hpp"
 #include "util/rng.hpp"
@@ -185,7 +186,7 @@ TEST(KdTree, NearestOnKnownLayout) {
 }
 
 TEST(KdTree, KNearestMatchesBruteForce) {
-  updec::Rng rng(7);
+  updec::Rng rng = updec::testing_support::test_rng(7);
   std::vector<Vec2> pts(500);
   for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
   const KdTree tree(pts);
@@ -208,7 +209,7 @@ TEST(KdTree, KNearestMatchesBruteForce) {
 }
 
 TEST(KdTree, RadiusSearchMatchesBruteForce) {
-  updec::Rng rng(9);
+  updec::Rng rng = updec::testing_support::test_rng(9);
   std::vector<Vec2> pts(300);
   for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
   const KdTree tree(pts);
@@ -240,7 +241,7 @@ TEST(KdTree, WorksOnCloud) {
 class KdTreeSorted : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(KdTreeSorted, DistancesAscending) {
-  updec::Rng rng(GetParam());
+  updec::Rng rng = updec::testing_support::test_rng(GetParam());
   std::vector<Vec2> pts(GetParam() * 40 + 10);
   for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
   const KdTree tree(pts);

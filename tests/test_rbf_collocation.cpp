@@ -6,6 +6,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "testing_common.hpp"
 #include "la/blas.hpp"
 #include "pointcloud/generators.hpp"
 #include "rbf/collocation.hpp"
@@ -248,7 +249,7 @@ TEST(Rbffd, MatrixStructure) {
 TEST(Interpolation, ReproducesDataAtNodes) {
   const PointCloud cloud = updec::pc::unit_square_scattered(80, 12, 2);
   const PolyharmonicSpline phs(3);
-  updec::Rng rng(3);
+  updec::Rng rng = updec::testing_support::test_rng(3);
   Vector data(cloud.size());
   for (auto& v : data) v = rng.normal();
   const updec::rbf::RbfInterpolant interp(cloud, phs, 1, data);
@@ -281,7 +282,7 @@ TEST(Interpolation, ApproximatesSmoothFunction) {
     data[i] = std::sin(2 * p.x) * std::exp(p.y);
   }
   const updec::rbf::RbfInterpolant interp(cloud, phs, 1, data);
-  updec::Rng rng(6);
+  updec::Rng rng = updec::testing_support::test_rng(6);
   for (int t = 0; t < 20; ++t) {
     const Vec2 p{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
     EXPECT_NEAR(interp(p), std::sin(2 * p.x) * std::exp(p.y), 2e-3);

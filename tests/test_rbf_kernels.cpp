@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "testing_common.hpp"
 #include "rbf/kernels.hpp"
 #include "rbf/operators.hpp"
 #include "util/rng.hpp"
@@ -184,7 +185,7 @@ class KernelLaplacianConsistency
     : public ::testing::TestWithParam<std::shared_ptr<Kernel>> {};
 
 TEST_P(KernelLaplacianConsistency, MatchesRadialFormula) {
-  updec::Rng rng(5);
+  updec::Rng rng = updec::testing_support::test_rng(5);
   const auto& kernel = *GetParam();
   for (int i = 0; i < 50; ++i) {
     const double r = rng.uniform(0.05, 3.0);

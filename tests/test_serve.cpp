@@ -26,6 +26,7 @@
 #include "serve/cache.hpp"
 #include "serve/pool.hpp"
 #include "serve/scheduler.hpp"
+#include "testing_common.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -38,13 +39,11 @@ using serve::OperatorCache;
 
 // ---- multi-RHS solve paths -----------------------------------------------
 
+// Randomness routes through the shared logged-seed stack (testing_common);
+// the local name keeps the historical (rows, cols, seed) call sites.
 la::Matrix random_matrix(std::size_t rows, std::size_t cols,
                          std::uint64_t seed) {
-  Rng rng(seed);
-  la::Matrix m(rows, cols);
-  for (std::size_t i = 0; i < rows; ++i)
-    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.normal();
-  return m;
+  return testing_support::random_matrix(rows, cols, seed);
 }
 
 TEST(SolveMany, LuMatchesPerColumnSolves) {
