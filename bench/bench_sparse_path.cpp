@@ -1,0 +1,142 @@
+/// bench_sparse_path: dense-LU vs sparse-first (CSR + ILU-Krylov) solve path
+/// on the RBF-FD Laplace discretisation (pde::LaplaceFdSolver).
+///
+/// For each grid the RBF-FD stencils are assembled ONCE (identical for both
+/// arms, so excluded from the timing); the two arms then measure exactly
+/// what the UPDEC_SPARSE_MIN_N threshold chooses between:
+///   * dense -- SparseFirstSolver forced onto the eager path (densify the
+///     CSR operator, robust O(N^3) LU) + a batch of solves;
+///   * sparse -- SparseFirstSolver forced onto the CSR path (ILU(0) build)
+///     + the same batch through ILU-GMRES.
+/// Both arms solve the same boundary-control right-hand sides and the
+/// solutions must agree within the solver_equivalence oracle tolerance
+/// (1e-6 relative), otherwise the bench fails regardless of the speedup.
+///
+/// The PR gate is a >= 3x sparse-over-dense speedup at the largest benched
+/// grid. MetricsSession dumps BENCH_sparse.json with per-grid timings; the
+/// committed bench/baselines/BENCH_sparse.json is one of these dumps.
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "la/robust_solve.hpp"
+#include "pde/laplace.hpp"
+#include "rbf/kernels.hpp"
+
+namespace {
+
+using namespace updec;
+
+struct ArmResult {
+  double seconds = 0.0;  ///< operator build (LU or ILU) + all solves
+  la::Matrix states;     ///< solved nodal states, one column per control
+};
+
+ArmResult run_arm(const la::CsrMatrix& a, const la::Matrix& rhs,
+                  std::size_t sparse_min_n) {
+  la::RobustSolveOptions options;
+  options.sparse_min_n = sparse_min_n;
+  const Stopwatch watch;
+  const la::SparseFirstSolver op(a, options);
+  ArmResult arm;
+  la::SolveReport report;
+  arm.states = op.solve_many(rhs, &report);
+  arm.seconds = watch.seconds();
+  report.require_converged("bench_sparse_path solve_many");
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::MetricsSession session("sparse", args);
+
+  std::vector<std::size_t> grids = {16, 24, 32};
+  if (args.flag("paper-scale")) grids.push_back(48);
+  if (args.has("grid"))
+    grids = {static_cast<std::size_t>(args.get_int("grid", 32))};
+  const std::size_t solves =
+      static_cast<std::size_t>(args.get_int("solves", 4));
+  std::cout << "### bench_sparse_path: dense-LU vs CSR+ILU-Krylov on the "
+               "RBF-FD Laplace operator, "
+            << solves << " solves per arm\n";
+
+  const rbf::PolyharmonicSpline kernel(3);
+  rbf::RbffdConfig config;
+  config.stencil_size = 21;
+  config.poly_degree = 2;
+
+  double gate_speedup = 0.0;
+  double worst_rel_diff = 0.0;
+  bool all_within_tolerance = true;
+  for (const std::size_t grid : grids) {
+    // Stencil assembly is shared by both arms and untimed.
+    const pde::LaplaceFdSolver discretisation(grid, kernel, config);
+    const la::CsrMatrix& a = discretisation.op().matrix();
+    const std::size_t n = a.rows();
+
+    // Boundary-control right-hand sides: scaled analytic controls on the
+    // top wall, the fixed sin(2 pi x) datum on the bottom.
+    la::Matrix rhs(n, solves);
+    for (std::size_t i = 0; i < n; ++i) {
+      const pc::Node& node = discretisation.cloud().node(i);
+      if (node.tag == pc::tags::kBottom)
+        for (std::size_t j = 0; j < solves; ++j)
+          rhs(i, j) = pde::LaplaceSolver::fixed_boundary_value(node);
+    }
+    for (std::size_t t = 0; t < discretisation.top_nodes().size(); ++t) {
+      const std::size_t row = discretisation.top_nodes()[t];
+      const double c =
+          pde::LaplaceSolver::analytic_control(discretisation.top_x()[t]);
+      for (std::size_t j = 0; j < solves; ++j)
+        rhs(row, j) = (0.25 + 0.25 * static_cast<double>(j)) * c;
+    }
+
+    const ArmResult dense = run_arm(a, rhs, n + 1);  // force eager dense LU
+    const ArmResult sparse = run_arm(a, rhs, 0);     // force CSR + ILU-Krylov
+
+    double scale = 1.0, diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < solves; ++j) {
+        scale = std::max(scale, std::abs(dense.states(i, j)));
+        diff = std::max(diff,
+                        std::abs(dense.states(i, j) - sparse.states(i, j)));
+      }
+    const double rel_diff = diff / scale;
+    worst_rel_diff = std::max(worst_rel_diff, rel_diff);
+    all_within_tolerance = all_within_tolerance && rel_diff <= 1e-6;
+
+    const double speedup =
+        sparse.seconds > 0.0 ? dense.seconds / sparse.seconds : 0.0;
+    gate_speedup = speedup;  // the last grid is the largest
+    std::cout << "grid " << grid << " (n=" << n
+              << "): dense " << dense.seconds << " s, sparse "
+              << sparse.seconds << " s, speedup " << speedup
+              << "x, rel diff " << rel_diff << "\n";
+
+    const std::string prefix =
+        "sparse_bench/n" + std::to_string(n);
+    metrics::gauge_set((prefix + ".dense_seconds").c_str(), dense.seconds);
+    metrics::gauge_set((prefix + ".sparse_seconds").c_str(), sparse.seconds);
+    metrics::gauge_set((prefix + ".speedup").c_str(), speedup);
+    metrics::gauge_set((prefix + ".rel_diff").c_str(), rel_diff);
+  }
+
+  metrics::gauge_set("sparse_bench/speedup", gate_speedup);
+  metrics::gauge_set("sparse_bench/max_rel_diff", worst_rel_diff);
+
+  if (!all_within_tolerance) {
+    std::cerr << "bench_sparse_path: sparse and dense paths disagree ("
+              << worst_rel_diff << " relative, tolerance 1e-6)\n";
+    return 1;
+  }
+  if (gate_speedup < 3.0) {
+    std::cerr << "bench_sparse_path: speedup " << gate_speedup
+              << "x at the largest grid is below the 3x sparse-path gate\n";
+    return 1;
+  }
+  return 0;
+}

@@ -156,6 +156,24 @@ VarVec solve(const la::LuFactorization& lu, const VarVec& b) {
   return wrap_outputs(tape, start, b.size());
 }
 
+VarVec solve(const la::SparseFirstSolver& op, const VarVec& b) {
+  UPDEC_REQUIRE(op.size() == b.size(), "solve size mismatch");
+  Tape& tape = tape_of(b);
+  const la::Vector bv = values(b);
+  const la::Vector xv = op.solve(bv);
+  const std::int64_t start = tape.custom_op(
+      xv.std(), [&op, ib = indices_of(b)](Tape& t, std::int64_t out) {
+        // b_bar += A^{-T} x_bar
+        la::Vector xbar(op.size());
+        for (std::size_t i = 0; i < op.size(); ++i)
+          xbar[i] = t.adjoint(out + static_cast<std::int64_t>(i));
+        const la::Vector bbar = op.solve_transpose(xbar);
+        for (std::size_t i = 0; i < ib.size(); ++i)
+          t.adjoint_ref(ib[i]) += bbar[i];
+      });
+  return wrap_outputs(tape, start, b.size());
+}
+
 VarVec solve(const VarVec& a_flat, const VarVec& b) {
   const std::size_t n = b.size();
   UPDEC_REQUIRE(a_flat.size() == n * n, "solve expects n*n matrix entries");

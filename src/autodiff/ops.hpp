@@ -15,6 +15,7 @@
 
 #include "autodiff/var_math.hpp"
 #include "la/lu.hpp"
+#include "la/robust_solve.hpp"
 #include "la/sparse.hpp"
 
 namespace updec::ad {
@@ -64,6 +65,12 @@ VarVec gemv(const la::Matrix& a, const VarVec& x);
 /// x = A^{-1} b with a constant, pre-factored A.
 /// VJP: b_bar += A^{-T} x_bar (one transpose solve).
 VarVec solve(const la::LuFactorization& lu, const VarVec& b);
+
+/// x = A^{-1} b through the sparse-first chain (constant operator).
+/// VJP: b_bar += A^{-T} x_bar, one solve_transpose through the same chain
+/// (ILU-GMRES on A^T at large N, the shared dense factors below the
+/// threshold).
+VarVec solve(const la::SparseFirstSolver& op, const VarVec& b);
 
 // ---- linear solve with a differentiable matrix ----
 

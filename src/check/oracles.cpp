@@ -245,10 +245,29 @@ OracleResult solver_equivalence(const OracleCase& c) {
     robust.solve(b, x).require_converged("oracle robust_solve");
     consider("robust_solve", x);
   }
+  {
+    // Sparse-first solver forced onto each of its two modes: the threshold
+    // must select a *path*, never change the answer.
+    la::RobustSolveOptions forced;
+    forced.iterative = opts;
+    forced.sparse_min_n = 0;  // force CSR + ILU-Krylov
+    const la::SparseFirstSolver sparse_first(a, forced);
+    la::SolveReport report;
+    la::Vector x = sparse_first.solve(b, &report);
+    report.require_converged("oracle sparse_first (sparse)");
+    consider("sparse_first/sparse", x);
+
+    forced.sparse_min_n = n + 1;  // force eager dense LU
+    const la::SparseFirstSolver dense_first(a, forced);
+    x = dense_first.solve(b, &report);
+    report.require_converged("oracle sparse_first (dense)");
+    consider("sparse_first/dense", x);
+  }
 
   std::ostringstream os;
-  os << "GMRES/BiCGSTAB/robust_solve vs dense LU on diag-dominant sparse "
-     << "system (n=" << n << ", worst path " << worst << " at " << err << ")";
+  os << "GMRES/BiCGSTAB/robust_solve/sparse_first vs dense LU on "
+     << "diag-dominant sparse system (n=" << n << ", worst path " << worst
+     << " at " << err << ")";
   return judged(err, 1e-7, os.str());
 }
 

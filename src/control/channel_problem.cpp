@@ -132,15 +132,18 @@ class ChannelDalStrategy final : public GradientStrategy {
         solver.config().dt / solver.config().reynolds;
     // Adjoint momentum operator: same interior rows as the forward one,
     // identity on every boundary row (the adjoint outlet BC is Dirichlet).
-    la::Matrix momentum(n, n, 0.0);
-    const la::Matrix& lap = solver.interior_laplacian();
+    // Assembled sparse from the shared consistent Laplacian; the
+    // sparse-first solver picks dense LU or ILU-Krylov by size.
+    la::SparseBuilder momentum(n, n);
+    const la::CsrMatrix& lap = solver.interior_laplacian();
     for (std::size_t i = 0; i < n; ++i) {
-      momentum(i, i) = 1.0;
+      momentum.add(i, i, 1.0);
       if (!interior[i]) continue;
-      for (std::size_t j = 0; j < n; ++j)
-        momentum(i, j) -= nu_dt * lap(i, j);
+      for (std::size_t k = lap.row_ptr()[i]; k < lap.row_ptr()[i + 1]; ++k)
+        momentum.add(i, lap.col_idx()[k], -nu_dt * lap.values()[k]);
     }
-    momentum_lu_ = la::robust_lu_factor(momentum);
+    momentum_op_ = la::SparseFirstSolver(la::CsrMatrix(momentum),
+                                         solver.config().solver);
     // Inlet quadrature (trapezoid in y).
     const auto& ys = solver.inlet_y();
     inlet_quad_ = la::Vector(ys.size(), 0.0);
@@ -212,9 +215,9 @@ class ChannelDalStrategy final : public GradientStrategy {
                                  (dyu[i] * lu[i] + dyv[i] * lv[i]));
       }
       la::Vector lu_star =
-          la::checked_solve(momentum_lu_, rhs_u, "DAL adjoint momentum (u)");
+          la::checked_solve(momentum_op_, rhs_u, "DAL adjoint momentum (u)");
       la::Vector lv_star =
-          la::checked_solve(momentum_lu_, rhs_v, "DAL adjoint momentum (v)");
+          la::checked_solve(momentum_op_, rhs_v, "DAL adjoint momentum (v)");
       apply_bcs(lu_star, lv_star);
       // Projection onto divergence-free adjoint fields: Lap q = div/dt,
       // lambda -= dt grad q, sigma = -q.
@@ -223,7 +226,7 @@ class ChannelDalStrategy final : public GradientStrategy {
       const la::Vector div_y = dy.apply(lv_star);
       for (std::size_t i = 0; i < n; ++i)
         if (interior[i]) prhs[i] = (div_x[i] + div_y[i]) / dt;
-      q_p = la::checked_solve(solver.pressure_lu(), prhs,
+      q_p = la::checked_solve(solver.pressure_op(), prhs,
                               "DAL adjoint pressure projection");
       const la::Vector dxq = dx.apply(q_p);
       const la::Vector dyq = dy.apply(q_p);
@@ -256,7 +259,7 @@ class ChannelDalStrategy final : public GradientStrategy {
 
  private:
   std::shared_ptr<const ChannelFlowControlProblem> problem_;
-  la::LuFactorization momentum_lu_;
+  la::SparseFirstSolver momentum_op_;
   la::Vector inlet_quad_;
 };
 

@@ -60,7 +60,7 @@ Ilu0::Ilu0(const CsrMatrix& a) {
   std::vector<std::size_t> row_ptr = a.row_ptr();
   std::vector<std::size_t> col_idx = a.col_idx();
   std::vector<double> values = a.values();
-  diag_.assign(n, static_cast<std::size_t>(-1));
+  std::vector<std::size_t> diag_(n, static_cast<std::size_t>(-1));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
       if (col_idx[k] == i) diag_[i] = k;
@@ -108,38 +108,47 @@ Ilu0::Ilu0(const CsrMatrix& a) {
   // The back-substitution divides by every diagonal entry, including rows
   // never visited as pivots above (e.g. the last row): clamp them all.
   for (std::size_t i = 0; i < n; ++i) guarded_pivot(i);
-  lu_ = CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
-                  std::move(values));
+  auto data = std::make_shared<Data>();
+  data->lu = CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                       std::move(values));
+  data->diag = std::move(diag_);
+  data_ = std::move(data);
 }
 
-void Ilu0::apply(const Vector& r, Vector& z) const {
-  const std::size_t n = lu_.rows();
+void Ilu0::apply_impl(const Data& data, const Vector& r, Vector& z) {
+  const CsrMatrix& lu = data.lu;
+  const std::vector<std::size_t>& diag = data.diag;
+  const std::size_t n = lu.rows();
   UPDEC_REQUIRE(r.size() == n, "ILU(0) apply size mismatch");
   z = r;
-  const auto& row_ptr = lu_.row_ptr();
-  const auto& col_idx = lu_.col_idx();
-  const auto& values = lu_.values();
+  const auto& row_ptr = lu.row_ptr();
+  const auto& col_idx = lu.col_idx();
+  const auto& values = lu.values();
   // Forward solve L y = r (unit diagonal, entries strictly left of diag).
   for (std::size_t i = 0; i < n; ++i) {
     double s = z[i];
-    for (std::size_t k = row_ptr[i]; k < diag_[i]; ++k)
+    for (std::size_t k = row_ptr[i]; k < diag[i]; ++k)
       s -= values[k] * z[col_idx[k]];
     z[i] = s;
   }
   // Backward solve U z = y.
   for (std::size_t ii = n; ii-- > 0;) {
     double s = z[ii];
-    for (std::size_t k = diag_[ii] + 1; k < row_ptr[ii + 1]; ++k)
+    for (std::size_t k = diag[ii] + 1; k < row_ptr[ii + 1]; ++k)
       s -= values[k] * z[col_idx[k]];
-    z[ii] = s / values[diag_[ii]];
+    z[ii] = s / values[diag[ii]];
   }
 }
 
+void Ilu0::apply(const Vector& r, Vector& z) const { apply_impl(*data_, r, z); }
+
 Preconditioner Ilu0::as_preconditioner() const {
-  // The preconditioner closure shares this factorisation by value (CSR copies
-  // are cheap relative to solver lifetime and keep lifetime management simple).
-  const Ilu0 copy = *this;
-  return [copy](const Vector& r, Vector& z) { copy.apply(r, z); };
+  // Share the factorisation: the closure pins the immutable Data block, so
+  // this is O(1) instead of an O(nnz) CSR deep copy per call, and the closure
+  // outlives this Ilu0 safely.
+  return [data = data_](const Vector& r, Vector& z) {
+    apply_impl(*data, r, z);
+  };
 }
 
 namespace {
@@ -211,7 +220,13 @@ static IterativeResult bicgstab_body(const CsrMatrix& a, const Vector& b,
   double rho = 1.0, alpha = 1.0, omega = 1.0;
   Vector v(n, 0.0), p(n, 0.0), s(n), t(n), phat(n), shat(n);
   const double tol = stop_threshold(opts, nrm2(b));
+  // On breakdown (a recurrence scalar hits exactly zero) the loop exits with
+  // res.breakdown set and res.iterations holding the number of update steps
+  // actually completed -- NOT opts.max_iterations, which would misreport a
+  // step-2 breakdown as a full-budget run in SolveReport and metrics.
+  std::size_t completed = 0;
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    completed = it;
     res.residual_norm = nrm2(r);
     if (res.residual_norm <= tol) {
       res.converged = true;
@@ -219,7 +234,10 @@ static IterativeResult bicgstab_body(const CsrMatrix& a, const Vector& b,
       return res;
     }
     const double rho_new = dot(r_hat, r);
-    if (rho_new == 0.0) break;  // breakdown
+    if (rho_new == 0.0) {
+      res.breakdown = true;
+      break;
+    }
     const double beta = (rho_new / rho) * (alpha / omega);
     rho = rho_new;
     for (std::size_t i = 0; i < n; ++i)
@@ -227,7 +245,10 @@ static IterativeResult bicgstab_body(const CsrMatrix& a, const Vector& b,
     precond(p, phat);
     a.spmv(1.0, phat, 0.0, v);
     const double rhat_v = dot(r_hat, v);
-    if (rhat_v == 0.0) break;
+    if (rhat_v == 0.0) {
+      res.breakdown = true;
+      break;
+    }
     alpha = rho / rhat_v;
     for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
     if (nrm2(s) <= tol) {
@@ -241,15 +262,22 @@ static IterativeResult bicgstab_body(const CsrMatrix& a, const Vector& b,
     precond(s, shat);
     a.spmv(1.0, shat, 0.0, t);
     const double tt = dot(t, t);
-    if (tt == 0.0) break;
+    if (tt == 0.0) {
+      res.breakdown = true;
+      break;
+    }
     omega = dot(t, s) / tt;
-    if (omega == 0.0) break;
+    if (omega == 0.0) {
+      res.breakdown = true;
+      break;
+    }
     for (std::size_t i = 0; i < n; ++i)
       res.x[i] += alpha * phat[i] + omega * shat[i];
     for (std::size_t i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
+    completed = it + 1;
   }
   res.residual_norm = nrm2(r);
-  res.iterations = opts.max_iterations;
+  res.iterations = res.breakdown ? completed : opts.max_iterations;
   res.converged = res.residual_norm <= tol;
   return res;
 }
@@ -271,6 +299,13 @@ static IterativeResult gmres_body(const CsrMatrix& a, const Vector& b,
   std::size_t total_iters = 0;
 
   Vector r(n), z(n), w(n), zw(n);
+  // True-residual watermark across restarts. The inner Arnoldi exit tests
+  // |g[k+1]|, a *preconditioned*-norm estimate, against the true-norm tol:
+  // when M^{-1} shrinks the residual far below its true norm, every restart
+  // cycle exits after one step without converging in the true norm. Guard
+  // against that livelock by bailing out once a whole restart cycle fails
+  // to reduce the true residual (the escalation chain picks it up).
+  double last_restart_residual = std::numeric_limits<double>::infinity();
   while (total_iters < opts.max_iterations) {
     r = b;
     a.spmv(-1.0, res.x, 1.0, r);
@@ -282,6 +317,8 @@ static IterativeResult gmres_body(const CsrMatrix& a, const Vector& b,
       res.iterations = total_iters;
       return res;
     }
+    if (!(res.residual_norm < last_restart_residual)) break;  // stagnated
+    last_restart_residual = res.residual_norm;
     // Arnoldi with modified Gram-Schmidt.
     std::vector<Vector> v;
     v.reserve(m + 1);
@@ -323,7 +360,11 @@ static IterativeResult gmres_body(const CsrMatrix& a, const Vector& b,
       g[k + 1] = -sn[k] * g[k];
       g[k] = cs[k] * g[k];
       if (std::abs(g[k + 1]) <= tol) {
+        // Count this step: `break` skips the for-increment, and an uncounted
+        // step here used to let deceptive preconditioned-norm exits spin the
+        // restart loop forever without ever advancing total_iters.
         ++k;
+        ++total_iters;
         break;
       }
     }
@@ -353,6 +394,7 @@ static IterativeResult record_solve(const char* span, IterativeResult res) {
     metrics::counter_add((base + ".calls").c_str());
     metrics::counter_add((base + ".iterations").c_str(), res.iterations);
     if (!res.converged) metrics::counter_add((base + ".failures").c_str());
+    if (res.breakdown) metrics::counter_add((base + ".breakdowns").c_str());
   }
   return res;
 }

@@ -6,6 +6,7 @@
 /// momentum solves when dense factorisation is too expensive.
 
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "la/sparse.hpp"
@@ -20,6 +21,10 @@ struct [[nodiscard]] IterativeResult {
   std::size_t iterations = 0;
   double residual_norm = 0.0;
   bool converged = false;
+  bool breakdown = false;  ///< the Krylov recurrence broke down (a scalar in
+                           ///< the update hit exactly zero) before reaching
+                           ///< either convergence or the iteration budget;
+                           ///< `iterations` counts the steps actually taken
 
   /// Throw updec::Error naming `context` unless the solve converged.
   /// Returns *this so call sites can chain: cg(...).require_converged("x").x
@@ -55,11 +60,25 @@ class Ilu0 {
 
   explicit Ilu0(const CsrMatrix& a);
   void apply(const Vector& r, Vector& z) const;
+
+  /// Closure form of apply(). The closure holds a shared_ptr to the
+  /// factorisation, so taking a preconditioner (and copying Ilu0 itself) is
+  /// O(1) -- repeated solves on the serve hot path never re-copy the CSR
+  /// factors -- and the closure stays valid after this Ilu0 is destroyed.
   [[nodiscard]] Preconditioner as_preconditioner() const;
 
+  /// Merged L (unit diagonal) / U factors in A's pattern. Shared, not copied,
+  /// across Ilu0 copies and as_preconditioner() closures.
+  [[nodiscard]] const CsrMatrix& factors() const { return data_->lu; }
+
  private:
-  CsrMatrix lu_;                    // merged L (unit diag) and U in A's pattern
-  std::vector<std::size_t> diag_;   // index of diagonal entry per row
+  struct Data {
+    CsrMatrix lu;                    // merged L (unit diag) and U in A's pattern
+    std::vector<std::size_t> diag;   // index of diagonal entry per row
+  };
+  static void apply_impl(const Data& data, const Vector& r, Vector& z);
+
+  std::shared_ptr<const Data> data_;
 };
 
 /// Conjugate gradients (requires SPD A).

@@ -1,7 +1,11 @@
 #include "la/robust_solve.hpp"
 
+#include <charconv>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <mutex>
 #include <sstream>
 
 #include "la/blas.hpp"
@@ -36,15 +40,89 @@ double dense_norm1(const Matrix& a) {
   return best;
 }
 
-/// ||b - A x||_2, or +inf when x has non-finite entries.
-double true_residual(const CsrMatrix& a, const Vector& b, const Vector& x) {
+/// ||b - A x||_2 (or ||b - A^T x||_2), +inf when x has non-finite entries.
+double true_residual(const CsrMatrix& a, const Vector& b, const Vector& x,
+                     bool transpose = false) {
   if (!all_finite(x)) return std::numeric_limits<double>::infinity();
   Vector r = b;
-  a.spmv(-1.0, x, 1.0, r);
+  if (transpose)
+    a.spmv_t(-1.0, x, 1.0, r);
+  else
+    a.spmv(-1.0, x, 1.0, r);
   return nrm2(r);
 }
 
+/// Stages 4+ of the escalation chain, shared by RobustSolver and
+/// SparseFirstSolver: starting from report.shift, grow the Tikhonov lambda
+/// while each refactorisation still reduces the true residual; stop as soon
+/// as a larger shift moves away from the true solution (or fails to factor).
+/// x / report are updated in place with the best solution seen.
+void escalate_shifted_retries(const CsrMatrix& a, const Vector& b,
+                              bool transpose, double accept,
+                              const RobustSolveOptions& options, Vector& x,
+                              SolveReport& report) {
+  double shift = report.shift;
+  for (std::size_t extra = 0;
+       !report.converged && extra < options.max_shift_attempts; ++extra) {
+    shift *= options.shift_growth;
+    Matrix shifted = a.to_dense();
+    for (std::size_t i = 0; i < shifted.rows(); ++i) shifted(i, i) += shift;
+    ++report.attempts;
+    try {
+      const LuFactorization retry(std::move(shifted));
+      // (A + sI)^T = A^T + sI, so the transpose path reuses the same factor.
+      Vector x_retry = transpose ? retry.solve_transpose(b) : retry.solve(b);
+      const double res = true_residual(a, b, x_retry, transpose);
+      if (res < report.residual_norm || !std::isfinite(report.residual_norm)) {
+        x = std::move(x_retry);
+        report.residual_norm = res;
+        report.shift = shift;
+        report.converged = std::isfinite(res) && res <= accept;
+      } else {
+        break;  // larger shifts only move further from the true solution
+      }
+    } catch (const Error&) {
+      break;
+    }
+  }
+}
+
+/// diag(scale) * a with scale_i = 1 / max_j |a_ij| (1 for empty rows).
+/// Row equilibration leaves the solution of A x = b unchanged (solve
+/// diag(s) A x = diag(s) b instead) but repairs the ILU(0) quality on
+/// RBF-FD assemblies whose interior rows are O(1/h^2) against O(1)
+/// boundary-condition rows.
+CsrMatrix row_equilibrated(const CsrMatrix& a, Vector& scale) {
+  scale = Vector(a.rows(), 1.0);
+  const auto& row_ptr = a.row_ptr();
+  std::vector<double> values = a.values();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double row_max = 0.0;
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      row_max = std::max(row_max, std::abs(values[k]));
+    if (row_max > 0.0 && std::isfinite(row_max)) scale[i] = 1.0 / row_max;
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      values[k] *= scale[i];
+  }
+  return {a.rows(), a.cols(), a.row_ptr(), a.col_idx(), std::move(values)};
+}
+
 }  // namespace
+
+std::size_t sparse_min_n_from_env() {
+  constexpr std::size_t kDefault = 512;
+  const char* raw = std::getenv("UPDEC_SPARSE_MIN_N");
+  if (raw == nullptr || *raw == '\0') return kDefault;
+  std::size_t value = 0;
+  const char* end = raw + std::strlen(raw);
+  const auto [ptr, ec] = std::from_chars(raw, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    log_warn() << "UPDEC_SPARSE_MIN_N: ignoring malformed value '" << raw
+               << "'; using default " << kDefault;
+    return kDefault;
+  }
+  return value;
+}
 
 const char* to_string(SolveMethod method) {
   switch (method) {
@@ -193,30 +271,9 @@ SolveReport RobustSolver::solve_impl(const Vector& b, Vector& x) const {
 
   // A shifted factorisation regularises the system; if its residual misses
   // the acceptance threshold, keep escalating the shift while it helps.
-  double shift = factor.shift;
-  for (std::size_t extra = 0;
-       !report.converged && factor.shifted && extra < options_.max_shift_attempts;
-       ++extra) {
-    shift *= options_.shift_growth;
-    Matrix shifted = a_.to_dense();
-    for (std::size_t i = 0; i < shifted.rows(); ++i) shifted(i, i) += shift;
-    ++report.attempts;
-    try {
-      const LuFactorization retry(std::move(shifted));
-      Vector x_retry = retry.solve(b);
-      const double res = true_residual(a_, b, x_retry);
-      if (res < report.residual_norm || !std::isfinite(report.residual_norm)) {
-        x = std::move(x_retry);
-        report.residual_norm = res;
-        report.shift = shift;
-        report.converged = std::isfinite(res) && res <= accept;
-      } else {
-        break;  // larger shifts only move further from the true solution
-      }
-    } catch (const Error&) {
-      break;
-    }
-  }
+  if (factor.shifted)
+    escalate_shifted_retries(a_, b, /*transpose=*/false, accept, options_, x,
+                             report);
 
   if (!report.converged)
     log_warn() << "RobustSolver: escalation chain exhausted; returning "
@@ -225,6 +282,283 @@ SolveReport RobustSolver::solve_impl(const Vector& b, Vector& x) const {
                << report.shift << ")";
   report.seconds = watch.seconds();
   return report;
+}
+
+// ---- SparseFirstSolver ----------------------------------------------------
+
+struct SparseFirstSolver::State {
+  mutable std::mutex mutex;
+  // Dense LU: eager in dense mode, lazily built fallback in sparse mode.
+  std::shared_ptr<const LuFactorization> lu;
+  FactorReport factor;
+  // Lazily built transpose operator (row-equilibrated) + its scales and
+  // preconditioner (sparse mode only).
+  std::shared_ptr<const CsrMatrix> at;
+  Vector at_scale;
+  Preconditioner at_precond;
+};
+
+SparseFirstSolver::SparseFirstSolver(CsrMatrix a, RobustSolveOptions options)
+    : a_(std::move(a)),
+      options_(options),
+      state_(std::make_shared<State>()) {
+  UPDEC_REQUIRE(a_.rows() == a_.cols(),
+                "SparseFirstSolver needs a square matrix");
+  sparse_ = a_.rows() >= options_.sparse_min_n;
+  if (sparse_) {
+    UPDEC_TRACE_SCOPE("la/sparse_first_setup");
+    scaled_ = row_equilibrated(a_, row_scale_);
+    try {
+      ilu_ = std::make_shared<const Ilu0>(scaled_);
+      precond_ = ilu_->as_preconditioner();
+    } catch (const Error& e) {
+      log_warn() << "SparseFirstSolver: ILU(0) preconditioner failed ("
+                 << e.what() << "); falling back to Jacobi";
+      precond_ = jacobi_preconditioner(scaled_);
+    }
+    UPDEC_METRIC_ADD("la/sparse_first.sparse_instances", 1);
+  } else {
+    state_->lu = std::make_shared<const LuFactorization>(
+        robust_lu_factor(a_.to_dense(), &state_->factor, options_));
+    UPDEC_METRIC_ADD("la/sparse_first.dense_instances", 1);
+  }
+}
+
+FactorReport SparseFirstSolver::factor_report() const {
+  if (state_ == nullptr) return {};
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->factor;
+}
+
+std::shared_ptr<const LuFactorization> SparseFirstSolver::dense_lu() const {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->lu == nullptr) {
+    UPDEC_TRACE_SCOPE("la/sparse_first_fallback_factor");
+    state_->lu = std::make_shared<const LuFactorization>(
+        robust_lu_factor(a_.to_dense(), &state_->factor, options_));
+    UPDEC_METRIC_ADD("la/sparse_first.fallback_factorizations", 1);
+  }
+  return state_->lu;
+}
+
+void SparseFirstSolver::install_preconditioner(
+    std::shared_ptr<const Ilu0> ilu) {
+  if (!sparse_ || ilu == nullptr) return;
+  UPDEC_REQUIRE(ilu->factors().rows() == a_.rows(),
+                "installed ILU(0) size does not match the operator");
+  ilu_ = std::move(ilu);
+  precond_ = ilu_->as_preconditioner();
+}
+
+Vector SparseFirstSolver::solve(const Vector& b, SolveReport* report) const {
+  return solve_dir(b, /*transpose=*/false, report);
+}
+
+Vector SparseFirstSolver::solve_transpose(const Vector& b,
+                                          SolveReport* report) const {
+  return solve_dir(b, /*transpose=*/true, report);
+}
+
+Vector SparseFirstSolver::solve_dir(const Vector& b, bool transpose,
+                                    SolveReport* out) const {
+  UPDEC_REQUIRE(valid(), "SparseFirstSolver used before initialisation");
+  UPDEC_REQUIRE(b.size() == a_.rows(), "SparseFirstSolver rhs size mismatch");
+  UPDEC_TRACE_SCOPE("la/sparse_first");
+  const Stopwatch watch;
+  SolveReport report;
+  Vector x;
+  const double b_norm = nrm2(b);
+  const double accept = std::max(options_.iterative.abs_tol,
+                                 options_.accept_rel_residual * b_norm);
+  bool done = false;
+
+  if (sparse_) {
+    // Pick the (row-equilibrated) operator / scales / preconditioner for
+    // this direction; the transposed pieces are built on first use and
+    // cached. Note the transpose of A needs its OWN row scales -- rows of
+    // A^T are columns of A.
+    const CsrMatrix* op = &scaled_;
+    const Vector* scale = &row_scale_;
+    const Preconditioner* pc = &precond_;
+    std::shared_ptr<const CsrMatrix> at_keepalive;
+    if (transpose) {
+      const std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->at == nullptr) {
+        state_->at = std::make_shared<const CsrMatrix>(
+            row_equilibrated(a_.transposed(), state_->at_scale));
+        try {
+          state_->at_precond = Ilu0(*state_->at).as_preconditioner();
+        } catch (const Error& e) {
+          log_warn() << "SparseFirstSolver: transpose ILU(0) failed ("
+                     << e.what() << "); falling back to Jacobi";
+          state_->at_precond = jacobi_preconditioner(*state_->at);
+        }
+      }
+      at_keepalive = state_->at;
+      op = at_keepalive.get();
+      scale = &state_->at_scale;
+      pc = &state_->at_precond;
+    }
+
+    // The Krylov stages solve the equilibrated system diag(s) A x =
+    // diag(s) b -- same solution, far better-behaved ILU(0).
+    Vector bs = b;
+    for (std::size_t i = 0; i < bs.size(); ++i) bs[i] *= (*scale)[i];
+
+    // Stage 1: ILU-preconditioned GMRES on the sparse operator.
+    if (!done && options_.use_gmres) {
+      ++report.attempts;
+      IterativeResult res = gmres(*op, bs, options_.iterative, *pc);
+      const double true_res = true_residual(a_, b, res.x, transpose);
+      if (res.converged && std::isfinite(true_res)) {
+        x = std::move(res.x);
+        report.method = SolveMethod::kIterative;
+        report.iterations = res.iterations;
+        report.residual_norm = true_res;
+        report.converged = true;
+        done = true;
+      } else {
+        log_warn() << "SparseFirstSolver: GMRES failed (residual "
+                   << res.residual_norm << " after " << res.iterations
+                   << " iterations); escalating to BiCGSTAB";
+      }
+    }
+
+    // Stage 2: BiCGSTAB.
+    if (!done && options_.use_bicgstab) {
+      ++report.attempts;
+      IterativeResult res = bicgstab(*op, bs, options_.iterative, *pc);
+      const double true_res = true_residual(a_, b, res.x, transpose);
+      if (res.converged && std::isfinite(true_res)) {
+        x = std::move(res.x);
+        report.method = SolveMethod::kIterative;
+        report.iterations = res.iterations;
+        report.residual_norm = true_res;
+        report.converged = true;
+        done = true;
+      } else {
+        log_warn() << "SparseFirstSolver: BiCGSTAB failed (residual "
+                   << res.residual_norm << " after " << res.iterations
+                   << " iterations); escalating to dense LU";
+      }
+    }
+
+    if (!done) {
+      UPDEC_REQUIRE(options_.use_dense_fallback,
+                    "sparse-first chain exhausted its Krylov stages and the "
+                    "dense fallback is disabled");
+      UPDEC_METRIC_ADD("la/sparse_first.fallbacks", 1);
+    }
+  }
+
+  // Dense stage: the eager factorisation (dense mode) or the lazily built,
+  // cached fallback (sparse mode after Krylov exhaustion).
+  if (!done) {
+    const std::shared_ptr<const LuFactorization> lu = dense_lu();
+    const FactorReport factor = factor_report();
+    ++report.attempts;
+    report.attempts += factor.attempts - 1;  // count the shifted retries
+    report.shift = factor.shift;
+    x = transpose ? lu->solve_transpose(b) : lu->solve(b);
+    report.residual_norm = true_residual(a_, b, x, transpose);
+    report.method =
+        factor.shifted ? SolveMethod::kShiftedLu : SolveMethod::kDenseLu;
+    report.converged = std::isfinite(report.residual_norm) &&
+                       report.residual_norm <= accept;
+    if (factor.shifted)
+      escalate_shifted_retries(a_, b, transpose, accept, options_, x, report);
+    if (!report.converged)
+      log_warn() << "SparseFirstSolver: chain exhausted; returning "
+                 << "best-effort solution (method " << to_string(report.method)
+                 << ", residual " << report.residual_norm << ", shift "
+                 << report.shift << ")";
+  }
+
+  report.seconds = watch.seconds();
+  if (metrics::enabled()) {
+    metrics::counter_add("la/sparse_first.calls");
+    metrics::counter_add("la/sparse_first.iterations", report.iterations);
+    if (!report.converged) metrics::counter_add("la/sparse_first.failures");
+  }
+  if (out != nullptr) *out = report;
+  return x;
+}
+
+Matrix SparseFirstSolver::solve_many(const Matrix& b,
+                                     SolveReport* out) const {
+  UPDEC_REQUIRE(valid(), "SparseFirstSolver used before initialisation");
+  UPDEC_REQUIRE(b.rows() == a_.rows(),
+                "SparseFirstSolver batched rhs size mismatch");
+  UPDEC_TRACE_SCOPE("la/sparse_first_many");
+  if (!sparse_) {
+    // One blocked dense sweep; k solves cost one pass over L/U.
+    const Stopwatch watch;
+    const std::shared_ptr<const LuFactorization> lu = dense_lu();
+    Matrix x = lu->solve_many(b);
+    if (out != nullptr) {
+      const FactorReport factor = factor_report();
+      SolveReport report;
+      report.attempts = factor.attempts;
+      report.shift = factor.shift;
+      report.method =
+          factor.shifted ? SolveMethod::kShiftedLu : SolveMethod::kDenseLu;
+      // Worst-column true residual over the batch.
+      Matrix r = b;
+      a_.spmm(-1.0, x, 1.0, r);
+      double worst = 0.0;
+      bool all_ok = true;
+      for (std::size_t j = 0; j < r.cols(); ++j) {
+        double s = 0.0, bn = 0.0;
+        for (std::size_t i = 0; i < r.rows(); ++i) {
+          if (!std::isfinite(x(i, j))) all_ok = false;
+          s += r(i, j) * r(i, j);
+          bn += b(i, j) * b(i, j);
+        }
+        const double accept =
+            std::max(options_.iterative.abs_tol,
+                     options_.accept_rel_residual * std::sqrt(bn));
+        worst = std::max(worst, std::sqrt(s));
+        if (std::sqrt(s) > accept) all_ok = false;
+      }
+      report.residual_norm = worst;
+      report.converged = all_ok;
+      report.seconds = watch.seconds();
+      *out = report;
+    }
+    return x;
+  }
+  // Sparse mode: run the chain per column, sharing the preconditioner and
+  // any fallback factorisation across the whole batch.
+  Matrix x(b.rows(), b.cols());
+  SolveReport agg;
+  Vector rhs(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) rhs[i] = b(i, j);
+    SolveReport col;
+    const Vector xj = solve_dir(rhs, /*transpose=*/false, &col);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xj[i];
+    agg.attempts = std::max(agg.attempts, col.attempts);
+    agg.iterations += col.iterations;
+    agg.residual_norm = std::max(agg.residual_norm, col.residual_norm);
+    agg.shift = std::max(agg.shift, col.shift);
+    agg.seconds += col.seconds;
+    if (static_cast<int>(col.method) > static_cast<int>(agg.method))
+      agg.method = col.method;
+    agg.converged = (j == 0 ? col.converged : agg.converged && col.converged);
+  }
+  if (out != nullptr) *out = agg;
+  return x;
+}
+
+Vector checked_solve(const SparseFirstSolver& op, const Vector& b,
+                     const char* context) {
+  Vector x = op.solve(b);
+  if (!all_finite(x)) {
+    std::ostringstream os;
+    os << context << ": linear solve produced non-finite entries";
+    throw Error(os.str());
+  }
+  return x;
 }
 
 LuFactorization robust_lu_factor(const Matrix& a, FactorReport* report,

@@ -15,6 +15,17 @@
 ///  * robust_lu_factor (dense): factor A, escalating to A + lambda I on a
 ///    singular pivot or non-finite entries; used by every cached dense
 ///    factorisation in src/pde, src/rbf and src/control.
+///
+///  * SparseFirstSolver: the default path for RBF-FD-discretised operators.
+///    Below RobustSolveOptions::sparse_min_n it densifies up front (robust
+///    LU, amortised across right-hand sides); at or above the threshold it
+///    keeps the CSR operator and runs the ILU(0)-preconditioned Krylov chain
+///    (GMRES -> BiCGSTAB), building the dense LU lazily only if the Krylov
+///    stages fail. One instance is reusable across right-hand sides and
+///    exposes transpose and batched multi-RHS solves for the adjoint (AD
+///    VJP) and serving paths.
+
+#include <memory>
 
 #include "la/iterative.hpp"
 #include "la/lu.hpp"
@@ -46,6 +57,14 @@ struct [[nodiscard]] SolveReport {
   const SolveReport& require_converged(const char* context) const;
 };
 
+/// Default SparseFirstSolver size threshold: systems with fewer rows than
+/// this densify up front (dense LU wins at small N and its factorisation
+/// amortises across right-hand sides); larger systems stay sparse and solve
+/// with ILU-preconditioned Krylov. Reads UPDEC_SPARSE_MIN_N from the
+/// environment on every call (so tests can flip it); malformed or unset
+/// values yield the built-in default of 512.
+[[nodiscard]] std::size_t sparse_min_n_from_env();
+
 /// Tuning knobs for the escalation chain and the shifted refactorisation.
 struct RobustSolveOptions {
   IterativeOptions iterative;       ///< tolerances for the Krylov stages
@@ -56,6 +75,11 @@ struct RobustSolveOptions {
   double shift_initial = 1e-12;     ///< first lambda, scaled by ||A||_1
   double shift_growth = 100.0;      ///< lambda multiplier per attempt
   std::size_t max_shift_attempts = 6;
+  /// SparseFirstSolver threshold: n < sparse_min_n solves by eager dense LU,
+  /// n >= sparse_min_n stays on the CSR Krylov path. Defaults from
+  /// UPDEC_SPARSE_MIN_N (see sparse_min_n_from_env). Set to 0 to force the
+  /// sparse path, or to a value above n to force dense.
+  std::size_t sparse_min_n = sparse_min_n_from_env();
 };
 
 /// Escalating solver for one sparse system, reusable across right-hand
@@ -79,6 +103,92 @@ class RobustSolver {
   CsrMatrix a_;
   RobustSolveOptions options_;
   Preconditioner precond_;
+};
+
+struct FactorReport;  // defined below
+
+/// Sparse-first solver for one square CSR system, reusable across
+/// right-hand sides and safe to share between threads once constructed.
+///
+/// Mode is fixed at construction from options.sparse_min_n:
+///  * dense mode (n < sparse_min_n): robust dense LU factored eagerly; every
+///    solve is a cheap O(n^2) substitution and solve_many is one blocked
+///    sweep. This keeps the paper-scale test problems on the exact path
+///    they always used.
+///  * sparse mode (n >= sparse_min_n): the CSR operator is kept,
+///    row-equilibrated (RBF-FD assemblies mix O(1/h^2) interior rows with
+///    O(1) boundary rows, which wrecks ILU(0) quality as N grows; scaling
+///    diag(s) A x = diag(s) b leaves the solution unchanged) and an ILU(0)
+///    preconditioner built on the scaled operator (Jacobi fallback if the
+///    incomplete factorisation fails). Solves run the escalation chain
+///    ILU-GMRES -> BiCGSTAB -> dense LU (built lazily, cached, shared
+///    across solves) -> shifted LU, mirroring RobustSolver but without ever
+///    densifying while the Krylov stages keep converging.
+///
+/// solve_transpose serves the reverse-mode AD VJP (x_bar -> b_bar needs
+/// A^{-T}); in sparse mode the transposed operator and its ILU(0) are built
+/// lazily on first use and cached.
+class SparseFirstSolver {
+ public:
+  SparseFirstSolver() = default;
+  explicit SparseFirstSolver(CsrMatrix a, RobustSolveOptions options = {});
+
+  /// False for a default-constructed (empty) solver.
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] std::size_t size() const { return a_.rows(); }
+  /// True when this instance took the CSR + Krylov path.
+  [[nodiscard]] bool sparse_path() const { return sparse_; }
+  [[nodiscard]] const CsrMatrix& matrix() const { return a_; }
+  /// The operator the Krylov stages actually see: the row-equilibrated CSR
+  /// (diag(s) A with s_i = 1 / max_j |a_ij|) in sparse mode, `matrix()` in
+  /// dense mode. External ILU(0) memoization (serve::cached_ilu0) must
+  /// fingerprint and factor THIS matrix, not `matrix()`.
+  [[nodiscard]] const CsrMatrix& krylov_matrix() const {
+    return sparse_ ? scaled_ : a_;
+  }
+  [[nodiscard]] const RobustSolveOptions& options() const { return options_; }
+
+  /// Report of the dense factorisation: the eager one in dense mode, the
+  /// lazy fallback in sparse mode (attempts == 0 until a fallback fired).
+  [[nodiscard]] FactorReport factor_report() const;
+
+  /// Solve A x = b through the mode's chain. Always returns the best-effort
+  /// solution; convergence/residual details land in `report` when given.
+  Vector solve(const Vector& b, SolveReport* report = nullptr) const;
+
+  /// Solve A^T x = b (adjoint / VJP path).
+  Vector solve_transpose(const Vector& b, SolveReport* report = nullptr) const;
+
+  /// Solve A X = B column-wise. Dense mode runs one blocked LU sweep; sparse
+  /// mode runs the chain per column sharing the preconditioner and any
+  /// fallback factorisation. `report` aggregates the worst column.
+  Matrix solve_many(const Matrix& b, SolveReport* report = nullptr) const;
+
+  /// Replace the preconditioner with an externally memoized ILU(0) (see
+  /// serve::cached_ilu0) so warm scenario batches skip the factorisation.
+  /// No-op in dense mode or for a null pointer.
+  void install_preconditioner(std::shared_ptr<const Ilu0> ilu);
+
+  /// The ILU(0) currently preconditioning the sparse chain; null in dense
+  /// mode or after falling back to Jacobi.
+  [[nodiscard]] std::shared_ptr<const Ilu0> shared_preconditioner() const {
+    return ilu_;
+  }
+
+ private:
+  struct State;  // mutex-guarded lazy pieces, shared so the solver is movable
+
+  Vector solve_dir(const Vector& b, bool transpose, SolveReport* report) const;
+  [[nodiscard]] std::shared_ptr<const LuFactorization> dense_lu() const;
+
+  CsrMatrix a_;
+  CsrMatrix scaled_;   ///< diag(row_scale_) * a_, sparse mode only
+  Vector row_scale_;   ///< per-row 1 / inf-norm of a_, sparse mode only
+  RobustSolveOptions options_;
+  bool sparse_ = false;
+  std::shared_ptr<const Ilu0> ilu_;
+  Preconditioner precond_;
+  std::shared_ptr<State> state_;
 };
 
 /// Outcome of a robust dense factorisation.
@@ -109,5 +219,11 @@ LuFactorization shifted_lu_factor(const Matrix& a, double relative_shift);
 /// previously consumed lu.solve(...) unchecked.
 [[nodiscard]] Vector checked_solve(const LuFactorization& lu, const Vector& b,
                                    const char* context);
+
+/// Same finiteness contract for the sparse-first path: solve through the
+/// operator's chain and throw updec::Error naming `context` if the returned
+/// vector has non-finite entries.
+[[nodiscard]] Vector checked_solve(const SparseFirstSolver& op,
+                                   const Vector& b, const char* context);
 
 }  // namespace updec::la

@@ -118,6 +118,33 @@ Matrix CsrMatrix::to_dense() const {
   return a;
 }
 
+void CsrMatrix::spmm(double alpha, const Matrix& x, double beta,
+                     Matrix& y) const {
+  UPDEC_REQUIRE(x.rows() == cols_ && y.rows() == rows_ && x.cols() == y.cols(),
+                "spmm size mismatch");
+  const std::size_t ncols = x.cols();
+#ifdef UPDEC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(rows_); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    for (std::size_t j = 0; j < ncols; ++j) {
+      double s = 0.0;
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+        s += values_[k] * x(col_idx_[k], j);
+      // beta == 0 must overwrite, not scale, so uninitialised (or NaN)
+      // destinations cannot leak through 0 * y.
+      y(i, j) = (beta == 0.0) ? alpha * s : alpha * s + beta * y(i, j);
+    }
+  }
+}
+
+Matrix CsrMatrix::apply_many(const Matrix& x) const {
+  Matrix y(rows_, x.cols());
+  spmm(1.0, x, 0.0, y);
+  return y;
+}
+
 double CsrMatrix::at(std::size_t i, std::size_t j) const {
   UPDEC_ASSERT(i < rows_ && j < cols_);
   const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i]);
@@ -125,6 +152,105 @@ double CsrMatrix::at(std::size_t i, std::size_t j) const {
   const auto it = std::lower_bound(begin, end, j);
   if (it == end || *it != j) return 0.0;
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b,
+                   const std::vector<std::uint8_t>* row_mask) {
+  UPDEC_REQUIRE(a.cols() == b.rows(), "sparse multiply dimension mismatch");
+  UPDEC_REQUIRE(row_mask == nullptr || row_mask->size() == a.rows(),
+                "sparse multiply row_mask size mismatch");
+  const std::size_t rows = a.rows();
+  const std::size_t cols = b.cols();
+  const auto& arp = a.row_ptr();
+  const auto& aci = a.col_idx();
+  const auto& av = a.values();
+  const auto& brp = b.row_ptr();
+  const auto& bci = b.col_idx();
+  const auto& bv = b.values();
+
+  std::vector<std::size_t> row_ptr(rows + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+
+  // Gustavson: dense accumulator + touched-column list per row. The
+  // accumulation order (A-row entry order, then B-row entry order) is fixed,
+  // so results are deterministic and match the former dense product_row
+  // assembly bit for bit.
+  std::vector<double> acc(cols, 0.0);
+  std::vector<std::uint8_t> seen(cols, 0);
+  std::vector<std::size_t> touched;
+  touched.reserve(64);
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (row_mask != nullptr && (*row_mask)[i] == 0) {
+      row_ptr[i + 1] = values.size();
+      continue;
+    }
+    touched.clear();
+    for (std::size_t k = arp[i]; k < arp[i + 1]; ++k) {
+      const std::size_t j = aci[k];
+      const double aij = av[k];
+      for (std::size_t kb = brp[j]; kb < brp[j + 1]; ++kb) {
+        const std::size_t col = bci[kb];
+        if (!seen[col]) {
+          seen[col] = 1;
+          touched.push_back(col);
+          acc[col] = 0.0;
+        }
+        acc[col] += aij * bv[kb];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const std::size_t col : touched) {
+      col_idx.push_back(col);
+      values.push_back(acc[col]);
+      seen[col] = 0;
+    }
+    row_ptr[i + 1] = values.size();
+  }
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix add(double alpha, const CsrMatrix& a, double beta,
+              const CsrMatrix& b) {
+  UPDEC_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                "sparse add dimension mismatch");
+  const std::size_t rows = a.rows();
+  const auto& arp = a.row_ptr();
+  const auto& aci = a.col_idx();
+  const auto& av = a.values();
+  const auto& brp = b.row_ptr();
+  const auto& bci = b.col_idx();
+  const auto& bv = b.values();
+
+  std::vector<std::size_t> row_ptr(rows + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(a.nnz() + b.nnz());
+  values.reserve(a.nnz() + b.nnz());
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::size_t ka = arp[i], kb = brp[i];
+    // Two-pointer merge of the column-sorted rows.
+    while (ka < arp[i + 1] || kb < brp[i + 1]) {
+      const std::size_t ca =
+          ka < arp[i + 1] ? aci[ka] : static_cast<std::size_t>(-1);
+      const std::size_t cb =
+          kb < brp[i + 1] ? bci[kb] : static_cast<std::size_t>(-1);
+      if (ca < cb) {
+        col_idx.push_back(ca);
+        values.push_back(alpha * av[ka++]);
+      } else if (cb < ca) {
+        col_idx.push_back(cb);
+        values.push_back(beta * bv[kb++]);
+      } else {
+        col_idx.push_back(ca);
+        values.push_back(alpha * av[ka++] + beta * bv[kb++]);
+      }
+    }
+    row_ptr[i + 1] = values.size();
+  }
+  return CsrMatrix(rows, a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
 }
 
 }  // namespace updec::la

@@ -8,6 +8,7 @@
 /// DP tape, so SpMV is the hottest kernel in the Navier-Stokes experiments.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "la/dense.hpp"
@@ -69,6 +70,13 @@ class CsrMatrix {
   /// Allocating convenience: A^T x.
   [[nodiscard]] Vector apply_transpose(const Vector& x) const;
 
+  /// Y = alpha * A X + beta * Y with dense X, Y (OpenMP over rows). The
+  /// multi-RHS analogue of spmv, used by the batched sparse-first solves.
+  void spmm(double alpha, const Matrix& x, double beta, Matrix& y) const;
+
+  /// Allocating convenience: A X for dense X.
+  [[nodiscard]] Matrix apply_many(const Matrix& x) const;
+
   /// Transposed copy in CSR form.
   [[nodiscard]] CsrMatrix transposed() const;
 
@@ -95,5 +103,20 @@ class CsrMatrix {
   std::vector<std::size_t> col_idx_;
   std::vector<double> values_;
 };
+
+/// C = A B, sparse-sparse product (Gustavson row merge, serial so the
+/// accumulation order -- and therefore the rounding -- is independent of the
+/// OpenMP team size). When `row_mask` is non-null, rows of C with
+/// (*row_mask)[i] == 0 are left structurally empty: the PDE assemblies use
+/// this to form interior-only product operators (e.g. the consistent
+/// Laplacian Dx.Dx + Dy.Dy) whose boundary rows are replaced by boundary
+/// conditions anyway, without paying for entries that would be discarded.
+[[nodiscard]] CsrMatrix multiply(
+    const CsrMatrix& a, const CsrMatrix& b,
+    const std::vector<std::uint8_t>* row_mask = nullptr);
+
+/// C = alpha A + beta B on the merged pattern (explicit zeros kept).
+[[nodiscard]] CsrMatrix add(double alpha, const CsrMatrix& a, double beta,
+                            const CsrMatrix& b);
 
 }  // namespace updec::la

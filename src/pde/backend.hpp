@@ -8,6 +8,7 @@
 
 #include "autodiff/ops.hpp"
 #include "la/lu.hpp"
+#include "la/robust_solve.hpp"
 #include "la/sparse.hpp"
 
 namespace updec::pde {
@@ -25,6 +26,10 @@ struct DoubleBackend {
   }
   [[nodiscard]] Vec solve(const la::LuFactorization& lu, const Vec& b) const {
     return lu.solve(b);
+  }
+  [[nodiscard]] Vec solve(const la::SparseFirstSolver& op,
+                          const Vec& b) const {
+    return op.solve(b);
   }
   [[nodiscard]] static double value(Scalar s) { return s; }
 };
@@ -49,6 +54,10 @@ struct TapeBackend {
   }
   [[nodiscard]] Vec solve(const la::LuFactorization& lu, const Vec& b) const {
     return ad::solve(lu, b);
+  }
+  [[nodiscard]] Vec solve(const la::SparseFirstSolver& op,
+                          const Vec& b) const {
+    return ad::solve(op, b);
   }
   [[nodiscard]] static double value(const Scalar& s) { return s.value(); }
 };

@@ -61,82 +61,58 @@ ChannelFlowSolver::ChannelFlowSolver(const pc::PointCloud& cloud,
   // divergence it is driven by (using the RBF-FD Laplacian here instead
   // leaves an O(1) commutator residual that self-amplifies across steps).
   // Boundary rows: dp/dn = 0 on inlet and walls, p = 0 at the outlet.
+  // Both operators assemble sparse straight from the stencil-weight CSRs --
+  // no dense detour; SparseFirstSolver densifies only below its threshold.
   is_interior_.assign(n, 0);
   for (std::size_t i = 0; i < cloud.num_internal(); ++i) is_interior_[i] = 1;
-  la::Matrix pressure(n, n, 0.0);
-  const auto scatter_row = [&](const la::CsrMatrix& m, std::size_t row,
-                               double scale, la::Matrix& into) {
+  lap_consistent_ = rbf::consistent_laplacian(dx_, dy_, is_interior_);
+  const auto scatter_row = [](const la::CsrMatrix& m, std::size_t row,
+                              double scale, la::SparseBuilder& into) {
     for (std::size_t k = m.row_ptr()[row]; k < m.row_ptr()[row + 1]; ++k)
-      into(row, m.col_idx()[k]) += scale * m.values()[k];
+      into.add(row, m.col_idx()[k], scale * m.values()[k]);
   };
-  // Row i of (D.D): sum_k D_ik * D_row(k).
-  const auto product_row = [&](const la::CsrMatrix& m, std::size_t row) {
-    for (std::size_t k = m.row_ptr()[row]; k < m.row_ptr()[row + 1]; ++k) {
-      const double w = m.values()[k];
-      const std::size_t mid = m.col_idx()[k];
-      for (std::size_t k2 = m.row_ptr()[mid]; k2 < m.row_ptr()[mid + 1]; ++k2)
-        pressure(row, m.col_idx()[k2]) += w * m.values()[k2];
-    }
-  };
+  la::SparseBuilder pressure(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     const pc::Node& node = cloud.node(i);
     if (is_interior_[i]) {
-      if (config_.consistent_pressure) {
-        product_row(dx_, i);
-        product_row(dy_, i);
-      } else {
-        scatter_row(lap_, i, 1.0, pressure);
-      }
+      scatter_row(config_.consistent_pressure ? lap_consistent_ : lap_, i,
+                  1.0, pressure);
     } else if (node.tag == tags::kOutlet) {
-      pressure(i, i) = 1.0;
+      pressure.add(i, i, 1.0);
     } else {
       scatter_row(dx_, i, node.normal.x, pressure);
       scatter_row(dy_, i, node.normal.y, pressure);
     }
   }
-  pressure_lu_ = la::robust_lu_factor(pressure, &pressure_factor_);
+  pressure_op_ =
+      la::SparseFirstSolver(la::CsrMatrix(pressure), config_.solver);
 
   // Semi-implicit momentum operator: (I - dt/Re Lap) on interior rows,
   // identity on Dirichlet velocity rows, and the outflow condition
   // du/dn = 0 as an implicit RBF-FD d/dx row at the outlet (explicit
   // donor-copy variants destabilise wall-graded clouds).
-  la::Matrix momentum(n, n, 0.0);
-  lap_consistent_ = la::Matrix(n, n, 0.0);  // Dx.Dx + Dy.Dy interior rows
-  la::Matrix& lap_product = lap_consistent_;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!is_interior_[i]) continue;
-    for (const la::CsrMatrix* m : {&dx_, &dy_}) {
-      for (std::size_t k = m->row_ptr()[i]; k < m->row_ptr()[i + 1]; ++k) {
-        const double w = m->values()[k];
-        const std::size_t mid = m->col_idx()[k];
-        for (std::size_t k2 = m->row_ptr()[mid]; k2 < m->row_ptr()[mid + 1];
-             ++k2)
-          lap_product(i, m->col_idx()[k2]) += w * m->values()[k2];
-      }
-    }
-  }
   const double nu_dt = config_.dt / config_.reynolds;
   const double hv_dt = config_.hyperviscosity * config_.dt;
-  // Biharmonic rows: (Lap^2)_i over interior rows of the product Laplacian.
-  la::Matrix lap2;
-  if (hv_dt > 0.0) {
-    lap2 = la::Matrix(n, n, 0.0);
-    la::gemm(1.0, lap_product, lap_product, 0.0, lap2);
-  }
+  // Biharmonic rows: (Lap^2)_i over interior rows of the product Laplacian
+  // (sparse-sparse product; boundary rows of lap_consistent_ are empty so
+  // the mask only skips forming interior->boundary fill that gets dropped).
+  la::CsrMatrix lap2;
+  if (hv_dt > 0.0)
+    lap2 = la::multiply(lap_consistent_, lap_consistent_, &is_interior_);
+  la::SparseBuilder momentum(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     if (is_interior_[i]) {
-      momentum(i, i) = 1.0;
-      for (std::size_t j = 0; j < n; ++j) {
-        momentum(i, j) -= nu_dt * lap_product(i, j);
-        if (hv_dt > 0.0) momentum(i, j) += hv_dt * lap2(i, j);
-      }
+      momentum.add(i, i, 1.0);
+      scatter_row(lap_consistent_, i, -nu_dt, momentum);
+      if (hv_dt > 0.0) scatter_row(lap2, i, hv_dt, momentum);
     } else if (cloud.node(i).tag == tags::kOutlet) {
       scatter_row(dx_, i, 1.0, momentum);
     } else {
-      momentum(i, i) = 1.0;
+      momentum.add(i, i, 1.0);
     }
   }
-  momentum_lu_ = la::robust_lu_factor(momentum, &momentum_factor_);
+  momentum_op_ =
+      la::SparseFirstSolver(la::CsrMatrix(momentum), config_.solver);
 }
 
 double ChannelFlowSolver::target_outflow(double y) const {
@@ -257,8 +233,8 @@ void ChannelFlowSolver::run_refinements(
         rhs_u[i] = backend.scalar(0.0);
         rhs_v[i] = backend.scalar(0.0);
       }
-      Vec ustar = backend.solve(momentum_lu_, rhs_u);
-      Vec vstar = backend.solve(momentum_lu_, rhs_v);
+      Vec ustar = backend.solve(momentum_op_, rhs_u);
+      Vec vstar = backend.solve(momentum_op_, rhs_v);
       apply_velocity_bcs(backend, ustar, vstar, inflow);
 
       // Pressure Poisson: Lap p = div(u*) / dt inside, dp/dn = 0 / p = 0 on
@@ -268,7 +244,7 @@ void ChannelFlowSolver::run_refinements(
       Vec prhs = backend.zeros(n);
       for (std::size_t i = 0; i < n; ++i)
         if (is_interior_[i]) prhs[i] = (div_x[i] + div_y[i]) * (1.0 / dt);
-      const Vec p = backend.solve(pressure_lu_, prhs);
+      const Vec p = backend.solve(pressure_op_, prhs);
 
       // Projection: correct interior velocities, refresh boundary values.
       const Vec dxp = backend.spmv(dx_, p);

@@ -42,6 +42,10 @@ struct ChannelFlowConfig {
   /// stability ablation).
   double hyperviscosity = 0.02;
   rbf::RbffdConfig rbffd;        ///< stencil size / polynomial degree
+  /// Solve-path knobs for the momentum and pressure operators: below
+  /// solver.sparse_min_n (UPDEC_SPARSE_MIN_N) they factor dense up front,
+  /// at or above it they stay CSR and solve with ILU-preconditioned Krylov.
+  la::RobustSolveOptions solver;
 };
 
 /// Velocity-pressure state of one flow solve.
@@ -117,30 +121,34 @@ class ChannelFlowSolver {
   [[nodiscard]] const la::CsrMatrix& dy_matrix() const { return dy_; }
   [[nodiscard]] const la::CsrMatrix& laplacian_matrix() const { return lap_; }
 
-  /// Pressure-Poisson factorisation (constant per cloud).
-  [[nodiscard]] const la::LuFactorization& pressure_lu() const {
-    return pressure_lu_;
+  /// Pressure-Poisson operator (constant per cloud): dense LU below the
+  /// sparse-first threshold, CSR + ILU-Krylov above it.
+  [[nodiscard]] const la::SparseFirstSolver& pressure_op() const {
+    return pressure_op_;
   }
 
-  /// Semi-implicit momentum factorisation (I - dt/Re Lap on interior rows,
+  /// Semi-implicit momentum operator (I - dt/Re Lap on interior rows,
   /// identity on boundary rows). Removes the diffusive CFL limit that the
   /// wall-graded cloud would otherwise impose (cf. Zamolo & Nobile [51]).
-  [[nodiscard]] const la::LuFactorization& momentum_lu() const {
-    return momentum_lu_;
+  [[nodiscard]] const la::SparseFirstSolver& momentum_op() const {
+    return momentum_op_;
   }
 
-  /// How the cached factorisations were obtained (Tikhonov shift applied?).
-  [[nodiscard]] const la::FactorReport& pressure_factor_report() const {
-    return pressure_factor_;
+  /// How the dense factorisations (when taken) were obtained (Tikhonov
+  /// shift applied?). Empty reports on the sparse Krylov path until a dense
+  /// fallback fires.
+  [[nodiscard]] la::FactorReport pressure_factor_report() const {
+    return pressure_op_.factor_report();
   }
-  [[nodiscard]] const la::FactorReport& momentum_factor_report() const {
-    return momentum_factor_;
+  [[nodiscard]] la::FactorReport momentum_factor_report() const {
+    return momentum_op_.factor_report();
   }
 
   /// Consistent Laplacian Dx.Dx + Dy.Dy restricted to interior rows
-  /// (boundary rows zero). Shared with the DAL adjoint solver, which builds
-  /// its own momentum operator with adjoint boundary rows from it.
-  [[nodiscard]] const la::Matrix& interior_laplacian() const {
+  /// (boundary rows structurally empty). Shared with the DAL adjoint
+  /// solver, which builds its own momentum operator with adjoint boundary
+  /// rows from it.
+  [[nodiscard]] const la::CsrMatrix& interior_laplacian() const {
     return lap_consistent_;
   }
 
@@ -191,11 +199,9 @@ class ChannelFlowSolver {
 
   rbf::RbffdOperators operators_;
   la::CsrMatrix dx_, dy_, lap_;
-  la::Matrix lap_consistent_;  // Dx.Dx + Dy.Dy on interior rows
-  la::LuFactorization pressure_lu_;
-  la::LuFactorization momentum_lu_;
-  la::FactorReport pressure_factor_;
-  la::FactorReport momentum_factor_;
+  la::CsrMatrix lap_consistent_;  // Dx.Dx + Dy.Dy on interior rows
+  la::SparseFirstSolver pressure_op_;
+  la::SparseFirstSolver momentum_op_;
 
   std::vector<std::size_t> inlet_nodes_, outlet_nodes_;
   std::vector<double> inlet_y_, outlet_y_;

@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "la/lu.hpp"
+#include "la/robust_solve.hpp"
 #include "pointcloud/cloud.hpp"
 #include "rbf/rbffd.hpp"
 
@@ -28,7 +29,8 @@ class HeatSolver {
   ///               spurious scattered-node modes).
   HeatSolver(const pc::PointCloud& cloud, const rbf::Kernel& kernel,
              double alpha, double dt, double theta = 0.55,
-             const rbf::RbffdConfig& config = {});
+             const rbf::RbffdConfig& config = {},
+             const la::RobustSolveOptions& solver = {});
 
   /// One theta-scheme step from u at time t; returns u at t + dt.
   [[nodiscard]] la::Vector step(const la::Vector& u,
@@ -56,11 +58,17 @@ class HeatSolver {
   [[nodiscard]] double dt() const { return dt_; }
   [[nodiscard]] double alpha() const { return alpha_; }
 
+  /// Implicit operator I - theta dt a L (identity on boundary rows): dense
+  /// LU below the sparse-first threshold, CSR + ILU-Krylov above it.
+  [[nodiscard]] const la::SparseFirstSolver& implicit_op() const {
+    return implicit_op_;
+  }
+
  private:
   const pc::PointCloud* cloud_;
   double alpha_, dt_, theta_;
-  la::Matrix explicit_part_;        // I + (1-theta) dt a L on interior rows
-  la::LuFactorization implicit_lu_; // I - theta dt a L, identity on boundary
+  la::CsrMatrix explicit_part_;       // I + (1-theta) dt a L on interior rows
+  la::SparseFirstSolver implicit_op_; // I - theta dt a L, identity on boundary
 };
 
 }  // namespace updec::pde

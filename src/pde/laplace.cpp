@@ -183,4 +183,146 @@ la::Vector LaplaceSolver::state_at_nodes(const la::Vector& coeffs) const {
   return collocation_.evaluate_at_nodes(coeffs, rbf::LinearOp::identity());
 }
 
+LaplaceFdSolver::LaplaceFdSolver(std::size_t grid_n, const rbf::Kernel& kernel,
+                                 const rbf::RbffdConfig& config,
+                                 const la::RobustSolveOptions& solver)
+    : cloud_(pc::unit_square_grid(grid_n, grid_n)),
+      operators_(cloud_, kernel, config) {
+  UPDEC_TRACE_SCOPE("pde/laplace_fd_setup");
+  const std::size_t n = cloud_.size();
+  const la::CsrMatrix& dx = operators_.dx();
+  dy_ = operators_.dy();
+  const la::CsrMatrix& lap = operators_.laplacian();
+
+  // Pair each lateral node with the node at the same y on the opposite wall
+  // (the grid generator places them at identical heights).
+  auto left = cloud_.indices_with_tag(tags::kLeft);
+  auto right = cloud_.indices_with_tag(tags::kRight);
+  UPDEC_REQUIRE(left.size() == right.size(),
+                "lateral walls must have matching node counts");
+  const auto by_y = [&](std::size_t a, std::size_t b) {
+    return cloud_.node(a).pos.y < cloud_.node(b).pos.y;
+  };
+  std::sort(left.begin(), left.end(), by_y);
+  std::sort(right.begin(), right.end(), by_y);
+
+  la::SparseBuilder system(n, n);
+  const auto scatter = [&](std::size_t row, const la::CsrMatrix& m,
+                           std::size_t src, double scale) {
+    for (std::size_t k = m.row_ptr()[src]; k < m.row_ptr()[src + 1]; ++k)
+      system.add(row, m.col_idx()[k], scale * m.values()[k]);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (cloud_.node(i).tag) {
+      case tags::kInterior:
+        scatter(i, lap, i, 1.0);
+        break;
+      case tags::kBottom:
+      case tags::kTop:
+        system.add(i, i, 1.0);
+        break;
+      default:
+        break;  // lateral rows assembled pairwise below
+    }
+  }
+  for (std::size_t p = 0; p < left.size(); ++p) {
+    const std::size_t l = left[p];
+    const std::size_t r = right[p];
+    UPDEC_REQUIRE(std::abs(cloud_.node(l).pos.y - cloud_.node(r).pos.y) < 1e-12,
+                  "lateral wall nodes must pair up by height");
+    // u(0,y) = u(1,y) carried by the left node ...
+    system.add(l, l, 1.0);
+    system.add(l, r, -1.0);
+    // ... du/dx(0,y) = du/dx(1,y) carried by the right node.
+    scatter(r, dx, l, 1.0);
+    scatter(r, dx, r, -1.0);
+  }
+  op_ = la::SparseFirstSolver(la::CsrMatrix(system), solver);
+
+  top_nodes_ = cloud_.indices_with_tag(tags::kTop);
+  std::sort(top_nodes_.begin(), top_nodes_.end(),
+            [&](std::size_t a, std::size_t b) {
+              return cloud_.node(a).pos.x < cloud_.node(b).pos.x;
+            });
+  top_x_.reserve(top_nodes_.size());
+  for (const std::size_t i : top_nodes_) top_x_.push_back(cloud_.node(i).pos.x);
+
+  const std::size_t m = top_nodes_.size();
+  quad_weights_ = la::Vector(m, 0.0);
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    const double h = top_x_[i + 1] - top_x_[i];
+    quad_weights_[i] += 0.5 * h;
+    quad_weights_[i + 1] += 0.5 * h;
+  }
+
+  // Fixed-wall RHS: sin(2 pi x) on the bottom rows, zero elsewhere (the
+  // interior Laplacian rows and the periodic matching rows are homogeneous).
+  base_rhs_ = la::Vector(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    if (cloud_.node(i).tag == tags::kBottom)
+      base_rhs_[i] = LaplaceSolver::fixed_boundary_value(cloud_.node(i));
+}
+
+la::Vector LaplaceFdSolver::assemble_rhs(const la::Vector& control) const {
+  UPDEC_REQUIRE(control.size() == num_control(),
+                "one control value per control DOF required");
+  la::Vector rhs = base_rhs_;
+  for (std::size_t i = 0; i < top_nodes_.size(); ++i)
+    rhs[top_nodes_[i]] = control[control_index(i)];
+  return rhs;
+}
+
+la::Vector LaplaceFdSolver::solve(const la::Vector& control,
+                                  la::SolveReport* report) const {
+  UPDEC_TRACE_SCOPE("pde/laplace_fd_solve");
+  UPDEC_METRIC_ADD("pde/laplace_fd.solves", 1);
+  return op_.solve(assemble_rhs(control), report);
+}
+
+la::Matrix LaplaceFdSolver::solve_many(const la::Matrix& controls,
+                                       la::SolveReport* report) const {
+  UPDEC_TRACE_SCOPE("pde/laplace_fd_solve_many");
+  UPDEC_REQUIRE(controls.rows() == num_control(),
+                "one control value per control DOF required (rows)");
+  const std::size_t k = controls.cols();
+  UPDEC_METRIC_ADD("pde/laplace_fd.solves", k);
+  la::Matrix rhs(cloud_.size(), k);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < rhs.rows(); ++i) rhs(i, j) = base_rhs_[i];
+  for (std::size_t i = 0; i < top_nodes_.size(); ++i) {
+    const std::size_t row = top_nodes_[i];
+    const std::size_t c = control_index(i);
+    for (std::size_t j = 0; j < k; ++j) rhs(row, j) = controls(c, j);
+  }
+  return op_.solve_many(rhs, report);
+}
+
+la::Vector LaplaceFdSolver::flux_top(const la::Vector& u) const {
+  UPDEC_REQUIRE(u.size() == cloud_.size(), "nodal state size mismatch");
+  la::Vector flux(top_nodes_.size(), 0.0);
+  for (std::size_t i = 0; i < top_nodes_.size(); ++i) {
+    const std::size_t row = top_nodes_[i];
+    double s = 0.0;
+    for (std::size_t k = dy_.row_ptr()[row]; k < dy_.row_ptr()[row + 1]; ++k)
+      s += dy_.values()[k] * u[dy_.col_idx()[k]];
+    flux[i] = s;
+  }
+  return flux;
+}
+
+la::Matrix LaplaceFdSolver::flux_top_many(const la::Matrix& u) const {
+  UPDEC_REQUIRE(u.rows() == cloud_.size(), "nodal state size mismatch");
+  la::Matrix flux(top_nodes_.size(), u.cols());
+  for (std::size_t i = 0; i < top_nodes_.size(); ++i) {
+    const std::size_t row = top_nodes_[i];
+    for (std::size_t j = 0; j < u.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = dy_.row_ptr()[row]; k < dy_.row_ptr()[row + 1]; ++k)
+        s += dy_.values()[k] * u(dy_.col_idx()[k], j);
+      flux(i, j) = s;
+    }
+  }
+  return flux;
+}
+
 }  // namespace updec::pde

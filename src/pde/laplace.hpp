@@ -6,8 +6,10 @@
 /// (double) and the differentiable (tape) solve paths reuse it.
 
 #include "autodiff/ops.hpp"
+#include "la/robust_solve.hpp"
 #include "pointcloud/generators.hpp"
 #include "rbf/collocation.hpp"
+#include "rbf/rbffd.hpp"
 
 namespace updec::pde {
 
@@ -114,6 +116,79 @@ class LaplaceSolver {
   la::Matrix flux_matrix_;   // d/dy rows at top nodes vs all coefficients
   la::Vector quad_weights_;  // trapezoid weights on the top wall
   la::Vector base_rhs_;      // RHS with zero control (fixed walls only)
+};
+
+/// RBF-FD twin of LaplaceSolver: the same periodic boundary-control problem
+/// discretised with local stencils instead of global collocation, so the
+/// system matrix is sparse (one stencil-sized row per node) and unknowns are
+/// the nodal values themselves, not RBF coefficients. Solves route through
+/// la::SparseFirstSolver -- dense LU below the UPDEC_SPARSE_MIN_N threshold,
+/// ILU(0)-preconditioned Krylov above it -- which is what makes large-N
+/// Laplace sweeps affordable (the global collocation matrix is dense and
+/// O(N^3) to factor by construction).
+///
+/// Row layout (mirroring LaplaceSolver's laplace_row):
+///   interior        RBF-FD Laplacian stencil row
+///   bottom / top    identity (Dirichlet: fixed data / control)
+///   left (x = 0)    u_i - u_partner = 0          (x-periodicity, value)
+///   right (x = 1)   Dx row(partner) - Dx row(i)  (x-periodicity, slope)
+/// where `partner` is the lateral node at the same y on the opposite wall.
+class LaplaceFdSolver {
+ public:
+  LaplaceFdSolver(std::size_t grid_n, const rbf::Kernel& kernel,
+                  const rbf::RbffdConfig& config = {},
+                  const la::RobustSolveOptions& solver = {});
+
+  /// Nodes on the controlled top wall, ordered by increasing x.
+  [[nodiscard]] const std::vector<std::size_t>& top_nodes() const {
+    return top_nodes_;
+  }
+  [[nodiscard]] const std::vector<double>& top_x() const { return top_x_; }
+
+  /// Control layout identical to LaplaceSolver: one DOF per top node except
+  /// the periodic x = 1 corner, which reuses entry 0.
+  [[nodiscard]] std::size_t num_control() const {
+    return top_nodes_.size() - 1;
+  }
+  [[nodiscard]] std::size_t control_index(std::size_t top_node) const {
+    return top_node + 1 == top_nodes_.size() ? 0 : top_node;
+  }
+
+  [[nodiscard]] const pc::PointCloud& cloud() const { return cloud_; }
+
+  /// The sparse-first operator (exposed for cache plumbing / benchmarks).
+  [[nodiscard]] const la::SparseFirstSolver& op() const { return op_; }
+  [[nodiscard]] la::SparseFirstSolver& op() { return op_; }
+
+  /// Solve for the nodal state u (size = cloud().size()). Unlike
+  /// LaplaceSolver::solve, the result is the field itself, not coefficients.
+  [[nodiscard]] la::Vector solve(const la::Vector& control,
+                                 la::SolveReport* report = nullptr) const;
+
+  /// Batched twin: column j of `controls` -> column j of the nodal states.
+  [[nodiscard]] la::Matrix solve_many(const la::Matrix& controls,
+                                      la::SolveReport* report = nullptr) const;
+
+  /// du/dy at the top-wall nodes of a nodal state (Dy stencil rows).
+  [[nodiscard]] la::Vector flux_top(const la::Vector& u) const;
+  [[nodiscard]] la::Matrix flux_top_many(const la::Matrix& u) const;
+
+  /// Trapezoidal quadrature weights along the top wall.
+  [[nodiscard]] const la::Vector& quadrature_weights() const {
+    return quad_weights_;
+  }
+
+ private:
+  [[nodiscard]] la::Vector assemble_rhs(const la::Vector& control) const;
+
+  pc::PointCloud cloud_;
+  rbf::RbffdOperators operators_;
+  la::CsrMatrix dy_;         // Dy stencils (flux extraction)
+  la::SparseFirstSolver op_;
+  std::vector<std::size_t> top_nodes_;
+  std::vector<double> top_x_;
+  la::Vector quad_weights_;
+  la::Vector base_rhs_;
 };
 
 }  // namespace updec::pde

@@ -48,6 +48,7 @@ std::int32_t KdTree::build(std::vector<std::size_t>& idx, std::size_t lo,
 std::vector<std::size_t> KdTree::k_nearest(const Vec2& query,
                                            std::size_t k) const {
   UPDEC_REQUIRE(!points_.empty(), "k_nearest on empty tree");
+  if (k == 0) return {};  // heap.top() below would be UB on an empty heap
   k = std::min(k, points_.size());
   // Max-heap of (distance^2, index): the root is the current worst keeper.
   using Entry = std::pair<double, std::size_t>;

@@ -130,4 +130,12 @@ const la::CsrMatrix& RbffdOperators::laplacian() const {
   return *lap_;
 }
 
+la::CsrMatrix consistent_laplacian(const la::CsrMatrix& dx,
+                                   const la::CsrMatrix& dy,
+                                   const std::vector<std::uint8_t>& row_mask) {
+  UPDEC_TRACE_SCOPE("rbf/consistent_laplacian");
+  return la::add(1.0, la::multiply(dx, dx, &row_mask), 1.0,
+                 la::multiply(dy, dy, &row_mask));
+}
+
 }  // namespace updec::rbf

@@ -48,4 +48,13 @@ class RbffdOperators {
   mutable std::unique_ptr<la::CsrMatrix> dx_, dy_, lap_;
 };
 
+/// Consistent product Laplacian Dx.Dx + Dy.Dy assembled sparse, straight
+/// from the stencil-weight CSR operators -- no dense detour. Rows with
+/// row_mask[i] == 0 (boundary nodes, which get boundary-condition rows
+/// instead) are left structurally empty. The accumulation order matches the
+/// former dense product assembly bit for bit.
+[[nodiscard]] la::CsrMatrix consistent_laplacian(
+    const la::CsrMatrix& dx, const la::CsrMatrix& dy,
+    const std::vector<std::uint8_t>& row_mask);
+
 }  // namespace updec::rbf

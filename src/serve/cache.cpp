@@ -114,6 +114,15 @@ std::uint64_t fingerprint(const la::Matrix& m) {
   return h.value();
 }
 
+std::uint64_t fingerprint(const la::CsrMatrix& m) {
+  Fnv h;
+  h.u64(m.rows()).u64(m.cols()).u64(m.nnz());
+  h.bytes(m.row_ptr().data(), m.row_ptr().size() * sizeof(std::size_t));
+  h.bytes(m.col_idx().data(), m.col_idx().size() * sizeof(std::size_t));
+  h.bytes(m.values().data(), m.values().size() * sizeof(double));
+  return h.value();
+}
+
 std::uint64_t fingerprint(const rbf::LinearOp& op) {
   Fnv h;
   h.f64(op.id).f64(op.ddx).f64(op.ddy).f64(op.lap);
@@ -274,6 +283,37 @@ std::shared_ptr<const la::CsrMatrix> cached_rbffd_weights(
         w->row_ptr().size() * sizeof(std::size_t);
     return OperatorCache::Sized<la::CsrMatrix>{std::move(w), bytes};
   });
+}
+
+std::size_t csr_bytes(const la::CsrMatrix& m) {
+  return m.values().size() * sizeof(double) +
+         m.col_idx().size() * sizeof(std::size_t) +
+         m.row_ptr().size() * sizeof(std::size_t);
+}
+
+std::size_t ilu0_bytes(const la::Ilu0& ilu) {
+  // Factors share A's sparsity pattern; add the diagonal-position index.
+  return csr_bytes(ilu.factors()) + ilu.factors().rows() * sizeof(std::size_t);
+}
+
+std::shared_ptr<const la::Ilu0> cached_ilu0(OperatorCache& cache,
+                                            const la::CsrMatrix& a) {
+  KeyBuilder kb("ilu0");
+  kb.add(fingerprint(a));
+  kb.add(static_cast<std::uint64_t>(a.rows()));
+  return cache.get_or_compute<la::Ilu0>(kb.key(), [&a] {
+    UPDEC_TRACE_SCOPE("serve/cache_ilu0");
+    auto ilu = std::make_shared<const la::Ilu0>(a);
+    const std::size_t bytes = ilu0_bytes(*ilu);
+    return OperatorCache::Sized<la::Ilu0>{std::move(ilu), bytes};
+  });
+}
+
+void memoize_preconditioner(OperatorCache& cache, la::SparseFirstSolver& op) {
+  if (!op.valid() || !op.sparse_path()) return;
+  // The Krylov chain runs against the row-equilibrated operator, so the
+  // memoized factors must be computed from (and keyed on) that matrix.
+  op.install_preconditioner(cached_ilu0(cache, op.krylov_matrix()));
 }
 
 }  // namespace updec::serve

@@ -39,7 +39,9 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "la/iterative.hpp"
 #include "la/lu.hpp"
+#include "la/robust_solve.hpp"
 #include "la/sparse.hpp"
 #include "pointcloud/cloud.hpp"
 #include "rbf/collocation.hpp"
@@ -97,6 +99,9 @@ class KeyBuilder {
 /// distinct fingerprints.
 [[nodiscard]] std::uint64_t fingerprint(const rbf::Kernel& kernel);
 [[nodiscard]] std::uint64_t fingerprint(const la::Matrix& m);
+/// Structure + values of a CSR operator (row pointers, column indices, raw
+/// value bytes) -- the content address of a sparse system matrix.
+[[nodiscard]] std::uint64_t fingerprint(const la::CsrMatrix& m);
 [[nodiscard]] std::uint64_t fingerprint(const rbf::LinearOp& op);
 
 /// Byte budget implied by the environment: UPDEC_CACHE_BYTES when set and
@@ -203,5 +208,20 @@ void memoize_lu(OperatorCache& cache, rbf::GlobalCollocation& colloc);
 [[nodiscard]] std::shared_ptr<const la::CsrMatrix> cached_rbffd_weights(
     OperatorCache& cache, const rbf::RbffdOperators& ops,
     const rbf::LinearOp& op);
+
+/// Resident sizes of the sparse artefacts.
+[[nodiscard]] std::size_t csr_bytes(const la::CsrMatrix& m);
+[[nodiscard]] std::size_t ilu0_bytes(const la::Ilu0& ilu);
+
+/// ILU(0) factors of a CSR operator, memoized under its content fingerprint
+/// (domain "ilu0"). A warm scenario batch that re-assembles the same sparse
+/// operator skips the incomplete factorisation entirely.
+[[nodiscard]] std::shared_ptr<const la::Ilu0> cached_ilu0(
+    OperatorCache& cache, const la::CsrMatrix& a);
+
+/// cached_ilu0() + install: after this call, a sparse-path solver runs its
+/// Krylov chain against the memoized preconditioner. No-op when the solver
+/// took the dense path (its eager LU makes the ILU irrelevant).
+void memoize_preconditioner(OperatorCache& cache, la::SparseFirstSolver& op);
 
 }  // namespace updec::serve

@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
-#include <cstdlib>
+#include <charconv>
+#include <system_error>
 
 #include "util/error.hpp"
 
@@ -33,16 +34,35 @@ std::string CliArgs::get(const std::string& key,
   return it == kv_.end() ? fallback : it->second;
 }
 
+namespace {
+
+/// Parse the full value string as a T with std::from_chars; any leftover
+/// characters (or no digits at all) mean the option is malformed. A leading
+/// '+' is tolerated for symmetry with '-'.
+template <typename T>
+T parse_or_throw(const std::string& key, const std::string& value) {
+  const char* first = value.c_str();
+  const char* last = first + value.size();
+  if (first != last && *first == '+') ++first;
+  T parsed{};
+  const auto [ptr, ec] = std::from_chars(first, last, parsed);
+  UPDEC_REQUIRE(ec == std::errc() && ptr == last,
+                "malformed numeric value for --" + key + ": '" + value + "'");
+  return parsed;
+}
+
+}  // namespace
+
 int CliArgs::get_int(const std::string& key, int fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end() || it->second.empty()) return fallback;
-  return std::atoi(it->second.c_str());
+  return parse_or_throw<int>(key, it->second);
 }
 
 double CliArgs::get_double(const std::string& key, double fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end() || it->second.empty()) return fallback;
-  return std::atof(it->second.c_str());
+  return parse_or_throw<double>(key, it->second);
 }
 
 }  // namespace updec

@@ -19,6 +19,11 @@ class CliArgs {
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const;
+
+  /// Typed lookups. A missing key or a bare boolean flag (empty value)
+  /// returns `fallback`; a value that is not entirely a number of the
+  /// requested type throws updec::Error naming the offending option, so a
+  /// typo like `--iters=abc` aborts instead of silently running with 0.
   [[nodiscard]] int get_int(const std::string& key, int fallback) const;
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;

@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "la/blas.hpp"
 #include "la/iterative.hpp"
 #include "la/lu.hpp"
+#include "la/robust_solve.hpp"
 #include "la/sparse.hpp"
 #include "util/rng.hpp"
 
@@ -225,5 +227,193 @@ TEST_P(KrylovAgreement, AllSolversAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, KrylovAgreement,
                          ::testing::Values(5, 16, 64, 128));
+
+TEST(IterativeBicgstab, BreakdownReportsActualIterationCount) {
+  // Skew-symmetric operator: r_hat . (A r_hat) == 0, so BiCGSTAB breaks down
+  // on its very first step (rhat_v == 0). Regression: every breakdown path
+  // used to fall through to res.iterations = opts.max_iterations, reporting
+  // a step-0 breakdown as a full-budget Krylov run.
+  SparseBuilder builder(2, 2);
+  builder.add(0, 1, 1.0);
+  builder.add(1, 0, -1.0);
+  const CsrMatrix a(builder);
+  const Vector b{1.0, 0.0};
+  IterativeOptions opts;
+  opts.max_iterations = 500;
+  const auto res = updec::la::bicgstab(a, b, opts);
+  EXPECT_TRUE(res.breakdown);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);  // no update step completed
+}
+
+TEST(IterativeBicgstab, ConvergedSolveReportsNoBreakdown) {
+  const CsrMatrix a = poisson_1d(40);
+  const Vector b(40, 1.0);
+  const auto res = updec::la::bicgstab(a, b);
+  EXPECT_TRUE(res.converged);
+  EXPECT_FALSE(res.breakdown);
+  EXPECT_LT(res.iterations, IterativeOptions{}.max_iterations);
+}
+
+TEST(Ilu0, CopiesShareFactors) {
+  // Regression: as_preconditioner() used to deep-copy the CSR factors into
+  // the closure (and copies of Ilu0 duplicated them again), doubling the
+  // resident bytes of every cached preconditioner. Factors are now shared.
+  const updec::la::Ilu0 original(poisson_1d(25));
+  const updec::la::Ilu0 copy = original;
+  EXPECT_EQ(&original.factors(), &copy.factors());
+
+  // The closure keeps the shared factors alive past the source object.
+  updec::la::Preconditioner precond;
+  {
+    const updec::la::Ilu0 temporary(poisson_1d(25));
+    precond = temporary.as_preconditioner();
+  }
+  const Vector r(25, 1.0);
+  Vector z(25);
+  precond(r, z);
+  for (const double v : z.std()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(CsrProduct, MultiplyMatchesDenseGemm) {
+  updec::Rng rng(91);
+  SparseBuilder ab(12, 12), bb(12, 12);
+  for (std::size_t k = 0; k < 60; ++k) {
+    ab.add(rng.uniform_index(12), rng.uniform_index(12), rng.normal());
+    bb.add(rng.uniform_index(12), rng.uniform_index(12), rng.normal());
+  }
+  const CsrMatrix a(ab), b(bb);
+  const CsrMatrix c = updec::la::multiply(a, b);
+  const Matrix dense =
+      updec::la::matmul(a.to_dense(), b.to_dense());
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j < 12; ++j)
+      EXPECT_NEAR(c.at(i, j), dense(i, j), 1e-12);
+}
+
+TEST(CsrProduct, RowMaskLeavesRowsStructurallyEmpty) {
+  const CsrMatrix a = poisson_1d(8);
+  std::vector<std::uint8_t> mask(8, 1);
+  mask[0] = mask[7] = 0;
+  const CsrMatrix c = updec::la::multiply(a, a, &mask);
+  EXPECT_EQ(c.row_ptr()[1], c.row_ptr()[0]);  // row 0 empty
+  EXPECT_EQ(c.row_ptr()[8], c.row_ptr()[7]);  // row 7 empty
+  const Matrix dense = updec::la::matmul(a.to_dense(), a.to_dense());
+  for (std::size_t i = 1; i < 7; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      EXPECT_NEAR(c.at(i, j), dense(i, j), 1e-12);
+}
+
+TEST(CsrSum, AddMatchesDense) {
+  const CsrMatrix a = poisson_1d(10);
+  const CsrMatrix b = convection_diffusion_1d(10, 0.3);
+  const CsrMatrix c = updec::la::add(2.0, a, -0.5, b);
+  for (std::size_t i = 0; i < 10; ++i)
+    for (std::size_t j = 0; j < 10; ++j)
+      EXPECT_NEAR(c.at(i, j), 2.0 * a.at(i, j) - 0.5 * b.at(i, j), 1e-14);
+}
+
+TEST(Csr, ApplyManyMatchesColumnwiseSpmv) {
+  const CsrMatrix a = convection_diffusion_1d(15, 0.2);
+  updec::Rng rng(7);
+  Matrix x(15, 4);
+  for (std::size_t i = 0; i < 15; ++i)
+    for (std::size_t j = 0; j < 4; ++j) x(i, j) = rng.normal();
+  const Matrix y = a.apply_many(x);
+  Vector col(15), ref(15);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t i = 0; i < 15; ++i) col[i] = x(i, j);
+    a.spmv(1.0, col, 0.0, ref);
+    for (std::size_t i = 0; i < 15; ++i) EXPECT_NEAR(y(i, j), ref[i], 1e-13);
+  }
+}
+
+// ---- SparseFirstSolver ----------------------------------------------------
+
+TEST(SparseFirst, ForcedModesAgreeWithDenseSolve) {
+  const std::size_t n = 80;
+  const CsrMatrix a = convection_diffusion_1d(n, 0.4);
+  Vector b(n);
+  updec::Rng rng(17);
+  for (auto& v : b) v = rng.normal();
+  const Vector x_ref = updec::la::solve(a.to_dense(), b);
+
+  updec::la::RobustSolveOptions options;
+  options.sparse_min_n = 0;  // force CSR + ILU-Krylov
+  const updec::la::SparseFirstSolver sparse(a, options);
+  EXPECT_TRUE(sparse.sparse_path());
+  updec::la::SolveReport report;
+  const Vector x_sparse = sparse.solve(b, &report);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.method, updec::la::SolveMethod::kIterative);
+
+  options.sparse_min_n = n + 1;  // force eager dense LU
+  const updec::la::SparseFirstSolver dense(a, options);
+  EXPECT_FALSE(dense.sparse_path());
+  const Vector x_dense = dense.solve(b, &report);
+  EXPECT_TRUE(report.converged);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x_sparse[i], x_ref[i], 1e-7);
+    EXPECT_NEAR(x_dense[i], x_ref[i], 1e-10);
+  }
+}
+
+TEST(SparseFirst, TransposeSolveMatchesExplicitTranspose) {
+  const std::size_t n = 60;
+  const CsrMatrix a = convection_diffusion_1d(n, 0.5);
+  Vector b(n);
+  updec::Rng rng(23);
+  for (auto& v : b) v = rng.normal();
+
+  Matrix at(n, n);
+  const Matrix ad = a.to_dense();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) at(i, j) = ad(j, i);
+  const Vector x_ref = updec::la::solve(at, b);
+
+  for (const std::size_t threshold : {std::size_t{0}, n + 1}) {
+    updec::la::RobustSolveOptions options;
+    options.sparse_min_n = threshold;
+    const updec::la::SparseFirstSolver solver(a, options);
+    updec::la::SolveReport report;
+    const Vector x = solver.solve_transpose(b, &report);
+    EXPECT_TRUE(report.converged);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-7);
+  }
+}
+
+TEST(SparseFirst, SolveManyMatchesColumnwiseSolve) {
+  const std::size_t n = 48;
+  const CsrMatrix a = convection_diffusion_1d(n, 0.25);
+  updec::Rng rng(41);
+  Matrix b(n, 5);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < 5; ++j) b(i, j) = rng.normal();
+
+  for (const std::size_t threshold : {std::size_t{0}, n + 1}) {
+    updec::la::RobustSolveOptions options;
+    options.sparse_min_n = threshold;
+    const updec::la::SparseFirstSolver solver(a, options);
+    updec::la::SolveReport report;
+    const Matrix x = solver.solve_many(b, &report);
+    EXPECT_TRUE(report.converged);
+    Vector col(n);
+    for (std::size_t j = 0; j < 5; ++j) {
+      for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+      const Vector ref = solver.solve(col);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x(i, j), ref[i], 1e-8);
+    }
+  }
+}
+
+TEST(SparseFirst, ThresholdFromEnvironment) {
+  ASSERT_EQ(setenv("UPDEC_SPARSE_MIN_N", "7", 1), 0);
+  EXPECT_EQ(updec::la::sparse_min_n_from_env(), 7u);
+  ASSERT_EQ(setenv("UPDEC_SPARSE_MIN_N", "not-a-number", 1), 0);
+  EXPECT_EQ(updec::la::sparse_min_n_from_env(), 512u);  // default on garbage
+  ASSERT_EQ(unsetenv("UPDEC_SPARSE_MIN_N"), 0);
+  EXPECT_EQ(updec::la::sparse_min_n_from_env(), 512u);
+}
 
 }  // namespace

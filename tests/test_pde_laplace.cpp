@@ -185,4 +185,103 @@ TEST_F(LaplaceSolverTest, RejectsWrongControlSize) {
   EXPECT_THROW(solver_.solve(Vector(3, 0.0)), updec::Error);
 }
 
+// ---- LaplaceFdSolver (sparse RBF-FD twin) ----------------------------------
+
+using updec::pde::LaplaceFdSolver;
+
+updec::rbf::RbffdConfig fd_config() {
+  // Second-degree monomials so the local Laplacian stencils are consistent.
+  updec::rbf::RbffdConfig config;
+  config.stencil_size = 21;
+  config.poly_degree = 2;
+  return config;
+}
+
+TEST(LaplaceFd, StateMatchesAnalyticUnderAnalyticControl) {
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  const LaplaceFdSolver solver(24, kernel, fd_config());
+  Vector control(solver.num_control());
+  for (std::size_t i = 0; i < control.size(); ++i)
+    control[i] = LaplaceSolver::analytic_control(solver.top_x()[i]);
+  updec::la::SolveReport report;
+  const Vector u = solver.solve(control, &report);
+  EXPECT_TRUE(report.converged);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < solver.cloud().size(); ++i) {
+    const auto p = solver.cloud().node(i).pos;
+    max_err = std::max(
+        max_err, std::abs(u[i] - LaplaceSolver::analytic_state(p.x, p.y)));
+  }
+  EXPECT_LT(max_err, 0.05);
+}
+
+TEST(LaplaceFd, SparseAndDensePathsAgree) {
+  // The UPDEC_SPARSE_MIN_N threshold must pick a path, never change the
+  // answer: force both modes on the same discretisation and compare.
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  updec::la::RobustSolveOptions forced_sparse;
+  forced_sparse.sparse_min_n = 0;
+  updec::la::RobustSolveOptions forced_dense;
+  forced_dense.sparse_min_n = 100000;
+  const LaplaceFdSolver sparse(16, kernel, fd_config(), forced_sparse);
+  const LaplaceFdSolver dense(16, kernel, fd_config(), forced_dense);
+  ASSERT_TRUE(sparse.op().sparse_path());
+  ASSERT_FALSE(dense.op().sparse_path());
+
+  Vector control(sparse.num_control());
+  for (std::size_t i = 0; i < control.size(); ++i)
+    control[i] = 0.4 * std::sin(kTwoPi * sparse.top_x()[i]);
+  updec::la::SolveReport report;
+  const Vector u_sparse = sparse.solve(control, &report);
+  EXPECT_TRUE(report.converged);
+  const Vector u_dense = dense.solve(control);
+  double scale = 0.0;
+  for (const double v : u_dense.std()) scale = std::max(scale, std::abs(v));
+  for (std::size_t i = 0; i < u_dense.size(); ++i)
+    EXPECT_NEAR(u_sparse[i], u_dense[i], 1e-6 * (1.0 + scale));
+
+  const Vector f_sparse = sparse.flux_top(u_sparse);
+  const Vector f_dense = dense.flux_top(u_dense);
+  for (std::size_t i = 0; i < f_dense.size(); ++i)
+    EXPECT_NEAR(f_sparse[i], f_dense[i], 1e-4);
+}
+
+TEST(LaplaceFd, SolveManyMatchesPerControlSolves) {
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  const LaplaceFdSolver solver(12, kernel, fd_config());
+  const std::size_t k = 3;
+  updec::la::Matrix controls(solver.num_control(), k);
+  for (std::size_t i = 0; i < controls.rows(); ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      controls(i, j) = std::sin(kTwoPi * solver.top_x()[i] *
+                                static_cast<double>(j + 1));
+  const updec::la::Matrix batched = solver.solve_many(controls);
+  Vector one(solver.num_control());
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < one.size(); ++i) one[i] = controls(i, j);
+    const Vector u = solver.solve(one);
+    for (std::size_t i = 0; i < u.size(); ++i)
+      EXPECT_NEAR(batched(i, j), u[i], 1e-8);
+  }
+  const updec::la::Matrix flux = solver.flux_top_many(batched);
+  Vector last(solver.cloud().size());
+  for (std::size_t i = 0; i < last.size(); ++i) last[i] = batched(i, k - 1);
+  const Vector flux_last = solver.flux_top(last);
+  for (std::size_t i = 0; i < flux_last.size(); ++i)
+    EXPECT_NEAR(flux(i, k - 1), flux_last[i], 1e-12);
+}
+
+TEST(LaplaceFd, QuadratureAndControlLayoutMatchCollocationSolver) {
+  const updec::rbf::PolyharmonicSpline kernel(3);
+  const LaplaceFdSolver fd(20, kernel, fd_config());
+  const LaplaceSolver colloc(20, kernel);
+  ASSERT_EQ(fd.num_control(), colloc.num_control());
+  ASSERT_EQ(fd.top_x().size(), colloc.top_x().size());
+  for (std::size_t i = 0; i < fd.top_x().size(); ++i)
+    EXPECT_DOUBLE_EQ(fd.top_x()[i], colloc.top_x()[i]);
+  double total = 0.0;
+  for (const double w : fd.quadrature_weights().std()) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
 }  // namespace

@@ -228,6 +228,12 @@ TEST(KdTree, ClampsKToSize) {
   EXPECT_EQ(tree.k_nearest({0, 0}, 10).size(), 2u);
 }
 
+TEST(KdTree, KZeroReturnsEmpty) {
+  // Regression: k == 0 used to reach heap.top() on an empty heap (UB).
+  const KdTree tree(std::vector<Vec2>{{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_TRUE(tree.k_nearest({0.5, 0.5}, 0).empty());
+}
+
 TEST(KdTree, WorksOnCloud) {
   const PointCloud cloud = updec::pc::unit_square_grid(8, 8);
   const KdTree tree(cloud);

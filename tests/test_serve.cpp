@@ -274,6 +274,61 @@ TEST(OperatorCache, CachedLuIsSharedAndInstallable) {
   for (std::size_t i = 0; i < u1.size(); ++i) EXPECT_EQ(u1[i], u2[i]);
 }
 
+TEST(OperatorCache, CachedIlu0IsSharedAndInstallable) {
+  // Tridiagonal convection-diffusion operator, built twice with identical
+  // content: the second ILU(0) request must be a cache hit.
+  const auto build = [] {
+    la::SparseBuilder b(64, 64);
+    for (std::size_t i = 0; i < 64; ++i) {
+      b.add(i, i, 2.1);
+      if (i > 0) b.add(i, i - 1, -1.3);
+      if (i + 1 < 64) b.add(i, i + 1, -0.7);
+    }
+    return la::CsrMatrix(b);
+  };
+  const la::CsrMatrix a1 = build();
+  const la::CsrMatrix a2 = build();
+  ASSERT_EQ(serve::fingerprint(a1), serve::fingerprint(a2));
+
+  // Two sparse-path solvers over identical content produce identical
+  // (row-equilibrated) Krylov operators, so the second ILU(0) request must
+  // be a cache hit on the first one's factors.
+  la::RobustSolveOptions options;
+  options.sparse_min_n = 0;
+  la::SparseFirstSolver solver(a1, options);
+  la::SparseFirstSolver twin(a2, options);
+  ASSERT_EQ(serve::fingerprint(solver.krylov_matrix()),
+            serve::fingerprint(twin.krylov_matrix()));
+
+  OperatorCache cache(std::size_t{64} << 20);
+  const auto ilu1 = serve::cached_ilu0(cache, solver.krylov_matrix());
+  const auto ilu2 = serve::cached_ilu0(cache, twin.krylov_matrix());
+  EXPECT_EQ(ilu1.get(), ilu2.get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Install into the solver: the memoized factors precondition its Krylov
+  // chain and the solve still matches the dense reference.
+  serve::memoize_preconditioner(cache, solver);
+  EXPECT_EQ(solver.shared_preconditioner().get(), ilu1.get());
+  EXPECT_EQ(cache.stats().hits, 2u);
+
+  la::Vector b(64, 1.0);
+  la::SolveReport report;
+  const la::Vector x = solver.solve(b, &report);
+  EXPECT_TRUE(report.converged);
+  const la::Vector x_ref = la::solve(a1.to_dense(), b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-8);
+
+  // Dense-path solvers ignore the memoization entirely.
+  options.sparse_min_n = 1000;
+  la::SparseFirstSolver dense_solver(a1, options);
+  const auto before = cache.stats().hits;
+  serve::memoize_preconditioner(cache, dense_solver);
+  EXPECT_EQ(dense_solver.shared_preconditioner(), nullptr);
+  EXPECT_EQ(cache.stats().hits, before);
+}
+
 // ---- thread pool ---------------------------------------------------------
 
 TEST(ThreadPool, CompletesJobsSubmittedFasterThanExecuted) {

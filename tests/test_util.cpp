@@ -193,4 +193,35 @@ TEST(CliArgs, BooleanFlagAtEnd) {
   EXPECT_EQ(args.get("verbose", "x"), "");
 }
 
+TEST(CliArgs, MalformedNumericValueThrows) {
+  // Regression: atoi/atof silently returned 0 here, so a typo like
+  // `--iters=abc` ran the binary with iters == 0 instead of failing.
+  const char* argv[] = {"prog", "--iters=abc", "--lr=0.5x", "--tol=."};
+  CliArgs args(4, argv);
+  EXPECT_THROW((void)args.get_int("iters", 7), updec::Error);
+  EXPECT_THROW((void)args.get_double("lr", 0.0), updec::Error);
+  EXPECT_THROW((void)args.get_double("tol", 0.0), updec::Error);
+  // A numeric value parsed as the wrong type is also malformed.
+  const char* argv2[] = {"prog", "--iters=2.5"};
+  CliArgs args2(2, argv2);
+  EXPECT_THROW((void)args2.get_int("iters", 7), updec::Error);
+}
+
+TEST(CliArgs, SignedValuesParse) {
+  // `--lr -0.5` uses the space-separated form: the `-0.5` token must be
+  // consumed as the value (it is not a `--` option) and parse as negative.
+  const char* argv[] = {"prog", "--lr", "-0.5", "--delta=+3", "--n=-12"};
+  CliArgs args(5, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.0), -0.5);
+  EXPECT_EQ(args.get_int("delta", 0), 3);
+  EXPECT_EQ(args.get_int("n", 0), -12);
+}
+
+TEST(CliArgs, BooleanFlagKeepsNumericFallback) {
+  const char* argv[] = {"prog", "--fast"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.get_int("fast", 9), 9);
+  EXPECT_DOUBLE_EQ(args.get_double("fast", 2.5), 2.5);
+}
+
 }  // namespace
