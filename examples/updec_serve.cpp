@@ -12,7 +12,9 @@
 /// problem: laplace|channel; strategy: dp|dal|fd. Empty cells keep defaults.
 ///
 /// Environment: UPDEC_SERVE_THREADS (pool size), UPDEC_SERVE_DEADLINE_MS
-/// (default per-job deadline), UPDEC_CACHE_BYTES (operator cache budget).
+/// (default per-job deadline), UPDEC_CACHE_BYTES (operator cache budget),
+/// UPDEC_CACHE_DIR (persistent operator-cache tier), UPDEC_SERVE_RETRIES /
+/// UPDEC_SERVE_BACKOFF_MS (retry ladder; --retries / --backoff-ms override).
 
 #include <fstream>
 #include <iostream>
@@ -122,9 +124,12 @@ void write_report(std::ostream& os,
                   const serve::OperatorCache::Stats& cache, double seconds,
                   std::size_t threads) {
   std::size_t succeeded = 0, cancelled = 0, expired = 0, failed = 0;
+  std::size_t retries = 0, degraded = 0;
   double job_seconds = 0.0;
   for (const auto& r : reports) {
     job_seconds += r.seconds;
+    retries += r.retries;
+    if (r.degraded) ++degraded;
     switch (r.status) {
       case serve::JobStatus::kSucceeded: ++succeeded; break;
       case serve::JobStatus::kCancelled: ++cancelled; break;
@@ -138,20 +143,30 @@ void write_report(std::ostream& os,
   os << "  \"aggregate\": {\"jobs\": " << reports.size()
      << ", \"succeeded\": " << succeeded << ", \"cancelled\": " << cancelled
      << ", \"deadline_expired\": " << expired << ", \"failed\": " << failed
+     << ", \"retries\": " << retries << ", \"degraded\": " << degraded
      << ", \"job_seconds_sum\": " << job_seconds << "},\n";
   os << "  \"cache\": {\"hits\": " << cache.hits
      << ", \"misses\": " << cache.misses
      << ", \"evictions\": " << cache.evictions
      << ", \"inflight_waits\": " << cache.inflight_waits
      << ", \"bytes\": " << cache.bytes << ", \"entries\": " << cache.entries
-     << ", \"byte_budget\": " << cache.byte_budget << "},\n";
+     << ", \"byte_budget\": " << cache.byte_budget
+     << ", \"disk_hits\": " << cache.disk.hits
+     << ", \"disk_misses\": " << cache.disk.misses
+     << ", \"disk_writes\": " << cache.disk.writes
+     << ", \"disk_corrupt\": " << cache.disk.corrupt
+     << ", \"disk_errors\": " << cache.disk.errors << "},\n";
   os << "  \"jobs\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const auto& r = reports[i];
     os << "    {\"id\": \"" << json_escape(r.id) << "\", \"status\": \""
        << serve::to_string(r.status) << "\", \"seconds\": " << r.seconds
        << ", \"iterations\": " << r.iterations
-       << ", \"final_cost\": " << r.final_cost;
+       << ", \"final_cost\": " << r.final_cost
+       << ", \"attempts\": " << r.attempts << ", \"retries\": " << r.retries
+       << ", \"degraded\": " << (r.degraded ? "true" : "false");
+    if (r.degraded)
+      os << ", \"achieved_tolerance\": " << r.achieved_tolerance;
     if (!r.error.empty()) os << ", \"error\": \"" << json_escape(r.error) << '"';
     os << '}' << (i + 1 < reports.size() ? "," : "") << '\n';
   }
@@ -169,6 +184,12 @@ int main(int argc, char** argv) {
 
     serve::SchedulerOptions options;
     options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    // Environment supplies the policy; flags override per invocation.
+    serve::RetryPolicy retry = serve::retry_policy_from_env();
+    retry.max_retries = static_cast<std::size_t>(
+        args.get_int("retries", static_cast<int>(retry.max_retries)));
+    retry.backoff_ms = args.get_double("backoff-ms", retry.backoff_ms);
+    options.retry = retry;
     serve::Scheduler scheduler(options);
     std::cout << "updec_serve: " << scenarios.size() << " scenario(s) on "
               << scheduler.thread_count() << " thread(s), cache budget "
@@ -184,6 +205,11 @@ int main(int argc, char** argv) {
       std::cout << "  " << r.id << ": " << serve::to_string(r.status) << " in "
                 << r.seconds << " s, " << r.iterations << " iters, J = "
                 << r.final_cost
+                << (r.retries > 0
+                        ? ", " + std::to_string(r.retries) + " retr" +
+                              (r.retries == 1 ? "y" : "ies")
+                        : "")
+                << (r.degraded ? ", degraded" : "")
                 << (r.error.empty() ? "" : " (" + r.error + ")") << "\n";
 
     const std::string out = args.get("out", "");

@@ -154,6 +154,14 @@ void run_loop(DriverResult& result, GradientStrategy& strategy,
                  << ": cooperative stop requested; returning current state";
       break;
     }
+    if (options.should_degrade && options.should_degrade()) {
+      result.stopped = true;
+      result.degraded_stop = true;
+      UPDEC_METRIC_ADD("control/driver.degraded_stops", 1);
+      log_info() << strategy.name() << " iteration " << it
+                 << ": degraded stop requested; returning best-effort state";
+      break;
+    }
     const Stopwatch iter_watch;
     double j = 0.0;
     bool ok = true;

@@ -45,6 +45,13 @@ struct DriverOptions {
   /// accumulated so far (DriverResult::stopped set, not aborted). The serve
   /// scheduler routes job cancellation and per-job deadlines through this.
   std::function<bool()> should_stop;
+
+  /// Cooperative degrade hook, polled alongside should_stop. Returning true
+  /// ends the run the same clean way but additionally marks
+  /// DriverResult::degraded_stop, so the caller can distinguish "wrap up
+  /// now, best effort" (the serve scheduler's soft deadline) from a hard
+  /// cancellation. should_stop wins when both fire in the same iteration.
+  std::function<bool()> should_degrade;
 };
 
 struct DriverResult {
@@ -59,6 +66,7 @@ struct DriverResult {
   std::size_t recoveries = 0;        ///< divergence rollbacks performed
   bool aborted = false;              ///< recovery budget exhausted
   bool stopped = false;              ///< options.should_stop ended the run early
+  bool degraded_stop = false;        ///< options.should_degrade ended the run
 };
 
 /// Run gradient descent with `strategy` from the problem's initial control.

@@ -115,6 +115,27 @@ Ilu0::Ilu0(const CsrMatrix& a) {
   data_ = std::move(data);
 }
 
+Ilu0 Ilu0::from_factors(CsrMatrix lu) {
+  UPDEC_REQUIRE(lu.rows() == lu.cols(),
+                "Ilu0::from_factors: factors must be square");
+  const std::size_t n = lu.rows();
+  std::vector<std::size_t> diag(n, static_cast<std::size_t>(-1));
+  const auto& row_ptr = lu.row_ptr();
+  const auto& col_idx = lu.col_idx();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      if (col_idx[k] == i) diag[i] = k;
+    UPDEC_REQUIRE(diag[i] != static_cast<std::size_t>(-1),
+                  "Ilu0::from_factors: structurally missing diagonal");
+  }
+  Ilu0 ilu;
+  auto data = std::make_shared<Data>();
+  data->lu = std::move(lu);
+  data->diag = std::move(diag);
+  ilu.data_ = std::move(data);
+  return ilu;
+}
+
 void Ilu0::apply_impl(const Data& data, const Vector& r, Vector& z) {
   const CsrMatrix& lu = data.lu;
   const std::vector<std::size_t>& diag = data.diag;

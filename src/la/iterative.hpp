@@ -71,7 +71,15 @@ class Ilu0 {
   /// across Ilu0 copies and as_preconditioner() closures.
   [[nodiscard]] const CsrMatrix& factors() const { return data_->lu; }
 
+  /// Rebuild from previously computed factors() without re-running the
+  /// incomplete elimination (serve-layer disk cache). The diagonal index is
+  /// reconstructed from the pattern; throws updec::Error if a diagonal
+  /// entry is structurally missing.
+  [[nodiscard]] static Ilu0 from_factors(CsrMatrix lu);
+
  private:
+  Ilu0() = default;
+
   struct Data {
     CsrMatrix lu;                    // merged L (unit diag) and U in A's pattern
     std::vector<std::size_t> diag;   // index of diagonal entry per row

@@ -198,6 +198,30 @@ double LuFactorization::condition_estimate() const {
   return est * a_norm1_;
 }
 
+LuFactorization LuFactorization::from_parts(Matrix packed,
+                                            std::vector<std::size_t> perm,
+                                            int perm_sign, double a_norm1) {
+  const std::size_t n = packed.rows();
+  UPDEC_REQUIRE(packed.cols() == n,
+                "LuFactorization::from_parts: packed factors not square");
+  UPDEC_REQUIRE(perm.size() == n,
+                "LuFactorization::from_parts: permutation size mismatch");
+  UPDEC_REQUIRE(perm_sign == 1 || perm_sign == -1,
+                "LuFactorization::from_parts: permutation sign must be +/-1");
+  std::vector<bool> seen(n, false);
+  for (const std::size_t p : perm) {
+    UPDEC_REQUIRE(p < n && !seen[p],
+                  "LuFactorization::from_parts: not a permutation");
+    seen[p] = true;
+  }
+  LuFactorization lu;
+  lu.lu_ = std::move(packed);
+  lu.perm_ = std::move(perm);
+  lu.perm_sign_ = perm_sign;
+  lu.a_norm1_ = a_norm1;
+  return lu;
+}
+
 Vector solve(Matrix a, const Vector& b) {
   return LuFactorization(std::move(a)).solve(b);
 }

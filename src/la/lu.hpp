@@ -47,6 +47,23 @@ class LuFactorization {
   [[nodiscard]] std::size_t size() const { return lu_.rows(); }
   [[nodiscard]] bool valid() const { return !lu_.empty(); }
 
+  // Serialization access (serve-layer disk cache): the packed factors, the
+  // pivot permutation, its sign and the cached 1-norm fully determine the
+  // factorisation, so a round trip through from_parts() is bit-exact.
+  [[nodiscard]] const Matrix& packed() const { return lu_; }
+  [[nodiscard]] const std::vector<std::size_t>& permutation() const {
+    return perm_;
+  }
+  [[nodiscard]] int permutation_sign() const { return perm_sign_; }
+  [[nodiscard]] double source_norm1() const { return a_norm1_; }
+
+  /// Reassemble a factorisation from previously extracted parts without
+  /// re-running the O(N^3) elimination. Throws updec::Error on
+  /// inconsistent shapes or a non-permutation pivot vector.
+  [[nodiscard]] static LuFactorization from_parts(
+      Matrix packed, std::vector<std::size_t> perm, int perm_sign,
+      double a_norm1);
+
  private:
   void forward_substitute(Vector& x) const;   // L y = Pb
   void backward_substitute(Vector& x) const;  // U x = y

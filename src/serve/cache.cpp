@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -130,19 +131,17 @@ std::uint64_t fingerprint(const rbf::LinearOp& op) {
 }
 
 std::size_t byte_budget_from_env() {
-  if (const char* env = std::getenv("UPDEC_CACHE_BYTES")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env) return static_cast<std::size_t>(v);
-    log_warn() << "UPDEC_CACHE_BYTES='" << env
-               << "' is not a byte count; using the 512 MiB default";
-  }
-  return std::size_t{512} << 20;
+  // Strict whole-string parse: "512MB" used to silently become 512 bytes
+  // under strtoull's prefix rules; now it warns and keeps the default.
+  return static_cast<std::size_t>(
+      env::get_u64("UPDEC_CACHE_BYTES", std::uint64_t{512} << 20));
 }
 
-OperatorCache::OperatorCache(std::size_t byte_budget)
+OperatorCache::OperatorCache(std::size_t byte_budget, std::string disk_dir)
     : byte_budget_(byte_budget) {
   stats_.byte_budget = byte_budget;
+  if (!disk_dir.empty())
+    disk_ = std::make_unique<DiskCache>(std::move(disk_dir));
 }
 
 bool OperatorCache::contains(const CacheKey& key) const {
@@ -162,11 +161,15 @@ void OperatorCache::clear() {
 }
 
 OperatorCache::Stats OperatorCache::stats() const {
-  std::lock_guard lock(mutex_);
-  Stats s = stats_;
-  s.bytes = bytes_;
-  s.entries = index_.size();
-  s.byte_budget = byte_budget_;
+  Stats s;
+  {
+    std::lock_guard lock(mutex_);
+    s = stats_;
+    s.bytes = bytes_;
+    s.entries = index_.size();
+    s.byte_budget = byte_budget_;
+  }
+  if (disk_) s.disk = disk_->stats();  // DiskCache locks its own mutex
   return s;
 }
 
@@ -249,16 +252,160 @@ std::size_t lu_bytes(const la::LuFactorization& lu) {
   return n * n * sizeof(double) + n * sizeof(std::size_t);
 }
 
+// ---- disk-tier codecs ----------------------------------------------------
+
+namespace {
+
+/// Append-only little binary writer for the artefact payloads.
+class PayloadWriter {
+ public:
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { bytes(&v, sizeof v); }
+  void f64s(const double* data, std::size_t n) {
+    bytes(data, n * sizeof(double));
+  }
+  void indices(const std::vector<std::size_t>& v) {
+    u64(v.size());
+    for (const std::size_t x : v) u64(x);
+  }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  void bytes(const void* data, std::size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked reader; any overrun or leftover is a malformed payload
+/// (updec::Error), which the disk tier treats as corruption.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : payload_(payload) {}
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v = 0;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  void f64s(double* out, std::size_t n) { bytes(out, n * sizeof(double)); }
+  std::vector<std::size_t> indices(std::size_t expected) {
+    const std::uint64_t n = u64();
+    UPDEC_REQUIRE(n == expected, "disk payload: index array size mismatch");
+    std::vector<std::size_t> v(expected);
+    for (std::size_t i = 0; i < expected; ++i)
+      v[i] = static_cast<std::size_t>(u64());
+    return v;
+  }
+  void done() const {
+    UPDEC_REQUIRE(pos_ == payload_.size(),
+                  "disk payload: trailing bytes after decode");
+  }
+
+ private:
+  void bytes(void* out, std::size_t n) {
+    UPDEC_REQUIRE(pos_ + n <= payload_.size(),
+                  "disk payload: truncated field");
+    std::memcpy(out, payload_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::string_view payload_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode_lu(const la::LuFactorization& lu) {
+  PayloadWriter w;
+  const std::size_t n = lu.size();
+  w.u64(n);
+  w.f64s(lu.packed().data(), n * n);
+  w.indices(lu.permutation());
+  w.u64(lu.permutation_sign() == 1 ? 1 : 0);
+  w.f64(lu.source_norm1());
+  return w.take();
+}
+
+la::LuFactorization decode_lu(std::string_view payload) {
+  PayloadReader r(payload);
+  const std::size_t n = static_cast<std::size_t>(r.u64());
+  la::Matrix packed(n, n);
+  r.f64s(packed.data(), n * n);
+  std::vector<std::size_t> perm = r.indices(n);
+  const int sign = r.u64() == 1 ? 1 : -1;
+  const double a_norm1 = r.f64();
+  r.done();
+  return la::LuFactorization::from_parts(std::move(packed), std::move(perm),
+                                         sign, a_norm1);
+}
+
+std::string encode_csr(const la::CsrMatrix& m) {
+  PayloadWriter w;
+  w.u64(m.rows());
+  w.u64(m.cols());
+  w.u64(m.nnz());
+  w.indices(m.row_ptr());
+  w.indices(m.col_idx());
+  w.f64s(m.values().data(), m.values().size());
+  return w.take();
+}
+
+la::CsrMatrix decode_csr(std::string_view payload) {
+  PayloadReader r(payload);
+  const std::size_t rows = static_cast<std::size_t>(r.u64());
+  const std::size_t cols = static_cast<std::size_t>(r.u64());
+  const std::size_t nnz = static_cast<std::size_t>(r.u64());
+  std::vector<std::size_t> row_ptr = r.indices(rows + 1);
+  std::vector<std::size_t> col_idx = r.indices(nnz);
+  std::vector<double> values(nnz);
+  r.f64s(values.data(), nnz);
+  r.done();
+  UPDEC_REQUIRE(!row_ptr.empty() && row_ptr.front() == 0 &&
+                    row_ptr.back() == nnz,
+                "disk payload: inconsistent CSR row pointers");
+  for (std::size_t i = 0; i + 1 < row_ptr.size(); ++i)
+    UPDEC_REQUIRE(row_ptr[i] <= row_ptr[i + 1],
+                  "disk payload: CSR row pointers not monotone");
+  for (const std::size_t c : col_idx)
+    UPDEC_REQUIRE(c < cols, "disk payload: CSR column index out of range");
+  return la::CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                       std::move(values));
+}
+
+std::string encode_ilu0(const la::Ilu0& ilu) {
+  return encode_csr(ilu.factors());
+}
+
+la::Ilu0 decode_ilu0(std::string_view payload) {
+  return la::Ilu0::from_factors(decode_csr(payload));
+}
+
+// ---- memoization helpers -------------------------------------------------
+
 std::shared_ptr<const la::LuFactorization> cached_lu(
     OperatorCache& cache, const rbf::GlobalCollocation& colloc) {
   KeyBuilder kb("lu-factorization");
   kb.add(colloc.content_hash());
   kb.add(static_cast<std::uint64_t>(colloc.system_size()));
-  return cache.get_or_compute<la::LuFactorization>(kb.key(), [&colloc] {
-    UPDEC_TRACE_SCOPE("serve/cache_factor");
-    std::shared_ptr<const la::LuFactorization> lu = colloc.shared_lu();
-    return OperatorCache::Sized<la::LuFactorization>{lu, lu_bytes(*lu)};
-  });
+  return cache.get_or_compute_disk<la::LuFactorization>(
+      kb.key(),
+      [&colloc] {
+        UPDEC_TRACE_SCOPE("serve/cache_factor");
+        std::shared_ptr<const la::LuFactorization> lu = colloc.shared_lu();
+        return OperatorCache::Sized<la::LuFactorization>{lu, lu_bytes(*lu)};
+      },
+      encode_lu,
+      [](std::string_view payload) {
+        UPDEC_TRACE_SCOPE("serve/cache_disk_load");
+        auto lu = std::make_shared<const la::LuFactorization>(
+            decode_lu(payload));
+        return OperatorCache::Sized<la::LuFactorization>{lu, lu_bytes(*lu)};
+      });
 }
 
 void memoize_lu(OperatorCache& cache, rbf::GlobalCollocation& colloc) {
@@ -274,15 +421,19 @@ std::shared_ptr<const la::CsrMatrix> cached_rbffd_weights(
   kb.add(static_cast<std::uint64_t>(ops.config().stencil_size));
   kb.add(static_cast<std::int64_t>(ops.config().poly_degree));
   kb.add(fingerprint(op));
-  return cache.get_or_compute<la::CsrMatrix>(kb.key(), [&ops, &op] {
-    UPDEC_TRACE_SCOPE("serve/cache_rbffd");
-    auto w = std::make_shared<const la::CsrMatrix>(ops.weights_for(op));
-    const std::size_t bytes =
-        w->values().size() * sizeof(double) +
-        w->nnz() * sizeof(std::size_t) +  // col indices
-        w->row_ptr().size() * sizeof(std::size_t);
-    return OperatorCache::Sized<la::CsrMatrix>{std::move(w), bytes};
-  });
+  return cache.get_or_compute_disk<la::CsrMatrix>(
+      kb.key(),
+      [&ops, &op] {
+        UPDEC_TRACE_SCOPE("serve/cache_rbffd");
+        auto w = std::make_shared<const la::CsrMatrix>(ops.weights_for(op));
+        return OperatorCache::Sized<la::CsrMatrix>{w, csr_bytes(*w)};
+      },
+      encode_csr,
+      [](std::string_view payload) {
+        UPDEC_TRACE_SCOPE("serve/cache_disk_load");
+        auto w = std::make_shared<const la::CsrMatrix>(decode_csr(payload));
+        return OperatorCache::Sized<la::CsrMatrix>{w, csr_bytes(*w)};
+      });
 }
 
 std::size_t csr_bytes(const la::CsrMatrix& m) {
@@ -301,12 +452,20 @@ std::shared_ptr<const la::Ilu0> cached_ilu0(OperatorCache& cache,
   KeyBuilder kb("ilu0");
   kb.add(fingerprint(a));
   kb.add(static_cast<std::uint64_t>(a.rows()));
-  return cache.get_or_compute<la::Ilu0>(kb.key(), [&a] {
-    UPDEC_TRACE_SCOPE("serve/cache_ilu0");
-    auto ilu = std::make_shared<const la::Ilu0>(a);
-    const std::size_t bytes = ilu0_bytes(*ilu);
-    return OperatorCache::Sized<la::Ilu0>{std::move(ilu), bytes};
-  });
+  return cache.get_or_compute_disk<la::Ilu0>(
+      kb.key(),
+      [&a] {
+        UPDEC_TRACE_SCOPE("serve/cache_ilu0");
+        auto ilu = std::make_shared<const la::Ilu0>(a);
+        const std::size_t bytes = ilu0_bytes(*ilu);
+        return OperatorCache::Sized<la::Ilu0>{std::move(ilu), bytes};
+      },
+      encode_ilu0,
+      [](std::string_view payload) {
+        UPDEC_TRACE_SCOPE("serve/cache_disk_load");
+        auto ilu = std::make_shared<const la::Ilu0>(decode_ilu0(payload));
+        return OperatorCache::Sized<la::Ilu0>{ilu, ilu0_bytes(*ilu)};
+      });
 }
 
 void memoize_preconditioner(OperatorCache& cache, la::SparseFirstSolver& op) {

@@ -36,8 +36,10 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 
 #include "la/iterative.hpp"
 #include "la/lu.hpp"
@@ -105,8 +107,61 @@ class KeyBuilder {
 [[nodiscard]] std::uint64_t fingerprint(const rbf::LinearOp& op);
 
 /// Byte budget implied by the environment: UPDEC_CACHE_BYTES when set and
-/// parseable (0 allowed: disables storage), else 512 MiB.
+/// parseable (0 allowed: disables storage), else 512 MiB. Malformed values
+/// warn and fall back (strict whole-string parse; no silent prefixes).
 [[nodiscard]] std::size_t byte_budget_from_env();
+
+/// Disk-tier directory implied by the environment: UPDEC_CACHE_DIR when set
+/// and non-empty, else "" (disk tier disarmed).
+[[nodiscard]] std::string cache_dir_from_env();
+
+/// Crash-safe persistent blob store under the in-memory cache: one
+/// content-addressed file per entry (`<dir>/<hi>-<lo>.opc`), written
+/// atomically (tmp + std::rename, the driver-checkpoint discipline) with a
+/// header carrying magic, format version, the full 128-bit key and an
+/// FNV-1a payload checksum. Reads verify all of it; a corrupt or truncated
+/// entry is counted (`serve/cache.disk_corrupt`), deleted and reported as a
+/// miss -- never trusted. Write failures (disk full, permissions, the
+/// `serve.cache_disk_write` fault site) degrade to a warning: the cache
+/// keeps serving from memory.
+class DiskCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;     ///< verified payload served from disk
+    std::uint64_t misses = 0;   ///< no entry on disk
+    std::uint64_t writes = 0;   ///< entries persisted
+    std::uint64_t corrupt = 0;  ///< rejected (bad magic/version/key/checksum)
+    std::uint64_t errors = 0;   ///< I/O failures (open/write/rename)
+  };
+
+  /// Creates `dir` (and parents) if missing. An unusable directory warns
+  /// and leaves the tier disabled rather than throwing: persistence is an
+  /// optimisation, not a correctness requirement.
+  explicit DiskCache(std::string dir);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::string path_for(const CacheKey& key) const;
+
+  /// Load and verify the payload for `key` into `payload`. False on miss;
+  /// corrupt entries are deleted and counted, then reported as a miss.
+  [[nodiscard]] bool load(const CacheKey& key, std::string& payload);
+
+  /// Atomically persist `payload` under `key`. Never throws.
+  bool store(const CacheKey& key, std::string_view payload);
+
+  /// Drop the on-disk entry for `key` (decode-level rejection: the payload
+  /// checksummed fine but did not deserialize into a usable artefact).
+  void reject(const CacheKey& key, const std::string& why);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  std::string dir_;
+  bool enabled_ = false;
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
 
 /// Thread-safe LRU cache of type-erased immutable artefacts.
 class OperatorCache {
@@ -119,6 +174,7 @@ class OperatorCache {
     std::size_t bytes = 0;             ///< currently resident
     std::size_t entries = 0;
     std::size_t byte_budget = 0;
+    DiskCache::Stats disk;             ///< zeroed when no disk tier is armed
   };
 
   /// A computed artefact plus its resident size (for budget accounting).
@@ -128,7 +184,11 @@ class OperatorCache {
     std::size_t bytes = 0;
   };
 
-  explicit OperatorCache(std::size_t byte_budget = byte_budget_from_env());
+  /// `disk_dir` non-empty arms the persistent tier (UPDEC_CACHE_DIR by
+  /// default); artefacts registered through get_or_compute_disk() then
+  /// survive process restarts and warm-promote into the in-memory LRU.
+  explicit OperatorCache(std::size_t byte_budget = byte_budget_from_env(),
+                         std::string disk_dir = cache_dir_from_env());
 
   OperatorCache(const OperatorCache&) = delete;
   OperatorCache& operator=(const OperatorCache&) = delete;
@@ -149,9 +209,42 @@ class OperatorCache {
     return std::static_pointer_cast<const T>(std::move(p));
   }
 
+  /// Like get_or_compute, with the persistent tier underneath: a memory
+  /// miss first probes the disk tier (a verified entry is decoded and
+  /// promoted into the LRU -- the warm-restart path), and a genuine compute
+  /// is encoded and persisted for the next process. `encode` maps const T&
+  /// to the payload bytes; `decode` maps the verified payload back to a
+  /// Sized<T> and may throw updec::Error on a malformed payload (the entry
+  /// is then dropped and recomputed, like checksum-level corruption).
+  /// Degenerates to plain get_or_compute when no disk tier is armed.
+  template <typename T, typename Fn, typename Enc, typename Dec>
+  std::shared_ptr<const T> get_or_compute_disk(const CacheKey& key,
+                                               Fn&& compute, Enc&& encode,
+                                               Dec&& decode) {
+    return get_or_compute<T>(key, [&]() -> Sized<T> {
+      if (disk_ && disk_->enabled()) {
+        std::string payload;
+        if (disk_->load(key, payload)) {
+          try {
+            return decode(std::string_view(payload));
+          } catch (const std::exception& e) {
+            disk_->reject(key, e.what());
+          }
+        }
+      }
+      Sized<T> sized = compute();
+      if (disk_ && disk_->enabled() && sized.value != nullptr)
+        disk_->store(key, encode(*sized.value));
+      return sized;
+    });
+  }
+
   /// Probe without computing (testing / diagnostics). Does not count as a
   /// hit and does not touch LRU order.
   [[nodiscard]] bool contains(const CacheKey& key) const;
+
+  /// The persistent tier, or nullptr when disarmed.
+  [[nodiscard]] DiskCache* disk() { return disk_.get(); }
 
   void clear();
   [[nodiscard]] Stats stats() const;
@@ -182,11 +275,25 @@ class OperatorCache {
   std::size_t byte_budget_;
   std::size_t bytes_ = 0;
   Stats stats_;
+  std::unique_ptr<DiskCache> disk_;  ///< null when no directory is armed
 };
 
 /// Process-wide cache instance used by the serve scheduler (budget from
 /// UPDEC_CACHE_BYTES at first use).
 OperatorCache& global_cache();
+
+// ---- disk-tier codecs ----------------------------------------------------
+// Byte-exact binary round trips for the artefacts worth persisting: the
+// O(N^3) dense LU, RBF-FD stencil weight matrices and ILU(0) factors.
+// decode_* throw updec::Error on malformed payloads (inconsistent sizes),
+// which get_or_compute_disk treats as corruption: drop and recompute.
+
+[[nodiscard]] std::string encode_lu(const la::LuFactorization& lu);
+[[nodiscard]] la::LuFactorization decode_lu(std::string_view payload);
+[[nodiscard]] std::string encode_csr(const la::CsrMatrix& m);
+[[nodiscard]] la::CsrMatrix decode_csr(std::string_view payload);
+[[nodiscard]] std::string encode_ilu0(const la::Ilu0& ilu);
+[[nodiscard]] la::Ilu0 decode_ilu0(std::string_view payload);
 
 // ---- high-level memoization helpers --------------------------------------
 

@@ -1,15 +1,21 @@
 #include "serve/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <exception>
+#include <limits>
+#include <thread>
 #include <utility>
 
 #include "control/channel_problem.hpp"
 #include "control/driver.hpp"
 #include "control/laplace_problem.hpp"
 #include "pointcloud/generators.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -43,6 +49,7 @@ const char* to_string(JobStatus status) {
     case JobStatus::kCancelled: return "cancelled";
     case JobStatus::kDeadlineExpired: return "deadline_expired";
     case JobStatus::kFailed: return "failed";
+    case JobStatus::kRetrying: return "retrying";
   }
   return "?";
 }
@@ -61,12 +68,18 @@ Strategy parse_strategy(const std::string& s) {
 }
 
 double default_deadline_ms_from_env() {
-  if (const char* env = std::getenv("UPDEC_SERVE_DEADLINE_MS")) {
-    char* end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end != env && v > 0.0) return v;
-  }
-  return 0.0;
+  const double v = env::get_double("UPDEC_SERVE_DEADLINE_MS", 0.0);
+  return v > 0.0 ? v : 0.0;
+}
+
+RetryPolicy retry_policy_from_env() {
+  RetryPolicy policy;
+  policy.max_retries = static_cast<std::size_t>(env::get_u64(
+      "UPDEC_SERVE_RETRIES", static_cast<std::uint64_t>(policy.max_retries)));
+  policy.backoff_ms =
+      std::max(0.0, env::get_double("UPDEC_SERVE_BACKOFF_MS",
+                                    policy.backoff_ms));
+  return policy;
 }
 
 namespace {
@@ -168,27 +181,43 @@ Built build_job(const Scenario& sc, OperatorCache& cache) {
   return built;
 }
 
-}  // namespace
+/// Milliseconds elapsed since `start`.
+double elapsed_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
-JobReport run_scenario(const Scenario& scenario, OperatorCache& cache,
-                       double deadline_ms,
-                       const std::function<bool()>& external_stop) {
-  UPDEC_TRACE_SCOPE("serve/run_scenario");
+/// One attempt at a scenario: build (or fetch from cache), optimise, map the
+/// driver outcome to a JobStatus. The deadline clock (`start`) is shared
+/// across every attempt of the job, so retries and degraded attempts are
+/// charged against the same budget as the first try. A degraded attempt
+/// truncates the iteration budget and doubles the divergence-recovery
+/// allowance -- best-effort, not best-quality.
+JobReport run_attempt(const Scenario& scenario, OperatorCache& cache,
+                      double effective_deadline_ms,
+                      std::chrono::steady_clock::time_point start,
+                      const std::function<bool()>& external_stop,
+                      const RetryPolicy& policy, bool degraded_attempt) {
   JobReport report;
   report.id = scenario.id;
   report.status = JobStatus::kRunning;
-  const Stopwatch watch;
 
   // The deadline and cancellation are observed cooperatively from
   // should_stop, which runs on this thread inside the driver loop, so
   // plain captured flags suffice to record which trigger fired.
-  const double effective_deadline_ms =
-      scenario.deadline_ms > 0.0 ? scenario.deadline_ms : deadline_ms;
-  const auto start = std::chrono::steady_clock::now();
   bool cancelled = false;
   bool deadline_expired = false;
+  bool soft_degraded = false;
 
   try {
+    // Deterministic fault sites for chaos testing (no-ops unless armed via
+    // UPDEC_FAULTS): a latency spike, then a transient solve failure.
+    if (UPDEC_FAULT_POINT("serve.solve_latency"))
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    if (UPDEC_FAULT_POINT("serve.solve_fault"))
+      throw Error("injected transient solve fault");
+
     Built built = build_job(scenario, cache);
 
     la::Vector control = built.problem->initial_control();
@@ -201,21 +230,36 @@ JobReport run_scenario(const Scenario& scenario, OperatorCache& cache,
     control::DriverOptions options;
     options.iterations = scenario.iterations;
     options.initial_learning_rate = scenario.learning_rate;
+    if (degraded_attempt) {
+      options.iterations = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(scenario.iterations) *
+                 std::clamp(policy.degraded_iterations, 0.0, 1.0)));
+      options.max_recoveries *= 2;
+    }
     options.should_stop = [&]() {
       if (external_stop && external_stop()) {
         cancelled = true;
         return true;
       }
-      if (effective_deadline_ms > 0.0) {
-        const auto elapsed = std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start);
-        if (elapsed.count() >= effective_deadline_ms) {
-          deadline_expired = true;
-          return true;
-        }
+      if (effective_deadline_ms > 0.0 &&
+          elapsed_ms_since(start) >= effective_deadline_ms) {
+        deadline_expired = true;
+        return true;
       }
       return false;
     };
+    if (policy.soft_deadline_fraction > 0.0 && effective_deadline_ms > 0.0) {
+      const double soft_ms =
+          effective_deadline_ms * policy.soft_deadline_fraction;
+      options.should_degrade = [&, soft_ms]() {
+        if (elapsed_ms_since(start) >= soft_ms) {
+          soft_degraded = true;
+          return true;
+        }
+        return false;
+      };
+    }
 
     control::DriverResult result =
         control::optimize_from(std::move(control), *built.strategy, options);
@@ -223,6 +267,8 @@ JobReport run_scenario(const Scenario& scenario, OperatorCache& cache,
     report.final_cost = result.final_cost;
     report.iterations = result.iterations;
     report.cost_history = std::move(result.cost_history);
+    if (!result.grad_norm_history.empty())
+      report.achieved_tolerance = result.grad_norm_history.back();
     if (result.aborted) {
       report.status = JobStatus::kFailed;
       report.error = "divergence recovery budget exhausted";
@@ -232,6 +278,7 @@ JobReport run_scenario(const Scenario& scenario, OperatorCache& cache,
       report.status = JobStatus::kDeadlineExpired;
     } else {
       report.status = JobStatus::kSucceeded;
+      report.degraded = degraded_attempt || soft_degraded;
     }
   } catch (const std::exception& e) {
     report.status = JobStatus::kFailed;
@@ -240,10 +287,123 @@ JobReport run_scenario(const Scenario& scenario, OperatorCache& cache,
     report.status = JobStatus::kFailed;
     report.error = "unknown exception";
   }
+  return report;
+}
 
+/// Sleep `delay_ms` in small slices, polling `external_stop` between slices
+/// so cancellation interrupts a backoff promptly. Returns false iff stopped.
+bool backoff_sleep(double delay_ms, const std::function<bool()>& stop) {
+  const auto start = std::chrono::steady_clock::now();
+  while (elapsed_ms_since(start) < delay_ms) {
+    if (stop && stop()) return false;
+    const double remaining = delay_ms - elapsed_ms_since(start);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::min(remaining, 5.0)));
+  }
+  return !(stop && stop());
+}
+
+}  // namespace
+
+JobReport run_scenario(const Scenario& scenario, OperatorCache& cache,
+                       double deadline_ms,
+                       const std::function<bool()>& external_stop,
+                       const std::optional<RetryPolicy>& retry,
+                       const std::function<void(JobStatus)>& on_status) {
+  UPDEC_TRACE_SCOPE("serve/run_scenario");
+  const RetryPolicy policy = retry ? *retry : retry_policy_from_env();
+  const double effective_deadline_ms =
+      scenario.deadline_ms > 0.0 ? scenario.deadline_ms : deadline_ms;
+  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch watch;
+  const auto notify = [&](JobStatus s) {
+    if (on_status) on_status(s);
+  };
+  notify(JobStatus::kRunning);
+
+  // Backoff jitter is drawn from the job's own seeded stream (never a
+  // global one) so chaos runs replay bit-identically.
+  Rng jitter_rng(scenario.seed ^ 0xB0FFC0FFEE5EEDull);
+
+  JobReport report;
+  std::size_t attempts = 0;
+  std::size_t retries_taken = 0;
+  for (;;) {
+    ++attempts;
+    report = run_attempt(scenario, cache, effective_deadline_ms, start,
+                         external_stop, policy, /*degraded_attempt=*/false);
+    if (report.status != JobStatus::kFailed) break;  // resolved, one way or another
+
+    // Transient failure. First spend the retry budget...
+    if (retries_taken < policy.max_retries) {
+      double delay_ms = std::min(
+          policy.backoff_ms *
+              std::pow(policy.backoff_multiplier,
+                       static_cast<double>(retries_taken)),
+          policy.max_backoff_ms);
+      delay_ms = std::max(
+          0.0, delay_ms * (1.0 + policy.jitter * jitter_rng.uniform(-1., 1.)));
+      const double remaining_ms =
+          effective_deadline_ms > 0.0
+              ? effective_deadline_ms - elapsed_ms_since(start)
+              : std::numeric_limits<double>::infinity();
+      if (delay_ms >= remaining_ms) {
+        // The backoff alone would blow the deadline: stop deterministically
+        // instead of spinning into it.
+        report.status = JobStatus::kDeadlineExpired;
+        report.error = "retry budget exceeds deadline: " + report.error;
+        UPDEC_METRIC_ADD("serve/jobs.gave_up", 1);
+        log_warn() << "serve job '" << report.id
+                   << "': no deadline budget for retry " << retries_taken + 1
+                   << "; giving up";
+        break;
+      }
+      ++retries_taken;
+      UPDEC_METRIC_ADD("serve/jobs.retries", 1);
+      log_info() << "serve job '" << report.id << "': attempt " << attempts
+                 << " failed (" << report.error << "); retry "
+                 << retries_taken << "/" << policy.max_retries << " in "
+                 << delay_ms << " ms";
+      notify(JobStatus::kRetrying);
+      if (!backoff_sleep(delay_ms, external_stop)) {
+        report.status = JobStatus::kCancelled;
+        report.error.clear();
+        break;
+      }
+      notify(JobStatus::kRunning);
+      continue;
+    }
+
+    // ...then, budget gone, degrade rather than hard-fail if allowed.
+    if (policy.allow_degraded) {
+      ++attempts;
+      JobReport degraded =
+          run_attempt(scenario, cache, effective_deadline_ms, start,
+                      external_stop, policy, /*degraded_attempt=*/true);
+      if (degraded.status == JobStatus::kSucceeded) {
+        log_warn() << "serve job '" << report.id
+                   << "': degraded best-effort result after " << attempts
+                   << " attempts (grad norm " << degraded.achieved_tolerance
+                   << ")";
+        report = std::move(degraded);
+        break;
+      }
+      if (degraded.status != JobStatus::kFailed) {
+        report = std::move(degraded);  // cancelled / deadline during fallback
+        break;
+      }
+      report.error += "; degraded fallback also failed: " + degraded.error;
+    }
+    UPDEC_METRIC_ADD("serve/jobs.gave_up", 1);
+    break;  // kFailed stands
+  }
+
+  report.attempts = attempts;
+  report.retries = retries_taken;
   report.seconds = watch.seconds();
   if (metrics::enabled()) {
     metrics::observe("serve/job.seconds", report.seconds);
+    if (report.degraded) metrics::counter_add("serve/jobs.degraded");
     switch (report.status) {
       case JobStatus::kSucceeded:
         metrics::counter_add("serve/jobs.succeeded");
@@ -260,7 +420,8 @@ JobReport run_scenario(const Scenario& scenario, OperatorCache& cache,
     }
   }
   if (report.status == JobStatus::kFailed)
-    log_warn() << "serve job '" << report.id << "' failed: " << report.error;
+    log_warn() << "serve job '" << report.id << "' failed after "
+               << report.attempts << " attempts: " << report.error;
   return report;
 }
 
@@ -269,6 +430,7 @@ Scheduler::Scheduler(SchedulerOptions options)
       default_deadline_ms_(options.default_deadline_ms < 0.0
                                ? default_deadline_ms_from_env()
                                : options.default_deadline_ms),
+      retry_(options.retry ? *options.retry : retry_policy_from_env()),
       pool_(options.threads, options.max_queue) {}
 
 Scheduler::~Scheduler() { pool_.shutdown(); }
@@ -284,7 +446,8 @@ Scheduler::JobId Scheduler::submit(Scenario scenario) {
     jobs_.emplace(id, state);
   }
   UPDEC_METRIC_ADD("serve/jobs.submitted", 1);
-  pool_.submit([state, deadline = default_deadline_ms_, cache = cache_] {
+  pool_.submit([state, deadline = default_deadline_ms_, cache = cache_,
+                retry = retry_] {
     JobReport report;
     if (state->cancelled.load(std::memory_order_relaxed)) {
       // Cancelled before it ever ran: resolve without building anything.
@@ -292,14 +455,28 @@ Scheduler::JobId Scheduler::submit(Scenario scenario) {
       report.status = JobStatus::kCancelled;
       UPDEC_METRIC_ADD("serve/jobs.cancelled", 1);
     } else {
-      report = run_scenario(state->scenario, *cache, deadline, [state] {
-        return state->cancelled.load(std::memory_order_relaxed);
-      });
+      report = run_scenario(
+          state->scenario, *cache, deadline,
+          [state] {
+            return state->cancelled.load(std::memory_order_relaxed);
+          },
+          retry,
+          [state](JobStatus live) {
+            state->live.store(live, std::memory_order_relaxed);
+          });
     }
+    state->live.store(report.status, std::memory_order_relaxed);
     state->done.store(true, std::memory_order_release);
     state->promise.set_value(std::move(report));
   });
   return id;
+}
+
+JobStatus Scheduler::status(JobId id) const {
+  std::lock_guard lock(jobs_mutex_);
+  const auto it = jobs_.find(id);
+  UPDEC_REQUIRE(it != jobs_.end(), "Scheduler::status: unknown job id");
+  return it->second->live.load(std::memory_order_relaxed);
 }
 
 bool Scheduler::cancel(JobId id) {

@@ -34,6 +34,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -87,19 +88,60 @@ enum class JobStatus : std::uint8_t {
   kCancelled = 3,         ///< Scheduler::cancel() before/while running
   kDeadlineExpired = 4,   ///< cooperative deadline stop
   kFailed = 5,            ///< solver threw or the driver aborted
+  kRetrying = 6,          ///< live-only: backing off before another attempt
 };
 
 [[nodiscard]] const char* to_string(JobStatus status);
+
+/// How run_scenario handles transient failures: up to `max_retries` extra
+/// attempts with exponential backoff and a deterministic per-job jitter,
+/// every delay charged against the job's deadline (a retry that cannot fit
+/// in the remaining budget is not taken -- the job resolves to
+/// kDeadlineExpired instead of spinning), and an optional final best-effort
+/// degraded attempt once the retry budget is gone.
+struct RetryPolicy {
+  std::size_t max_retries = 0;      ///< extra attempts after the first
+  double backoff_ms = 50.0;         ///< delay before the first retry
+  double backoff_multiplier = 2.0;  ///< growth per subsequent retry
+  double max_backoff_ms = 2000.0;   ///< cap on any single delay
+  double jitter = 0.1;              ///< +/- fraction, drawn from Rng(seed)
+
+  /// After the last retry fails, run one more attempt with the iteration
+  /// budget truncated to `degraded_iterations` of the scenario's and a
+  /// doubled divergence-recovery budget. A success is reported with
+  /// JobReport::degraded set (and the achieved gradient norm recorded)
+  /// instead of a hard kFailed.
+  bool allow_degraded = true;
+  double degraded_iterations = 0.25;  ///< fraction of Scenario::iterations
+
+  /// When > 0 and the job has a deadline: once elapsed time crosses this
+  /// fraction of the deadline, ask the driver to wrap up via
+  /// DriverOptions::should_degrade. The job then resolves as a degraded
+  /// success with the trajectory so far, rather than running into the hard
+  /// deadline and resolving kDeadlineExpired. 0 (default) disables.
+  double soft_deadline_fraction = 0.0;
+};
+
+/// Policy implied by the environment: UPDEC_SERVE_RETRIES (max_retries) and
+/// UPDEC_SERVE_BACKOFF_MS (backoff_ms) over the defaults above; malformed
+/// values warn and keep the defaults (strict whole-string parse).
+[[nodiscard]] RetryPolicy retry_policy_from_env();
 
 /// Outcome of one scenario.
 struct JobReport {
   std::string id;
   JobStatus status = JobStatus::kPending;
-  double seconds = 0.0;              ///< wall-clock inside the job
+  double seconds = 0.0;              ///< wall-clock inside the job (all attempts)
   double final_cost = 0.0;
   std::size_t iterations = 0;        ///< accepted optimisation iterations
   std::vector<double> cost_history;  ///< J per iteration (possibly truncated)
   std::string error;                 ///< populated for kFailed
+  std::size_t attempts = 0;          ///< attempts executed (>= 1 once run)
+  std::size_t retries = 0;           ///< backoff delays actually taken
+  bool degraded = false;             ///< best-effort result (see RetryPolicy)
+  /// Final gradient norm of the returned trajectory -- the optimisation
+  /// tolerance actually achieved, meaningful mainly when `degraded`.
+  double achieved_tolerance = 0.0;
 
   [[nodiscard]] bool ok() const { return status == JobStatus::kSucceeded; }
 };
@@ -111,19 +153,29 @@ struct SchedulerOptions {
   /// UPDEC_SERVE_DEADLINE_MS from the environment (0 / unset = none).
   double default_deadline_ms = -1.0;  ///< -1 -> read the environment
   OperatorCache* cache = nullptr;     ///< nullptr -> global_cache()
+  /// Retry/degradation policy for every job; nullopt reads the environment
+  /// (retry_policy_from_env()).
+  std::optional<RetryPolicy> retry;
 };
 
 /// UPDEC_SERVE_DEADLINE_MS when set to a positive number, else 0 (none).
+/// Malformed values warn and count as unset (strict whole-string parse).
 [[nodiscard]] double default_deadline_ms_from_env();
 
-/// Execute one scenario synchronously on the calling thread. This is the
-/// exact function scheduler jobs run; exposed for sequential baselines
-/// (bench_serve's cold path) and tests. `external_stop` (may be empty) is
-/// polled alongside the deadline; returning true cancels the job.
+/// Execute one scenario synchronously on the calling thread, including its
+/// retry/backoff/degradation ladder. This is the exact function scheduler
+/// jobs run; exposed for sequential baselines (bench_serve's cold path) and
+/// tests. `external_stop` (may be empty) is polled alongside the deadline
+/// (and during backoff); returning true cancels the job. `retry` nullopt
+/// reads the environment; `on_status` (may be empty) observes live status
+/// transitions (kRunning, kRetrying) -- the Scheduler routes these into
+/// Scheduler::status().
 [[nodiscard]] JobReport run_scenario(
     const Scenario& scenario, OperatorCache& cache,
     double deadline_ms = 0.0,
-    const std::function<bool()>& external_stop = {});
+    const std::function<bool()>& external_stop = {},
+    const std::optional<RetryPolicy>& retry = std::nullopt,
+    const std::function<void(JobStatus)>& on_status = {});
 
 class Scheduler {
  public:
@@ -146,6 +198,10 @@ class Scheduler {
   /// is unaffected then).
   bool cancel(JobId id);
 
+  /// Live status of a job: kPending until a worker picks it up, kRunning /
+  /// kRetrying while in flight, then the report's final status.
+  [[nodiscard]] JobStatus status(JobId id) const;
+
   /// Block until the job resolves and return its report. Each job's report
   /// can be waited on from any number of threads.
   [[nodiscard]] JobReport wait(JobId id);
@@ -163,12 +219,14 @@ class Scheduler {
     Scenario scenario;
     std::atomic<bool> cancelled{false};
     std::atomic<bool> done{false};
+    std::atomic<JobStatus> live{JobStatus::kPending};
     std::promise<JobReport> promise;
     std::shared_future<JobReport> future;
   };
 
   OperatorCache* cache_;
   double default_deadline_ms_;
+  RetryPolicy retry_;
   mutable std::mutex jobs_mutex_;
   std::map<JobId, std::shared_ptr<JobState>> jobs_;
   JobId next_id_ = 1;

@@ -1,0 +1,58 @@
+#include "util/env.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <system_error>
+
+#include "util/log.hpp"
+
+namespace updec::env {
+
+namespace {
+
+/// Whole-string std::from_chars parse; false on leftovers or no digits.
+template <typename T>
+bool parse_strict(const char* value, T& out) {
+  const char* first = value;
+  const char* last = value;
+  while (*last != '\0') ++last;
+  if (first != last && *first == '+') ++first;
+  T parsed{};
+  const auto [ptr, ec] = std::from_chars(first, last, parsed);
+  if (ec != std::errc() || ptr != last) return false;
+  out = parsed;
+  return true;
+}
+
+template <typename T>
+T get_or_warn(const char* name, T fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  T parsed{};
+  if (parse_strict(value, parsed)) return parsed;
+  log_warn() << name << "='" << value
+             << "' is not a valid number; using the default";
+  return fallback;
+}
+
+}  // namespace
+
+double get_double(const char* name, double fallback) {
+  return get_or_warn<double>(name, fallback);
+}
+
+std::int64_t get_i64(const char* name, std::int64_t fallback) {
+  return get_or_warn<std::int64_t>(name, fallback);
+}
+
+std::uint64_t get_u64(const char* name, std::uint64_t fallback) {
+  return get_or_warn<std::uint64_t>(name, fallback);
+}
+
+std::string get_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+}  // namespace updec::env

@@ -1,0 +1,29 @@
+#pragma once
+/// \file env.hpp
+/// \brief Strict environment-knob parsing.
+///
+/// UPDEC_* knobs used to be read with strtod/strtoull, which silently parse
+/// a numeric prefix ("512MB" -> 512, "1e3x" -> 1000) and turn a typo into a
+/// live misconfiguration. These helpers apply the same std::from_chars
+/// discipline as CliArgs::get_int/get_double: the WHOLE value must parse,
+/// anything else warns once (naming the variable and the value) and falls
+/// back to the caller's default. A leading '+' is tolerated for symmetry
+/// with '-'.
+
+#include <cstdint>
+#include <string>
+
+namespace updec::env {
+
+/// Value of `name`, or `fallback` when unset/empty/malformed (malformed
+/// values are logged at warn level).
+[[nodiscard]] double get_double(const char* name, double fallback);
+[[nodiscard]] std::int64_t get_i64(const char* name, std::int64_t fallback);
+[[nodiscard]] std::uint64_t get_u64(const char* name, std::uint64_t fallback);
+
+/// Raw string value of `name`, or `fallback` when unset (empty counts as
+/// unset: `UPDEC_CACHE_DIR= updec_serve` disarms the disk tier).
+[[nodiscard]] std::string get_string(const char* name,
+                                     const std::string& fallback = {});
+
+}  // namespace updec::env

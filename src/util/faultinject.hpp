@@ -20,6 +20,15 @@
 /// for one. Armed counts decrement deterministically per hit, so a given
 /// arming reproduces the same failure sequence on every run. Defining
 /// UPDEC_DISABLE_FAULT_INJECTION compiles every site out entirely.
+///
+/// Serve-layer sites (chaos-testing the scheduler's retry/degradation
+/// ladder and the persistent cache tier):
+///
+///   serve.solve_fault        one scenario attempt throws a transient error
+///   serve.solve_latency      one attempt sleeps 25 ms before building
+///   serve.cache_disk_write   one DiskCache::store fails (memory-only serve)
+///   serve.cache_disk_corrupt one DiskCache::load sees a flipped payload
+///                            byte (checksum reject + delete + recompute)
 
 #include <atomic>
 #include <cstddef>

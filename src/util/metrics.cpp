@@ -403,14 +403,27 @@ bool dump_json_file(const std::string& path) {
   // Quiesce producer threads (worker pools) before snapshotting, so the
   // counters written out are final rather than a torn mid-flight view.
   run_predump_hooks();
-  std::ofstream os(path);
-  if (!os.good()) {
-    log_warn() << "metrics: cannot open " << path << " for writing";
-    return false;
+  // Write-to-tmp + rename (the driver-checkpoint discipline): a crash or a
+  // full disk mid-dump must never leave a truncated JSON at `path`, where
+  // it would poison the bench-metrics CI diff on the next run.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os.good()) {
+      log_warn() << "metrics: cannot open " << tmp << " for writing";
+      return false;
+    }
+    dump_json(os);
+    os.flush();
+    if (!os.good()) {
+      log_warn() << "metrics: write to " << tmp << " failed";
+      std::remove(tmp.c_str());
+      return false;
+    }
   }
-  dump_json(os);
-  if (!os.good()) {
-    log_warn() << "metrics: write to " << path << " failed";
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    log_warn() << "metrics: cannot rename " << tmp << " -> " << path;
+    std::remove(tmp.c_str());
     return false;
   }
   return true;

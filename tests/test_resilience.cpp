@@ -393,6 +393,33 @@ TEST_F(ResilienceTest, DriverTreatsThrownSolverErrorAsRecoverable) {
   EXPECT_EQ(result.iterations, 5u);
 }
 
+TEST_F(ResilienceTest, DriverDegradedStopReturnsBestEffortState) {
+  // should_degrade asks for a graceful wrap-up: the driver stops at the
+  // next iteration boundary with the trajectory so far and flags the
+  // result, instead of aborting or running out the budget.
+  QuadraticStrategy strategy(Vector{1.0, -2.0});
+  DriverOptions options = quad_options(50);
+  std::size_t calls = 0;
+  options.should_degrade = [&calls] { return ++calls > 10; };
+  const DriverResult result =
+      updec::control::optimize_from(Vector(2, 0.0), strategy, options);
+  EXPECT_TRUE(result.stopped);
+  EXPECT_TRUE(result.degraded_stop);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.iterations, 10u);
+  EXPECT_EQ(result.cost_history.size(), 10u);
+  EXPECT_FALSE(result.grad_norm_history.empty());
+
+  // A hard stop wins over a degradation request when both fire.
+  DriverOptions both = quad_options(50);
+  both.should_stop = [] { return true; };
+  both.should_degrade = [] { return true; };
+  const DriverResult stopped =
+      updec::control::optimize_from(Vector(2, 0.0), strategy, both);
+  EXPECT_TRUE(stopped.stopped);
+  EXPECT_FALSE(stopped.degraded_stop);
+}
+
 TEST_F(ResilienceTest, CheckpointResumeReplaysTrajectoryExactly) {
   const Vector target{2.0, -1.0, 0.25, 3.0};
   const std::string path = ::testing::TempDir() + "updec_resume_ckpt.txt";

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -27,6 +28,7 @@
 #include "serve/pool.hpp"
 #include "serve/scheduler.hpp"
 #include "testing_common.hpp"
+#include "util/faultinject.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -524,6 +526,337 @@ TEST(Scheduler, ParsersRoundTrip) {
   EXPECT_THROW(serve::parse_strategy("adjoint"), Error);
   EXPECT_STREQ(serve::to_string(serve::JobStatus::kDeadlineExpired),
                "deadline_expired");
+  EXPECT_STREQ(serve::to_string(serve::JobStatus::kRetrying), "retrying");
+}
+
+TEST(Scheduler, StatusTracksTheJobLifecycle) {
+  OperatorCache cache(std::size_t{64} << 20);
+  serve::SchedulerOptions options;
+  options.threads = 1;
+  options.cache = &cache;
+  serve::Scheduler scheduler(options);
+  const auto id = scheduler.submit(quick_laplace("tracked", 3));
+  (void)scheduler.wait(id);
+  EXPECT_EQ(scheduler.status(id), serve::JobStatus::kSucceeded);
+  EXPECT_THROW((void)scheduler.status(9999), Error);
+}
+
+// ---- retry / degradation ladder ------------------------------------------
+
+/// Every test leaves the global fault registry clean.
+class ServeRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override { fault::disarm_all(); }
+};
+
+serve::RetryPolicy quick_policy(std::size_t retries) {
+  serve::RetryPolicy policy;
+  policy.max_retries = retries;
+  policy.backoff_ms = 1.0;
+  policy.jitter = 0.0;
+  return policy;
+}
+
+TEST_F(ServeRetryTest, TransientFaultIsAbsorbedByTheSecondAttempt) {
+  metrics::reset();
+  metrics::set_enabled(true);
+  OperatorCache cache(std::size_t{64} << 20);
+  fault::arm("serve.solve_fault", 1);
+
+  const serve::JobReport report = serve::run_scenario(
+      quick_laplace("transient", 4), cache, 0.0, {}, quick_policy(2));
+  EXPECT_EQ(report.status, serve::JobStatus::kSucceeded) << report.error;
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(report.attempts, 2u);
+  EXPECT_EQ(report.retries, 1u);
+  EXPECT_EQ(report.iterations, 4u);  // full budget, not a truncated fallback
+  EXPECT_EQ(metrics::counter_value("serve/jobs.retries"), 1u);
+  EXPECT_EQ(metrics::counter_value("serve/jobs.succeeded"), 1u);
+  EXPECT_EQ(metrics::counter_value("serve/jobs.failed"), 0u);
+  metrics::set_enabled(false);
+  metrics::reset();
+}
+
+TEST_F(ServeRetryTest, InjectedLatencyDelaysButDoesNotFailTheJob) {
+  OperatorCache cache(std::size_t{64} << 20);
+  fault::arm("serve.solve_latency", 1);
+  const serve::JobReport report =
+      serve::run_scenario(quick_laplace("slow", 3), cache);
+  EXPECT_EQ(report.status, serve::JobStatus::kSucceeded) << report.error;
+  EXPECT_GE(report.seconds, 0.02);  // the injected 25 ms spike
+  EXPECT_EQ(report.retries, 0u);
+}
+
+TEST_F(ServeRetryTest, RetryBudgetIsChargedAgainstTheDeadline) {
+  OperatorCache cache(std::size_t{64} << 20);
+  fault::arm("serve.solve_fault", 10);  // every attempt would fail
+
+  serve::RetryPolicy policy = quick_policy(8);
+  policy.backoff_ms = 60000.0;  // any single backoff blows the deadline
+  serve::Scenario doomed = quick_laplace("doomed", 4);
+  doomed.deadline_ms = 50.0;
+
+  const auto start = std::chrono::steady_clock::now();
+  const serve::JobReport report =
+      serve::run_scenario(doomed, cache, 0.0, {}, policy);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  // The job must resolve kDeadlineExpired the moment the backoff cannot
+  // fit, without sleeping into (or spinning past) the deadline.
+  EXPECT_EQ(report.status, serve::JobStatus::kDeadlineExpired);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_NE(report.error.find("retry budget exceeds deadline"),
+            std::string::npos)
+      << report.error;
+  EXPECT_LT(elapsed_ms, 10000.0) << "gave up by resolving, not by sleeping";
+}
+
+TEST_F(ServeRetryTest, ExhaustedRetriesDegradeToBestEffort) {
+  metrics::reset();
+  metrics::set_enabled(true);
+  OperatorCache cache(std::size_t{64} << 20);
+  fault::arm("serve.solve_fault", 1);
+
+  serve::RetryPolicy policy = quick_policy(0);  // no retries: straight to
+  policy.degraded_iterations = 0.5;             // the degraded fallback
+  const serve::JobReport report = serve::run_scenario(
+      quick_laplace("best-effort", 10), cache, 0.0, {}, policy);
+  EXPECT_EQ(report.status, serve::JobStatus::kSucceeded) << report.error;
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.attempts, 2u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_LE(report.iterations, 5u);  // truncated budget
+  EXPECT_GT(report.achieved_tolerance, 0.0);
+  EXPECT_EQ(metrics::counter_value("serve/jobs.degraded"), 1u);
+  EXPECT_EQ(metrics::counter_value("serve/jobs.succeeded"), 1u);
+  metrics::set_enabled(false);
+  metrics::reset();
+}
+
+TEST_F(ServeRetryTest, DegradationDisabledFailsHardAfterRetries) {
+  OperatorCache cache(std::size_t{64} << 20);
+  fault::arm("serve.solve_fault", 2);  // first attempt + its one retry
+
+  serve::RetryPolicy policy = quick_policy(1);
+  policy.allow_degraded = false;
+  const serve::JobReport report = serve::run_scenario(
+      quick_laplace("hard-fail", 4), cache, 0.0, {}, policy);
+  EXPECT_EQ(report.status, serve::JobStatus::kFailed);
+  EXPECT_EQ(report.attempts, 2u);
+  EXPECT_EQ(report.retries, 1u);
+  EXPECT_NE(report.error.find("injected transient solve fault"),
+            std::string::npos);
+}
+
+TEST_F(ServeRetryTest, SchedulerRoutesRetriesThroughThePool) {
+  OperatorCache cache(std::size_t{64} << 20);
+  fault::arm("serve.solve_fault", 1);
+  serve::SchedulerOptions options;
+  options.threads = 1;
+  options.cache = &cache;
+  options.retry = quick_policy(2);
+  serve::Scheduler scheduler(options);
+  const auto id = scheduler.submit(quick_laplace("pooled", 4));
+  const serve::JobReport report = scheduler.wait(id);
+  EXPECT_EQ(report.status, serve::JobStatus::kSucceeded) << report.error;
+  EXPECT_EQ(report.retries, 1u);
+  EXPECT_EQ(scheduler.status(id), serve::JobStatus::kSucceeded);
+}
+
+// ---- disk-tier codecs ----------------------------------------------------
+
+TEST(DiskCodec, LuRoundTripIsBitExact) {
+  const std::size_t n = 12;
+  la::Matrix a = random_matrix(n, n, 21);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 5.0;
+  const la::LuFactorization lu(a);
+  ASSERT_TRUE(lu.valid());
+
+  const la::LuFactorization rt = serve::decode_lu(serve::encode_lu(lu));
+  EXPECT_EQ(rt.permutation_sign(), lu.permutation_sign());
+  EXPECT_EQ(rt.permutation(), lu.permutation());
+  la::Vector b(n);
+  Rng rng(22);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng.uniform(-1.0, 1.0);
+  const la::Vector x1 = lu.solve(b);
+  const la::Vector x2 = rt.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x1[i], x2[i]);
+}
+
+TEST(DiskCodec, CsrAndIlu0RoundTripsPreserveContent) {
+  const la::CsrMatrix a = poisson_1d(16);
+  const la::CsrMatrix rt = serve::decode_csr(serve::encode_csr(a));
+  EXPECT_EQ(serve::fingerprint(rt), serve::fingerprint(a));
+
+  const la::Ilu0 ilu(a);
+  const la::Ilu0 ilu_rt = serve::decode_ilu0(serve::encode_ilu0(ilu));
+  EXPECT_EQ(serve::fingerprint(ilu_rt.factors()),
+            serve::fingerprint(ilu.factors()));
+  la::Vector r(16, 1.0), z1(16), z2(16);
+  ilu.apply(r, z1);
+  ilu_rt.apply(r, z2);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(z1[i], z2[i]);
+}
+
+TEST(DiskCodec, DecodeRejectsMalformedPayloads) {
+  EXPECT_THROW((void)serve::decode_lu("garbage"), Error);
+  EXPECT_THROW((void)serve::decode_csr(""), Error);
+  // A structurally valid prefix with trailing junk must not decode either.
+  std::string payload = serve::encode_csr(poisson_1d(4));
+  payload += "x";
+  EXPECT_THROW((void)serve::decode_csr(payload), Error);
+}
+
+// ---- persistent disk tier ------------------------------------------------
+
+std::string fresh_cache_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "updec_disk_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(DiskCache, WarmRestartServesBitwiseEqualArtefactsFromDisk) {
+  const std::string dir = fresh_cache_dir("warm");
+  const rbf::PolyharmonicSpline kernel(3);
+  la::Vector cold, warm;
+
+  {
+    // Cold process: compute, persist.
+    pde::LaplaceSolver solver(6, kernel);
+    OperatorCache cache(std::size_t{64} << 20, dir);
+    const auto lu = serve::cached_lu(cache, solver.collocation());
+    ASSERT_NE(lu, nullptr);
+    const OperatorCache::Stats s = cache.stats();
+    EXPECT_EQ(s.disk.writes, 1u);
+    EXPECT_EQ(s.disk.hits, 0u);
+    cold = lu->solve(la::Vector(solver.collocation().system_size(), 1.0));
+  }
+  {
+    // Warm restart: a NEW cache instance over the same directory must serve
+    // the factorisation from disk, not refactor, and the artefact must be
+    // bitwise identical.
+    pde::LaplaceSolver solver(6, kernel);
+    OperatorCache cache(std::size_t{64} << 20, dir);
+    const auto lu = serve::cached_lu(cache, solver.collocation());
+    ASSERT_NE(lu, nullptr);
+    const OperatorCache::Stats s = cache.stats();
+    EXPECT_EQ(s.disk.hits, 1u);
+    EXPECT_EQ(s.disk.writes, 0u);
+    warm = lu->solve(la::Vector(solver.collocation().system_size(), 1.0));
+
+    // Promoted into the in-memory LRU: the next lookup never touches disk.
+    (void)serve::cached_lu(cache, solver.collocation());
+    EXPECT_EQ(cache.stats().disk.hits, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+  }
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) EXPECT_EQ(cold[i], warm[i]);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskCache, CorruptEntryIsRejectedDeletedAndRecomputed) {
+  const std::string dir = fresh_cache_dir("corrupt");
+  const rbf::PolyharmonicSpline kernel(3);
+  la::Vector cold, recomputed;
+  std::string entry_path;
+
+  {
+    pde::LaplaceSolver solver(6, kernel);
+    OperatorCache cache(std::size_t{64} << 20, dir);
+    const auto lu = serve::cached_lu(cache, solver.collocation());
+    cold = lu->solve(la::Vector(solver.collocation().system_size(), 1.0));
+    for (const auto& e : std::filesystem::directory_iterator(dir))
+      entry_path = e.path().string();
+  }
+  ASSERT_FALSE(entry_path.empty());
+
+  // Flip one payload byte on disk (simulated bit rot past the header).
+  {
+    std::fstream f(entry_path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    ASSERT_GT(size, 64);
+    f.seekp(size / 2);
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+
+  {
+    pde::LaplaceSolver solver(6, kernel);
+    OperatorCache cache(std::size_t{64} << 20, dir);
+    const auto lu = serve::cached_lu(cache, solver.collocation());
+    ASSERT_NE(lu, nullptr);
+    const OperatorCache::Stats s = cache.stats();
+    EXPECT_EQ(s.disk.corrupt, 1u);  // rejected, never trusted
+    EXPECT_EQ(s.disk.hits, 0u);
+    EXPECT_EQ(s.disk.writes, 1u);   // recomputed and re-persisted
+    recomputed =
+        lu->solve(la::Vector(solver.collocation().system_size(), 1.0));
+  }
+  for (std::size_t i = 0; i < cold.size(); ++i)
+    EXPECT_EQ(cold[i], recomputed[i]);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeRetryTest, InjectedCorruptionFaultForcesChecksumReject) {
+  const std::string dir = fresh_cache_dir("faultrot");
+  const rbf::PolyharmonicSpline kernel(3);
+  {
+    pde::LaplaceSolver solver(6, kernel);
+    OperatorCache cache(std::size_t{64} << 20, dir);
+    (void)serve::cached_lu(cache, solver.collocation());
+  }
+  fault::arm("serve.cache_disk_corrupt", 1);
+  {
+    pde::LaplaceSolver solver(6, kernel);
+    OperatorCache cache(std::size_t{64} << 20, dir);
+    const auto lu = serve::cached_lu(cache, solver.collocation());
+    ASSERT_NE(lu, nullptr);  // recomputed under the injected rot
+    EXPECT_EQ(cache.stats().disk.corrupt, 1u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeRetryTest, DiskWriteFaultDegradesToMemoryOnlyServing) {
+  const std::string dir = fresh_cache_dir("wfault");
+  const rbf::PolyharmonicSpline kernel(3);
+  pde::LaplaceSolver solver(6, kernel);
+  OperatorCache cache(std::size_t{64} << 20, dir);
+  fault::arm("serve.cache_disk_write", 1);
+
+  const auto lu = serve::cached_lu(cache, solver.collocation());
+  ASSERT_NE(lu, nullptr);  // the artefact itself is unaffected
+  const OperatorCache::Stats s = cache.stats();
+  EXPECT_EQ(s.disk.errors, 1u);
+  EXPECT_EQ(s.disk.writes, 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir));  // nothing half-written
+  // The in-memory tier still serves it.
+  (void)serve::cached_lu(cache, solver.collocation());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskCache, UnusableDirectoryDisablesPersistenceNotServing) {
+  // A path that cannot be a directory (parent is a FILE) must warn and
+  // disarm the tier; compute still works.
+  const std::string file = ::testing::TempDir() + "updec_disk_blocker";
+  std::ofstream(file) << "x";
+  OperatorCache cache(std::size_t{64} << 20, file + "/sub");
+  EXPECT_TRUE(cache.disk() == nullptr || !cache.disk()->enabled());
+  const rbf::PolyharmonicSpline kernel(3);
+  pde::LaplaceSolver solver(6, kernel);
+  EXPECT_NE(serve::cached_lu(cache, solver.collocation()), nullptr);
+  std::remove(file.c_str());
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 // Unit tests for the util substrate: RNG determinism and statistics, memory
-// probes, table/CSV formatting, CLI parsing.
+// probes, table/CSV formatting, CLI parsing, strict environment parsing.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -10,6 +11,7 @@
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/memory.hpp"
 #include "util/rng.hpp"
@@ -222,6 +224,57 @@ TEST(CliArgs, BooleanFlagKeepsNumericFallback) {
   CliArgs args(2, argv);
   EXPECT_EQ(args.get_int("fast", 9), 9);
   EXPECT_DOUBLE_EQ(args.get_double("fast", 2.5), 2.5);
+}
+
+// ---- strict environment parsing ------------------------------------------
+
+/// Scoped setenv: restores the previous state on destruction so env tests
+/// cannot leak configuration into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) previous_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (previous_.empty())
+      ::unsetenv(name_.c_str());
+    else
+      ::setenv(name_.c_str(), previous_.c_str(), 1);
+  }
+
+ private:
+  std::string name_;
+  std::string previous_;
+};
+
+TEST(Env, WellFormedValuesParse) {
+  const ScopedEnv d("UPDEC_TEST_ENV_D", "2.5");
+  const ScopedEnv i("UPDEC_TEST_ENV_I", "-7");
+  const ScopedEnv u("UPDEC_TEST_ENV_U", "+42");
+  EXPECT_DOUBLE_EQ(updec::env::get_double("UPDEC_TEST_ENV_D", 1.0), 2.5);
+  EXPECT_EQ(updec::env::get_i64("UPDEC_TEST_ENV_I", 0), -7);
+  EXPECT_EQ(updec::env::get_u64("UPDEC_TEST_ENV_U", 0u), 42u);
+}
+
+TEST(Env, MalformedValuesWarnAndKeepTheDefault) {
+  // A numeric PREFIX must not silently parse: "512MB" is a typo'd budget,
+  // not 512 bytes.
+  const ScopedEnv d("UPDEC_TEST_ENV_D", "1e3x");
+  const ScopedEnv u("UPDEC_TEST_ENV_U", "512MB");
+  const ScopedEnv i("UPDEC_TEST_ENV_I", "--3");
+  EXPECT_DOUBLE_EQ(updec::env::get_double("UPDEC_TEST_ENV_D", 4.5), 4.5);
+  EXPECT_EQ(updec::env::get_u64("UPDEC_TEST_ENV_U", 99u), 99u);
+  EXPECT_EQ(updec::env::get_i64("UPDEC_TEST_ENV_I", 12), 12);
+}
+
+TEST(Env, UnsetAndEmptyFallBack) {
+  ::unsetenv("UPDEC_TEST_ENV_MISSING");
+  EXPECT_DOUBLE_EQ(updec::env::get_double("UPDEC_TEST_ENV_MISSING", 3.5), 3.5);
+  EXPECT_EQ(updec::env::get_string("UPDEC_TEST_ENV_MISSING", "dflt"), "dflt");
+  const ScopedEnv e("UPDEC_TEST_ENV_EMPTY", "");
+  EXPECT_EQ(updec::env::get_u64("UPDEC_TEST_ENV_EMPTY", 5u), 5u);
+  EXPECT_EQ(updec::env::get_string("UPDEC_TEST_ENV_EMPTY", "dflt"), "dflt");
 }
 
 }  // namespace
