@@ -1,23 +1,35 @@
 /// bench_sparse_path: dense-LU vs sparse-first (CSR + ILU-Krylov) solve path
-/// on the RBF-FD Laplace discretisation (pde::LaplaceFdSolver).
+/// on the RBF-FD Laplace discretisation (pde::LaplaceFdSolver), plus the
+/// tuned-vs-baseline comparison of the raw-speed Krylov hot path.
 ///
-/// For each grid the RBF-FD stencils are assembled ONCE (identical for both
-/// arms, so excluded from the timing); the two arms then measure exactly
-/// what the UPDEC_SPARSE_MIN_N threshold chooses between:
+/// For each grid the RBF-FD stencils are assembled ONCE (identical for all
+/// arms, so excluded from the timing); the arms then measure exactly what
+/// the runtime knobs choose between:
 ///   * dense -- SparseFirstSolver forced onto the eager path (densify the
-///     CSR operator, robust O(N^3) LU) + a batch of solves;
-///   * sparse -- SparseFirstSolver forced onto the CSR path (ILU(0) build)
-///     + the same batch through ILU-GMRES.
-/// Both arms solve the same boundary-control right-hand sides and the
+///     CSR operator, robust O(N^3) LU) + a batch of solves. Skipped above
+///     --dense-cap rows (default 2500): O(N^3) at n ~ 10^4 is minutes of
+///     wall clock for a number whose trajectory is already known.
+///   * sparse-baseline -- the CSR path pinned to its pre-tuning
+///     configuration (fixed GMRES restart 50, serial ILU sweeps, fp64
+///     preconditioner): the knob-reachable shape of the PR 5 sparse path.
+///   * sparse-tuned -- the CSR path as shipped: size-adaptive GMRES
+///     restart and level-scheduled ILU(0) sweeps.
+///   * sparse-mixed -- tuned plus the opt-in fp32 preconditioner closure
+///     (UPDEC_MIXED_PRECISION=1), recorded so the committed baselines
+///     document where mixed precision pays off and where it does not.
+/// All arms solve the same boundary-control right-hand sides and the
 /// solutions must agree within the solver_equivalence oracle tolerance
 /// (1e-6 relative), otherwise the bench fails regardless of the speedup.
 ///
-/// The PR gate is a >= 3x sparse-over-dense speedup at the largest benched
-/// grid. MetricsSession dumps BENCH_sparse.json with per-grid timings; the
+/// The PR gate is a >= 3x sparse-over-dense speedup at the largest grid
+/// where the dense arm runs. MetricsSession dumps BENCH_sparse.json with
+/// per-grid timings, tuned-vs-baseline speedups and achieved residuals; the
 /// committed bench/baselines/BENCH_sparse.json is one of these dumps.
 
 #include <cmath>
+#include <cstdlib>
 #include <numbers>
+#include <optional>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -30,22 +42,56 @@ namespace {
 using namespace updec;
 
 struct ArmResult {
-  double seconds = 0.0;  ///< operator build (LU or ILU) + all solves
-  la::Matrix states;     ///< solved nodal states, one column per control
+  double seconds = 0.0;   ///< operator build (LU or ILU) + all solves
+  double residual = 0.0;  ///< worst-column true residual of the batch
+  la::Matrix states;      ///< solved nodal states, one column per control
 };
 
 ArmResult run_arm(const la::CsrMatrix& a, const la::Matrix& rhs,
-                  std::size_t sparse_min_n) {
+                  std::size_t sparse_min_n, bool mixed, bool level_schedule,
+                  bool auto_restart) {
+  // Ilu0 reads the level-schedule knob from the environment at factor time;
+  // pin it per arm so each arm measures exactly one configuration.
+  setenv("UPDEC_ILU_LEVELS", level_schedule ? "1" : "0", 1);
   la::RobustSolveOptions options;
   options.sparse_min_n = sparse_min_n;
+  options.mixed_precision = mixed;
+  options.auto_restart = auto_restart;
   const Stopwatch watch;
   const la::SparseFirstSolver op(a, options);
   ArmResult arm;
   la::SolveReport report;
   arm.states = op.solve_many(rhs, &report);
   arm.seconds = watch.seconds();
+  arm.residual = report.residual_norm;
   report.require_converged("bench_sparse_path solve_many");
   return arm;
+}
+
+/// Run an arm `reps` times and keep the fastest repetition: single-shot
+/// wall clocks on a shared single-core runner jitter by +-20%, which would
+/// drown the few-percent effects the committed baselines track.
+ArmResult best_of(std::size_t reps, const la::CsrMatrix& a,
+                  const la::Matrix& rhs, std::size_t sparse_min_n, bool mixed,
+                  bool level_schedule, bool auto_restart) {
+  ArmResult best;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    ArmResult arm =
+        run_arm(a, rhs, sparse_min_n, mixed, level_schedule, auto_restart);
+    if (rep == 0 || arm.seconds < best.seconds) best = std::move(arm);
+  }
+  return best;
+}
+
+/// Largest relative entrywise difference between two solution batches.
+double rel_diff(const la::Matrix& x, const la::Matrix& y) {
+  double scale = 1.0, diff = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      scale = std::max(scale, std::abs(x(i, j)));
+      diff = std::max(diff, std::abs(x(i, j) - y(i, j)));
+    }
+  return diff / scale;
 }
 
 }  // namespace
@@ -55,13 +101,21 @@ int main(int argc, char** argv) {
   const bench::MetricsSession session("sparse", args);
 
   std::vector<std::size_t> grids = {16, 24, 32};
-  if (args.flag("paper-scale")) grids.push_back(48);
+  if (args.flag("paper-scale")) {
+    grids.push_back(48);
+    grids.push_back(99);  // (99+1)^2 = 10^4 nodes: the paper-scale target
+  }
   if (args.has("grid"))
     grids = {static_cast<std::size_t>(args.get_int("grid", 32))};
   const std::size_t solves =
       static_cast<std::size_t>(args.get_int("solves", 4));
-  std::cout << "### bench_sparse_path: dense-LU vs CSR+ILU-Krylov on the "
-               "RBF-FD Laplace operator, "
+  // The dense arm is O(N^3); past this many rows its wall clock dwarfs the
+  // whole bench without changing the (already-gated) trajectory, so skip it.
+  const std::size_t dense_cap =
+      static_cast<std::size_t>(args.get_int("dense-cap", 2500));
+  const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 3));
+  std::cout << "### bench_sparse_path: dense-LU vs CSR+ILU-Krylov "
+               "(baseline and tuned) on the RBF-FD Laplace operator, "
             << solves << " solves per arm\n";
 
   const rbf::PolyharmonicSpline kernel(3);
@@ -71,9 +125,10 @@ int main(int argc, char** argv) {
 
   double gate_speedup = 0.0;
   double worst_rel_diff = 0.0;
+  double last_tuned_speedup = 0.0;
   bool all_within_tolerance = true;
   for (const std::size_t grid : grids) {
-    // Stencil assembly is shared by both arms and untimed.
+    // Stencil assembly is shared by all arms and untimed.
     const pde::LaplaceFdSolver discretisation(grid, kernel, config);
     const la::CsrMatrix& a = discretisation.op().matrix();
     const std::size_t n = a.rows();
@@ -95,47 +150,88 @@ int main(int argc, char** argv) {
         rhs(row, j) = (0.25 + 0.25 * static_cast<double>(j)) * c;
     }
 
-    const ArmResult dense = run_arm(a, rhs, n + 1);  // force eager dense LU
-    const ArmResult sparse = run_arm(a, rhs, 0);     // force CSR + ILU-Krylov
+    // Baseline: the sparse path pinned to its pre-tuning configuration
+    // (fixed restart 50, serial ILU sweeps, fp64 preconditioner). Tuned:
+    // the shipped defaults (size-adaptive restart, level-scheduled sweeps).
+    // Mixed: tuned plus the opt-in fp32 preconditioner closure.
+    const ArmResult baseline = best_of(reps, a, rhs, 0, /*mixed=*/false,
+                                       /*level_schedule=*/false,
+                                       /*auto_restart=*/false);
+    const ArmResult tuned = best_of(reps, a, rhs, 0, /*mixed=*/false,
+                                    /*level_schedule=*/true,
+                                    /*auto_restart=*/true);
+    const ArmResult mixed = best_of(reps, a, rhs, 0, /*mixed=*/true,
+                                    /*level_schedule=*/true,
+                                    /*auto_restart=*/true);
+    std::optional<ArmResult> dense;
+    if (n <= dense_cap)
+      dense = best_of(1, a, rhs, n + 1, /*mixed=*/false,
+                      /*level_schedule=*/true, /*auto_restart=*/true);
 
-    double scale = 1.0, diff = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < solves; ++j) {
-        scale = std::max(scale, std::abs(dense.states(i, j)));
-        diff = std::max(diff,
-                        std::abs(dense.states(i, j) - sparse.states(i, j)));
-      }
-    const double rel_diff = diff / scale;
-    worst_rel_diff = std::max(worst_rel_diff, rel_diff);
-    all_within_tolerance = all_within_tolerance && rel_diff <= 1e-6;
+    double grid_rel_diff = std::max(rel_diff(baseline.states, tuned.states),
+                                    rel_diff(mixed.states, tuned.states));
+    if (dense)
+      grid_rel_diff =
+          std::max(grid_rel_diff, rel_diff(dense->states, tuned.states));
+    worst_rel_diff = std::max(worst_rel_diff, grid_rel_diff);
+    all_within_tolerance = all_within_tolerance && grid_rel_diff <= 1e-6;
 
-    const double speedup =
-        sparse.seconds > 0.0 ? dense.seconds / sparse.seconds : 0.0;
-    gate_speedup = speedup;  // the last grid is the largest
-    std::cout << "grid " << grid << " (n=" << n
-              << "): dense " << dense.seconds << " s, sparse "
-              << sparse.seconds << " s, speedup " << speedup
-              << "x, rel diff " << rel_diff << "\n";
+    const double tuned_speedup =
+        tuned.seconds > 0.0 ? baseline.seconds / tuned.seconds : 0.0;
+    last_tuned_speedup = tuned_speedup;
+    std::cout << "grid " << grid << " (n=" << n << "): ";
+    if (dense) std::cout << "dense " << dense->seconds << " s, ";
+    std::cout << "sparse-baseline " << baseline.seconds << " s, sparse-tuned "
+              << tuned.seconds << " s, sparse-mixed " << mixed.seconds << " s";
+    if (dense) {
+      const double speedup =
+          tuned.seconds > 0.0 ? dense->seconds / tuned.seconds : 0.0;
+      gate_speedup = speedup;  // last grid with a dense arm is the largest
+      std::cout << ", dense/tuned " << speedup << "x";
+    }
+    std::cout << ", tuned " << tuned_speedup << "x over baseline, rel diff "
+              << grid_rel_diff << ", residual " << tuned.residual << "\n";
 
-    const std::string prefix =
-        "sparse_bench/n" + std::to_string(n);
-    metrics::gauge_set((prefix + ".dense_seconds").c_str(), dense.seconds);
-    metrics::gauge_set((prefix + ".sparse_seconds").c_str(), sparse.seconds);
-    metrics::gauge_set((prefix + ".speedup").c_str(), speedup);
-    metrics::gauge_set((prefix + ".rel_diff").c_str(), rel_diff);
+    const std::string prefix = "sparse_bench/n" + std::to_string(n);
+    if (dense) {
+      metrics::gauge_set((prefix + ".dense_seconds").c_str(), dense->seconds);
+      metrics::gauge_set((prefix + ".speedup").c_str(),
+                         tuned.seconds > 0.0 ? dense->seconds / tuned.seconds
+                                             : 0.0);
+    }
+    metrics::gauge_set((prefix + ".sparse_seconds").c_str(), tuned.seconds);
+    metrics::gauge_set((prefix + ".sparse_baseline_seconds").c_str(),
+                       baseline.seconds);
+    metrics::gauge_set((prefix + ".mixed_seconds").c_str(), mixed.seconds);
+    metrics::gauge_set((prefix + ".tuned_speedup").c_str(), tuned_speedup);
+    metrics::gauge_set((prefix + ".rel_diff").c_str(), grid_rel_diff);
+    metrics::gauge_set((prefix + ".residual").c_str(), tuned.residual);
+    metrics::gauge_set((prefix + ".mixed_residual").c_str(), mixed.residual);
   }
 
   metrics::gauge_set("sparse_bench/speedup", gate_speedup);
+  metrics::gauge_set("sparse_bench/tuned_speedup", last_tuned_speedup);
   metrics::gauge_set("sparse_bench/max_rel_diff", worst_rel_diff);
 
   if (!all_within_tolerance) {
-    std::cerr << "bench_sparse_path: sparse and dense paths disagree ("
+    std::cerr << "bench_sparse_path: solve paths disagree ("
               << worst_rel_diff << " relative, tolerance 1e-6)\n";
     return 1;
   }
   if (gate_speedup < 3.0) {
     std::cerr << "bench_sparse_path: speedup " << gate_speedup
-              << "x at the largest grid is below the 3x sparse-path gate\n";
+              << "x at the largest dense-armed grid is below the 3x "
+                 "sparse-path gate\n";
+    return 1;
+  }
+  // Anti-regression backstop, not a tuning target: wall-clock noise on a
+  // loaded single-core runner is +-20%, so only fail when the tuned path is
+  // unambiguously slower than the pinned pre-tuning configuration.
+  if (last_tuned_speedup < 0.8) {
+    std::cerr << "bench_sparse_path: tuned sparse path is "
+              << last_tuned_speedup
+              << "x the baseline configuration at the largest grid "
+                 "(regression floor 0.8)\n";
     return 1;
   }
   return 0;

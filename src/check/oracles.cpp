@@ -257,6 +257,16 @@ OracleResult solver_equivalence(const OracleCase& c) {
     report.require_converged("oracle sparse_first (sparse)");
     consider("sparse_first/sparse", x);
 
+    // Same sparse path with the fp32 ILU(0) closure (UPDEC_MIXED_PRECISION):
+    // preconditioner precision may change the iteration count, never the
+    // accepted answer, so it must meet the same fp64 tolerance as the rest.
+    forced.mixed_precision = true;
+    const la::SparseFirstSolver mixed_first(a, forced);
+    x = mixed_first.solve(b, &report);
+    report.require_converged("oracle sparse_first (mixed)");
+    consider("sparse_first/mixed", x);
+    forced.mixed_precision = false;
+
     forced.sparse_min_n = n + 1;  // force eager dense LU
     const la::SparseFirstSolver dense_first(a, forced);
     x = dense_first.solve(b, &report);

@@ -2,36 +2,55 @@
 
 #include <cmath>
 
+#include "la/simd.hpp"
+#include "util/metrics.hpp"
+
 namespace updec::la {
 
 void axpy(double alpha, const Vector& x, Vector& y) {
   UPDEC_REQUIRE(x.size() == y.size(), "axpy size mismatch");
   const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  const double* UPDEC_RESTRICT xp = x.data();
+  double* UPDEC_RESTRICT yp = y.data();
+  UPDEC_PRAGMA_SIMD
+  for (std::size_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
 }
 
 void scal(double alpha, Vector& x) {
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= alpha;
+  const std::size_t n = x.size();
+  double* UPDEC_RESTRICT xp = x.data();
+  UPDEC_PRAGMA_SIMD
+  for (std::size_t i = 0; i < n; ++i) xp[i] *= alpha;
 }
 
 double dot(const Vector& x, const Vector& y) {
   UPDEC_REQUIRE(x.size() == y.size(), "dot size mismatch");
+  const std::size_t n = x.size();
+  const double* UPDEC_RESTRICT xp = x.data();
+  const double* UPDEC_RESTRICT yp = y.data();
   double s = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  UPDEC_PRAGMA_SIMD_REDUCTION(+ : s)
+  for (std::size_t i = 0; i < n; ++i) s += xp[i] * yp[i];
   return s;
 }
 
 double nrm2(const Vector& x) { return std::sqrt(dot(x, x)); }
 
 double nrm_inf(const Vector& x) {
+  const std::size_t n = x.size();
+  const double* UPDEC_RESTRICT xp = x.data();
   double m = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, std::abs(x[i]));
+  UPDEC_PRAGMA_SIMD_REDUCTION(max : m)
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(xp[i]));
   return m;
 }
 
 double nrm1(const Vector& x) {
+  const std::size_t n = x.size();
+  const double* UPDEC_RESTRICT xp = x.data();
   double s = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) s += std::abs(x[i]);
+  UPDEC_PRAGMA_SIMD_REDUCTION(+ : s)
+  for (std::size_t i = 0; i < n; ++i) s += std::abs(xp[i]);
   return s;
 }
 
@@ -40,13 +59,16 @@ void gemv(double alpha, const Matrix& A, const Vector& x, double beta,
   UPDEC_REQUIRE(A.cols() == x.size() && A.rows() == y.size(),
                 "gemv dimension mismatch");
   const std::size_t m = A.rows(), n = A.cols();
+  UPDEC_METRIC_ADD("la/blas.simd_kernels", 1);
+  const double* UPDEC_RESTRICT xp = x.data();
 #ifdef UPDEC_HAVE_OPENMP
 #pragma omp parallel for schedule(static)
 #endif
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(m); ++i) {
-    const double* arow = A.row(static_cast<std::size_t>(i));
+    const double* UPDEC_RESTRICT arow = A.row(static_cast<std::size_t>(i));
     double s = 0.0;
-    for (std::size_t j = 0; j < n; ++j) s += arow[j] * x[j];
+    UPDEC_PRAGMA_SIMD_REDUCTION(+ : s)
+    for (std::size_t j = 0; j < n; ++j) s += arow[j] * xp[j];
     y[static_cast<std::size_t>(i)] =
         alpha * s + beta * y[static_cast<std::size_t>(i)];
   }
@@ -61,13 +83,15 @@ void gemv_t(double alpha, const Matrix& A, const Vector& x, double beta,
     y.fill(0.0);
   else if (beta != 1.0)
     scal(beta, y);
-  // Row-major A: accumulate row contributions (sequential to avoid races;
-  // the transpose product is memory-bound anyway).
+  // Row-major A: accumulate row contributions (sequential across rows to
+  // avoid races; each row update is a vectorised axpy).
+  double* UPDEC_RESTRICT yp = y.data();
   for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = A.row(i);
+    const double* UPDEC_RESTRICT arow = A.row(i);
     const double xi = alpha * x[i];
     if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < n; ++j) y[j] += xi * arow[j];
+    UPDEC_PRAGMA_SIMD
+    for (std::size_t j = 0; j < n; ++j) yp[j] += xi * arow[j];
   }
 }
 
@@ -87,13 +111,15 @@ void ger(double alpha, const Vector& x, const Vector& y, Matrix& A) {
   UPDEC_REQUIRE(A.rows() == x.size() && A.cols() == y.size(),
                 "ger dimension mismatch");
   const std::size_t m = A.rows(), n = A.cols();
+  const double* UPDEC_RESTRICT yp = y.data();
 #ifdef UPDEC_HAVE_OPENMP
 #pragma omp parallel for schedule(static)
 #endif
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(m); ++i) {
-    double* arow = A.row(static_cast<std::size_t>(i));
+    double* UPDEC_RESTRICT arow = A.row(static_cast<std::size_t>(i));
     const double xi = alpha * x[static_cast<std::size_t>(i)];
-    for (std::size_t j = 0; j < n; ++j) arow[j] += xi * y[j];
+    UPDEC_PRAGMA_SIMD
+    for (std::size_t j = 0; j < n; ++j) arow[j] += xi * yp[j];
   }
 }
 
@@ -103,22 +129,24 @@ void gemm(double alpha, const Matrix& A, const Matrix& B, double beta,
   UPDEC_REQUIRE(C.rows() == A.rows() && C.cols() == B.cols(),
                 "gemm output dimension mismatch");
   const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+  UPDEC_METRIC_ADD("la/blas.simd_kernels", 1);
 #ifdef UPDEC_HAVE_OPENMP
 #pragma omp parallel for schedule(static)
 #endif
   for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(m); ++ii) {
     const auto i = static_cast<std::size_t>(ii);
-    double* crow = C.row(i);
+    double* UPDEC_RESTRICT crow = C.row(i);
     if (beta == 0.0) {
       for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
     } else if (beta != 1.0) {
       for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
     }
-    const double* arow = A.row(i);
+    const double* UPDEC_RESTRICT arow = A.row(i);
     for (std::size_t p = 0; p < k; ++p) {
       const double aip = alpha * arow[p];
       if (aip == 0.0) continue;
-      const double* brow = B.row(p);
+      const double* UPDEC_RESTRICT brow = B.row(p);
+      UPDEC_PRAGMA_SIMD
       for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
     }
   }
@@ -131,9 +159,10 @@ Matrix matmul(const Matrix& A, const Matrix& B) {
 }
 
 double nrm_fro(const Matrix& A) {
-  double s = 0.0;
-  const double* p = A.data();
+  const double* UPDEC_RESTRICT p = A.data();
   const std::size_t n = A.rows() * A.cols();
+  double s = 0.0;
+  UPDEC_PRAGMA_SIMD_REDUCTION(+ : s)
   for (std::size_t i = 0; i < n; ++i) s += p[i] * p[i];
   return std::sqrt(s);
 }

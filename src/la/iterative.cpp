@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <utility>
 
+#ifdef UPDEC_HAVE_OPENMP
+#include <omp.h>
+#endif
+
 #include "la/blas.hpp"
+#include "la/simd.hpp"
+#include "util/env.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -53,7 +60,128 @@ Preconditioner jacobi_preconditioner(const CsrMatrix& a) {
   };
 }
 
-Ilu0::Ilu0(const CsrMatrix& a) {
+bool ilu_level_schedule_from_env() {
+  return env::get_bool("UPDEC_ILU_LEVELS", true);
+}
+
+std::size_t ilu_level_min_rows_from_env() {
+  return static_cast<std::size_t>(env::get_u64("UPDEC_ILU_LEVEL_MIN_ROWS", 64));
+}
+
+namespace {
+
+/// Counting-sort rows into level buckets; rows within a level stay in
+/// ascending row order, which makes the sweep order (and therefore the
+/// floating-point result) independent of how levels are later parallelised.
+void bucket_levels(const std::vector<std::size_t>& depth, std::size_t nlev,
+                   std::vector<std::size_t>& level_ptr,
+                   std::vector<std::size_t>& level_rows) {
+  const std::size_t n = depth.size();
+  level_ptr.assign(nlev + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++level_ptr[depth[i] + 1];
+  for (std::size_t l = 0; l < nlev; ++l) level_ptr[l + 1] += level_ptr[l];
+  level_rows.resize(n);
+  std::vector<std::size_t> cursor(level_ptr.begin(), level_ptr.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) level_rows[cursor[depth[i]]++] = i;
+}
+
+/// Run `row_fn` over every row of every level, parallelising a level only
+/// when it holds at least `min_rows` rows. Rows within a level are mutually
+/// independent (each reads z only at shallower levels and writes its own
+/// entry), so the schedule cannot change the per-row arithmetic.
+template <typename RowFn>
+void sweep_levels(const std::vector<std::size_t>& level_ptr,
+                  const std::vector<std::size_t>& level_rows,
+                  std::size_t min_rows, const RowFn& row_fn) {
+  const std::size_t nlev = level_ptr.size() - 1;
+  for (std::size_t l = 0; l < nlev; ++l) {
+    const std::size_t begin = level_ptr[l];
+    const std::size_t end = level_ptr[l + 1];
+#ifdef UPDEC_HAVE_OPENMP
+    if (end - begin >= min_rows && min_rows > 0) {
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t p = static_cast<std::ptrdiff_t>(begin);
+           p < static_cast<std::ptrdiff_t>(end); ++p)
+        row_fn(level_rows[static_cast<std::size_t>(p)]);
+      continue;
+    }
+#endif
+    for (std::size_t p = begin; p < end; ++p) row_fn(level_rows[p]);
+  }
+}
+
+/// Level-order sweeps only pay off when more than one thread can take a
+/// level; with a single thread the bucket indirection breaks the streaming
+/// access pattern of the plain ascending/descending row sweep for nothing.
+bool level_sweep_worthwhile() {
+#ifdef UPDEC_HAVE_OPENMP
+  return omp_get_max_threads() > 1;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void Ilu0::finalize(Data& data, const Ilu0Options& options,
+                    const char* context) {
+  const std::size_t n = data.lu.rows();
+  const auto& row_ptr = data.lu.row_ptr();
+  const auto& col_idx = data.lu.col_idx();
+  data.diag.assign(n, static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      if (col_idx[k] == i) data.diag[i] = k;
+    UPDEC_REQUIRE(data.diag[i] != static_cast<std::size_t>(-1), context);
+  }
+  // Eager fp32 shadow of the factor values. Exact element-wise casts: the
+  // serve codec stores these floats and regenerates them from the widened
+  // doubles, so double(float(v)) round trips bit-exactly.
+  const auto& values = data.lu.values();
+  data.values_f32.resize(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k)
+    data.values_f32[k] = static_cast<float>(values[k]);
+  // Compact apply-side structure: 32-bit gather indices and diagonal
+  // reciprocals (the clamped factorisation guarantees nonzero diagonals).
+  UPDEC_REQUIRE(n <= std::numeric_limits<std::uint32_t>::max(),
+                "ILU(0): row count exceeds the 32-bit apply index space");
+  data.col32.resize(col_idx.size());
+  for (std::size_t k = 0; k < col_idx.size(); ++k)
+    data.col32[k] = static_cast<std::uint32_t>(col_idx[k]);
+  data.inv_diag.resize(n);
+  data.inv_diag_f32.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.inv_diag[i] = 1.0 / values[data.diag[i]];
+    data.inv_diag_f32[i] = 1.0f / data.values_f32[data.diag[i]];
+  }
+  data.level_min_rows = options.level_min_rows;
+  if (!options.level_schedule || n == 0) return;
+  // Forward (L) dependency depth: row i waits on every column strictly left
+  // of its diagonal. Ascending order guarantees deps are already ranked.
+  std::vector<std::size_t> depth(n, 0);
+  std::size_t nlev_f = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t d = 0;
+    for (std::size_t k = row_ptr[i]; k < data.diag[i]; ++k)
+      d = std::max(d, depth[col_idx[k]] + 1);
+    depth[i] = d;
+    nlev_f = std::max(nlev_f, d + 1);
+  }
+  bucket_levels(depth, nlev_f, data.flevel_ptr, data.flevel_rows);
+  // Backward (U) depth: deps are right of the diagonal; descending order.
+  std::size_t nlev_b = 0;
+  for (std::size_t ii = n; ii-- > 0;) {
+    std::size_t d = 0;
+    for (std::size_t k = data.diag[ii] + 1; k < row_ptr[ii + 1]; ++k)
+      d = std::max(d, depth[col_idx[k]] + 1);
+    depth[ii] = d;
+    nlev_b = std::max(nlev_b, d + 1);
+  }
+  bucket_levels(depth, nlev_b, data.blevel_ptr, data.blevel_rows);
+  UPDEC_METRIC_GAUGE_SET("la/ilu.levels", static_cast<double>(nlev_f));
+}
+
+Ilu0::Ilu0(const CsrMatrix& a, const Ilu0Options& options) {
   UPDEC_REQUIRE(a.rows() == a.cols(), "ILU(0) requires a square matrix");
   const std::size_t n = a.rows();
   // Copy A; factor in place restricted to A's sparsity pattern (IKJ variant).
@@ -111,62 +239,117 @@ Ilu0::Ilu0(const CsrMatrix& a) {
   auto data = std::make_shared<Data>();
   data->lu = CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
                        std::move(values));
-  data->diag = std::move(diag_);
+  finalize(*data, options, "ILU(0) requires a structurally nonzero diagonal");
   data_ = std::move(data);
 }
 
-Ilu0 Ilu0::from_factors(CsrMatrix lu) {
+Ilu0 Ilu0::from_factors(CsrMatrix lu, const Ilu0Options& options) {
   UPDEC_REQUIRE(lu.rows() == lu.cols(),
                 "Ilu0::from_factors: factors must be square");
-  const std::size_t n = lu.rows();
-  std::vector<std::size_t> diag(n, static_cast<std::size_t>(-1));
-  const auto& row_ptr = lu.row_ptr();
-  const auto& col_idx = lu.col_idx();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
-      if (col_idx[k] == i) diag[i] = k;
-    UPDEC_REQUIRE(diag[i] != static_cast<std::size_t>(-1),
-                  "Ilu0::from_factors: structurally missing diagonal");
-  }
   Ilu0 ilu;
   auto data = std::make_shared<Data>();
   data->lu = std::move(lu);
-  data->diag = std::move(diag);
+  finalize(*data, options, "Ilu0::from_factors: structurally missing diagonal");
   ilu.data_ = std::move(data);
   return ilu;
 }
 
 void Ilu0::apply_impl(const Data& data, const Vector& r, Vector& z) {
-  const CsrMatrix& lu = data.lu;
-  const std::vector<std::size_t>& diag = data.diag;
-  const std::size_t n = lu.rows();
+  const std::size_t n = data.lu.rows();
   UPDEC_REQUIRE(r.size() == n, "ILU(0) apply size mismatch");
   z = r;
-  const auto& row_ptr = lu.row_ptr();
-  const auto& col_idx = lu.col_idx();
-  const auto& values = lu.values();
+  const std::size_t* row_ptr = data.lu.row_ptr().data();
+  const std::uint32_t* col = data.col32.data();
+  const double* values = data.lu.values().data();
+  const std::size_t* diag = data.diag.data();
+  const double* inv_diag = data.inv_diag.data();
+  double* zp = z.data();
   // Forward solve L y = r (unit diagonal, entries strictly left of diag).
-  for (std::size_t i = 0; i < n; ++i) {
-    double s = z[i];
+  const auto forward_row = [&](std::size_t i) {
+    double s = zp[i];
     for (std::size_t k = row_ptr[i]; k < diag[i]; ++k)
-      s -= values[k] * z[col_idx[k]];
-    z[i] = s;
+      s -= values[k] * zp[col[k]];
+    zp[i] = s;
+  };
+  // Backward solve U z = y (reciprocal multiply, see Data::inv_diag).
+  const auto backward_row = [&](std::size_t i) {
+    double s = zp[i];
+    for (std::size_t k = diag[i] + 1; k < row_ptr[i + 1]; ++k)
+      s -= values[k] * zp[col[k]];
+    zp[i] = s * inv_diag[i];
+  };
+  if (data.flevel_ptr.empty() || !level_sweep_worthwhile()) {
+    for (std::size_t i = 0; i < n; ++i) forward_row(i);
+    for (std::size_t ii = n; ii-- > 0;) backward_row(ii);
+    return;
   }
-  // Backward solve U z = y.
-  for (std::size_t ii = n; ii-- > 0;) {
-    double s = z[ii];
-    for (std::size_t k = diag[ii] + 1; k < row_ptr[ii + 1]; ++k)
-      s -= values[k] * z[col_idx[k]];
-    z[ii] = s / values[diag[ii]];
+  sweep_levels(data.flevel_ptr, data.flevel_rows, data.level_min_rows,
+               forward_row);
+  sweep_levels(data.blevel_ptr, data.blevel_rows, data.level_min_rows,
+               backward_row);
+}
+
+void Ilu0::apply_impl_f32(const Data& data, const Vector& r, Vector& z) {
+  const std::size_t n = data.lu.rows();
+  UPDEC_REQUIRE(r.size() == n, "ILU(0) apply size mismatch");
+  const std::size_t* row_ptr = data.lu.row_ptr().data();
+  const std::uint32_t* col = data.col32.data();
+  const float* values = data.values_f32.data();
+  const std::size_t* diag = data.diag.data();
+  const float* inv_diag = data.inv_diag_f32.data();
+  // Whole sweep in fp32: narrow the residual once, run both triangular
+  // solves on the fp32 factors and workspace, widen once on the way out.
+  // Halves the bytes moved on this bandwidth-bound path; any lost accuracy
+  // only costs Krylov iterations since the solvers check fp64 residuals.
+  // The workspace is thread_local so back-to-back applies (hundreds per
+  // Krylov solve) reuse one allocation without breaking const-threading.
+  static thread_local std::vector<float> zf;
+  zf.resize(n);
+  for (std::size_t i = 0; i < n; ++i) zf[i] = static_cast<float>(r[i]);
+  float* zp = zf.data();
+  const auto forward_row = [&](std::size_t i) {
+    float s = zp[i];
+    for (std::size_t k = row_ptr[i]; k < diag[i]; ++k)
+      s -= values[k] * zp[col[k]];
+    zp[i] = s;
+  };
+  const auto backward_row = [&](std::size_t i) {
+    float s = zp[i];
+    for (std::size_t k = diag[i] + 1; k < row_ptr[i + 1]; ++k)
+      s -= values[k] * zp[col[k]];
+    zp[i] = s * inv_diag[i];
+  };
+  if (data.flevel_ptr.empty() || !level_sweep_worthwhile()) {
+    for (std::size_t i = 0; i < n; ++i) forward_row(i);
+    for (std::size_t ii = n; ii-- > 0;) backward_row(ii);
+  } else {
+    sweep_levels(data.flevel_ptr, data.flevel_rows, data.level_min_rows,
+                 forward_row);
+    sweep_levels(data.blevel_ptr, data.blevel_rows, data.level_min_rows,
+                 backward_row);
   }
+  z.resize(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = static_cast<double>(zf[i]);
 }
 
 void Ilu0::apply(const Vector& r, Vector& z) const { apply_impl(*data_, r, z); }
 
-Preconditioner Ilu0::as_preconditioner() const {
+void Ilu0::apply_f32(const Vector& r, Vector& z) const {
+  apply_impl_f32(*data_, r, z);
+}
+
+std::size_t Ilu0::levels() const {
+  return data_->flevel_ptr.empty() ? 0 : data_->flevel_ptr.size() - 1;
+}
+
+Preconditioner Ilu0::as_preconditioner(bool use_f32) const {
   // Share the factorisation: the closure pins the immutable Data block, so
   // this is O(1) instead of an O(nnz) CSR deep copy per call, and the closure
   // outlives this Ilu0 safely.
+  if (use_f32)
+    return [data = data_](const Vector& r, Vector& z) {
+      apply_impl_f32(*data, r, z);
+    };
   return [data = data_](const Vector& r, Vector& z) {
     apply_impl(*data, r, z);
   };
@@ -215,7 +398,10 @@ static IterativeResult cg_body(const CsrMatrix& a, const Vector& b,
     const double rz_new = dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    double* UPDEC_RESTRICT pp = p.data();
+    const double* UPDEC_RESTRICT zp = z.data();
+    UPDEC_PRAGMA_SIMD
+    for (std::size_t i = 0; i < n; ++i) pp[i] = zp[i] + beta * pp[i];
   }
   res.residual_norm = nrm2(r);
   res.iterations = opts.max_iterations;
@@ -261,8 +447,14 @@ static IterativeResult bicgstab_body(const CsrMatrix& a, const Vector& b,
     }
     const double beta = (rho_new / rho) * (alpha / omega);
     rho = rho_new;
-    for (std::size_t i = 0; i < n; ++i)
-      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    {
+      double* UPDEC_RESTRICT pp = p.data();
+      const double* UPDEC_RESTRICT rp = r.data();
+      const double* UPDEC_RESTRICT vp = v.data();
+      UPDEC_PRAGMA_SIMD
+      for (std::size_t i = 0; i < n; ++i)
+        pp[i] = rp[i] + beta * (pp[i] - omega * vp[i]);
+    }
     precond(p, phat);
     a.spmv(1.0, phat, 0.0, v);
     const double rhat_v = dot(r_hat, v);
@@ -271,7 +463,13 @@ static IterativeResult bicgstab_body(const CsrMatrix& a, const Vector& b,
       break;
     }
     alpha = rho / rhat_v;
-    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    {
+      double* UPDEC_RESTRICT sp = s.data();
+      const double* UPDEC_RESTRICT rp = r.data();
+      const double* UPDEC_RESTRICT vp = v.data();
+      UPDEC_PRAGMA_SIMD
+      for (std::size_t i = 0; i < n; ++i) sp[i] = rp[i] - alpha * vp[i];
+    }
     if (nrm2(s) <= tol) {
       axpy(alpha, phat, res.x);
       r = s;
@@ -292,9 +490,19 @@ static IterativeResult bicgstab_body(const CsrMatrix& a, const Vector& b,
       res.breakdown = true;
       break;
     }
-    for (std::size_t i = 0; i < n; ++i)
-      res.x[i] += alpha * phat[i] + omega * shat[i];
-    for (std::size_t i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
+    {
+      double* UPDEC_RESTRICT xp = res.x.data();
+      double* UPDEC_RESTRICT rp = r.data();
+      const double* UPDEC_RESTRICT php = phat.data();
+      const double* UPDEC_RESTRICT shp = shat.data();
+      const double* UPDEC_RESTRICT sp = s.data();
+      const double* UPDEC_RESTRICT tp = t.data();
+      UPDEC_PRAGMA_SIMD
+      for (std::size_t i = 0; i < n; ++i) {
+        xp[i] += alpha * php[i] + omega * shp[i];
+        rp[i] = sp[i] - omega * tp[i];
+      }
+    }
     completed = it + 1;
   }
   res.residual_norm = nrm2(r);
@@ -353,11 +561,48 @@ static IterativeResult gmres_body(const CsrMatrix& a, const Vector& b,
       a.spmv(1.0, v[k], 0.0, w);
       precond(w, zw);
       Vector vk1 = zw;
-      for (std::size_t j = 0; j <= k; ++j) {
-        h(j, k) = dot(vk1, v[j]);
-        axpy(-h(j, k), v[j], vk1);
+      // Modified Gram-Schmidt, pipelined: each pass applies the previous
+      // projection while computing the next coefficient, so every basis
+      // vector is streamed once per role instead of once for the dot and
+      // again for the axpy. Arithmetic per element is unchanged from the
+      // textbook dot-then-axpy MGS (subtract j-1's component, then dot
+      // with v[j]), only the loop structure is fused.
+      {
+        double* UPDEC_RESTRICT wp = vk1.data();
+        const double* prev = nullptr;
+        double h_prev = 0.0;
+        for (std::size_t j = 0; j <= k; ++j) {
+          const double* UPDEC_RESTRICT vj = v[j].data();
+          double s = 0.0;
+          if (prev == nullptr) {
+            UPDEC_PRAGMA_SIMD_REDUCTION(+ : s)
+            for (std::size_t i = 0; i < n; ++i) s += wp[i] * vj[i];
+          } else {
+            const double* UPDEC_RESTRICT vp = prev;
+            const double hp = h_prev;
+            UPDEC_PRAGMA_SIMD_REDUCTION(+ : s)
+            for (std::size_t i = 0; i < n; ++i) {
+              const double wi = wp[i] - hp * vp[i];
+              wp[i] = wi;
+              s += wi * vj[i];
+            }
+          }
+          h(j, k) = s;
+          prev = vj;
+          h_prev = s;
+        }
+        // Final pass: apply the last projection and take the norm in one go.
+        const double* UPDEC_RESTRICT vp = prev;
+        const double hp = h_prev;
+        double s = 0.0;
+        UPDEC_PRAGMA_SIMD_REDUCTION(+ : s)
+        for (std::size_t i = 0; i < n; ++i) {
+          const double wi = wp[i] - hp * vp[i];
+          wp[i] = wi;
+          s += wi * wi;
+        }
+        h(k + 1, k) = std::sqrt(s);
       }
-      h(k + 1, k) = nrm2(vk1);
       if (h(k + 1, k) != 0.0) scal(1.0 / h(k + 1, k), vk1);
       v.push_back(std::move(vk1));
       // Apply accumulated Givens rotations, then compute a new one.

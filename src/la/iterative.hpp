@@ -5,6 +5,7 @@
 /// ILU(0) preconditioners. Used by the pressure-Poisson and implicit
 /// momentum solves when dense factorisation is too expensive.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -13,8 +14,8 @@
 
 namespace updec::la {
 
-/// Outcome of an iterative solve. Marked nodiscard: silently using `x`
-/// from a non-converged solve is the dominant failure mode of the long
+/// \brief Outcome of an iterative solve. Marked nodiscard: silently using
+/// `x` from a non-converged solve is the dominant failure mode of the long
 /// optimisation loops, so callers must at least see the report.
 struct [[nodiscard]] IterativeResult {
   Vector x;
@@ -31,7 +32,7 @@ struct [[nodiscard]] IterativeResult {
   const IterativeResult& require_converged(const char* context) const;
 };
 
-/// Solver tolerances and limits.
+/// \brief Solver tolerances and limits.
 struct IterativeOptions {
   double rel_tol = 1e-10;
   double abs_tol = 1e-14;
@@ -39,70 +40,144 @@ struct IterativeOptions {
   std::size_t gmres_restart = 50;
 };
 
-/// Left preconditioner interface: z = M^{-1} r.
+/// \brief Left preconditioner interface: z = M^{-1} r.
 using Preconditioner = std::function<void(const Vector& r, Vector& z)>;
 
-/// Identity preconditioner.
+/// \brief Identity preconditioner (z = r).
 Preconditioner identity_preconditioner();
 
-/// Jacobi (diagonal) preconditioner built from A; zero diagonals map to 1
-/// (each substitution is reported once at warn level with its row index).
+/// \brief Jacobi (diagonal) preconditioner built from A; zero diagonals map
+/// to 1 (each substitution is reported once at warn level with its row index).
 Preconditioner jacobi_preconditioner(const CsrMatrix& a);
 
-/// ILU(0) incomplete factorisation preconditioner (no fill-in). Pivots
-/// smaller than kSmallPivotRelThreshold times the largest diagonal
+/// \brief `UPDEC_ILU_LEVELS` (default on): build a level schedule for the
+/// ILU(0) triangular sweeps so independent rows run in parallel.
+[[nodiscard]] bool ilu_level_schedule_from_env();
+
+/// \brief `UPDEC_ILU_LEVEL_MIN_ROWS` (default 64): minimum rows in a level
+/// before its sweep is parallelised; smaller levels run serially to avoid
+/// paying an OpenMP fork for a handful of rows.
+[[nodiscard]] std::size_t ilu_level_min_rows_from_env();
+
+/// \brief Configuration for the Ilu0 triangular-sweep schedule. Defaults
+/// come from the environment knobs above, so production call sites can stay
+/// knob-free while benches and tests pin explicit values.
+struct Ilu0Options {
+  bool level_schedule = ilu_level_schedule_from_env();
+  std::size_t level_min_rows = ilu_level_min_rows_from_env();
+};
+
+/// \brief ILU(0) incomplete factorisation preconditioner (no fill-in).
+///
+/// Pivots smaller than kSmallPivotRelThreshold times the largest diagonal
 /// magnitude are clamped (and reported at warn level with the row index)
 /// so near-singular rows degrade the preconditioner instead of poisoning
 /// it with non-finite entries.
+///
+/// The triangular sweeps are level-scheduled: at factor time the rows are
+/// grouped by dependency depth (level k rows depend only on levels < k), and
+/// each level is swept under OpenMP when it holds at least
+/// Ilu0Options::level_min_rows rows. Per-row arithmetic is identical to the
+/// serial sweep -- each row accumulates its own CSR entries in storage
+/// order -- so level-scheduled and serial applications are bitwise equal.
+///
+/// A single-precision copy of the factors is kept alongside the fp64 values;
+/// apply_f32() runs the sweeps entirely in fp32 (half the memory traffic on
+/// the bandwidth-bound hot path) and widens the result. This is safe as a
+/// *preconditioner*: inexactness only changes the Krylov iteration count,
+/// never the converged answer, because the solvers test true fp64 residuals.
 class Ilu0 {
  public:
   static constexpr double kSmallPivotRelThreshold = 1e-13;
 
-  explicit Ilu0(const CsrMatrix& a);
+  explicit Ilu0(const CsrMatrix& a, const Ilu0Options& options = {});
+
+  /// \brief z = (LU)^{-1} r via fp64 forward/backward sweeps.
   void apply(const Vector& r, Vector& z) const;
 
-  /// Closure form of apply(). The closure holds a shared_ptr to the
-  /// factorisation, so taking a preconditioner (and copying Ilu0 itself) is
-  /// O(1) -- repeated solves on the serve hot path never re-copy the CSR
-  /// factors -- and the closure stays valid after this Ilu0 is destroyed.
-  [[nodiscard]] Preconditioner as_preconditioner() const;
+  /// \brief z = (LU)^{-1} r with the sweeps computed in fp32 (fp32 factor
+  /// values and fp32 workspace), widened to fp64 on output. Same level
+  /// schedule and row order as apply(); only the arithmetic precision
+  /// differs.
+  void apply_f32(const Vector& r, Vector& z) const;
 
-  /// Merged L (unit diagonal) / U factors in A's pattern. Shared, not copied,
-  /// across Ilu0 copies and as_preconditioner() closures.
+  /// \brief Closure form of apply() / apply_f32(). The closure holds a
+  /// shared_ptr to the factorisation, so taking a preconditioner (and
+  /// copying Ilu0 itself) is O(1) -- repeated solves on the serve hot path
+  /// never re-copy the CSR factors -- and the closure stays valid after
+  /// this Ilu0 is destroyed.
+  [[nodiscard]] Preconditioner as_preconditioner(bool use_f32 = false) const;
+
+  /// \brief Merged L (unit diagonal) / U factors in A's pattern. Shared, not
+  /// copied, across Ilu0 copies and as_preconditioner() closures.
   [[nodiscard]] const CsrMatrix& factors() const { return data_->lu; }
 
-  /// Rebuild from previously computed factors() without re-running the
-  /// incomplete elimination (serve-layer disk cache). The diagonal index is
-  /// reconstructed from the pattern; throws updec::Error if a diagonal
-  /// entry is structurally missing.
-  [[nodiscard]] static Ilu0 from_factors(CsrMatrix lu);
+  /// \brief fp32 copy of factors().values(), cast element-wise (exact float
+  /// narrowing of each stored double). Same ordering as the CSR values
+  /// array; used by apply_f32() and the serve-layer fp32 codec.
+  [[nodiscard]] const std::vector<float>& factors_f32() const {
+    return data_->values_f32;
+  }
+
+  /// \brief Number of levels in the forward (L) sweep schedule; 0 when level
+  /// scheduling was disabled at factor time.
+  [[nodiscard]] std::size_t levels() const;
+
+  /// \brief Rebuild from previously computed factors() without re-running
+  /// the incomplete elimination (serve-layer disk cache). The diagonal
+  /// index, fp32 values and level schedule are reconstructed from the
+  /// pattern; throws updec::Error if a diagonal entry is structurally
+  /// missing.
+  [[nodiscard]] static Ilu0 from_factors(CsrMatrix lu,
+                                         const Ilu0Options& options = {});
 
  private:
   Ilu0() = default;
 
   struct Data {
-    CsrMatrix lu;                    // merged L (unit diag) and U in A's pattern
-    std::vector<std::size_t> diag;   // index of diagonal entry per row
+    CsrMatrix lu;                   // merged L (unit diag) and U in A's pattern
+    std::vector<std::size_t> diag;  // index of diagonal entry per row
+    std::vector<float> values_f32;  // lu.values() cast to fp32, same order
+    // Compact apply-side mirrors of the factor structure: 32-bit column
+    // indices (half the gather-index traffic of the size_t CSR indices on
+    // this bandwidth-bound path) and precomputed diagonal reciprocals so the
+    // backward sweep multiplies instead of dividing per row.
+    std::vector<std::uint32_t> col32;   // lu.col_idx() narrowed, same order
+    std::vector<double> inv_diag;       // 1.0 / lu.values()[diag[i]]
+    std::vector<float> inv_diag_f32;    // 1.0f / values_f32[diag[i]]
+    // Level schedule (empty when level_schedule is off). Rows of level l of
+    // the forward sweep are flevel_rows[flevel_ptr[l] .. flevel_ptr[l+1]),
+    // in ascending row order; likewise blevel_* for the backward sweep.
+    std::vector<std::size_t> flevel_ptr, flevel_rows;
+    std::vector<std::size_t> blevel_ptr, blevel_rows;
+    std::size_t level_min_rows = 0;
   };
+  /// Populate diag/values_f32/levels on a Data holding only `lu`.
+  static void finalize(Data& data, const Ilu0Options& options,
+                       const char* context);
   static void apply_impl(const Data& data, const Vector& r, Vector& z);
+  static void apply_impl_f32(const Data& data, const Vector& r, Vector& z);
 
   std::shared_ptr<const Data> data_;
 };
 
-/// Conjugate gradients (requires SPD A).
+/// \brief Conjugate gradients (requires SPD A).
 IterativeResult cg(const CsrMatrix& a, const Vector& b,
                    const IterativeOptions& opts = {},
                    const Preconditioner& precond = identity_preconditioner(),
                    std::optional<Vector> x0 = std::nullopt);
 
-/// BiCGSTAB for general square A.
+/// \brief BiCGSTAB for general square A.
 IterativeResult bicgstab(const CsrMatrix& a, const Vector& b,
                          const IterativeOptions& opts = {},
                          const Preconditioner& precond =
                              identity_preconditioner(),
                          std::optional<Vector> x0 = std::nullopt);
 
-/// Restarted GMRES(m) for general square A.
+/// \brief Restarted GMRES(m) with left preconditioning for general square A.
+/// Note the left-preconditioned subtlety: the inner Arnoldi residual
+/// estimate lives in the *preconditioned* norm; the stagnation guard and
+/// final convergence test use true fp64 residuals.
 IterativeResult gmres(const CsrMatrix& a, const Vector& b,
                       const IterativeOptions& opts = {},
                       const Preconditioner& precond =
@@ -115,7 +190,7 @@ IterativeResult gmres(const CsrMatrix& a, const Vector& b,
 // with LuFactorization::solve_many for call sites -- the serve-layer cache
 // solve path -- that switch between direct and iterative backends.
 
-/// Aggregate outcome of a multi-RHS iterative solve.
+/// \brief Aggregate outcome of a multi-RHS iterative solve.
 struct [[nodiscard]] BatchedIterativeResult {
   Matrix x;  ///< column j solves A x_j = b_j
   std::size_t converged_columns = 0;

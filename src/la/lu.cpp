@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "la/blas.hpp"
+#include "la/simd.hpp"
 #include "util/faultinject.hpp"
 
 namespace updec::la {
@@ -61,8 +62,9 @@ LuFactorization::LuFactorization(Matrix a) {
       const auto i = static_cast<std::size_t>(ii);
       const double lik = a(i, k) * inv_akk;
       a(i, k) = lik;
-      const double* rk = a.row(k);
-      double* ri = a.row(i);
+      const double* UPDEC_RESTRICT rk = a.row(k);
+      double* UPDEC_RESTRICT ri = a.row(i);
+      UPDEC_PRAGMA_SIMD
       for (std::size_t j = k + 1; j < n; ++j) ri[j] -= lik * rk[j];
     }
   }
@@ -71,21 +73,25 @@ LuFactorization::LuFactorization(Matrix a) {
 
 void LuFactorization::forward_substitute(Vector& x) const {
   const std::size_t n = size();
+  double* UPDEC_RESTRICT xp = x.data();
   for (std::size_t i = 0; i < n; ++i) {
-    const double* row = lu_.row(i);
-    double s = x[i];
-    for (std::size_t j = 0; j < i; ++j) s -= row[j] * x[j];
-    x[i] = s;  // unit diagonal on L
+    const double* UPDEC_RESTRICT row = lu_.row(i);
+    double s = 0.0;
+    UPDEC_PRAGMA_SIMD_REDUCTION(+ : s)
+    for (std::size_t j = 0; j < i; ++j) s += row[j] * xp[j];
+    xp[i] -= s;  // unit diagonal on L
   }
 }
 
 void LuFactorization::backward_substitute(Vector& x) const {
   const std::size_t n = size();
+  double* UPDEC_RESTRICT xp = x.data();
   for (std::size_t ii = n; ii-- > 0;) {
-    const double* row = lu_.row(ii);
-    double s = x[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) s -= row[j] * x[j];
-    x[ii] = s / row[ii];
+    const double* UPDEC_RESTRICT row = lu_.row(ii);
+    double s = 0.0;
+    UPDEC_PRAGMA_SIMD_REDUCTION(+ : s)
+    for (std::size_t j = ii + 1; j < n; ++j) s += row[j] * xp[j];
+    xp[ii] = (xp[ii] - s) / row[ii];
   }
 }
 
@@ -138,26 +144,29 @@ Matrix LuFactorization::solve_many(const Matrix& b) const {
   // Forward sweep L Y = P B, all columns at once. The inner axpy runs over
   // the contiguous row of X, so one traversal of L serves every RHS.
   for (std::size_t i = 0; i < n; ++i) {
-    const double* li = lu_.row(i);
-    double* xi = x.row(i);
+    const double* UPDEC_RESTRICT li = lu_.row(i);
+    double* UPDEC_RESTRICT xi = x.row(i);
     for (std::size_t p = 0; p < i; ++p) {
       const double l = li[p];
       if (l == 0.0) continue;
-      const double* xp = x.row(p);
+      const double* UPDEC_RESTRICT xp = x.row(p);
+      UPDEC_PRAGMA_SIMD
       for (std::size_t j = 0; j < k; ++j) xi[j] -= l * xp[j];
     }
   }
   // Backward sweep U X = Y.
   for (std::size_t ii = n; ii-- > 0;) {
-    const double* ui = lu_.row(ii);
-    double* xi = x.row(ii);
+    const double* UPDEC_RESTRICT ui = lu_.row(ii);
+    double* UPDEC_RESTRICT xi = x.row(ii);
     for (std::size_t p = ii + 1; p < n; ++p) {
       const double u = ui[p];
       if (u == 0.0) continue;
-      const double* xp = x.row(p);
+      const double* UPDEC_RESTRICT xp = x.row(p);
+      UPDEC_PRAGMA_SIMD
       for (std::size_t j = 0; j < k; ++j) xi[j] -= u * xp[j];
     }
     const double inv = 1.0 / ui[ii];
+    UPDEC_PRAGMA_SIMD
     for (std::size_t j = 0; j < k; ++j) xi[j] *= inv;
   }
   return x;

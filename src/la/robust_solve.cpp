@@ -1,5 +1,6 @@
 #include "la/robust_solve.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 #include <sstream>
 
 #include "la/blas.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/timer.hpp"
@@ -122,6 +124,10 @@ std::size_t sparse_min_n_from_env() {
     return kDefault;
   }
   return value;
+}
+
+bool mixed_precision_from_env() {
+  return env::get_bool("UPDEC_MIXED_PRECISION", false);
 }
 
 const char* to_string(SolveMethod method) {
@@ -292,9 +298,12 @@ struct SparseFirstSolver::State {
   std::shared_ptr<const LuFactorization> lu;
   FactorReport factor;
   // Lazily built transpose operator (row-equilibrated) + its scales and
-  // preconditioner (sparse mode only).
+  // preconditioner (sparse mode only). The Ilu0 itself is retained (not
+  // just its closure) so the mixed-precision path can fetch the fp64
+  // refinement preconditioner from the same factorisation.
   std::shared_ptr<const CsrMatrix> at;
   Vector at_scale;
+  std::shared_ptr<const Ilu0> at_ilu;
   Preconditioner at_precond;
 };
 
@@ -307,10 +316,14 @@ SparseFirstSolver::SparseFirstSolver(CsrMatrix a, RobustSolveOptions options)
   sparse_ = a_.rows() >= options_.sparse_min_n;
   if (sparse_) {
     UPDEC_TRACE_SCOPE("la/sparse_first_setup");
+    if (options_.auto_restart)
+      options_.iterative.gmres_restart =
+          std::max(options_.iterative.gmres_restart,
+                   std::min<std::size_t>(a_.rows() / 64, 150));
     scaled_ = row_equilibrated(a_, row_scale_);
     try {
       ilu_ = std::make_shared<const Ilu0>(scaled_);
-      precond_ = ilu_->as_preconditioner();
+      precond_ = ilu_->as_preconditioner(options_.mixed_precision);
     } catch (const Error& e) {
       log_warn() << "SparseFirstSolver: ILU(0) preconditioner failed ("
                  << e.what() << "); falling back to Jacobi";
@@ -347,7 +360,7 @@ void SparseFirstSolver::install_preconditioner(
   UPDEC_REQUIRE(ilu->factors().rows() == a_.rows(),
                 "installed ILU(0) size does not match the operator");
   ilu_ = std::move(ilu);
-  precond_ = ilu_->as_preconditioner();
+  precond_ = ilu_->as_preconditioner(options_.mixed_precision);
 }
 
 Vector SparseFirstSolver::solve(const Vector& b, SolveReport* report) const {
@@ -380,6 +393,10 @@ Vector SparseFirstSolver::solve_dir(const Vector& b, bool transpose,
     const CsrMatrix* op = &scaled_;
     const Vector* scale = &row_scale_;
     const Preconditioner* pc = &precond_;
+    // fp64 ILU backing the preconditioner for this direction (null when the
+    // incomplete factorisation fell back to Jacobi); source of the fp64
+    // refinement closure on the mixed-precision path.
+    std::shared_ptr<const Ilu0> dir_ilu = ilu_;
     std::shared_ptr<const CsrMatrix> at_keepalive;
     if (transpose) {
       const std::lock_guard<std::mutex> lock(state_->mutex);
@@ -387,7 +404,9 @@ Vector SparseFirstSolver::solve_dir(const Vector& b, bool transpose,
         state_->at = std::make_shared<const CsrMatrix>(
             row_equilibrated(a_.transposed(), state_->at_scale));
         try {
-          state_->at_precond = Ilu0(*state_->at).as_preconditioner();
+          state_->at_ilu = std::make_shared<const Ilu0>(*state_->at);
+          state_->at_precond =
+              state_->at_ilu->as_preconditioner(options_.mixed_precision);
         } catch (const Error& e) {
           log_warn() << "SparseFirstSolver: transpose ILU(0) failed ("
                      << e.what() << "); falling back to Jacobi";
@@ -398,6 +417,7 @@ Vector SparseFirstSolver::solve_dir(const Vector& b, bool transpose,
       op = at_keepalive.get();
       scale = &state_->at_scale;
       pc = &state_->at_precond;
+      dir_ilu = state_->at_ilu;
     }
 
     // The Krylov stages solve the equilibrated system diag(s) A x =
@@ -409,7 +429,25 @@ Vector SparseFirstSolver::solve_dir(const Vector& b, bool transpose,
     if (!done && options_.use_gmres) {
       ++report.attempts;
       IterativeResult res = gmres(*op, bs, options_.iterative, *pc);
-      const double true_res = true_residual(a_, b, res.x, transpose);
+      double true_res = true_residual(a_, b, res.x, transpose);
+      // Iterative-refinement fallback for mixed precision: if the fp32
+      // preconditioner stalled GMRES, retry with the fp64 closure of the
+      // SAME factorisation, warm-started from the failed iterate, before
+      // escalating past GMRES entirely.
+      if (!(res.converged && std::isfinite(true_res)) &&
+          options_.mixed_precision && dir_ilu != nullptr) {
+        log_warn() << "SparseFirstSolver: fp32-preconditioned GMRES failed "
+                      "(residual "
+                   << res.residual_norm
+                   << "); refining with the fp64 preconditioner";
+        UPDEC_METRIC_ADD("la/sparse_first.mixed_refinements", 1);
+        ++report.attempts;
+        std::optional<Vector> warm;
+        if (all_finite(res.x)) warm = std::move(res.x);
+        res = gmres(*op, bs, options_.iterative,
+                    dir_ilu->as_preconditioner(false), std::move(warm));
+        true_res = true_residual(a_, b, res.x, transpose);
+      }
       if (res.converged && std::isfinite(true_res)) {
         x = std::move(res.x);
         report.method = SolveMethod::kIterative;

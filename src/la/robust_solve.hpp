@@ -65,6 +65,15 @@ struct [[nodiscard]] SolveReport {
 /// values yield the built-in default of 512.
 [[nodiscard]] std::size_t sparse_min_n_from_env();
 
+/// \brief `UPDEC_MIXED_PRECISION` (default off): apply the ILU(0)
+/// preconditioner in fp32 inside the fp64 Krylov chain. The factors' fp32
+/// shadow halves the memory traffic of the bandwidth-bound triangular
+/// sweeps; correctness is unaffected because every chain stage accepts a
+/// solution only on its true fp64 residual, and a failed fp32-preconditioned
+/// GMRES is retried with the fp64 preconditioner (warm-started from the
+/// failed iterate) before escalating further.
+[[nodiscard]] bool mixed_precision_from_env();
+
 /// Tuning knobs for the escalation chain and the shifted refactorisation.
 struct RobustSolveOptions {
   IterativeOptions iterative;       ///< tolerances for the Krylov stages
@@ -80,6 +89,16 @@ struct RobustSolveOptions {
   /// UPDEC_SPARSE_MIN_N (see sparse_min_n_from_env). Set to 0 to force the
   /// sparse path, or to a value above n to force dense.
   std::size_t sparse_min_n = sparse_min_n_from_env();
+  /// Apply ILU(0) in fp32 inside the fp64 Krylov stages (see
+  /// mixed_precision_from_env); fp64 refinement retry on failure.
+  bool mixed_precision = mixed_precision_from_env();
+  /// Scale the GMRES restart length with problem size on the sparse path:
+  /// SparseFirstSolver raises iterative.gmres_restart to min(n/64, 150).
+  /// Restart cycles discard the Krylov space, and on RBF-FD operators at
+  /// n ~ 10^4 the longer Arnoldi cycle cuts total iterations by ~25% for a
+  /// bounded m*n workspace. Never shrinks an explicitly larger restart; set
+  /// false to pin the restart length exactly.
+  bool auto_restart = true;
 };
 
 /// Escalating solver for one sparse system, reusable across right-hand

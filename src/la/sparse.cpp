@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "la/simd.hpp"
+#include "util/metrics.hpp"
+
 namespace updec::la {
 
 void SparseBuilder::add(std::size_t i, std::size_t j, double v) {
@@ -55,15 +58,22 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
 void CsrMatrix::spmv(double alpha, const Vector& x, double beta,
                      Vector& y) const {
   UPDEC_REQUIRE(x.size() == cols_ && y.size() == rows_, "spmv size mismatch");
+  UPDEC_METRIC_ADD("la/sparse.simd_kernels", 1);
+  const std::size_t* UPDEC_RESTRICT row_ptr = row_ptr_.data();
+  const std::size_t* UPDEC_RESTRICT col_idx = col_idx_.data();
+  const double* UPDEC_RESTRICT values = values_.data();
+  const double* UPDEC_RESTRICT xp = x.data();
+  double* UPDEC_RESTRICT yp = y.data();
 #ifdef UPDEC_HAVE_OPENMP
 #pragma omp parallel for schedule(static)
 #endif
   for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(rows_); ++ii) {
     const auto i = static_cast<std::size_t>(ii);
+    const std::size_t begin = row_ptr[i], end = row_ptr[i + 1];
     double s = 0.0;
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
-      s += values_[k] * x[col_idx_[k]];
-    y[i] = alpha * s + beta * y[i];
+    UPDEC_PRAGMA_SIMD_REDUCTION(+ : s)
+    for (std::size_t k = begin; k < end; ++k) s += values[k] * xp[col_idx[k]];
+    yp[i] = alpha * s + beta * yp[i];
   }
 }
 
@@ -81,11 +91,18 @@ void CsrMatrix::spmv_t(double alpha, const Vector& x, double beta,
     y.fill(0.0);
   else if (beta != 1.0)
     for (std::size_t j = 0; j < y.size(); ++j) y[j] *= beta;
+  // Scatter-add along each source row; kept serial (and unvectorised) --
+  // duplicate column indices across rows make the destination writes
+  // potentially aliasing, and the adjoint product is memory-bound anyway.
+  const std::size_t* UPDEC_RESTRICT row_ptr = row_ptr_.data();
+  const std::size_t* UPDEC_RESTRICT col_idx = col_idx_.data();
+  const double* UPDEC_RESTRICT values = values_.data();
+  double* yp = y.data();
   for (std::size_t i = 0; i < rows_; ++i) {
     const double xi = alpha * x[i];
     if (xi == 0.0) continue;
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
-      y[col_idx_[k]] += xi * values_[k];
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      yp[col_idx[k]] += xi * values[k];
   }
 }
 
@@ -123,18 +140,31 @@ void CsrMatrix::spmm(double alpha, const Matrix& x, double beta,
   UPDEC_REQUIRE(x.rows() == cols_ && y.rows() == rows_ && x.cols() == y.cols(),
                 "spmm size mismatch");
   const std::size_t ncols = x.cols();
+  UPDEC_METRIC_ADD("la/sparse.simd_kernels", 1);
+  const std::size_t* UPDEC_RESTRICT row_ptr = row_ptr_.data();
+  const std::size_t* UPDEC_RESTRICT col_idx = col_idx_.data();
+  const double* UPDEC_RESTRICT values = values_.data();
 #ifdef UPDEC_HAVE_OPENMP
 #pragma omp parallel for schedule(static)
 #endif
   for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(rows_); ++ii) {
     const auto i = static_cast<std::size_t>(ii);
-    for (std::size_t j = 0; j < ncols; ++j) {
-      double s = 0.0;
-      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
-        s += values_[k] * x(col_idx_[k], j);
-      // beta == 0 must overwrite, not scale, so uninitialised (or NaN)
-      // destinations cannot leak through 0 * y.
-      y(i, j) = (beta == 0.0) ? alpha * s : alpha * s + beta * y(i, j);
+    double* UPDEC_RESTRICT yrow = y.row(i);
+    // Accumulate whole rows of X into the output row: the inner loop runs
+    // over the contiguous RHS row (vectorises), instead of striding down a
+    // column per (i, j) pair.
+    if (beta == 0.0) {
+      // Overwrite, not scale, so uninitialised (or NaN) destinations cannot
+      // leak through 0 * y.
+      for (std::size_t j = 0; j < ncols; ++j) yrow[j] = 0.0;
+    } else if (beta != 1.0) {
+      for (std::size_t j = 0; j < ncols; ++j) yrow[j] *= beta;
+    }
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const double av = alpha * values[k];
+      const double* UPDEC_RESTRICT xrow = x.row(col_idx[k]);
+      UPDEC_PRAGMA_SIMD
+      for (std::size_t j = 0; j < ncols; ++j) yrow[j] += av * xrow[j];
     }
   }
 }

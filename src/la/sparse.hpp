@@ -15,7 +15,7 @@
 
 namespace updec::la {
 
-/// Triplet (COO) accumulator used to build CSR matrices.
+/// \brief Triplet (COO) accumulator used to build CSR matrices.
 class SparseBuilder {
  public:
   SparseBuilder(std::size_t rows, std::size_t cols)
@@ -39,16 +39,24 @@ class SparseBuilder {
   std::vector<Entry> entries_;
 };
 
-/// Immutable CSR sparse matrix.
+/// \brief Immutable CSR sparse matrix.
+///
+/// Column indices within each row are strictly ascending (established by
+/// construction and relied on by the binary searches in at() and the ILU(0)
+/// factorisation). The apply kernels are vectorised with `omp simd` +
+/// `restrict` (see la/simd.hpp): per-row accumulation order is fixed, so
+/// results are bitwise-reproducible across OpenMP team sizes within one
+/// binary.
 class CsrMatrix {
  public:
   CsrMatrix() = default;
 
-  /// Build from a COO accumulator; duplicate entries are summed, explicit
-  /// zeros are kept (they matter for structural symmetry checks).
+  /// \brief Build from a COO accumulator; duplicate entries are summed,
+  /// explicit zeros are kept (they matter for structural symmetry checks).
   explicit CsrMatrix(const SparseBuilder& builder);
 
-  /// Raw CSR construction (takes ownership of the arrays).
+  /// \brief Raw CSR construction (takes ownership of the arrays).
+  /// Per-row column indices must already be sorted ascending.
   CsrMatrix(std::size_t rows, std::size_t cols,
             std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
             std::vector<double> values);
@@ -58,35 +66,42 @@ class CsrMatrix {
   [[nodiscard]] std::size_t nnz() const { return values_.size(); }
   [[nodiscard]] bool empty() const { return rows_ == 0; }
 
-  /// y = alpha * A x + beta * y (OpenMP over rows).
+  /// \brief y = alpha * A x + beta * y (OpenMP over rows, SIMD per row).
   void spmv(double alpha, const Vector& x, double beta, Vector& y) const;
 
-  /// Allocating convenience: A x.
+  /// \brief Allocating convenience: A x.
   [[nodiscard]] Vector apply(const Vector& x) const;
 
-  /// y = alpha * A^T x + beta * y.
+  /// \brief y = alpha * A^T x + beta * y.
+  ///
+  /// Runs directly off the untransposed storage (scatter over rows, serial
+  /// so the accumulation order is deterministic): right for occasional
+  /// transpose products. Repeated transpose solves build transposed() once
+  /// instead — that is what SparseFirstSolver::solve_transpose does, with
+  /// the transposed operator's own equilibration and ILU factors.
   void spmv_t(double alpha, const Vector& x, double beta, Vector& y) const;
 
-  /// Allocating convenience: A^T x.
+  /// \brief Allocating convenience: A^T x.
   [[nodiscard]] Vector apply_transpose(const Vector& x) const;
 
-  /// Y = alpha * A X + beta * Y with dense X, Y (OpenMP over rows). The
-  /// multi-RHS analogue of spmv, used by the batched sparse-first solves.
+  /// \brief Y = alpha * A X + beta * Y with dense X, Y (OpenMP over rows,
+  /// SIMD across each row of X). The multi-RHS analogue of spmv, used by
+  /// the batched sparse-first solves.
   void spmm(double alpha, const Matrix& x, double beta, Matrix& y) const;
 
-  /// Allocating convenience: A X for dense X.
+  /// \brief Allocating convenience: A X for dense X.
   [[nodiscard]] Matrix apply_many(const Matrix& x) const;
 
-  /// Transposed copy in CSR form.
+  /// \brief Transposed copy in CSR form.
   [[nodiscard]] CsrMatrix transposed() const;
 
-  /// Extract the main diagonal (missing entries read as 0).
+  /// \brief Extract the main diagonal (missing entries read as 0).
   [[nodiscard]] Vector diagonal() const;
 
-  /// Densify (tests / small systems only).
+  /// \brief Densify (tests / small systems only).
   [[nodiscard]] Matrix to_dense() const;
 
-  /// Value at (i, j), 0 if not stored (binary search in the row).
+  /// \brief Value at (i, j), 0 if not stored (binary search in the row).
   [[nodiscard]] double at(std::size_t i, std::size_t j) const;
 
   [[nodiscard]] const std::vector<std::size_t>& row_ptr() const {
@@ -104,7 +119,7 @@ class CsrMatrix {
   std::vector<double> values_;
 };
 
-/// C = A B, sparse-sparse product (Gustavson row merge, serial so the
+/// \brief C = A B, sparse-sparse product (Gustavson row merge, serial so the
 /// accumulation order -- and therefore the rounding -- is independent of the
 /// OpenMP team size). When `row_mask` is non-null, rows of C with
 /// (*row_mask)[i] == 0 are left structurally empty: the PDE assemblies use
@@ -115,7 +130,7 @@ class CsrMatrix {
     const CsrMatrix& a, const CsrMatrix& b,
     const std::vector<std::uint8_t>* row_mask = nullptr);
 
-/// C = alpha A + beta B on the merged pattern (explicit zeros kept).
+/// \brief C = alpha A + beta B on the merged pattern (explicit zeros kept).
 [[nodiscard]] CsrMatrix add(double alpha, const CsrMatrix& a, double beta,
                             const CsrMatrix& b);
 

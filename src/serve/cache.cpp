@@ -264,6 +264,9 @@ class PayloadWriter {
   void f64s(const double* data, std::size_t n) {
     bytes(data, n * sizeof(double));
   }
+  void f32s(const float* data, std::size_t n) {
+    bytes(data, n * sizeof(float));
+  }
   void indices(const std::vector<std::size_t>& v) {
     u64(v.size());
     for (const std::size_t x : v) u64(x);
@@ -294,6 +297,7 @@ class PayloadReader {
     return v;
   }
   void f64s(double* out, std::size_t n) { bytes(out, n * sizeof(double)); }
+  void f32s(float* out, std::size_t n) { bytes(out, n * sizeof(float)); }
   std::vector<std::size_t> indices(std::size_t expected) {
     const std::uint64_t n = u64();
     UPDEC_REQUIRE(n == expected, "disk payload: index array size mismatch");
@@ -385,6 +389,45 @@ la::Ilu0 decode_ilu0(std::string_view payload) {
   return la::Ilu0::from_factors(decode_csr(payload));
 }
 
+std::string encode_ilu0_f32(const la::Ilu0& ilu) {
+  const la::CsrMatrix& lu = ilu.factors();
+  PayloadWriter w;
+  w.u64(lu.rows());
+  w.u64(lu.cols());
+  w.u64(lu.nnz());
+  w.indices(lu.row_ptr());
+  w.indices(lu.col_idx());
+  w.f32s(ilu.factors_f32().data(), ilu.factors_f32().size());
+  return w.take();
+}
+
+la::Ilu0 decode_ilu0_f32(std::string_view payload) {
+  PayloadReader r(payload);
+  const std::size_t rows = static_cast<std::size_t>(r.u64());
+  const std::size_t cols = static_cast<std::size_t>(r.u64());
+  const std::size_t nnz = static_cast<std::size_t>(r.u64());
+  std::vector<std::size_t> row_ptr = r.indices(rows + 1);
+  std::vector<std::size_t> col_idx = r.indices(nnz);
+  std::vector<float> values_f32(nnz);
+  r.f32s(values_f32.data(), nnz);
+  r.done();
+  UPDEC_REQUIRE(!row_ptr.empty() && row_ptr.front() == 0 &&
+                    row_ptr.back() == nnz,
+                "disk payload: inconsistent CSR row pointers");
+  for (std::size_t i = 0; i + 1 < row_ptr.size(); ++i)
+    UPDEC_REQUIRE(row_ptr[i] <= row_ptr[i + 1],
+                  "disk payload: CSR row pointers not monotone");
+  for (const std::size_t c : col_idx)
+    UPDEC_REQUIRE(c < cols, "disk payload: CSR column index out of range");
+  // Widen each stored float exactly; Ilu0::from_factors re-derives the fp32
+  // shadow from these doubles, reproducing the persisted floats bit-exactly.
+  std::vector<double> values(nnz);
+  for (std::size_t k = 0; k < nnz; ++k)
+    values[k] = static_cast<double>(values_f32[k]);
+  return la::Ilu0::from_factors(la::CsrMatrix(
+      rows, cols, std::move(row_ptr), std::move(col_idx), std::move(values)));
+}
+
 // ---- memoization helpers -------------------------------------------------
 
 std::shared_ptr<const la::LuFactorization> cached_lu(
@@ -448,10 +491,15 @@ std::size_t ilu0_bytes(const la::Ilu0& ilu) {
 }
 
 std::shared_ptr<const la::Ilu0> cached_ilu0(OperatorCache& cache,
-                                            const la::CsrMatrix& a) {
-  KeyBuilder kb("ilu0");
+                                            const la::CsrMatrix& a,
+                                            bool fp32_factors) {
+  // Distinct key domains: the fp32 artefact loses the low double bits, so it
+  // must never be served to (or overwrite) a caller expecting fp64 factors.
+  KeyBuilder kb(fp32_factors ? "ilu0-f32" : "ilu0");
   kb.add(fingerprint(a));
   kb.add(static_cast<std::uint64_t>(a.rows()));
+  const auto encode = fp32_factors ? encode_ilu0_f32 : encode_ilu0;
+  const auto decode = fp32_factors ? decode_ilu0_f32 : decode_ilu0;
   return cache.get_or_compute_disk<la::Ilu0>(
       kb.key(),
       [&a] {
@@ -460,10 +508,10 @@ std::shared_ptr<const la::Ilu0> cached_ilu0(OperatorCache& cache,
         const std::size_t bytes = ilu0_bytes(*ilu);
         return OperatorCache::Sized<la::Ilu0>{std::move(ilu), bytes};
       },
-      encode_ilu0,
-      [](std::string_view payload) {
+      encode,
+      [decode](std::string_view payload) {
         UPDEC_TRACE_SCOPE("serve/cache_disk_load");
-        auto ilu = std::make_shared<const la::Ilu0>(decode_ilu0(payload));
+        auto ilu = std::make_shared<const la::Ilu0>(decode(payload));
         return OperatorCache::Sized<la::Ilu0>{ilu, ilu0_bytes(*ilu)};
       });
 }
@@ -471,8 +519,11 @@ std::shared_ptr<const la::Ilu0> cached_ilu0(OperatorCache& cache,
 void memoize_preconditioner(OperatorCache& cache, la::SparseFirstSolver& op) {
   if (!op.valid() || !op.sparse_path()) return;
   // The Krylov chain runs against the row-equilibrated operator, so the
-  // memoized factors must be computed from (and keyed on) that matrix.
-  op.install_preconditioner(cached_ilu0(cache, op.krylov_matrix()));
+  // memoized factors must be computed from (and keyed on) that matrix. A
+  // mixed-precision solver gets the fp32 artefact variant -- install then
+  // wires its fp32 closure into stage 1 via options().mixed_precision.
+  op.install_preconditioner(cached_ilu0(cache, op.krylov_matrix(),
+                                        op.options().mixed_precision));
 }
 
 }  // namespace updec::serve

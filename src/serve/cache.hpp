@@ -295,6 +295,15 @@ OperatorCache& global_cache();
 [[nodiscard]] std::string encode_ilu0(const la::Ilu0& ilu);
 [[nodiscard]] la::Ilu0 decode_ilu0(std::string_view payload);
 
+/// \brief fp32-factor variant of the ILU(0) codec (mixed-precision serving):
+/// the sparsity pattern is stored exactly as encode_ilu0, but values are the
+/// factorisation's fp32 shadow (Ilu0::factors_f32), halving the artefact
+/// size. The round trip is bit-exact for the fp32 values -- decode widens
+/// each float to double and Ilu0::from_factors regenerates an identical
+/// fp32 shadow, since double(float(v)) is exact.
+[[nodiscard]] std::string encode_ilu0_f32(const la::Ilu0& ilu);
+[[nodiscard]] la::Ilu0 decode_ilu0_f32(std::string_view payload);
+
 // ---- high-level memoization helpers --------------------------------------
 
 /// Resident size of a factorisation: the packed LU matrix plus the
@@ -320,15 +329,26 @@ void memoize_lu(OperatorCache& cache, rbf::GlobalCollocation& colloc);
 [[nodiscard]] std::size_t csr_bytes(const la::CsrMatrix& m);
 [[nodiscard]] std::size_t ilu0_bytes(const la::Ilu0& ilu);
 
-/// ILU(0) factors of a CSR operator, memoized under its content fingerprint
-/// (domain "ilu0"). A warm scenario batch that re-assembles the same sparse
+/// \brief ILU(0) factors of a CSR operator, memoized under its content
+/// fingerprint. A warm scenario batch that re-assembles the same sparse
 /// operator skips the incomplete factorisation entirely.
+///
+/// `fp32_factors` selects the mixed-precision artefact variant: it keys
+/// under the distinct domain "ilu0-f32" (so fp64 and fp32 artefacts for the
+/// same operator never alias in memory or on disk) and persists through the
+/// half-size encode_ilu0_f32 codec. The fp32 shadow (what the mixed chain
+/// actually applies) round trips bit-exactly through disk; a warm-restart
+/// decode rebuilds the fp64 values by widening, which is fine for a
+/// preconditioner -- inexactness costs Krylov iterations, never correctness,
+/// and the fp64 refinement retry still verifies true fp64 residuals.
 [[nodiscard]] std::shared_ptr<const la::Ilu0> cached_ilu0(
-    OperatorCache& cache, const la::CsrMatrix& a);
+    OperatorCache& cache, const la::CsrMatrix& a, bool fp32_factors = false);
 
 /// cached_ilu0() + install: after this call, a sparse-path solver runs its
 /// Krylov chain against the memoized preconditioner. No-op when the solver
-/// took the dense path (its eager LU makes the ILU irrelevant).
+/// took the dense path (its eager LU makes the ILU irrelevant). Solvers
+/// with RobustSolveOptions::mixed_precision set memoize the fp32-factor
+/// artefact variant.
 void memoize_preconditioner(OperatorCache& cache, la::SparseFirstSolver& op);
 
 }  // namespace updec::serve

@@ -21,6 +21,11 @@ namespace updec::env {
 [[nodiscard]] std::int64_t get_i64(const char* name, std::int64_t fallback);
 [[nodiscard]] std::uint64_t get_u64(const char* name, std::uint64_t fallback);
 
+/// Boolean knob with the same strictness: `1`/`on`/`true`/`yes` are true,
+/// `0`/`off`/`false`/`no` are false (case-insensitive); anything else warns
+/// and falls back. Unset/empty returns `fallback`.
+[[nodiscard]] bool get_bool(const char* name, bool fallback);
+
 /// Raw string value of `name`, or `fallback` when unset (empty counts as
 /// unset: `UPDEC_CACHE_DIR= updec_serve` disarms the disk tier).
 [[nodiscard]] std::string get_string(const char* name,

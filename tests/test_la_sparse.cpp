@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstdlib>
 
+#ifdef UPDEC_HAVE_OPENMP
+#include <omp.h>
+#endif
+
 #include "la/blas.hpp"
 #include "la/iterative.hpp"
 #include "la/lu.hpp"
@@ -405,6 +409,151 @@ TEST(SparseFirst, SolveManyMatchesColumnwiseSolve) {
       for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x(i, j), ref[i], 1e-8);
     }
   }
+}
+
+// ---- level-scheduled / mixed-precision ILU(0) -----------------------------
+
+/// 5-point Laplacian on an m-by-m grid (n = m^2). Unlike the tridiagonal
+/// helpers, its triangular sweeps have genuine wavefront parallelism: the
+/// level sets are the grid anti-diagonals (2m - 1 of them, up to m rows
+/// each), so the schedule actually groups independent rows.
+CsrMatrix poisson_2d(std::size_t m) {
+  const std::size_t n = m * m;
+  SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t r = i * m + j;
+      b.add(r, r, 4.0);
+      if (j > 0) b.add(r, r - 1, -1.0);
+      if (j + 1 < m) b.add(r, r + 1, -1.0);
+      if (i > 0) b.add(r, r - m, -1.0);
+      if (i + 1 < m) b.add(r, r + m, -1.0);
+    }
+  }
+  return CsrMatrix(b);
+}
+
+TEST(Ilu0, LevelScheduleMatchesSerialBitwise) {
+  // The level-scheduled sweeps reorder rows across levels but keep each
+  // row's accumulation order identical to the serial sweep, so the two
+  // paths must agree BITWISE, not just to tolerance.
+  const std::size_t m = 13;
+  const CsrMatrix a = poisson_2d(m);
+  updec::la::Ilu0Options serial;
+  serial.level_schedule = false;
+  updec::la::Ilu0Options leveled;
+  leveled.level_schedule = true;
+  leveled.level_min_rows = 1;  // parallelise every level, even tiny ones
+  const updec::la::Ilu0 plain(a, serial);
+  const updec::la::Ilu0 scheduled(a, leveled);
+  EXPECT_EQ(plain.levels(), 0u);
+  // 5-point stencil: forward levels are the anti-diagonals of the grid.
+  EXPECT_EQ(scheduled.levels(), 2 * m - 1);
+  // Same elimination, same factors.
+  ASSERT_EQ(plain.factors().values().size(),
+            scheduled.factors().values().size());
+  for (std::size_t k = 0; k < plain.factors().values().size(); ++k)
+    EXPECT_EQ(plain.factors().values()[k], scheduled.factors().values()[k]);
+  updec::Rng rng(77);
+  Vector r(m * m);
+  for (auto& v : r) v = rng.normal();
+  Vector z_plain(m * m), z_sched(m * m);
+  plain.apply(r, z_plain);
+  // Force a real multi-thread team (oversubscribed on a 1-core box) so the
+  // scheduled apply takes the parallel level sweep instead of the serial
+  // fast path it falls back to when only one thread is available.
+#ifdef UPDEC_HAVE_OPENMP
+  const int threads_before = omp_get_max_threads();
+  omp_set_num_threads(2);
+#endif
+  scheduled.apply(r, z_sched);
+#ifdef UPDEC_HAVE_OPENMP
+  omp_set_num_threads(threads_before);
+#endif
+  for (std::size_t i = 0; i < m * m; ++i) EXPECT_EQ(z_plain[i], z_sched[i]);
+}
+
+TEST(Ilu0, F32ShadowIsExactCastOfFactors) {
+  const updec::la::Ilu0 ilu(poisson_2d(7));
+  const auto& values = ilu.factors().values();
+  const auto& shadow = ilu.factors_f32();
+  ASSERT_EQ(shadow.size(), values.size());
+  for (std::size_t k = 0; k < values.size(); ++k)
+    EXPECT_EQ(shadow[k], static_cast<float>(values[k]));
+}
+
+TEST(Ilu0, ApplyF32TracksF64Apply) {
+  const std::size_t m = 11;
+  const CsrMatrix a = poisson_2d(m);
+  const updec::la::Ilu0 ilu(a);
+  updec::Rng rng(5);
+  Vector r(m * m);
+  for (auto& v : r) v = rng.normal();
+  Vector z64(m * m), z32(m * m);
+  ilu.apply(r, z64);
+  ilu.apply_f32(r, z32);
+  const double scale = updec::la::nrm_inf(z64);
+  ASSERT_GT(scale, 0.0);
+  for (std::size_t i = 0; i < m * m; ++i)
+    EXPECT_NEAR(z64[i], z32[i], 1e-5 * scale);
+}
+
+TEST(SparseFirst, MixedPrecisionMatchesFp64Solve) {
+  // Acceptance criterion for UPDEC_MIXED_PRECISION: the fp32-preconditioned
+  // chain must land on the same solution as the fp64 chain to 1e-8 --
+  // preconditioner precision may cost iterations, never accuracy, because
+  // every stage is judged on true fp64 residuals.
+  const std::size_t n = 150;
+  const CsrMatrix a = convection_diffusion_1d(n, 0.4);
+  Vector b(n);
+  updec::Rng rng(29);
+  for (auto& v : b) v = rng.normal();
+
+  updec::la::RobustSolveOptions options;
+  options.sparse_min_n = 0;  // force the sparse Krylov path
+  options.mixed_precision = false;
+  const updec::la::SparseFirstSolver fp64(a, options);
+  options.mixed_precision = true;
+  const updec::la::SparseFirstSolver mixed(a, options);
+
+  updec::la::SolveReport r64, rmx;
+  const Vector x64 = fp64.solve(b, &r64);
+  const Vector xmx = mixed.solve(b, &rmx);
+  EXPECT_TRUE(r64.converged);
+  EXPECT_TRUE(rmx.converged);
+  const double scale = std::max(1.0, updec::la::nrm_inf(x64));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(x64[i], xmx[i], 1e-8 * scale);
+
+  // Transpose (adjoint/VJP) direction goes through the same mixed closure.
+  const Vector t64 = fp64.solve_transpose(b, &r64);
+  const Vector tmx = mixed.solve_transpose(b, &rmx);
+  EXPECT_TRUE(r64.converged);
+  EXPECT_TRUE(rmx.converged);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(t64[i], tmx[i], 1e-8 * scale);
+}
+
+TEST(SparseFirst, MixedPrecisionFromEnvironment) {
+  ASSERT_EQ(setenv("UPDEC_MIXED_PRECISION", "1", 1), 0);
+  EXPECT_TRUE(updec::la::mixed_precision_from_env());
+  ASSERT_EQ(setenv("UPDEC_MIXED_PRECISION", "off", 1), 0);
+  EXPECT_FALSE(updec::la::mixed_precision_from_env());
+  ASSERT_EQ(setenv("UPDEC_MIXED_PRECISION", "maybe", 1), 0);
+  EXPECT_FALSE(updec::la::mixed_precision_from_env());  // default on garbage
+  ASSERT_EQ(unsetenv("UPDEC_MIXED_PRECISION"), 0);
+  EXPECT_FALSE(updec::la::mixed_precision_from_env());
+}
+
+TEST(Ilu0, LevelKnobsFromEnvironment) {
+  ASSERT_EQ(setenv("UPDEC_ILU_LEVELS", "0", 1), 0);
+  EXPECT_FALSE(updec::la::ilu_level_schedule_from_env());
+  ASSERT_EQ(unsetenv("UPDEC_ILU_LEVELS"), 0);
+  EXPECT_TRUE(updec::la::ilu_level_schedule_from_env());  // default on
+  ASSERT_EQ(setenv("UPDEC_ILU_LEVEL_MIN_ROWS", "128", 1), 0);
+  EXPECT_EQ(updec::la::ilu_level_min_rows_from_env(), 128u);
+  ASSERT_EQ(unsetenv("UPDEC_ILU_LEVEL_MIN_ROWS"), 0);
+  EXPECT_EQ(updec::la::ilu_level_min_rows_from_env(), 64u);
 }
 
 TEST(SparseFirst, ThresholdFromEnvironment) {

@@ -702,13 +702,39 @@ TEST(DiskCodec, CsrAndIlu0RoundTripsPreserveContent) {
   for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(z1[i], z2[i]);
 }
 
+TEST(DiskCodec, Ilu0F32RoundTripIsBitExactOnTheShadow) {
+  // The mixed-precision artefact stores the fp32 shadow; decoding widens to
+  // double and Ilu0::from_factors re-narrows, so the shadow (the values the
+  // mixed chain actually applies) must survive the round trip BITWISE.
+  const la::CsrMatrix a = poisson_1d(32);
+  const la::Ilu0 ilu(a);
+  const std::string payload = serve::encode_ilu0_f32(ilu);
+  // Half-size value storage vs the fp64 codec.
+  EXPECT_LT(payload.size(), serve::encode_ilu0(ilu).size());
+  const la::Ilu0 rt = serve::decode_ilu0_f32(payload);
+  ASSERT_EQ(rt.factors_f32().size(), ilu.factors_f32().size());
+  for (std::size_t k = 0; k < ilu.factors_f32().size(); ++k)
+    EXPECT_EQ(rt.factors_f32()[k], ilu.factors_f32()[k]);
+  EXPECT_EQ(rt.factors().row_ptr(), ilu.factors().row_ptr());
+  EXPECT_EQ(rt.factors().col_idx(), ilu.factors().col_idx());
+  // Identical fp32 sweeps on both sides.
+  la::Vector r(32, 1.0), z1(32), z2(32);
+  ilu.apply_f32(r, z1);
+  rt.apply_f32(r, z2);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(z1[i], z2[i]);
+}
+
 TEST(DiskCodec, DecodeRejectsMalformedPayloads) {
   EXPECT_THROW((void)serve::decode_lu("garbage"), Error);
   EXPECT_THROW((void)serve::decode_csr(""), Error);
+  EXPECT_THROW((void)serve::decode_ilu0_f32("garbage"), Error);
   // A structurally valid prefix with trailing junk must not decode either.
   std::string payload = serve::encode_csr(poisson_1d(4));
   payload += "x";
   EXPECT_THROW((void)serve::decode_csr(payload), Error);
+  std::string payload_f32 = serve::encode_ilu0_f32(la::Ilu0(poisson_1d(4)));
+  payload_f32 += "x";
+  EXPECT_THROW((void)serve::decode_ilu0_f32(payload_f32), Error);
 }
 
 // ---- persistent disk tier ------------------------------------------------
@@ -755,6 +781,46 @@ TEST(DiskCache, WarmRestartServesBitwiseEqualArtefactsFromDisk) {
   }
   ASSERT_EQ(cold.size(), warm.size());
   for (std::size_t i = 0; i < cold.size(); ++i) EXPECT_EQ(cold[i], warm[i]);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskCache, MixedPrecisionIluRoundTripsThroughDiskBitExactly) {
+  // Regression for UPDEC_MIXED_PRECISION serving: the fp32-factor artefact
+  // variant persists under its own key domain ("ilu0-f32") and a warm
+  // restart must serve a preconditioner whose fp32 sweep output is bitwise
+  // identical to the cold process's.
+  const std::string dir = fresh_cache_dir("mixed");
+  const la::CsrMatrix a = poisson_1d(40);
+  la::Vector r(40, 1.0), cold(40), warm(40);
+  std::vector<float> cold_shadow;
+
+  {
+    OperatorCache cache(std::size_t{64} << 20, dir);
+    const auto ilu = serve::cached_ilu0(cache, a, /*fp32_factors=*/true);
+    ASSERT_NE(ilu, nullptr);
+    EXPECT_EQ(cache.stats().disk.writes, 1u);
+    cold_shadow = ilu->factors_f32();
+    ilu->apply_f32(r, cold);
+  }
+  {
+    OperatorCache cache(std::size_t{64} << 20, dir);
+    const auto ilu = serve::cached_ilu0(cache, a, /*fp32_factors=*/true);
+    ASSERT_NE(ilu, nullptr);
+    EXPECT_EQ(cache.stats().disk.hits, 1u);
+    EXPECT_EQ(cache.stats().disk.writes, 0u);
+    ASSERT_EQ(ilu->factors_f32().size(), cold_shadow.size());
+    for (std::size_t k = 0; k < cold_shadow.size(); ++k)
+      EXPECT_EQ(ilu->factors_f32()[k], cold_shadow[k]);
+    ilu->apply_f32(r, warm);
+
+    // The fp64 artefact for the SAME operator lives under a different key:
+    // requesting it must compute (and persist) a fresh entry, not alias the
+    // narrowed fp32 factors.
+    const auto ilu64 = serve::cached_ilu0(cache, a, /*fp32_factors=*/false);
+    EXPECT_EQ(cache.stats().disk.writes, 1u);
+    EXPECT_NE(ilu64.get(), ilu.get());
+  }
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(cold[i], warm[i]);
   std::filesystem::remove_all(dir);
 }
 

@@ -268,6 +268,21 @@ TEST(Env, MalformedValuesWarnAndKeepTheDefault) {
   EXPECT_EQ(updec::env::get_i64("UPDEC_TEST_ENV_I", 12), 12);
 }
 
+TEST(Env, BooleanKnobsParseStrictly) {
+  for (const char* yes : {"1", "on", "TRUE", "Yes"}) {
+    const ScopedEnv b("UPDEC_TEST_ENV_B", yes);
+    EXPECT_TRUE(updec::env::get_bool("UPDEC_TEST_ENV_B", false)) << yes;
+  }
+  for (const char* no : {"0", "off", "FALSE", "No"}) {
+    const ScopedEnv b("UPDEC_TEST_ENV_B", no);
+    EXPECT_FALSE(updec::env::get_bool("UPDEC_TEST_ENV_B", true)) << no;
+  }
+  // Garbage keeps the caller's default, whichever way it points.
+  const ScopedEnv b("UPDEC_TEST_ENV_B", "maybe");
+  EXPECT_TRUE(updec::env::get_bool("UPDEC_TEST_ENV_B", true));
+  EXPECT_FALSE(updec::env::get_bool("UPDEC_TEST_ENV_B", false));
+}
+
 TEST(Env, UnsetAndEmptyFallBack) {
   ::unsetenv("UPDEC_TEST_ENV_MISSING");
   EXPECT_DOUBLE_EQ(updec::env::get_double("UPDEC_TEST_ENV_MISSING", 3.5), 3.5);
