@@ -1,0 +1,196 @@
+/// bench_rom: cold full-path DAL batch vs ROM-warm DAL batch on the sparse
+/// RBF-FD Laplace control problem.
+///
+/// Models the serving workload the ROM tier exists for: a batch of 16
+/// boundary-control jobs against ONE operator family, each job a DAL loop
+/// whose every iteration needs a direct and an adjoint PDE solve. The full
+/// arm answers all of them on the sparse Krylov path; the ROM arm shares
+/// one SnapshotBank + RomSolver across the batch, so the first few solves
+/// escalate (and train the POD basis) and the rest run as k x k reduced
+/// solves with a dual-weighted-residual acceptance test.
+///
+/// Both arms run the same jittered initial controls, so per-job final costs
+/// are directly comparable: the bench FAILS if any job's ROM cost drifts
+/// more than 1e-3 relative from the full-path cost -- a speedup that buys
+/// the wrong optimum is a bug, not a result.
+///
+/// PR gates at the largest grid: ROM-batch speedup >= 3x over the full
+/// batch, and >= 70% of the batch's PDE solves answered in reduced space.
+/// MetricsSession dumps BENCH_rom.json; the committed
+/// bench/baselines/BENCH_rom.json is one of these dumps.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "control/driver.hpp"
+#include "rbf/kernels.hpp"
+#include "rom/laplace_rom.hpp"
+#include "rom/rom_solver.hpp"
+#include "rom/snapshot_bank.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace updec;
+
+struct BatchResult {
+  double seconds = 0.0;
+  std::vector<double> final_costs;
+  std::uint64_t reduced = 0;    ///< ROM arm only
+  std::uint64_t escalated = 0;  ///< ROM arm only
+  std::size_t basis_k = 0;      ///< ROM arm only
+};
+
+la::Vector jittered_control(const control::ControlProblem& problem,
+                            std::size_t job, double jitter) {
+  la::Vector control = problem.initial_control();
+  Rng rng(job + 1);
+  for (std::size_t i = 0; i < control.size(); ++i)
+    control[i] += rng.normal(0.0, jitter);
+  return control;
+}
+
+/// One batch: `jobs` sequential DAL loops through `strategy_for(job)`.
+template <typename StrategyFactory>
+BatchResult run_batch(const rom::LaplaceFdControlProblem& problem,
+                      std::size_t jobs, std::size_t iterations, double jitter,
+                      StrategyFactory&& strategy_for) {
+  control::DriverOptions options;
+  options.iterations = iterations;
+  options.initial_learning_rate = 1e-2;
+  BatchResult batch;
+  const Stopwatch watch;
+  for (std::size_t job = 0; job < jobs; ++job) {
+    const auto strategy = strategy_for(job);
+    const control::DriverResult result = control::optimize_from(
+        jittered_control(problem, job, jitter), *strategy, options);
+    batch.final_costs.push_back(result.final_cost);
+  }
+  batch.seconds = watch.seconds();
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::MetricsSession session("rom", args);
+
+  std::vector<std::size_t> grids = {16, 24, 32};
+  if (args.flag("paper-scale")) grids.push_back(48);
+  if (args.has("grid"))
+    grids = {static_cast<std::size_t>(args.get_int("grid", 32))};
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 16));
+  const std::size_t iterations =
+      static_cast<std::size_t>(args.get_int("iters", 25));
+  const double jitter = args.get_double("jitter", 0.05);
+  const std::size_t reps = static_cast<std::size_t>(args.get_int("reps", 3));
+  std::cout << "### bench_rom: full-path DAL batch vs shared-ROM DAL batch ("
+            << jobs << " jobs x " << iterations << " iterations per arm)\n";
+
+  const rbf::PolyharmonicSpline kernel(3);
+
+  double gate_speedup = 0.0;
+  double gate_reduced_fraction = 0.0;
+  double worst_cost_diff = 0.0;
+  for (const std::size_t grid : grids) {
+    // One operator family per grid, shared by both arms (assembly untimed).
+    const auto problem =
+        std::make_shared<rom::LaplaceFdControlProblem>(grid, kernel);
+    const std::size_t n = problem->solver().op().matrix().rows();
+
+    rom::RomConfig config;  // explicit: the bench must not read the env
+    config.enabled = true;
+    config.tol = 1e-7;
+    // The DAL trajectory lives in an affine space of roughly twice the
+    // control dimension (grid + 1 top-wall DOFs, direct + adjoint streams);
+    // the cap must clear it or every solve escalates.
+    config.max_k = 2 * (grid + 1) + 16;
+    config.min_snapshots = 8;
+    config.snapshot_bytes = std::size_t{64} << 20;
+
+    // Keep the fastest of `reps` repetitions per arm (single-core runners
+    // jitter by +-20%); the ROM arm rebuilds its bank and basis from
+    // scratch each repetition, so every rep measures the full cold-to-warm
+    // trajectory, not an ever-warmer cache.
+    BatchResult full, rom_arm;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      BatchResult f = run_batch(*problem, jobs, iterations, jitter, [&](
+                                    std::size_t) {
+        return rom::make_laplace_fd_dal(problem);
+      });
+      if (rep == 0 || f.seconds < full.seconds) full = std::move(f);
+
+      rom::SnapshotBank bank(config.snapshot_bytes);
+      auto solver = std::make_shared<rom::RomSolver>(problem->solver().op(),
+                                                     bank, grid, config);
+      BatchResult r = run_batch(*problem, jobs, iterations, jitter, [&](
+                                    std::size_t) {
+        return rom::make_laplace_rom_dal(problem, solver);
+      });
+      const rom::RomStats stats = solver->stats();
+      r.reduced = stats.reduced;
+      r.escalated = stats.escalated;
+      r.basis_k = stats.k;
+      if (rep == 0 || r.seconds < rom_arm.seconds) rom_arm = std::move(r);
+    }
+
+    double cost_diff = 0.0;
+    for (std::size_t j = 0; j < jobs; ++j)
+      cost_diff = std::max(
+          cost_diff, std::abs(rom_arm.final_costs[j] - full.final_costs[j]) /
+                         (1.0 + std::abs(full.final_costs[j])));
+    worst_cost_diff = std::max(worst_cost_diff, cost_diff);
+
+    const std::uint64_t solves = rom_arm.reduced + rom_arm.escalated;
+    const double reduced_fraction =
+        solves > 0 ? static_cast<double>(rom_arm.reduced) /
+                         static_cast<double>(solves)
+                   : 0.0;
+    const double speedup =
+        rom_arm.seconds > 0.0 ? full.seconds / rom_arm.seconds : 0.0;
+    gate_speedup = speedup;  // the last grid is the largest
+    gate_reduced_fraction = reduced_fraction;
+
+    std::cout << "grid " << grid << " (n=" << n << "): full "
+              << full.seconds << " s, rom " << rom_arm.seconds << " s ("
+              << speedup << "x), " << rom_arm.reduced << " reduced / "
+              << rom_arm.escalated << " escalated ("
+              << 100.0 * reduced_fraction << "% reduced, k=" << rom_arm.basis_k
+              << "), worst cost diff " << cost_diff << "\n";
+
+    const std::string prefix = "rom_bench/n" + std::to_string(n);
+    metrics::gauge_set((prefix + ".full_seconds").c_str(), full.seconds);
+    metrics::gauge_set((prefix + ".rom_seconds").c_str(), rom_arm.seconds);
+    metrics::gauge_set((prefix + ".speedup").c_str(), speedup);
+    metrics::gauge_set((prefix + ".reduced_fraction").c_str(),
+                       reduced_fraction);
+    metrics::gauge_set((prefix + ".basis_k").c_str(),
+                       static_cast<double>(rom_arm.basis_k));
+    metrics::gauge_set((prefix + ".cost_rel_diff").c_str(), cost_diff);
+  }
+
+  metrics::gauge_set("rom_bench/speedup", gate_speedup);
+  metrics::gauge_set("rom_bench/reduced_fraction", gate_reduced_fraction);
+  metrics::gauge_set("rom_bench/max_cost_rel_diff", worst_cost_diff);
+
+  if (worst_cost_diff > 1e-3) {
+    std::cerr << "bench_rom: ROM final costs drifted " << worst_cost_diff
+              << " relative from the full path (tolerance 1e-3)\n";
+    return 1;
+  }
+  if (gate_reduced_fraction < 0.70) {
+    std::cerr << "bench_rom: only " << 100.0 * gate_reduced_fraction
+              << "% of solves ran in reduced space at the largest grid "
+                 "(gate 70%)\n";
+    return 1;
+  }
+  if (gate_speedup < 3.0) {
+    std::cerr << "bench_rom: speedup " << gate_speedup
+              << "x at the largest grid is below the 3x ROM gate\n";
+    return 1;
+  }
+  return 0;
+}

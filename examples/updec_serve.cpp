@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "rom/rom_solver.hpp"
 #include "serve/scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -155,7 +156,31 @@ void write_report(std::ostream& os,
      << ", \"disk_misses\": " << cache.disk.misses
      << ", \"disk_writes\": " << cache.disk.writes
      << ", \"disk_corrupt\": " << cache.disk.corrupt
-     << ", \"disk_errors\": " << cache.disk.errors << "},\n";
+     << ", \"disk_errors\": " << cache.disk.errors << ",\n"
+     << "    \"by_class\": {";
+  bool first_class = true;
+  for (const auto& [klass, cs] : cache.by_class) {
+    if (!first_class) os << ", ";
+    first_class = false;
+    os << '"' << json_escape(klass) << "\": {\"hits\": " << cs.hits
+       << ", \"misses\": " << cs.misses << ", \"evictions\": " << cs.evictions
+       << ", \"bytes\": " << cs.bytes << ", \"entries\": " << cs.entries
+       << '}';
+  }
+  os << "}},\n";
+  // Process-wide ROM counters -- all zero unless UPDEC_ROM=1 routed jobs
+  // through the reduced-order tier. reduced/(reduced+escalated) is the
+  // fraction of PDE solves answered without touching the full operator.
+  const rom::RomTotals rom_totals = rom::process_totals();
+  const std::uint64_t rom_solves = rom_totals.reduced + rom_totals.escalated;
+  os << "  \"rom\": {\"reduced\": " << rom_totals.reduced
+     << ", \"escalated\": " << rom_totals.escalated
+     << ", \"rebuilds\": " << rom_totals.rebuilds << ", \"reduced_fraction\": "
+     << (rom_solves > 0
+             ? static_cast<double>(rom_totals.reduced) /
+                   static_cast<double>(rom_solves)
+             : 0.0)
+     << "},\n";
   os << "  \"jobs\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const auto& r = reports[i];

@@ -158,6 +158,9 @@ const std::vector<PinnedCase>& pinned_cases() {
        "stress pin: full-width multi-RHS sweep vs looped solves"},
       {"factorization_consistency", 0x21aa7e44c3d95b80ull, 64,
        "stress pin: Cholesky/QR/LU agreement at the range ceiling"},
+      {"rom_vs_full", 0x6d4a92e8f15c3b07ull, 32,
+       "stress pin: reduced-order escalate/accept ladder at a mid-range "
+       "system size plus the ROM-routed DAL loop"},
   };
   return cases;
 }

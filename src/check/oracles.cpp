@@ -11,6 +11,7 @@
 #include "autodiff/ops.hpp"
 #include "autodiff/tape.hpp"
 #include "check/generators.hpp"
+#include "control/driver.hpp"
 #include "control/laplace_problem.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
@@ -21,6 +22,8 @@
 #include "pointcloud/generators.hpp"
 #include "rbf/collocation.hpp"
 #include "rbf/rbffd.hpp"
+#include "rom/laplace_rom.hpp"
+#include "rom/rom_solver.hpp"
 #include "serve/cache.hpp"
 
 namespace updec::check {
@@ -526,6 +529,110 @@ OracleResult factorization_consistency(const OracleCase& c) {
   return judged(err, 1e-8, os.str());
 }
 
+// ---- reduced-order tier vs full path --------------------------------------
+
+OracleResult rom_vs_full(const OracleCase& c) {
+  Rng rng(c.seed);
+  const std::size_t n = std::max<std::size_t>(c.size, 8);
+
+  // Part A: the estimator's three regimes on a random sparse system, on the
+  // same sparse path the serve tier escalates to.
+  la::RobustSolveOptions forced;
+  forced.sparse_min_n = 0;
+  const la::CsrMatrix a = random_sparse_diag_dominant(rng, n);
+  const la::SparseFirstSolver full(a, forced);
+
+  rom::RomConfig config;
+  config.enabled = true;
+  config.tol = 1e-8;
+  config.max_k = n;
+  config.min_snapshots = std::max<std::size_t>(3, n / 4);
+  rom::SnapshotBank bank(1ull << 22);
+  rom::RomSolver solver(full, bank, c.seed ^ 0x9E3779B97F4A7C15ull, config);
+
+  // Cold: no basis exists, so every solve must escalate and be harvested.
+  std::vector<la::Vector> rhs;
+  for (std::size_t i = 0; i < config.min_snapshots; ++i) {
+    rhs.push_back(random_vector(rng, n));
+    rom::RomSolveReport rep;
+    (void)solver.solve(rhs.back(), {}, &rep);
+    if (!rep.escalated || rep.reduced)
+      return judged(1.0, 0.0, "cold ROM solve did not escalate");
+  }
+
+  // In-span: x is linear in b, so a combination of the harvested right-hand
+  // sides has its solution inside the snapshot span -- the estimator must
+  // accept it in reduced space and the answer must match the full path.
+  la::Vector inside(n, 0.0);
+  for (const la::Vector& r : rhs) la::axpy(rng.uniform(-1.0, 1.0), r, inside);
+  rom::RomSolveReport rep;
+  const la::Vector x_rom = solver.solve(inside, {}, &rep);
+  la::SolveReport full_rep;
+  const la::Vector x_full = full.solve(inside, &full_rep);
+  full_rep.require_converged("oracle rom_vs_full reference");
+  if (!rep.reduced)
+    return judged(1.0, 0.0,
+                  "in-span rhs was not answered in reduced space (estimate " +
+                      std::to_string(rep.estimate) + ")");
+  double err = max_abs_diff(x_rom, x_full) / (la::nrm_inf(x_full) + 1.0);
+
+  // Out-of-span: whichever path answers a fresh rhs, the result must agree
+  // with the full solver -- an accepted reduced answer met a 1e-8 residual.
+  const la::Vector fresh = random_vector(rng, n);
+  const la::Vector y_rom = solver.solve(fresh, {}, &rep);
+  const la::Vector y_full = full.solve(fresh, &full_rep);
+  full_rep.require_converged("oracle rom_vs_full reference (fresh)");
+  err = std::max(err, max_abs_diff(y_rom, y_full) / (la::nrm_inf(y_full) + 1.0));
+
+  const rom::RomStats stats = solver.stats();
+  if (stats.reduced + stats.escalated != config.min_snapshots + 2)
+    return judged(1.0, 0.0, "ROM solve accounting does not balance");
+  if (stats.rebuilds == 0 || stats.harvested < config.min_snapshots)
+    return judged(1.0, 0.0, "escalations were not harvested into a basis");
+
+  // Part B: the whole DAL control loop, ROM-routed vs full-path, from the
+  // same jittered start. The estimator bounds each accepted solve, so the
+  // final costs must stay within a small multiple of the ROM tolerance.
+  const rbf::PolyharmonicSpline kernel(3);
+  auto problem = std::make_shared<rom::LaplaceFdControlProblem>(8, kernel);
+  rom::RomConfig loop_config;
+  loop_config.enabled = true;
+  loop_config.tol = 1e-7;
+  loop_config.max_k = 24;
+  loop_config.min_snapshots = 4;
+  rom::SnapshotBank loop_bank(1ull << 24);
+  auto loop_rom = std::make_shared<rom::RomSolver>(
+      problem->solver().op(), loop_bank, 1, loop_config);
+
+  la::Vector control = problem->initial_control();
+  for (std::size_t i = 0; i < control.size(); ++i)
+    control[i] += rng.normal(0.0, 0.1);
+
+  control::DriverOptions options;
+  options.iterations = 10;
+  options.initial_learning_rate = 1e-2;
+  const auto full_strategy = rom::make_laplace_fd_dal(problem);
+  const auto rom_strategy = rom::make_laplace_rom_dal(problem, loop_rom);
+  const control::DriverResult full_run =
+      control::optimize_from(control, *full_strategy, options);
+  const control::DriverResult rom_run =
+      control::optimize_from(control, *rom_strategy, options);
+
+  const rom::RomStats loop_stats = loop_rom->stats();
+  if (loop_stats.escalated < loop_config.min_snapshots)
+    return judged(1.0, 0.0, "ROM control loop never exercised escalation");
+  if (loop_stats.reduced == 0)
+    return judged(1.0, 0.0, "ROM control loop never used the reduced space");
+  err = std::max(err, rel_diff(rom_run.final_cost, full_run.final_cost));
+
+  std::ostringstream os;
+  os << "RomSolver vs full sparse path (n=" << n << ", loop "
+     << loop_stats.reduced << " reduced / " << loop_stats.escalated
+     << " escalated, J_rom=" << rom_run.final_cost
+     << " vs J_full=" << full_run.final_cost << ", worst " << err << ")";
+  return judged(err, 1e-4, os.str());
+}
+
 // ---- catalogue ------------------------------------------------------------
 
 const std::vector<Oracle>& all_oracles() {
@@ -553,6 +660,9 @@ const std::vector<Oracle>& all_oracles() {
       {"factorization_consistency",
        "Cholesky and QR vs LU on random SPD systems", 2, 64,
        &factorization_consistency},
+      {"rom_vs_full",
+       "POD/Galerkin reduced solves vs the full sparse path", 8, 48,
+       &rom_vs_full},
   };
   return oracles;
 }

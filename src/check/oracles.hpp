@@ -105,4 +105,15 @@ OracleResult threaded_vs_serial(const OracleCase& c);
 /// L L^T round trip and log-determinant agreement. size = matrix dimension.
 OracleResult factorization_consistency(const OracleCase& c);
 
+/// The reduced-order tier against the full sparse path. Part A drives a
+/// RomSolver on a random sparse diagonally dominant system through its
+/// three regimes: cold solves must escalate (and be harvested), an
+/// in-snapshot-span right-hand side must be answered in reduced space and
+/// match the full solution, and solve accounting must balance (every solve
+/// is either reduced or escalated, never silently dropped). Part B runs the
+/// Laplace DAL control loop with all PDE solves routed through a RomSolver
+/// and checks the final cost against the full-path DAL loop from the same
+/// start. size = matrix dimension for part A.
+OracleResult rom_vs_full(const OracleCase& c);
+
 }  // namespace updec::check

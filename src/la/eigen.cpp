@@ -62,4 +62,118 @@ PowerIterationResult power_iteration(const CsrMatrix& a,
       tol);
 }
 
+namespace {
+
+/// Frobenius mass of the strict off-diagonal part (squared).
+double off_diagonal_sq(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (i != j) s += a(i, j) * a(i, j);
+  return s;
+}
+
+}  // namespace
+
+SymmetricEigenResult symmetric_eigen(const Matrix& a, std::size_t max_sweeps,
+                                     double tol) {
+  UPDEC_REQUIRE(a.rows() == a.cols(), "symmetric_eigen needs a square matrix");
+  const std::size_t n = a.rows();
+  SymmetricEigenResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Symmetrize from the lower triangle so callers that assembled only one
+  // half (Gram loops) are served exactly; reject genuine asymmetry.
+  Matrix b(n, n);
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = a(i, j);
+      UPDEC_REQUIRE(std::isfinite(v), "symmetric_eigen: non-finite entry");
+      b(i, j) = v;
+      b(j, i) = v;
+      scale = std::max(scale, std::abs(v));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      UPDEC_REQUIRE(std::abs(a(i, j) - a(j, i)) <=
+                        1e-8 * (1.0 + scale),
+                    "symmetric_eigen: matrix is not symmetric");
+
+  Matrix v = Matrix::identity(n);
+  double fro_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) fro_sq += b(i, j) * b(i, j);
+  const double stop_sq = tol * tol * std::max(fro_sq, 1e-300);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_sq(b) <= stop_sq) {
+      result.converged = true;
+      break;
+    }
+    result.sweeps = sweep + 1;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = b(p, q);
+        if (apq == 0.0) continue;
+        const double app = b(p, p);
+        const double aqq = b(q, q);
+        // Skip rotations that cannot move mass above roundoff -- they only
+        // churn the accumulated V.
+        if (std::abs(apq) <= 1e-300 ||
+            std::abs(apq) * std::abs(apq) <= 1e-64 * stop_sq)
+          continue;
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the smaller rotation angle.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // B <- J^T B J on rows/columns p, q (symmetry maintained).
+        for (std::size_t k = 0; k < n; ++k) {
+          const double bkp = b(k, p);
+          const double bkq = b(k, q);
+          b(k, p) = c * bkp - s * bkq;
+          b(k, q) = s * bkp + c * bkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double bpk = b(p, k);
+          const double bqk = b(q, k);
+          b(p, k) = c * bpk - s * bqk;
+          b(q, k) = s * bpk + c * bqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!result.converged && off_diagonal_sq(b) <= stop_sq)
+    result.converged = true;
+  UPDEC_REQUIRE(result.converged,
+                "symmetric_eigen: Jacobi sweeps failed to converge");
+
+  // Sort descending by eigenvalue, permuting eigenvector columns along.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&b](std::size_t x, std::size_t y) {
+    return b(x, x) > b(y, y);
+  });
+  result.eigenvalues = Vector(n);
+  result.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = b(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i)
+      result.eigenvectors(i, j) = v(i, order[j]);
+  }
+  return result;
+}
+
 }  // namespace updec::la

@@ -310,6 +310,18 @@ la::Vector LaplaceFdSolver::flux_top(const la::Vector& u) const {
   return flux;
 }
 
+la::Vector LaplaceFdSolver::flux_top_adjoint(const la::Vector& y) const {
+  UPDEC_REQUIRE(y.size() == top_nodes_.size(),
+                "one weight per top-wall node required");
+  la::Vector out(cloud_.size(), 0.0);
+  for (std::size_t i = 0; i < top_nodes_.size(); ++i) {
+    const std::size_t row = top_nodes_[i];
+    for (std::size_t k = dy_.row_ptr()[row]; k < dy_.row_ptr()[row + 1]; ++k)
+      out[dy_.col_idx()[k]] += dy_.values()[k] * y[i];
+  }
+  return out;
+}
+
 la::Matrix LaplaceFdSolver::flux_top_many(const la::Matrix& u) const {
   UPDEC_REQUIRE(u.rows() == cloud_.size(), "nodal state size mismatch");
   la::Matrix flux(top_nodes_.size(), u.cols());

@@ -178,6 +178,20 @@ class LaplaceFdSolver {
     return quad_weights_;
   }
 
+  /// Full RHS for a control vector (fixed-wall data + control scattered into
+  /// the top Dirichlet rows). Exposed so reduced-order callers (src/rom) can
+  /// route the assembled system through their own solve path while this
+  /// class keeps owning the boundary layout.
+  [[nodiscard]] la::Vector rhs_for(const la::Vector& control) const {
+    return assemble_rhs(control);
+  }
+
+  /// Adjoint of flux_top: given one weight per top-wall node, returns
+  /// F^T y over all cloud nodes (F = the Dy stencil rows at the top nodes).
+  /// This is the dual-weight vector of a flux functional sum_i y_i (du/dy)_i,
+  /// which the ROM tier's dual-weighted residual estimator needs.
+  [[nodiscard]] la::Vector flux_top_adjoint(const la::Vector& y) const;
+
  private:
   [[nodiscard]] la::Vector assemble_rhs(const la::Vector& control) const;
 

@@ -1,0 +1,25 @@
+#include "rom/config.hpp"
+
+#include <algorithm>
+
+#include "util/env.hpp"
+
+namespace updec::rom {
+
+RomConfig config_from_env() {
+  RomConfig config;
+  config.enabled = env::get_bool("UPDEC_ROM", config.enabled);
+  config.tol = std::max(0.0, env::get_double("UPDEC_ROM_TOL", config.tol));
+  config.max_k = static_cast<std::size_t>(env::get_u64(
+      "UPDEC_ROM_MAX_K", static_cast<std::uint64_t>(config.max_k)));
+  config.min_snapshots = std::max<std::size_t>(
+      1, static_cast<std::size_t>(env::get_u64(
+             "UPDEC_ROM_MIN_SNAPSHOTS",
+             static_cast<std::uint64_t>(config.min_snapshots))));
+  config.snapshot_bytes = static_cast<std::size_t>(env::get_u64(
+      "UPDEC_ROM_SNAPSHOT_BYTES",
+      static_cast<std::uint64_t>(config.snapshot_bytes)));
+  return config;
+}
+
+}  // namespace updec::rom

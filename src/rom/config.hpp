@@ -1,0 +1,40 @@
+#pragma once
+/// \file config.hpp
+/// \brief Knobs of the reduced-order serving tier (ROADMAP item 1).
+///
+/// The ROM tier is opt-in: UPDEC_ROM=1 arms it, everything else then has a
+/// conservative default. All knobs go through util/env strict whole-string
+/// parsing (malformed values warn and keep the default), mirroring the
+/// serve-layer cache/retry knobs.
+
+#include <cstddef>
+
+namespace updec::rom {
+
+struct RomConfig {
+  /// Route eligible serve DAL jobs through the reduced space (UPDEC_ROM).
+  bool enabled = false;
+  /// Accept a reduced solve when the dual-weighted residual estimate is at
+  /// or below this relative tolerance; escalate to the full sparse path
+  /// otherwise (UPDEC_ROM_TOL).
+  double tol = 1e-6;
+  /// Hard cap on the POD basis rank (UPDEC_ROM_MAX_K). The energy floor in
+  /// build_pod_basis governs the effective rank, so this only needs to stay
+  /// above the solution manifold's dimension -- for a boundary-control
+  /// problem roughly twice the number of control DOFs (direct + adjoint
+  /// streams). Too small a cap is the one mis-tuning that defeats the tier:
+  /// a basis that CANNOT represent the trajectory escalates every solve.
+  std::size_t max_k = 96;
+  /// Snapshots required before the first basis build, and harvested
+  /// escalations required before an enrichment rebuild
+  /// (UPDEC_ROM_MIN_SNAPSHOTS).
+  std::size_t min_snapshots = 8;
+  /// SnapshotBank byte cap; oldest snapshots of the least-recently-touched
+  /// operator fingerprint are evicted past it (UPDEC_ROM_SNAPSHOT_BYTES).
+  std::size_t snapshot_bytes = std::size_t{64} << 20;
+};
+
+/// Read every knob from the environment over the defaults above.
+[[nodiscard]] RomConfig config_from_env();
+
+}  // namespace updec::rom

@@ -1,0 +1,64 @@
+#pragma once
+/// \file laplace_rom.hpp
+/// \brief The Laplace boundary-control problem on the sparse RBF-FD path,
+///        with a DAL gradient strategy that routes both of its PDE solves
+///        (direct and continuous adjoint) through a shared RomSolver.
+///
+/// The continuous adjoint of the Laplace control problem uses the SAME
+/// system operator as the direct problem -- only the Dirichlet data on the
+/// top wall changes -- so one POD basis per operator fingerprint serves
+/// both solve streams, and a warm serve batch amortises its basis across
+/// every DAL iteration of every job in the family.
+
+#include <memory>
+
+#include "control/problem.hpp"
+#include "pde/laplace.hpp"
+#include "rom/rom_solver.hpp"
+
+namespace updec::rom {
+
+/// J(c) over the RBF-FD (sparse) Laplace discretisation -- the full-path
+/// twin of control::LaplaceControlProblem, sized for operators where the
+/// dense collocation path is no longer affordable.
+class LaplaceFdControlProblem final : public control::ControlProblem {
+ public:
+  LaplaceFdControlProblem(std::size_t grid_n, const rbf::Kernel& kernel,
+                          const rbf::RbffdConfig& config = {},
+                          const la::RobustSolveOptions& solver = {});
+
+  [[nodiscard]] std::string name() const override { return "laplace-fd"; }
+  [[nodiscard]] std::size_t control_size() const override {
+    return solver_.num_control();
+  }
+  [[nodiscard]] la::Vector initial_control() const override {
+    return la::Vector(control_size(), 0.0);
+  }
+  [[nodiscard]] double cost(const la::Vector& control) const override;
+
+  /// Cost from a precomputed top-wall flux (shared by the strategies).
+  [[nodiscard]] double cost_from_flux(const la::Vector& flux) const;
+
+  [[nodiscard]] const pde::LaplaceFdSolver& solver() const { return solver_; }
+  /// Mutable access for serve-layer cache plumbing (memoized ILU factors).
+  [[nodiscard]] pde::LaplaceFdSolver& solver() { return solver_; }
+
+ private:
+  pde::LaplaceFdSolver solver_;
+};
+
+/// DAL on the full sparse path (the baseline the ROM strategy is measured
+/// against in bench_rom and the rom_vs_full oracle).
+[[nodiscard]] std::unique_ptr<control::GradientStrategy> make_laplace_fd_dal(
+    std::shared_ptr<const LaplaceFdControlProblem> problem);
+
+/// DAL with both PDE solves routed through `rom`. Solves the RomSolver
+/// accepts stay in the reduced space; rejected ones escalate to the same
+/// full path make_laplace_fd_dal uses, so the strategy is never less
+/// accurate than the estimator's advertised tolerance. `rom` must front the
+/// problem's own operator (rom->operator_fingerprint() of solver().op()).
+[[nodiscard]] std::unique_ptr<control::GradientStrategy> make_laplace_rom_dal(
+    std::shared_ptr<const LaplaceFdControlProblem> problem,
+    std::shared_ptr<RomSolver> rom);
+
+}  // namespace updec::rom

@@ -1,0 +1,129 @@
+#include "rom/pod_basis.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/eigen.hpp"
+#include "la/qr.hpp"
+#include "util/error.hpp"
+
+namespace updec::rom {
+
+la::Vector PodBasis::project(const la::Vector& x) const {
+  UPDEC_REQUIRE(x.size() == n(), "PodBasis::project: dimension mismatch");
+  return la::matvec_t(modes, x);
+}
+
+la::Vector PodBasis::lift(const la::Vector& xr) const {
+  UPDEC_REQUIRE(xr.size() == k(), "PodBasis::lift: dimension mismatch");
+  return la::matvec(modes, xr);
+}
+
+double PodBasis::orthonormality_defect() const {
+  double defect = 0.0;
+  for (std::size_t i = 0; i < k(); ++i) {
+    for (std::size_t j = i; j < k(); ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < n(); ++r) s += modes(r, i) * modes(r, j);
+      defect = std::max(defect, std::abs(s - (i == j ? 1.0 : 0.0)));
+    }
+  }
+  return defect;
+}
+
+namespace {
+
+/// Modified Gram-Schmidt re-orthonormalisation with column dropping:
+/// repairs the cancellation the small-lambda snapshot combinations suffer,
+/// discarding directions that collapsed below numerical rank. Shrinks
+/// `eigenvalues` alongside the surviving columns.
+void mgs_reorthonormalize(la::Matrix& modes, la::Vector& eigenvalues) {
+  const std::size_t n = modes.rows();
+  const std::size_t k = modes.cols();
+  std::vector<la::Vector> kept;
+  std::vector<double> kept_lambda;
+  la::Vector v(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t r = 0; r < n; ++r) v[r] = modes(r, j);
+    for (int pass = 0; pass < 2; ++pass)  // twice is enough (Kahan)
+      for (const la::Vector& q : kept) la::axpy(-la::dot(q, v), q, v);
+    const double norm = la::nrm2(v);
+    if (norm < 1e-12) continue;
+    la::scal(1.0 / norm, v);
+    kept.push_back(v);
+    kept_lambda.push_back(eigenvalues[j]);
+  }
+  la::Matrix repaired(n, kept.size());
+  for (std::size_t j = 0; j < kept.size(); ++j)
+    for (std::size_t r = 0; r < n; ++r) repaired(r, j) = kept[j][r];
+  modes = std::move(repaired);
+  eigenvalues = la::Vector(kept_lambda.size());
+  for (std::size_t j = 0; j < eigenvalues.size(); ++j)
+    eigenvalues[j] = kept_lambda[j];
+}
+
+}  // namespace
+
+PodBasis build_pod_basis(const std::vector<la::Vector>& snapshots,
+                         std::size_t max_k, double rel_tol) {
+  UPDEC_REQUIRE(!snapshots.empty(),
+                "build_pod_basis: at least one snapshot required");
+  const std::size_t n = snapshots.front().size();
+  UPDEC_REQUIRE(n > 0, "build_pod_basis: empty snapshots");
+  const std::size_t m = snapshots.size();
+  for (const la::Vector& s : snapshots)
+    UPDEC_REQUIRE(s.size() == n,
+                  "build_pod_basis: inconsistent snapshot dimensions");
+
+  // Method of snapshots: the m x m Gram spectrum carries the POD energies.
+  la::Matrix gram(m, m);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double g = la::dot(snapshots[i], snapshots[j]);
+      gram(i, j) = g;
+      gram(j, i) = g;
+    }
+  const la::SymmetricEigenResult eig = la::symmetric_eigen(gram);
+
+  PodBasis basis;
+  basis.snapshot_count = m;
+  const double lambda_max = eig.eigenvalues.size() ? eig.eigenvalues[0] : 0.0;
+  std::size_t k = 0;
+  while (k < m && k < max_k && eig.eigenvalues[k] > rel_tol * lambda_max &&
+         eig.eigenvalues[k] > 0.0)
+    ++k;
+  // Cap the rank at the full dimension: with m > n snapshots the Gram matrix
+  // is rank-deficient anyway, but guard the lift explicitly.
+  k = std::min(k, n);
+  if (k == 0) {
+    basis.modes = la::Matrix(n, 0);
+    basis.eigenvalues = la::Vector(0);
+    return basis;
+  }
+
+  basis.modes = la::Matrix(n, k, 0.0);
+  basis.eigenvalues = la::Vector(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    basis.eigenvalues[j] = eig.eigenvalues[j];
+    const double inv_sigma = 1.0 / std::sqrt(eig.eigenvalues[j]);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double w = eig.eigenvectors(i, j) * inv_sigma;
+      if (w == 0.0) continue;
+      const la::Vector& s = snapshots[i];
+      for (std::size_t r = 0; r < n; ++r) basis.modes(r, j) += w * s[r];
+    }
+  }
+
+  // Re-check orthonormality through the QR of the lifted modes: for an
+  // orthonormal V, R is diag(+-1) so |R_kk|/|R_11| == 1 up to roundoff. Any
+  // degradation (tiny-lambda cancellation) gets repaired by MGS.
+  const la::QrFactorization qr(basis.modes);
+  const bool healthy = qr.valid() && qr.diagonal_ratio() > 0.999 &&
+                       basis.orthonormality_defect() < 1e-8;
+  if (!healthy) mgs_reorthonormalize(basis.modes, basis.eigenvalues);
+  UPDEC_REQUIRE(basis.orthonormality_defect() < 1e-6,
+                "build_pod_basis: modes failed to orthonormalise");
+  return basis;
+}
+
+}  // namespace updec::rom

@@ -1,0 +1,50 @@
+#pragma once
+/// \file pod_basis.hpp
+/// \brief POD basis via the method of snapshots.
+///
+/// For m snapshots s_1..s_m of dimension n (m << n in the serving regime),
+/// the proper orthogonal decomposition is computed from the m x m Gram
+/// matrix G_ij = <s_i, s_j> instead of the n x m snapshot matrix itself:
+/// G = Phi diag(lambda) Phi^T by la::symmetric_eigen (cyclic Jacobi, robust
+/// on the clustered and rank-deficient spectra near-duplicate snapshot sets
+/// produce), then mode_j = sum_i Phi_ij s_i / sqrt(lambda_j) for every
+/// eigenvalue above a relative energy floor. Orthonormality of the lifted
+/// modes is re-checked through la/qr and repaired by modified Gram-Schmidt
+/// when cancellation in the small-lambda modes degraded it.
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace updec::rom {
+
+/// An orthonormal reduced basis V (n x k, columns = POD modes, descending
+/// snapshot energy). Immutable after construction; safe to share across
+/// threads behind shared_ptr<const PodBasis>.
+struct PodBasis {
+  la::Matrix modes;        ///< n x k, orthonormal columns
+  la::Vector eigenvalues;  ///< retained Gram eigenvalues, descending
+  std::size_t snapshot_count = 0;  ///< snapshots the basis was built from
+
+  [[nodiscard]] std::size_t n() const { return modes.rows(); }
+  [[nodiscard]] std::size_t k() const { return modes.cols(); }
+
+  /// V^T x: full -> reduced coordinates.
+  [[nodiscard]] la::Vector project(const la::Vector& x) const;
+  /// V xr: reduced -> full coordinates.
+  [[nodiscard]] la::Vector lift(const la::Vector& xr) const;
+  /// max_ij |(V^T V - I)_ij| -- the orthonormality defect.
+  [[nodiscard]] double orthonormality_defect() const;
+};
+
+/// Build a POD basis of rank <= max_k from `snapshots` (all the same
+/// dimension). Eigenvalues below `rel_tol * lambda_max` are discarded, so a
+/// rank-deficient snapshot set (duplicates, converged trajectories) yields
+/// k < m rather than garbage modes. Throws updec::Error on empty or
+/// inconsistent input; returns k = 0 when no snapshot carries energy.
+[[nodiscard]] PodBasis build_pod_basis(
+    const std::vector<la::Vector>& snapshots, std::size_t max_k,
+    double rel_tol = 1e-10);
+
+}  // namespace updec::rom

@@ -1,0 +1,284 @@
+#include "rom/rom_solver.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <utility>
+
+#include "la/blas.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace updec::rom {
+
+namespace {
+
+// Process-wide tallies, reported by updec_serve even when the metrics
+// registry is compiled out or disabled.
+std::atomic<std::uint64_t> g_reduced{0};
+std::atomic<std::uint64_t> g_escalated{0};
+std::atomic<std::uint64_t> g_rebuilds{0};
+
+}  // namespace
+
+RomTotals process_totals() {
+  RomTotals t;
+  t.reduced = g_reduced.load(std::memory_order_relaxed);
+  t.escalated = g_escalated.load(std::memory_order_relaxed);
+  t.rebuilds = g_rebuilds.load(std::memory_order_relaxed);
+  return t;
+}
+
+RomSolver::RomSolver(const la::SparseFirstSolver& full, SnapshotBank& bank,
+                     std::uint64_t fingerprint, RomConfig config)
+    : full_(full), bank_(bank), fingerprint_(fingerprint), config_(config) {
+  UPDEC_REQUIRE(full_.valid(), "RomSolver needs a valid full solver");
+}
+
+void RomSolver::adopt_basis_locked(std::shared_ptr<const PodBasis> basis,
+                                   bool count_rebuild) {
+  UPDEC_REQUIRE(basis != nullptr && basis->k() > 0,
+                "RomSolver: cannot adopt an empty basis");
+  UPDEC_REQUIRE(basis->n() == full_.size(),
+                "RomSolver: basis dimension does not match the operator");
+  UPDEC_TRACE_SCOPE("rom/project_operator");
+  // Galerkin projection A_r = V^T (A V): one multi-column spmv plus a small
+  // dense product, factored once per basis generation. Both intermediates
+  // are kept so try_extend_locked can grow them rank-by-rank.
+  auto reduced = std::make_shared<Reduced>();
+  reduced->av = full_.matrix().apply_many(basis->modes);
+  reduced->ar = la::matmul(basis->modes.transposed(), reduced->av);
+  reduced->lu = la::LuFactorization(reduced->ar);
+  reduced->basis = std::move(basis);
+  reduced_ = std::move(reduced);
+  stats_.k = reduced_->basis->k();
+  if (count_rebuild) {
+    ++stats_.rebuilds;
+    g_rebuilds.fetch_add(1, std::memory_order_relaxed);
+    UPDEC_METRIC_ADD("rom/basis.rebuilds", 1);
+  }
+  UPDEC_METRIC_GAUGE_SET("rom/basis.k", static_cast<double>(stats_.k));
+  if (on_rebuild_ && count_rebuild) on_rebuild_(*reduced_->basis);
+}
+
+void RomSolver::maybe_rebuild_locked() {
+  const std::size_t count = bank_.count(fingerprint_);
+  if (count < config_.min_snapshots) return;
+  // Geometric rebuild cadence: the first basis appears after min_snapshots
+  // harvests, then each rebuild waits for the training set to grow by
+  // max(min_snapshots, its previous size). A fixed increment would rebuild
+  // O(escalations / min_snapshots) times -- on a hard trajectory the
+  // O(m^2 n) Gram passes then cost more than the full solves they avoid.
+  if (reduced_ != nullptr &&
+      count < built_from_ + std::max(config_.min_snapshots, built_from_))
+    return;
+  UPDEC_TRACE_SCOPE("rom/build_basis");
+  try {
+    // Sliding-window POD: the Gram stage is O(m^2 n) in the snapshot count
+    // m, so rebuilding from an unboundedly growing bank would make every
+    // rebuild slower than the solves it accelerates. The newest snapshots
+    // carry the current trajectory (and install_basis re-seeds the
+    // persisted span as sigma-scaled modes, which land in this window like
+    // any other snapshot), so a 4 * max_k tail loses nothing a rank-max_k
+    // basis could have kept anyway.
+    std::vector<la::Vector> snaps = bank_.snapshots(fingerprint_);
+    const std::size_t window =
+        std::max(config_.min_snapshots, 4 * config_.max_k);
+    if (snaps.size() > window)
+      snaps.erase(snaps.begin(),
+                  snaps.end() - static_cast<std::ptrdiff_t>(window));
+    PodBasis basis = build_pod_basis(snaps, config_.max_k);
+    if (basis.k() == 0) return;  // no energy yet; keep whatever we had
+    adopt_basis_locked(std::make_shared<const PodBasis>(std::move(basis)),
+                       /*count_rebuild=*/true);
+    built_from_ = count;
+  } catch (const std::exception& e) {
+    // A failed build (degenerate Gram, singular projection) must never take
+    // down a solve: the full path below is always available.
+    log_warn() << "rom: basis build failed (" << e.what()
+               << "); keeping the previous basis";
+    built_from_ = count;  // don't retry on every solve
+  }
+}
+
+bool RomSolver::try_extend_locked(const la::Vector& x) {
+  if (reduced_ == nullptr) return false;
+  const PodBasis& old = *reduced_->basis;
+  const std::size_t k = old.k();
+  const std::size_t n = old.n();
+  if (k >= config_.max_k || k >= n) return false;
+  // Defect of the escalated solution against the CURRENT basis (it may have
+  // grown since the reduced candidate was rejected). Two projection passes
+  // clean up the roundoff the first one leaves behind.
+  la::Vector d = x;
+  for (int pass = 0; pass < 2; ++pass)
+    la::axpy(-1.0, old.lift(old.project(d)), d);
+  const double x_norm = la::nrm2(x);
+  const double d_norm = la::nrm2(d);
+  if (!(d_norm > 1e-10 * (x_norm + 1e-300))) return false;  // nothing new
+  la::scal(1.0 / d_norm, d);
+
+  UPDEC_TRACE_SCOPE("rom/extend_basis");
+  auto basis = std::make_shared<PodBasis>();
+  basis->snapshot_count = old.snapshot_count + 1;
+  basis->modes = la::Matrix(n, k + 1);
+  basis->eigenvalues = la::Vector(k + 1);
+  for (std::size_t j = 0; j < k; ++j) {
+    basis->eigenvalues[j] = old.eigenvalues[j];
+    for (std::size_t r = 0; r < n; ++r)
+      basis->modes(r, j) = old.modes(r, j);
+  }
+  for (std::size_t r = 0; r < n; ++r) basis->modes(r, k) = d[r];
+  // Energy bookkeeping only feeds install_basis reseeding and the codec's
+  // descending-order invariant; charge the new mode the solution's energy,
+  // clamped to keep the spectrum monotone.
+  basis->eigenvalues[k] =
+      k > 0 ? std::min(old.eigenvalues[k - 1], x_norm * x_norm)
+            : x_norm * x_norm;
+
+  // Grow A V by one spmv and A_r by one bordered row/column; the k x k
+  // refactor is the only superlinear piece and k is small by construction.
+  la::Vector ad(n, 0.0);
+  full_.matrix().spmv(1.0, d, 0.0, ad);
+  auto next = std::make_shared<Reduced>();
+  next->av = la::Matrix(n, k + 1);
+  next->ar = la::Matrix(k + 1, k + 1);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t r = 0; r < n; ++r)
+      next->av(r, j) = reduced_->av(r, j);
+  for (std::size_t r = 0; r < n; ++r) next->av(r, k) = ad[r];
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < k; ++j) next->ar(i, j) = reduced_->ar(i, j);
+  const la::Vector col = la::matvec_t(old.modes, ad);   // V^T (A d)
+  const la::Vector row = la::matvec_t(reduced_->av, d); // d^T (A V)
+  for (std::size_t i = 0; i < k; ++i) {
+    next->ar(i, k) = col[i];
+    next->ar(k, i) = row[i];
+  }
+  next->ar(k, k) = la::dot(d, ad);
+  try {
+    next->lu = la::LuFactorization(next->ar);
+  } catch (const std::exception& e) {
+    log_warn() << "rom: basis extension refactor failed (" << e.what()
+               << "); keeping the previous basis";
+    return false;
+  }
+  next->basis = basis;
+  reduced_ = std::move(next);
+  stats_.k = k + 1;
+  UPDEC_METRIC_GAUGE_SET("rom/basis.k", static_cast<double>(stats_.k));
+  if (on_rebuild_) on_rebuild_(*basis);
+  return true;
+}
+
+void RomSolver::install_basis(std::shared_ptr<const PodBasis> basis) {
+  if (basis == nullptr || basis->k() == 0) return;
+  std::lock_guard lock(mutex_);
+  if (basis->n() != full_.size()) {
+    log_warn() << "rom: ignoring persisted basis of dimension " << basis->n()
+               << " for an operator of size " << full_.size();
+    return;
+  }
+  // Re-seed the bank with the energy-scaled modes so a later enrichment
+  // rebuild starts from the persisted span instead of forgetting it.
+  for (std::size_t j = 0; j < basis->k(); ++j) {
+    la::Vector snap(basis->n());
+    const double sigma = std::sqrt(std::max(basis->eigenvalues[j], 0.0));
+    for (std::size_t r = 0; r < basis->n(); ++r)
+      snap[r] = sigma * basis->modes(r, j);
+    if (bank_.add(fingerprint_, snap)) ++stats_.harvested;
+  }
+  adopt_basis_locked(std::move(basis), /*count_rebuild=*/false);
+  built_from_ = bank_.count(fingerprint_);
+}
+
+std::shared_ptr<const PodBasis> RomSolver::basis() const {
+  std::lock_guard lock(mutex_);
+  return reduced_ ? reduced_->basis : nullptr;
+}
+
+void RomSolver::on_basis_rebuilt(std::function<void(const PodBasis&)> cb) {
+  std::lock_guard lock(mutex_);
+  on_rebuild_ = std::move(cb);
+}
+
+RomStats RomSolver::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+la::Vector RomSolver::solve(const la::Vector& b, const Functional& functional,
+                            RomSolveReport* report) {
+  UPDEC_REQUIRE(b.size() == full_.size(), "RomSolver::solve: rhs size");
+  RomSolveReport local;
+  std::shared_ptr<const Reduced> reduced;
+  {
+    std::lock_guard lock(mutex_);
+    maybe_rebuild_locked();
+    reduced = reduced_;
+  }
+
+  if (reduced != nullptr) {
+    UPDEC_TRACE_SCOPE("rom/reduced_solve");
+    const PodBasis& basis = *reduced->basis;
+    local.k = basis.k();
+    const la::Vector xr = reduced->lu.solve(basis.project(b));
+    const la::Vector x = basis.lift(xr);
+    la::Vector r = b;  // r = b - A x
+    full_.matrix().spmv(-1.0, x, 1.0, r);
+    const double b_norm = la::nrm2(b);
+    const double residual_rel =
+        b_norm > 0.0 ? la::nrm2(r) / b_norm : la::nrm2(r);
+    double estimate = residual_rel;
+    if (functional) {
+      const la::Vector g = functional(x);
+      UPDEC_REQUIRE(g.size() == full_.size(),
+                    "RomSolver: functional weight size mismatch");
+      // Reduced dual solve z = V A_r^{-T} V^T g; |z . r| estimates the error
+      // in the quantity of interest g . x. The residual floor guards against
+      // a dual weight the basis cannot represent (z misleadingly small).
+      const la::Vector zr = reduced->lu.solve_transpose(basis.project(g));
+      const la::Vector z = basis.lift(zr);
+      const double qoi = std::abs(la::dot(g, x));
+      const double dwr = std::abs(la::dot(z, r)) / (1.0 + qoi);
+      estimate = std::max(dwr, 0.01 * residual_rel);
+    }
+    local.estimate = estimate;
+    if (std::isfinite(estimate) && estimate <= config_.tol) {
+      local.reduced = true;
+      {
+        std::lock_guard lock(mutex_);
+        ++stats_.reduced;
+      }
+      g_reduced.fetch_add(1, std::memory_order_relaxed);
+      UPDEC_METRIC_ADD("rom/solves.reduced", 1);
+      if (report != nullptr) *report = local;
+      return x;
+    }
+  }
+
+  // Escalate: the full sparse-first path answers, and the solve becomes an
+  // enrichment snapshot -- a state the current basis failed to capture.
+  UPDEC_TRACE_SCOPE("rom/escalated_solve");
+  la::SolveReport solve_report;
+  la::Vector x = full_.solve(b, &solve_report);
+  solve_report.require_converged("rom escalated full solve");
+  local.escalated = true;
+  const bool harvested = bank_.add(fingerprint_, x);
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.escalated;
+    if (harvested) ++stats_.harvested;
+    // Teach the basis the direction it just missed before the next solve
+    // asks for it again (no-op without a basis or at the max_k cap, where
+    // the geometric-cadence POD rebuild acts as the compression pass).
+    try_extend_locked(x);
+  }
+  g_escalated.fetch_add(1, std::memory_order_relaxed);
+  UPDEC_METRIC_ADD("rom/solves.escalated", 1);
+  if (report != nullptr) *report = local;
+  return x;
+}
+
+}  // namespace updec::rom

@@ -1,0 +1,160 @@
+#pragma once
+/// \file rom_solver.hpp
+/// \brief POD/Galerkin reduced-order solver with dual-weighted residual
+///        acceptance and transparent escalation to the full sparse path.
+///
+/// A RomSolver fronts one la::SparseFirstSolver (one operator family,
+/// identified by its content fingerprint). Each solve first tries the
+/// reduced space: with V the POD basis and A_r = V^T A V factored once per
+/// basis (k x k dense LU), a candidate x = V A_r^{-1} V^T b costs O(nk)
+/// instead of a Krylov chain or an O(n^2) backsolve. The candidate is
+/// accepted only when its error estimate clears UPDEC_ROM_TOL:
+///
+///   * with a functional g (the dual weight of the caller's quantity of
+///     interest, e.g. the flux-mismatch derivative of the DAL cost), the
+///     dual-weighted residual |z . r| / (1 + |g . x|) with z = V A_r^{-T}
+///     V^T g and r = b - A x -- the classic DWR estimate restricted to the
+///     reduced space -- plus a residual-norm floor that catches the case
+///     where the dual weight itself is badly represented in the basis;
+///   * without a functional, the plain relative residual ||r|| / ||b||.
+///
+/// A rejected candidate escalates transparently: the full solver answers,
+/// and its solution is harvested into the SnapshotBank as an enrichment
+/// snapshot -- exactly the right training data, because it is a state the
+/// current basis provably cannot represent. While the basis has spare rank
+/// the solver also extends it IMMEDIATELY: the escalated solution's
+/// projection defect x - V V^T x is orthonormalised and appended as a new
+/// mode, with the cached A V and A_r = V^T A V grown incrementally (one
+/// spmv plus an O(k^2) refactor). Waiting for a batched POD rebuild here
+/// would let consecutive escalations harvest near-copies of the same
+/// missing direction -- inflating that direction's Gram energy until the
+/// relative energy floor truncates everything else. Full POD rebuilds
+/// still run on a geometric cadence as a compression pass over the bank,
+/// so the reduced space adapts toward the batch's actual trajectory (the
+/// adjoint-driven progressive POD adaptation pattern).
+///
+/// Thread-safe: the serve scheduler shares one RomSolver across every job
+/// of an operator family. Reduced-space solves run lock-free against an
+/// immutable shared snapshot of (basis, LU); only stats updates and basis
+/// swaps take the mutex.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "la/lu.hpp"
+#include "la/robust_solve.hpp"
+#include "rom/config.hpp"
+#include "rom/pod_basis.hpp"
+#include "rom/snapshot_bank.hpp"
+
+namespace updec::rom {
+
+/// Outcome of one RomSolver::solve call.
+struct RomSolveReport {
+  bool reduced = false;    ///< answered in the reduced space
+  bool escalated = false;  ///< fell through to the full sparse path
+  double estimate = 0.0;   ///< error estimate of the reduced candidate
+  std::size_t k = 0;       ///< basis rank at solve time (0 = no basis yet)
+};
+
+/// Cumulative per-solver counters (a copy; the solver keeps mutating).
+struct RomStats {
+  std::uint64_t reduced = 0;    ///< solves answered in reduced space
+  std::uint64_t escalated = 0;  ///< solves answered by the full path
+  std::uint64_t rebuilds = 0;   ///< POD basis (re)builds
+  std::uint64_t harvested = 0;  ///< snapshots actually stored in the bank
+  std::size_t k = 0;            ///< current basis rank
+};
+
+/// Process-wide ROM counters for serving reports (independent of the
+/// metrics registry, so `updec_serve` can always report them).
+struct RomTotals {
+  std::uint64_t reduced = 0;
+  std::uint64_t escalated = 0;
+  std::uint64_t rebuilds = 0;
+};
+[[nodiscard]] RomTotals process_totals();
+
+class RomSolver {
+ public:
+  /// Maps a reduced candidate solution to the dual-weight vector g of the
+  /// caller's quantity of interest (may depend on the candidate for
+  /// nonlinear functionals). An empty function selects the plain relative
+  /// residual estimate.
+  using Functional = std::function<la::Vector(const la::Vector& candidate)>;
+
+  /// `full` and `bank` must outlive the solver. `fingerprint` is the
+  /// operator's content address (serve::fingerprint of the CSR matrix) --
+  /// it namespaces this solver's snapshots inside the shared bank.
+  RomSolver(const la::SparseFirstSolver& full, SnapshotBank& bank,
+            std::uint64_t fingerprint, RomConfig config);
+
+  RomSolver(const RomSolver&) = delete;
+  RomSolver& operator=(const RomSolver&) = delete;
+
+  /// Solve A x = b: reduced space if the estimate clears config().tol,
+  /// full path otherwise (never silently -- every escalation is counted
+  /// and reported). Throws updec::Error if the FULL path fails to converge.
+  [[nodiscard]] la::Vector solve(const la::Vector& b,
+                                 const Functional& functional = {},
+                                 RomSolveReport* report = nullptr);
+
+  /// Install a persisted basis (warm restart). The basis modes are also
+  /// re-seeded into the snapshot bank (scaled by their singular values, so
+  /// a later enrichment rebuild reproduces the old spectrum exactly) --
+  /// without this, a rebuild from fresh escalations alone would forget the
+  /// span the persisted basis already learned.
+  void install_basis(std::shared_ptr<const PodBasis> basis);
+
+  /// Current basis (nullptr before the first build).
+  [[nodiscard]] std::shared_ptr<const PodBasis> basis() const;
+
+  /// Observer invoked (under the solver mutex) after every basis rebuild;
+  /// the serve layer persists the basis as a pod-basis cache artefact here.
+  /// The callback must not call back into this solver.
+  void on_basis_rebuilt(std::function<void(const PodBasis&)> callback);
+
+  [[nodiscard]] RomStats stats() const;
+  [[nodiscard]] std::uint64_t operator_fingerprint() const {
+    return fingerprint_;
+  }
+  [[nodiscard]] const RomConfig& config() const { return config_; }
+
+ private:
+  /// Immutable (basis, reduced operator) bundle swapped atomically under
+  /// the mutex. `av` and `ar` are kept (not just the LU) so an escalation
+  /// can grow the basis by one mode with a single spmv instead of
+  /// re-projecting the operator from scratch.
+  struct Reduced {
+    std::shared_ptr<const PodBasis> basis;
+    la::Matrix av;           ///< A V, n x k
+    la::Matrix ar;           ///< A_r = V^T A V, k x k
+    la::LuFactorization lu;  ///< of ar
+  };
+
+  /// Rebuild from the bank when enough new snapshots accumulated. Caller
+  /// holds mutex_.
+  void maybe_rebuild_locked();
+  /// Append the part of `x` the current basis misses as a fresh mode,
+  /// growing av/ar/lu incrementally. Returns false when there is no basis,
+  /// no spare rank (k == max_k), or nothing new in `x`. Caller holds mutex_.
+  bool try_extend_locked(const la::Vector& x);
+  /// Project the operator onto `basis` and swap it in. Caller holds mutex_.
+  void adopt_basis_locked(std::shared_ptr<const PodBasis> basis,
+                          bool count_rebuild);
+
+  const la::SparseFirstSolver& full_;
+  SnapshotBank& bank_;
+  const std::uint64_t fingerprint_;
+  const RomConfig config_;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Reduced> reduced_;  ///< nullptr before first build
+  std::size_t built_from_ = 0;  ///< bank count at the last (re)build
+  RomStats stats_;
+  std::function<void(const PodBasis&)> on_rebuild_;
+};
+
+}  // namespace updec::rom

@@ -1,0 +1,102 @@
+#include "rom/snapshot_bank.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace updec::rom {
+
+namespace {
+
+/// Size a snapshot charges against the cap (payload + small bookkeeping).
+std::size_t snapshot_bytes(const la::Vector& v) {
+  return v.size() * sizeof(double) + 2 * sizeof(std::uint64_t);
+}
+
+/// FNV-1a over the raw vector bytes: bit-identical iterates deduplicate.
+std::uint64_t content_hash(const la::Vector& v) {
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  for (std::size_t i = 0; i < v.size() * sizeof(double); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SnapshotBank::SnapshotBank(std::size_t byte_cap) : byte_cap_(byte_cap) {}
+
+bool SnapshotBank::add(std::uint64_t fingerprint, const la::Vector& snapshot) {
+  if (snapshot.size() == 0) return false;
+  const std::size_t cost = snapshot_bytes(snapshot);
+  if (cost > byte_cap_) return false;  // covers byte_cap_ == 0 too
+  for (const double x : snapshot)
+    if (!std::isfinite(x)) return false;
+  const std::uint64_t hash = content_hash(snapshot);
+
+  std::lock_guard lock(mutex_);
+  Group& group = groups_[fingerprint];
+  group.last_touch = ++touch_counter_;
+  if (!group.hashes.insert(hash).second) return false;  // duplicate
+  group.snaps.push_back(snapshot);
+  group.snap_hashes.push_back(hash);
+  bytes_ += cost;
+  enforce_cap_locked();
+  return true;
+}
+
+std::vector<la::Vector> SnapshotBank::snapshots(std::uint64_t fingerprint) {
+  std::lock_guard lock(mutex_);
+  const auto it = groups_.find(fingerprint);
+  if (it == groups_.end()) return {};
+  it->second.last_touch = ++touch_counter_;
+  return it->second.snaps;
+}
+
+std::size_t SnapshotBank::count(std::uint64_t fingerprint) const {
+  std::lock_guard lock(mutex_);
+  const auto it = groups_.find(fingerprint);
+  return it == groups_.end() ? 0 : it->second.snaps.size();
+}
+
+std::size_t SnapshotBank::bytes() const {
+  std::lock_guard lock(mutex_);
+  return bytes_;
+}
+
+std::uint64_t SnapshotBank::evictions() const {
+  std::lock_guard lock(mutex_);
+  return evictions_;
+}
+
+void SnapshotBank::clear() {
+  std::lock_guard lock(mutex_);
+  groups_.clear();
+  bytes_ = 0;
+}
+
+void SnapshotBank::enforce_cap_locked() {
+  while (bytes_ > byte_cap_) {
+    // Victim group: least recently touched fingerprint (stalest family).
+    auto victim = groups_.end();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+      if (!it->second.snaps.empty() && it->second.last_touch < oldest) {
+        oldest = it->second.last_touch;
+        victim = it;
+      }
+    }
+    if (victim == groups_.end()) return;  // nothing evictable
+    Group& group = victim->second;
+    bytes_ -= snapshot_bytes(group.snaps.front());
+    group.hashes.erase(group.snap_hashes.front());
+    group.snaps.erase(group.snaps.begin());
+    group.snap_hashes.erase(group.snap_hashes.begin());
+    ++evictions_;
+    if (group.snaps.empty()) groups_.erase(victim);
+  }
+}
+
+}  // namespace updec::rom

@@ -158,6 +158,10 @@ void OperatorCache::clear() {
   bytes_ = 0;
   stats_.bytes = 0;
   stats_.entries = 0;
+  for (auto& [klass, cs] : stats_.by_class) {
+    cs.bytes = 0;
+    cs.entries = 0;
+  }
 }
 
 OperatorCache::Stats OperatorCache::stats() const {
@@ -173,18 +177,31 @@ OperatorCache::Stats OperatorCache::stats() const {
   return s;
 }
 
-void OperatorCache::store_locked(const CacheKey& key,
-                                 const Computed& computed) {
+void OperatorCache::erase_locked(std::list<Entry>::iterator it) {
+  bytes_ -= it->bytes;
+  ClassStats& cs = stats_.by_class[it->klass];
+  cs.bytes -= it->bytes;
+  --cs.entries;
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+void OperatorCache::store_locked(const CacheKey& key, const Computed& computed,
+                                 const char* klass) {
   if (byte_budget_ == 0 || computed.bytes > byte_budget_) return;
   if (index_.count(key) != 0) return;  // raced with an identical insert
-  lru_.push_front(Entry{key, computed.value, computed.bytes});
+  lru_.push_front(Entry{key, computed.value, computed.bytes, klass});
   index_.emplace(key, lru_.begin());
   bytes_ += computed.bytes;
+  {
+    ClassStats& cs = stats_.by_class[lru_.front().klass];
+    cs.bytes += computed.bytes;
+    ++cs.entries;
+  }
   while (bytes_ > byte_budget_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    bytes_ -= victim.bytes;
-    index_.erase(victim.key);
-    lru_.pop_back();
+    const auto victim = std::prev(lru_.end());
+    ++stats_.by_class[victim->klass].evictions;
+    erase_locked(victim);
     ++stats_.evictions;
     UPDEC_METRIC_ADD("serve/cache.evictions", 1);
   }
@@ -192,7 +209,8 @@ void OperatorCache::store_locked(const CacheKey& key,
 }
 
 std::shared_ptr<const void> OperatorCache::get_or_compute_erased(
-    const CacheKey& key, const std::function<Computed()>& compute) {
+    const CacheKey& key, const std::function<Computed()>& compute,
+    const char* klass) {
   std::shared_future<Computed> wait_on;
   std::promise<Computed> mine;
   {
@@ -201,6 +219,7 @@ std::shared_ptr<const void> OperatorCache::get_or_compute_erased(
       // Hit: refresh LRU position, hand out the shared value.
       lru_.splice(lru_.begin(), lru_, it->second);
       ++stats_.hits;
+      ++stats_.by_class[klass].hits;
       UPDEC_METRIC_ADD("serve/cache.hits", 1);
       return it->second->value;
     }
@@ -212,6 +231,7 @@ std::shared_ptr<const void> OperatorCache::get_or_compute_erased(
     } else {
       inflight_.emplace(key, mine.get_future().share());
       ++stats_.misses;
+      ++stats_.by_class[klass].misses;
       UPDEC_METRIC_ADD("serve/cache.misses", 1);
     }
   }
@@ -235,10 +255,62 @@ std::shared_ptr<const void> OperatorCache::get_or_compute_erased(
   {
     std::lock_guard lock(mutex_);
     inflight_.erase(key);
-    store_locked(key, computed);
+    store_locked(key, computed, klass);
   }
   mine.set_value(computed);
   return computed.value;
+}
+
+std::shared_ptr<const void> OperatorCache::try_get_erased(
+    const CacheKey& key,
+    const std::function<Computed(std::string_view)>& decode,
+    const char* klass) {
+  {
+    std::unique_lock lock(mutex_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      ++stats_.by_class[klass].hits;
+      UPDEC_METRIC_ADD("serve/cache.hits", 1);
+      return it->second->value;
+    }
+    ++stats_.misses;
+    ++stats_.by_class[klass].misses;
+    UPDEC_METRIC_ADD("serve/cache.misses", 1);
+  }
+  if (!decode || disk_ == nullptr || !disk_->enabled()) return nullptr;
+  std::string payload;
+  if (!disk_->load(key, payload)) return nullptr;
+  Computed computed;
+  try {
+    computed = decode(std::string_view(payload));
+  } catch (const std::exception& e) {
+    disk_->reject(key, e.what());
+    return nullptr;
+  }
+  if (computed.value == nullptr) return nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    // Promote the disk entry into the LRU (another thread may have raced a
+    // put() in; store_locked then keeps the resident entry).
+    store_locked(key, computed, klass);
+  }
+  return computed.value;
+}
+
+void OperatorCache::put_erased(const CacheKey& key, Computed computed,
+                               const std::function<std::string()>& encode,
+                               const char* klass) {
+  UPDEC_REQUIRE(computed.value != nullptr,
+                "OperatorCache::put: null value");
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = index_.find(key); it != index_.end())
+      erase_locked(it->second);  // replacement, not an eviction
+    store_locked(key, computed, klass);
+  }
+  if (encode && disk_ != nullptr && disk_->enabled())
+    disk_->store(key, encode());  // atomic overwrite (tmp + rename)
 }
 
 OperatorCache& global_cache() {
@@ -428,6 +500,51 @@ la::Ilu0 decode_ilu0_f32(std::string_view payload) {
       rows, cols, std::move(row_ptr), std::move(col_idx), std::move(values)));
 }
 
+std::size_t pod_basis_bytes(const rom::PodBasis& basis) {
+  return basis.modes.rows() * basis.modes.cols() * sizeof(double) +
+         basis.eigenvalues.size() * sizeof(double);
+}
+
+std::string encode_pod_basis(const rom::PodBasis& basis) {
+  PayloadWriter w;
+  w.u64(basis.n());
+  w.u64(basis.k());
+  w.u64(basis.snapshot_count);
+  w.f64s(basis.modes.data(), basis.n() * basis.k());
+  w.f64s(basis.eigenvalues.data(), basis.eigenvalues.size());
+  return w.take();
+}
+
+rom::PodBasis decode_pod_basis(std::string_view payload) {
+  PayloadReader r(payload);
+  const std::size_t n = static_cast<std::size_t>(r.u64());
+  const std::size_t k = static_cast<std::size_t>(r.u64());
+  rom::PodBasis basis;
+  basis.snapshot_count = static_cast<std::size_t>(r.u64());
+  UPDEC_REQUIRE(k <= n, "disk payload: pod-basis rank exceeds dimension");
+  basis.modes = la::Matrix(n, k);
+  r.f64s(basis.modes.data(), n * k);
+  basis.eigenvalues = la::Vector(k);
+  r.f64s(basis.eigenvalues.data(), k);
+  r.done();
+  // A checksum-clean payload can still be semantically bad (written by a
+  // buggy producer): reject anything that is not an orthonormal basis with
+  // finite, positive, descending energies rather than serving garbage.
+  for (std::size_t j = 0; j < k; ++j) {
+    UPDEC_REQUIRE(std::isfinite(basis.eigenvalues[j]) &&
+                      basis.eigenvalues[j] > 0.0,
+                  "disk payload: pod-basis eigenvalue not positive");
+    UPDEC_REQUIRE(j == 0 || basis.eigenvalues[j] <= basis.eigenvalues[j - 1],
+                  "disk payload: pod-basis eigenvalues not descending");
+  }
+  for (std::size_t i = 0; i < n * k; ++i)
+    UPDEC_REQUIRE(std::isfinite(basis.modes.data()[i]),
+                  "disk payload: pod-basis mode entry not finite");
+  UPDEC_REQUIRE(k == 0 || basis.orthonormality_defect() < 1e-6,
+                "disk payload: pod-basis modes not orthonormal");
+  return basis;
+}
+
 // ---- memoization helpers -------------------------------------------------
 
 std::shared_ptr<const la::LuFactorization> cached_lu(
@@ -448,7 +565,8 @@ std::shared_ptr<const la::LuFactorization> cached_lu(
         auto lu = std::make_shared<const la::LuFactorization>(
             decode_lu(payload));
         return OperatorCache::Sized<la::LuFactorization>{lu, lu_bytes(*lu)};
-      });
+      },
+      "lu");
 }
 
 void memoize_lu(OperatorCache& cache, rbf::GlobalCollocation& colloc) {
@@ -476,7 +594,8 @@ std::shared_ptr<const la::CsrMatrix> cached_rbffd_weights(
         UPDEC_TRACE_SCOPE("serve/cache_disk_load");
         auto w = std::make_shared<const la::CsrMatrix>(decode_csr(payload));
         return OperatorCache::Sized<la::CsrMatrix>{w, csr_bytes(*w)};
-      });
+      },
+      "rbffd");
 }
 
 std::size_t csr_bytes(const la::CsrMatrix& m) {
@@ -513,7 +632,8 @@ std::shared_ptr<const la::Ilu0> cached_ilu0(OperatorCache& cache,
         UPDEC_TRACE_SCOPE("serve/cache_disk_load");
         auto ilu = std::make_shared<const la::Ilu0>(decode(payload));
         return OperatorCache::Sized<la::Ilu0>{ilu, ilu0_bytes(*ilu)};
-      });
+      },
+      fp32_factors ? "ilu0-f32" : "ilu0");
 }
 
 void memoize_preconditioner(OperatorCache& cache, la::SparseFirstSolver& op) {
@@ -524,6 +644,36 @@ void memoize_preconditioner(OperatorCache& cache, la::SparseFirstSolver& op) {
   // wires its fp32 closure into stage 1 via options().mixed_precision.
   op.install_preconditioner(cached_ilu0(cache, op.krylov_matrix(),
                                         op.options().mixed_precision));
+}
+
+CacheKey pod_basis_key(std::uint64_t operator_fingerprint) {
+  KeyBuilder kb("pod-basis");
+  kb.add(operator_fingerprint);
+  return kb.key();
+}
+
+std::shared_ptr<const rom::PodBasis> cached_pod_basis(
+    OperatorCache& cache, std::uint64_t operator_fingerprint) {
+  return cache.try_get_disk<rom::PodBasis>(
+      pod_basis_key(operator_fingerprint),
+      [](std::string_view payload) {
+        UPDEC_TRACE_SCOPE("serve/cache_disk_load");
+        auto basis =
+            std::make_shared<const rom::PodBasis>(decode_pod_basis(payload));
+        return OperatorCache::Sized<rom::PodBasis>{basis,
+                                                   pod_basis_bytes(*basis)};
+      },
+      "pod-basis");
+}
+
+void store_pod_basis(OperatorCache& cache, std::uint64_t operator_fingerprint,
+                     const rom::PodBasis& basis) {
+  auto copy = std::make_shared<const rom::PodBasis>(basis);
+  const std::size_t bytes = pod_basis_bytes(*copy);
+  cache.put_disk<rom::PodBasis>(
+      pod_basis_key(operator_fingerprint),
+      OperatorCache::Sized<rom::PodBasis>{std::move(copy), bytes},
+      encode_pod_basis, "pod-basis");
 }
 
 }  // namespace updec::serve

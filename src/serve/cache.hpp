@@ -34,6 +34,7 @@
 #include <functional>
 #include <future>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +51,7 @@
 #include "rbf/kernels.hpp"
 #include "rbf/operators.hpp"
 #include "rbf/rbffd.hpp"
+#include "rom/pod_basis.hpp"
 
 namespace updec::serve {
 
@@ -166,6 +168,18 @@ class DiskCache {
 /// Thread-safe LRU cache of type-erased immutable artefacts.
 class OperatorCache {
  public:
+  /// Per-artefact-class accounting. Every lookup names its artefact class
+  /// (e.g. "lu", "ilu0", "pod-basis"); without this the pod-basis traffic
+  /// of the ROM tier would be indistinguishable from the LU rows it shares
+  /// the cache with.
+  struct ClassStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;    ///< currently resident
+    std::size_t entries = 0;  ///< currently resident
+  };
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;          ///< compute actually ran
@@ -174,6 +188,7 @@ class OperatorCache {
     std::size_t bytes = 0;             ///< currently resident
     std::size_t entries = 0;
     std::size_t byte_budget = 0;
+    std::map<std::string, ClassStats> by_class;
     DiskCache::Stats disk;             ///< zeroed when no disk tier is armed
   };
 
@@ -197,15 +212,19 @@ class OperatorCache {
   /// across concurrent callers) and cache its result. `compute` must return
   /// Sized<T>; it runs outside the cache lock. An exception thrown by the
   /// leader's compute propagates to every caller waiting on that key and
-  /// nothing is cached.
+  /// nothing is cached. `klass` names the artefact class for per-class
+  /// stats accounting (a static string: "lu", "ilu0", "pod-basis", ...).
   template <typename T, typename Fn>
-  std::shared_ptr<const T> get_or_compute(const CacheKey& key, Fn&& compute) {
-    std::shared_ptr<const void> p =
-        get_or_compute_erased(key, [&compute]() -> Computed {
+  std::shared_ptr<const T> get_or_compute(const CacheKey& key, Fn&& compute,
+                                          const char* klass = "other") {
+    std::shared_ptr<const void> p = get_or_compute_erased(
+        key,
+        [&compute]() -> Computed {
           Sized<T> sized = compute();
           return {std::static_pointer_cast<const void>(std::move(sized.value)),
                   sized.bytes};
-        });
+        },
+        klass);
     return std::static_pointer_cast<const T>(std::move(p));
   }
 
@@ -220,23 +239,80 @@ class OperatorCache {
   template <typename T, typename Fn, typename Enc, typename Dec>
   std::shared_ptr<const T> get_or_compute_disk(const CacheKey& key,
                                                Fn&& compute, Enc&& encode,
-                                               Dec&& decode) {
-    return get_or_compute<T>(key, [&]() -> Sized<T> {
-      if (disk_ && disk_->enabled()) {
-        std::string payload;
-        if (disk_->load(key, payload)) {
-          try {
-            return decode(std::string_view(payload));
-          } catch (const std::exception& e) {
-            disk_->reject(key, e.what());
+                                               Dec&& decode,
+                                               const char* klass = "other") {
+    return get_or_compute<T>(
+        key,
+        [&]() -> Sized<T> {
+          if (disk_ && disk_->enabled()) {
+            std::string payload;
+            if (disk_->load(key, payload)) {
+              try {
+                return decode(std::string_view(payload));
+              } catch (const std::exception& e) {
+                disk_->reject(key, e.what());
+              }
+            }
           }
-        }
-      }
-      Sized<T> sized = compute();
-      if (disk_ && disk_->enabled() && sized.value != nullptr)
-        disk_->store(key, encode(*sized.value));
-      return sized;
-    });
+          Sized<T> sized = compute();
+          if (disk_ && disk_->enabled() && sized.value != nullptr)
+            disk_->store(key, encode(*sized.value));
+          return sized;
+        },
+        klass);
+  }
+
+  /// Probe the in-memory tier only: a hit refreshes LRU order and counts;
+  /// a miss counts and returns nullptr WITHOUT computing anything. For
+  /// artefacts that are published with put()/put_disk() rather than
+  /// computed on demand (the ROM tier's adaptively rebuilt pod-basis).
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<const T> try_get(const CacheKey& key,
+                                                 const char* klass = "other") {
+    return std::static_pointer_cast<const T>(try_get_erased(key, {}, klass));
+  }
+
+  /// try_get() with the persistent tier underneath: a memory miss probes
+  /// the disk tier, and a verified entry is decoded and promoted into the
+  /// LRU (the warm-restart path). `decode` may throw updec::Error on a
+  /// malformed payload -- the disk entry is then rejected (deleted) and the
+  /// probe reports a miss. Never computes.
+  template <typename T, typename Dec>
+  [[nodiscard]] std::shared_ptr<const T> try_get_disk(
+      const CacheKey& key, Dec&& decode, const char* klass = "other") {
+    return std::static_pointer_cast<const T>(try_get_erased(
+        key,
+        [&decode](std::string_view payload) -> Computed {
+          Sized<T> sized = decode(payload);
+          return {std::static_pointer_cast<const void>(std::move(sized.value)),
+                  sized.bytes};
+        },
+        klass));
+  }
+
+  /// Insert or OVERWRITE the entry for `key` (get_or_compute can only fill
+  /// empty slots; rebuildable artefacts need replacement semantics).
+  template <typename T>
+  void put(const CacheKey& key, Sized<T> sized, const char* klass = "other") {
+    put_erased(key,
+               Computed{std::static_pointer_cast<const void>(
+                            std::move(sized.value)),
+                        sized.bytes},
+               {}, klass);
+  }
+
+  /// put() that also persists the payload to the disk tier (atomic
+  /// overwrite) when one is armed.
+  template <typename T, typename Enc>
+  void put_disk(const CacheKey& key, Sized<T> sized, Enc&& encode,
+                const char* klass = "other") {
+    const T& value = *sized.value;
+    put_erased(key,
+               Computed{std::static_pointer_cast<const void>(
+                            std::move(sized.value)),
+                        sized.bytes},
+               [&encode, &value]() -> std::string { return encode(value); },
+               klass);
   }
 
   /// Probe without computing (testing / diagnostics). Does not count as a
@@ -259,12 +335,27 @@ class OperatorCache {
     CacheKey key;
     std::shared_ptr<const void> value;
     std::size_t bytes = 0;
+    std::string klass;
   };
 
   std::shared_ptr<const void> get_or_compute_erased(
-      const CacheKey& key, const std::function<Computed()>& compute);
+      const CacheKey& key, const std::function<Computed()>& compute,
+      const char* klass);
+  /// Probe memory (then disk via `decode`, when non-empty); never computes.
+  std::shared_ptr<const void> try_get_erased(
+      const CacheKey& key,
+      const std::function<Computed(std::string_view)>& decode,
+      const char* klass);
+  /// Insert/overwrite; `encode` (when non-empty) feeds the disk tier.
+  void put_erased(const CacheKey& key, Computed computed,
+                  const std::function<std::string()>& encode,
+                  const char* klass);
   /// Insert under the budget, evicting LRU tail entries. Caller holds mutex_.
-  void store_locked(const CacheKey& key, const Computed& computed);
+  void store_locked(const CacheKey& key, const Computed& computed,
+                    const char* klass);
+  /// Drop `it`'s entry and fix the byte/entry/class accounting. Caller
+  /// holds mutex_. Does NOT count an eviction (used by put overwrite too).
+  void erase_locked(std::list<Entry>::iterator it);
 
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front = most recently used
@@ -350,5 +441,34 @@ void memoize_lu(OperatorCache& cache, rbf::GlobalCollocation& colloc);
 /// with RobustSolveOptions::mixed_precision set memoize the fp32-factor
 /// artefact variant.
 void memoize_preconditioner(OperatorCache& cache, la::SparseFirstSolver& op);
+
+// ---- pod-basis artefact class (ROM tier) ---------------------------------
+// The POD basis is unlike the LU/CSR/ILU artefacts: it is not a pure
+// function of its key (the ROM tier rebuilds it as enrichment snapshots
+// arrive), so it flows through try_get/put replacement semantics instead of
+// get_or_compute. Same bit-exact codec discipline and the same
+// corruption-handling ladder: checksum failures are handled by DiskCache,
+// decode failures reject the entry, and either way the tier recomputes.
+
+/// Resident size of a basis: modes + eigenvalues.
+[[nodiscard]] std::size_t pod_basis_bytes(const rom::PodBasis& basis);
+
+[[nodiscard]] std::string encode_pod_basis(const rom::PodBasis& basis);
+[[nodiscard]] rom::PodBasis decode_pod_basis(std::string_view payload);
+
+/// Content address of the pod-basis artefact for one operator fingerprint
+/// (domain "pod-basis", so it never aliases the operator's LU/ILU rows).
+[[nodiscard]] CacheKey pod_basis_key(std::uint64_t operator_fingerprint);
+
+/// Warm-restart probe: the persisted basis for `operator_fingerprint`, from
+/// memory or the disk tier (promoted into the LRU), or nullptr. Never
+/// computes -- a missing basis is simply relearned from snapshots.
+[[nodiscard]] std::shared_ptr<const rom::PodBasis> cached_pod_basis(
+    OperatorCache& cache, std::uint64_t operator_fingerprint);
+
+/// Publish (insert or overwrite) the basis artefact after a (re)build, so
+/// the next process warm-restarts from the adapted basis.
+void store_pod_basis(OperatorCache& cache, std::uint64_t operator_fingerprint,
+                     const rom::PodBasis& basis);
 
 }  // namespace updec::serve

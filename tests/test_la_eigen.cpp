@@ -1,7 +1,9 @@
-// Tests for the power-iteration dominant-eigenvalue estimator.
+// Tests for the power-iteration dominant-eigenvalue estimator and the
+// cyclic-Jacobi symmetric eigendecomposition backing the POD Gram path.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "la/blas.hpp"
 #include "la/eigen.hpp"
@@ -12,6 +14,171 @@ namespace {
 
 using updec::la::Matrix;
 using updec::la::Vector;
+
+/// max |(V^T V - I)_ij| -- eigenvector orthonormality defect.
+double orthonormality_defect(const Matrix& v) {
+  const Matrix gram = updec::la::matmul(v.transposed(), v);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < gram.rows(); ++i)
+    for (std::size_t j = 0; j < gram.cols(); ++j)
+      worst = std::max(worst,
+                       std::abs(gram(i, j) - (i == j ? 1.0 : 0.0)));
+  return worst;
+}
+
+/// max |(V diag(w) V^T - A)_ij| -- reconstruction defect.
+double reconstruction_defect(const Matrix& a, const Vector& w,
+                             const Matrix& v) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < w.size(); ++k)
+        sum += v(i, k) * w[k] * v(j, k);
+      worst = std::max(worst, std::abs(sum - a(i, j)));
+    }
+  return worst;
+}
+
+/// Random symmetric matrix with the given spectrum: A = Q diag(w) Q^T for a
+/// random orthogonal Q (from QR of a Gaussian matrix via Gram-Schmidt).
+Matrix symmetric_with_spectrum(updec::Rng& rng, const std::vector<double>& w) {
+  const std::size_t n = w.size();
+  Matrix q(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = rng.normal();
+    for (std::size_t p = 0; p < j; ++p) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < n; ++i) proj += q(i, p) * col[i];
+      for (std::size_t i = 0; i < n; ++i) col[i] -= proj * q(i, p);
+    }
+    const double norm = updec::la::nrm2(col);
+    for (std::size_t i = 0; i < n; ++i) q(i, j) = col[i] / norm;
+  }
+  Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        a(i, j) += q(i, k) * w[k] * q(j, k);
+  // Force exact symmetry (the triple product rounds asymmetrically).
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) a(j, i) = a(i, j);
+  return a;
+}
+
+TEST(SymmetricEigen, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenpairs (3, [1,1]/sqrt2) and (1, [1,-1]/sqrt2).
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  const auto r = updec::la::symmetric_eigen(a);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(r.eigenvectors(0, 0)), std::sqrt(0.5), 1e-12);
+}
+
+TEST(SymmetricEigen, RandomSpectrumRecovered) {
+  updec::Rng rng(11);
+  const std::vector<double> spectrum = {9.5, 4.0, 1.25, 0.5, 0.03125};
+  const Matrix a = symmetric_with_spectrum(rng, spectrum);
+  const auto r = updec::la::symmetric_eigen(a);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < spectrum.size(); ++i)
+    EXPECT_NEAR(r.eigenvalues[i], spectrum[i], 1e-10) << "mode " << i;
+  EXPECT_LT(orthonormality_defect(r.eigenvectors), 1e-12);
+  EXPECT_LT(reconstruction_defect(a, r.eigenvalues, r.eigenvectors), 1e-10);
+}
+
+TEST(SymmetricEigen, ClusteredEigenvaluesStayOrthogonal) {
+  // A tight cluster is the hard case for any rotation scheme: the invariant
+  // subspace is well-defined but individual vectors rotate freely inside
+  // it. Orthonormality and reconstruction must survive regardless.
+  updec::Rng rng(12);
+  const std::vector<double> spectrum = {5.0,           1.0 + 3e-13,
+                                        1.0 + 1e-13,   1.0,
+                                        1.0 - 2e-13,   0.25};
+  const Matrix a = symmetric_with_spectrum(rng, spectrum);
+  const auto r = updec::la::symmetric_eigen(a);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalues[0], 5.0, 1e-11);
+  for (std::size_t i = 1; i <= 4; ++i)
+    EXPECT_NEAR(r.eigenvalues[i], 1.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[5], 0.25, 1e-11);
+  EXPECT_LT(orthonormality_defect(r.eigenvectors), 1e-12);
+  EXPECT_LT(reconstruction_defect(a, r.eigenvalues, r.eigenvectors), 1e-10);
+}
+
+TEST(SymmetricEigen, NearDegenerateWideDynamicRange) {
+  // 12 orders of magnitude between extreme eigenvalues: the small ones must
+  // come out non-negative-ish (|error| bounded by eps * lambda_max), not
+  // polluted to O(lambda_max).
+  updec::Rng rng(13);
+  const std::vector<double> spectrum = {1e6, 1.0, 1e-3, 1e-6};
+  const Matrix a = symmetric_with_spectrum(rng, spectrum);
+  const auto r = updec::la::symmetric_eigen(a);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalues[0], 1e6, 1e-4);
+  EXPECT_NEAR(r.eigenvalues[1], 1.0, 1e-8);
+  EXPECT_NEAR(r.eigenvalues[2], 1e-3, 1e-8);
+  // The smallest mode is at the noise floor of eps * ||A||; only its order
+  // of magnitude survives.
+  EXPECT_LT(std::abs(r.eigenvalues[3] - 1e-6), 1e-7);
+  EXPECT_LT(orthonormality_defect(r.eigenvectors), 1e-12);
+}
+
+TEST(SymmetricEigen, RankDeficientGramOfDuplicateSnapshots) {
+  // The Gram matrix of m snapshots that only span r < m directions has
+  // exactly m - r (numerically) zero eigenvalues -- the case the POD
+  // truncation relies on to discard duplicated snapshots.
+  updec::Rng rng(14);
+  std::vector<Vector> snaps;
+  for (int i = 0; i < 2; ++i) {
+    Vector s(6);
+    for (std::size_t k = 0; k < s.size(); ++k) s[k] = rng.normal();
+    snaps.push_back(s);
+  }
+  snaps.push_back(snaps[0]);  // duplicate
+  Vector combo(6, 0.0);       // linear combination
+  updec::la::axpy(0.5, snaps[0], combo);
+  updec::la::axpy(-2.0, snaps[1], combo);
+  snaps.push_back(combo);
+
+  const std::size_t m = snaps.size();
+  Matrix gram(m, m);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      gram(i, j) = updec::la::dot(snaps[i], snaps[j]);
+  const auto r = updec::la::symmetric_eigen(gram);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.eigenvalues[0], 0.0);
+  EXPECT_GT(r.eigenvalues[1], 0.0);
+  const double floor = 1e-12 * r.eigenvalues[0];
+  EXPECT_LT(std::abs(r.eigenvalues[2]), floor);
+  EXPECT_LT(std::abs(r.eigenvalues[3]), floor);
+}
+
+TEST(SymmetricEigen, DescendingOrderAndEmptyMatrix) {
+  updec::Rng rng(15);
+  const Matrix a = symmetric_with_spectrum(rng, {2.0, 7.0, -1.0, 4.0});
+  const auto r = updec::la::symmetric_eigen(a);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i + 1 < r.eigenvalues.size(); ++i)
+    EXPECT_GE(r.eigenvalues[i], r.eigenvalues[i + 1]);
+  EXPECT_NEAR(r.eigenvalues[3], -1.0, 1e-11);  // handles negative spectra
+
+  const auto empty = updec::la::symmetric_eigen(Matrix(0, 0));
+  EXPECT_TRUE(empty.converged);
+  EXPECT_EQ(empty.eigenvalues.size(), 0u);
+}
+
+TEST(SymmetricEigen, RejectsNonSquareAndAsymmetric) {
+  EXPECT_THROW(updec::la::symmetric_eigen(Matrix(2, 3)), updec::Error);
+  Matrix skew(2, 2, 0.0);
+  skew(0, 1) = 1.0;
+  skew(1, 0) = -1.0;  // asymmetry far beyond the roundoff allowance
+  EXPECT_THROW(updec::la::symmetric_eigen(skew), updec::Error);
+}
 
 TEST(PowerIteration, DiagonalMatrixDominantEntry) {
   Matrix a(3, 3, 0.0);

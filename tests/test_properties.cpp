@@ -39,6 +39,9 @@ FamilyBudget budget_for(const std::string& name) {
   if (name == "dal_vs_dp_laplace") return {18, 2};
   if (name == "cached_vs_cold") return {7, 2};
   if (name == "ad_vs_fd_ops") return {16, 3};
+  // rom_vs_full runs two full DAL loops (ROM-routed and full-path) per
+  // trial on top of its algebraic part; two mid-size trials suffice.
+  if (name == "rom_vs_full") return {24, 2};
   return {32, 3};
 }
 
