@@ -1,0 +1,231 @@
+/// bench_shard: multi-process shard-pool throughput and resilience bench.
+///
+/// Builds a 1000-scenario Laplace DAL manifest spread over eight grid
+/// families and pushes it through four arms:
+///   * reference -- sequential in-process run_scenario with a private cache
+///     (the ground truth every sharded arm must reproduce BITWISE);
+///   * 1 shard   -- the whole batch through one forked worker;
+///   * 4 shards  -- the same batch fanned across four workers with work
+///     stealing (the throughput arm);
+///   * chaos     -- 4 shards with `serve.shard_kill` armed so workers are
+///     SIGKILLed mid-batch; crash resubmission must absorb every loss.
+/// A final warm-restart arm runs two consecutive 4-shard pools against a
+/// shared UPDEC_CACHE_DIR and checks that the second pool's workers answer
+/// their operator probes from the persistent tier.
+///
+/// Gates (non-zero exit on violation):
+///   * every non-chaos job succeeds and matches the reference bitwise;
+///   * chaos arm: failed == 0 and at least one worker restart observed;
+///   * 4-shard speedup over 1 shard >= 2.5x -- enforced only when the
+///     machine actually has >= 4 hardware threads (a 1-core container
+///     cannot parallelise CPU-bound work; CI runners enforce it);
+///   * warm-restart disk-hit ratio >= 0.8.
+
+#include <sys/stat.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/cache.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/shard.hpp"
+#include "util/faultinject.hpp"
+
+namespace {
+
+using namespace updec;
+
+std::vector<serve::Scenario> build_manifest(std::size_t jobs,
+                                            std::size_t iters) {
+  // Eight grid families: distinct fingerprints, so a 4-shard pool gets a
+  // non-trivial routing spread and the steal path real work to move.
+  std::vector<serve::Scenario> scenarios;
+  scenarios.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    serve::Scenario sc;
+    sc.id = "shard-" + std::to_string(i);
+    sc.problem = serve::ProblemKind::kLaplace;
+    sc.strategy = serve::Strategy::kDal;
+    sc.grid_n = 10 + i % 8;
+    sc.iterations = iters;
+    sc.learning_rate = 1e-2;
+    sc.seed = i + 1;
+    sc.control_jitter = 0.02;
+    scenarios.push_back(std::move(sc));
+  }
+  return scenarios;
+}
+
+struct ArmResult {
+  double seconds = 0.0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::size_t restarts = 0;
+  std::size_t mismatches = 0;
+  serve::OperatorCache::Stats cache;
+};
+
+ArmResult run_arm(const std::vector<serve::Scenario>& scenarios,
+                  std::size_t shards,
+                  const std::vector<serve::JobReport>* reference,
+                  std::size_t max_retries) {
+  serve::SchedulerOptions options;
+  options.shards = shards;
+  serve::RetryPolicy retry;
+  retry.max_retries = max_retries;
+  options.retry = retry;
+
+  ArmResult arm;
+  const Stopwatch watch;
+  serve::Scheduler scheduler(options);
+  std::vector<serve::Scheduler::JobId> ids;
+  ids.reserve(scenarios.size());
+  for (const serve::Scenario& sc : scenarios)
+    ids.push_back(scheduler.submit(sc));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const serve::JobReport report = scheduler.wait(ids[i]);
+    if (report.status == serve::JobStatus::kSucceeded) {
+      ++arm.succeeded;
+      if (reference != nullptr &&
+          (report.final_cost != (*reference)[i].final_cost ||
+           report.iterations != (*reference)[i].iterations ||
+           report.cost_history != (*reference)[i].cost_history))
+        ++arm.mismatches;
+    } else {
+      ++arm.failed;
+      std::cerr << "  job " << scenarios[i].id << " "
+                << serve::to_string(report.status) << ": " << report.error
+                << "\n";
+    }
+  }
+  arm.seconds = watch.seconds();
+  arm.cache = scheduler.cache_stats();
+  if (scheduler.shards() != nullptr)
+    arm.restarts = scheduler.shards()->restarts();
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::MetricsSession session("shard", args);
+
+  const std::size_t jobs = static_cast<std::size_t>(
+      args.get_int("jobs", args.flag("paper-scale") ? 2000 : 1000));
+  const std::size_t iters =
+      static_cast<std::size_t>(args.get_int("iters", 3));
+  const std::size_t hw = std::thread::hardware_concurrency();
+  std::cout << "### bench_shard: " << jobs << " Laplace DAL jobs over 8 grid "
+            << "families, " << iters << " iters each, " << hw
+            << " hardware thread(s)\n";
+
+  const std::vector<serve::Scenario> scenarios = build_manifest(jobs, iters);
+
+  // Reference: plain in-process sequential run with a private cache. The
+  // parent process never touches the global cache, so the forked arms below
+  // always start their workers cold.
+  serve::OperatorCache reference_cache(std::size_t{512} << 20, "");
+  std::vector<serve::JobReport> reference;
+  reference.reserve(jobs);
+  const Stopwatch ref_watch;
+  for (const serve::Scenario& sc : scenarios)
+    reference.push_back(serve::run_scenario(sc, reference_cache));
+  const double ref_seconds = ref_watch.seconds();
+  std::size_t ref_ok = 0;
+  for (const serve::JobReport& r : reference) ref_ok += r.ok();
+  std::cout << "reference (in-process, sequential): " << ref_seconds << " s, "
+            << ref_ok << "/" << jobs << " succeeded\n";
+
+  // Throughput arms: identical batch through 1 and 4 forked workers.
+  const ArmResult one = run_arm(scenarios, 1, &reference, 0);
+  std::cout << "1 shard:  " << one.seconds << " s, " << one.succeeded << "/"
+            << jobs << " succeeded, " << one.mismatches << " mismatch(es)\n";
+  const ArmResult four = run_arm(scenarios, 4, &reference, 0);
+  std::cout << "4 shards: " << four.seconds << " s, " << four.succeeded << "/"
+            << jobs << " succeeded, " << four.mismatches << " mismatch(es)\n";
+  const double speedup =
+      four.seconds > 0.0 ? one.seconds / four.seconds : 0.0;
+  std::cout << "speedup (1-shard/4-shard): " << speedup << "x\n";
+
+  // Chaos arm: SIGKILL three workers mid-batch; resubmission must recover
+  // every lost job and the replayed results must still be bitwise right.
+  fault::arm("serve.shard_kill", 3);
+  const ArmResult chaos = run_arm(scenarios, 4, &reference, 3);
+  fault::disarm_all();
+  std::cout << "chaos (3x SIGKILL, retries 3): " << chaos.seconds << " s, "
+            << chaos.succeeded << "/" << jobs << " succeeded, "
+            << chaos.restarts << " restart(s), " << chaos.mismatches
+            << " mismatch(es)\n";
+
+  // Warm-restart arm: two consecutive 4-shard pools share a persistent
+  // cache directory (inherited by the workers at fork); the second pool
+  // must answer its operator probes from disk instead of refactoring.
+  const std::string cache_dir =
+      args.get("cache-dir", "/tmp/updec_bench_shard_cache");
+  std::filesystem::remove_all(cache_dir);
+  ::setenv("UPDEC_CACHE_DIR", cache_dir.c_str(), 1);
+  (void)run_arm(scenarios, 4, nullptr, 0);  // populate the disk tier
+  const ArmResult warm = run_arm(scenarios, 4, nullptr, 0);
+  ::unsetenv("UPDEC_CACHE_DIR");
+  std::filesystem::remove_all(cache_dir);
+  const std::uint64_t probes = warm.cache.disk.hits + warm.cache.disk.misses;
+  const double disk_ratio =
+      probes > 0 ? static_cast<double>(warm.cache.disk.hits) /
+                       static_cast<double>(probes)
+                 : 0.0;
+  std::cout << "warm restart: " << warm.cache.disk.hits << "/" << probes
+            << " disk probes hit (ratio " << disk_ratio << ")\n";
+
+  metrics::gauge_set("shard_bench/jobs", static_cast<double>(jobs));
+  metrics::gauge_set("shard_bench/hw_threads", static_cast<double>(hw));
+  metrics::gauge_set("shard_bench/ref_seconds", ref_seconds);
+  metrics::gauge_set("shard_bench/one_shard_seconds", one.seconds);
+  metrics::gauge_set("shard_bench/four_shard_seconds", four.seconds);
+  metrics::gauge_set("shard_bench/speedup", speedup);
+  metrics::gauge_set("shard_bench/chaos_restarts",
+                     static_cast<double>(chaos.restarts));
+  metrics::gauge_set("shard_bench/warm_disk_hit_ratio", disk_ratio);
+
+  bool ok = true;
+  if (ref_ok != jobs || one.succeeded != jobs || four.succeeded != jobs ||
+      warm.succeeded != jobs) {
+    std::cerr << "bench_shard: jobs failed outside the chaos arm\n";
+    ok = false;
+  }
+  if (one.mismatches + four.mismatches + chaos.mismatches > 0) {
+    std::cerr << "bench_shard: sharded costs diverged from the in-process "
+                 "reference (must be bitwise equal)\n";
+    ok = false;
+  }
+  if (chaos.failed != 0) {
+    std::cerr << "bench_shard: chaos arm lost " << chaos.failed
+              << " job(s); resubmission must absorb worker kills\n";
+    ok = false;
+  }
+  if (chaos.restarts == 0) {
+    std::cerr << "bench_shard: chaos arm observed no worker restart -- the "
+                 "kill site never fired\n";
+    ok = false;
+  }
+  if (hw >= 4) {
+    if (speedup < 2.5) {
+      std::cerr << "bench_shard: speedup " << speedup
+                << "x is below the 2.5x sharding gate\n";
+      ok = false;
+    }
+  } else {
+    std::cout << "note: " << hw << " hardware thread(s) < 4; the 2.5x "
+              << "speedup gate is advisory on this machine (CI enforces it)"
+              << "\n";
+  }
+  if (disk_ratio < 0.8) {
+    std::cerr << "bench_shard: warm-restart disk-hit ratio " << disk_ratio
+              << " is below the 0.8 gate\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -6,15 +6,20 @@
 ///
 ///   updec_serve --manifest examples/serve_manifest.csv --out report.json
 ///   updec_serve --jobs 16 --grid 24 --iters 25 --strategy dal --threads 4
+///   updec_serve --jobs 64 --grid 20 --shards 4   # multi-process shard pool
 ///
 /// Manifest columns (header row required, '#' comments ignored):
 ///   id,problem,strategy,grid,iters,lr,deadline_ms,seed,jitter
 /// problem: laplace|channel; strategy: dp|dal|fd. Empty cells keep defaults.
 ///
-/// Environment: UPDEC_SERVE_THREADS (pool size), UPDEC_SERVE_DEADLINE_MS
-/// (default per-job deadline), UPDEC_CACHE_BYTES (operator cache budget),
-/// UPDEC_CACHE_DIR (persistent operator-cache tier), UPDEC_SERVE_RETRIES /
-/// UPDEC_SERVE_BACKOFF_MS (retry ladder; --retries / --backoff-ms override).
+/// Environment: UPDEC_SERVE_THREADS (pool size), UPDEC_SERVE_SHARDS /
+/// UPDEC_SERVE_STEAL (multi-process shard pool; --shards overrides),
+/// UPDEC_SERVE_DEADLINE_MS (default per-job deadline), UPDEC_CACHE_BYTES
+/// (operator cache budget), UPDEC_CACHE_DIR (persistent operator-cache
+/// tier; in shard mode it doubles as the warm tier stolen jobs pay into),
+/// UPDEC_SERVE_RETRIES / UPDEC_SERVE_BACKOFF_MS (retry ladder; --retries /
+/// --backoff-ms override -- in shard mode the same budget also bounds
+/// resubmission of jobs lost to a crashed worker).
 
 #include <fstream>
 #include <iostream>
@@ -24,6 +29,7 @@
 
 #include "rom/rom_solver.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/shard.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -123,7 +129,8 @@ std::string json_escape(const std::string& s) {
 void write_report(std::ostream& os,
                   const std::vector<serve::JobReport>& reports,
                   const serve::OperatorCache::Stats& cache, double seconds,
-                  std::size_t threads) {
+                  std::size_t threads,
+                  const std::vector<serve::ShardPool::ShardInfo>& shards) {
   std::size_t succeeded = 0, cancelled = 0, expired = 0, failed = 0;
   std::size_t retries = 0, degraded = 0;
   double job_seconds = 0.0;
@@ -140,6 +147,16 @@ void write_report(std::ostream& os,
   }
   os << "{\n  \"schema\": \"updec-serve-report-v1\",\n";
   os << "  \"threads\": " << threads << ",\n";
+  os << "  \"shards\": [";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const auto& info = shards[i];
+    if (i > 0) os << ", ";
+    os << "{\"shard\": " << i << ", \"pid\": " << info.pid
+       << ", \"jobs_done\": " << info.jobs_done
+       << ", \"steals\": " << info.steals
+       << ", \"restarts\": " << info.restarts << '}';
+  }
+  os << "],\n";
   os << "  \"wall_seconds\": " << seconds << ",\n";
   os << "  \"aggregate\": {\"jobs\": " << reports.size()
      << ", \"succeeded\": " << succeeded << ", \"cancelled\": " << cancelled
@@ -209,6 +226,10 @@ int main(int argc, char** argv) {
 
     serve::SchedulerOptions options;
     options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    // --shards overrides UPDEC_SERVE_SHARDS; absent defers to the env.
+    const int shards_flag = args.get_int("shards", -1);
+    if (shards_flag >= 0)
+      options.shards = static_cast<std::size_t>(shards_flag);
     // Environment supplies the policy; flags override per invocation.
     serve::RetryPolicy retry = serve::retry_policy_from_env();
     retry.max_retries = static_cast<std::size_t>(
@@ -216,9 +237,14 @@ int main(int argc, char** argv) {
     retry.backoff_ms = args.get_double("backoff-ms", retry.backoff_ms);
     options.retry = retry;
     serve::Scheduler scheduler(options);
-    std::cout << "updec_serve: " << scenarios.size() << " scenario(s) on "
-              << scheduler.thread_count() << " thread(s), cache budget "
-              << scheduler.cache().byte_budget() << " bytes\n";
+    if (scheduler.shard_count() > 0)
+      std::cout << "updec_serve: " << scenarios.size() << " scenario(s) on "
+                << scheduler.shard_count() << " shard worker(s), stealing "
+                << (scheduler.shards()->stealing() ? "on" : "off") << "\n";
+    else
+      std::cout << "updec_serve: " << scenarios.size() << " scenario(s) on "
+                << scheduler.thread_count() << " thread(s), cache budget "
+                << scheduler.cache().byte_budget() << " bytes\n";
 
     const Stopwatch watch;
     for (const serve::Scenario& sc : scenarios)
@@ -237,15 +263,29 @@ int main(int argc, char** argv) {
                 << (r.degraded ? ", degraded" : "")
                 << (r.error.empty() ? "" : " (" + r.error + ")") << "\n";
 
+    // Merged view: in shard mode cache_stats() folds every worker's cache
+    // traffic into the parent-side numbers; shard_infos() adds the per-shard
+    // breakdown (jobs served, steals, crash restarts).
+    const serve::OperatorCache::Stats cache_stats = scheduler.cache_stats();
+    std::vector<serve::ShardPool::ShardInfo> shard_infos;
+    if (scheduler.shards() != nullptr) {
+      shard_infos = scheduler.shards()->shard_infos();
+      for (std::size_t i = 0; i < shard_infos.size(); ++i)
+        std::cout << "  shard " << i << ": pid " << shard_infos[i].pid << ", "
+                  << shard_infos[i].jobs_done << " job(s), "
+                  << shard_infos[i].steals << " steal(s), "
+                  << shard_infos[i].restarts << " restart(s)\n";
+    }
+
     const std::string out = args.get("out", "");
     if (out.empty()) {
-      write_report(std::cout, reports, scheduler.cache().stats(), seconds,
-                   scheduler.thread_count());
+      write_report(std::cout, reports, cache_stats, seconds,
+                   scheduler.thread_count(), shard_infos);
     } else {
       std::ofstream os(out);
       UPDEC_REQUIRE(os.good(), "cannot open report file " + out);
-      write_report(os, reports, scheduler.cache().stats(), seconds,
-                   scheduler.thread_count());
+      write_report(os, reports, cache_stats, seconds,
+                   scheduler.thread_count(), shard_infos);
       std::cout << "report: wrote " << out << "\n";
     }
 

@@ -161,6 +161,9 @@ const std::vector<PinnedCase>& pinned_cases() {
       {"rom_vs_full", 0x6d4a92e8f15c3b07ull, 32,
        "stress pin: reduced-order escalate/accept ladder at a mid-range "
        "system size plus the ROM-routed DAL loop"},
+      {"sharded_vs_single", 0x4e1b83c6d90f2a57ull, 8,
+       "stress pin: mixed-grid batch through 1- and 4-shard pools must "
+       "replay the in-process costs bitwise"},
   };
   return cases;
 }

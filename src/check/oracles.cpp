@@ -25,6 +25,8 @@
 #include "rom/laplace_rom.hpp"
 #include "rom/rom_solver.hpp"
 #include "serve/cache.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/shard.hpp"
 
 namespace updec::check {
 namespace {
@@ -633,6 +635,79 @@ OracleResult rom_vs_full(const OracleCase& c) {
   return judged(err, 1e-4, os.str());
 }
 
+// ---- sharded serving vs in-process ----------------------------------------
+
+OracleResult sharded_vs_single(const OracleCase& c) {
+  Rng rng(c.seed);
+  const std::size_t n_jobs = std::max<std::size_t>(c.size, 4);
+
+  // A mixed batch: several grid families so a 4-shard pool actually spreads
+  // load (and steals), randomized seeds/jitter so runs are distinct jobs.
+  std::vector<serve::Scenario> scenarios;
+  scenarios.reserve(n_jobs);
+  for (std::size_t i = 0; i < n_jobs; ++i) {
+    serve::Scenario sc;
+    sc.id = "oracle-" + std::to_string(i);
+    sc.problem = serve::ProblemKind::kLaplace;
+    sc.strategy = serve::Strategy::kDal;
+    sc.grid_n = 6 + rng.uniform_index(3);
+    sc.iterations = 2 + rng.uniform_index(3);
+    sc.learning_rate = 1e-2;
+    sc.seed = rng.next_u64();
+    sc.control_jitter = rng.uniform(0.0, 0.2);
+    scenarios.push_back(sc);
+  }
+
+  // Reference arm: plain run_scenario with a private cache, no processes.
+  serve::OperatorCache reference_cache(64u << 20, "");
+  std::vector<serve::JobReport> reference;
+  reference.reserve(n_jobs);
+  for (const serve::Scenario& sc : scenarios)
+    reference.push_back(serve::run_scenario(sc, reference_cache));
+
+  const auto run_sharded = [&](std::size_t shards) {
+    serve::SchedulerOptions options;
+    options.shards = shards;
+    serve::Scheduler scheduler(options);
+    std::vector<serve::Scheduler::JobId> ids;
+    ids.reserve(n_jobs);
+    for (const serve::Scenario& sc : scenarios)
+      ids.push_back(scheduler.submit(sc));
+    std::vector<serve::JobReport> reports;
+    reports.reserve(n_jobs);
+    for (const auto id : ids) reports.push_back(scheduler.wait(id));
+    return reports;
+  };
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    const std::vector<serve::JobReport> reports = run_sharded(shards);
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+      const serve::JobReport& got = reports[i];
+      const serve::JobReport& want = reference[i];
+      std::ostringstream os;
+      os << scenarios[i].id << " via " << shards << " shard(s) ";
+      if (got.status != serve::JobStatus::kSucceeded) {
+        os << "failed: " << got.error;
+        return judged(1.0, 0.0, os.str());
+      }
+      if (got.final_cost != want.final_cost ||
+          got.iterations != want.iterations ||
+          got.cost_history != want.cost_history) {
+        os << "diverged from the in-process run: J=" << got.final_cost
+           << " vs " << want.final_cost << " ("
+           << std::abs(got.final_cost - want.final_cost) << " apart), "
+           << got.iterations << " vs " << want.iterations << " iterations";
+        return judged(1.0, 0.0, os.str());
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "sharded serving vs in-process run (" << n_jobs
+     << " jobs, 1-shard and 4-shard pools, per-job costs bitwise equal)";
+  return judged(0.0, 0.0, os.str());
+}
+
 // ---- catalogue ------------------------------------------------------------
 
 const std::vector<Oracle>& all_oracles() {
@@ -663,6 +738,9 @@ const std::vector<Oracle>& all_oracles() {
       {"rom_vs_full",
        "POD/Galerkin reduced solves vs the full sparse path", 8, 48,
        &rom_vs_full},
+      {"sharded_vs_single",
+       "multi-process shard pools vs a plain in-process scenario run", 4, 12,
+       &sharded_vs_single},
   };
   return oracles;
 }

@@ -116,4 +116,14 @@ OracleResult factorization_consistency(const OracleCase& c);
 /// start. size = matrix dimension for part A.
 OracleResult rom_vs_full(const OracleCase& c);
 
+/// The sharded multi-process serving tier against a plain in-process run.
+/// A random scenario batch (mixed grid families, seeds and iteration
+/// budgets) is solved three ways -- directly through run_scenario with a
+/// private cache, through a 1-shard pool, and through a 4-shard pool with
+/// work stealing -- and every per-job final cost, iteration count and cost
+/// history must agree BITWISE (tolerance 0): routing and the wire codec
+/// transport raw double bit patterns and must not perturb results.
+/// size = number of jobs in the batch.
+OracleResult sharded_vs_single(const OracleCase& c);
+
 }  // namespace updec::check

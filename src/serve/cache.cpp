@@ -144,6 +144,11 @@ OperatorCache::OperatorCache(std::size_t byte_budget, std::string disk_dir)
     disk_ = std::make_unique<DiskCache>(std::move(disk_dir));
 }
 
+void OperatorCache::rearm_disk(std::string dir) {
+  std::lock_guard lock(mutex_);
+  disk_ = dir.empty() ? nullptr : std::make_unique<DiskCache>(std::move(dir));
+}
+
 bool OperatorCache::contains(const CacheKey& key) const {
   std::lock_guard lock(mutex_);
   return index_.count(key) != 0;
@@ -166,14 +171,16 @@ void OperatorCache::clear() {
 
 OperatorCache::Stats OperatorCache::stats() const {
   Stats s;
+  DiskCache* disk = nullptr;
   {
     std::lock_guard lock(mutex_);
     s = stats_;
     s.bytes = bytes_;
     s.entries = index_.size();
     s.byte_budget = byte_budget_;
+    disk = disk_.get();  // pointer read racing rearm_disk() stays ordered
   }
-  if (disk_) s.disk = disk_->stats();  // DiskCache locks its own mutex
+  if (disk) s.disk = disk->stats();  // DiskCache locks its own mutex
   return s;
 }
 

@@ -322,6 +322,13 @@ class OperatorCache {
   /// The persistent tier, or nullptr when disarmed.
   [[nodiscard]] DiskCache* disk() { return disk_.get(); }
 
+  /// Replace the persistent tier ("" disarms it). Forked shard workers call
+  /// this with cache_dir_from_env() at startup: the parent process may have
+  /// constructed the global cache before the serving environment was final,
+  /// and the inherited disk binding would otherwise be stale. Existing
+  /// disk-tier stats are discarded with the old tier.
+  void rearm_disk(std::string dir);
+
   void clear();
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }

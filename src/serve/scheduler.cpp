@@ -9,6 +9,8 @@
 #include <thread>
 #include <utility>
 
+#include "serve/shard.hpp"
+
 #include "control/channel_problem.hpp"
 #include "control/driver.hpp"
 #include "control/laplace_problem.hpp"
@@ -510,10 +512,59 @@ Scheduler::Scheduler(SchedulerOptions options)
       default_deadline_ms_(options.default_deadline_ms < 0.0
                                ? default_deadline_ms_from_env()
                                : options.default_deadline_ms),
-      retry_(options.retry ? *options.retry : retry_policy_from_env()),
-      pool_(options.threads, options.max_queue) {}
+      retry_(options.retry ? *options.retry : retry_policy_from_env()) {
+  const std::size_t n_shards =
+      options.shards ? *options.shards : shards_from_env();
+  if (n_shards > 0) {
+    // Shard mode: fork the worker processes FIRST (ShardPool's constructor
+    // forks before starting any thread), then wire results back into the
+    // promise/completion-queue machinery.
+    ShardOptions shard_options;
+    shard_options.shards = n_shards;
+    shard_options.default_deadline_ms = default_deadline_ms_;
+    shard_options.retry = retry_;
+    shards_ = std::make_unique<ShardPool>(shard_options);
+    shards_->set_on_result([this](std::size_t shard_job, JobReport&& report) {
+      std::shared_ptr<JobState> state;
+      JobId id = 0;
+      {
+        std::lock_guard lock(jobs_mutex_);
+        const auto it = shard_to_job_.find(shard_job);
+        if (it == shard_to_job_.end()) return;
+        id = it->second;
+        state = jobs_.at(id);
+      }
+      finish_job(id, state, std::move(report));
+    });
+    shards_->set_on_status([this](std::size_t shard_job, JobStatus live) {
+      std::lock_guard lock(jobs_mutex_);
+      const auto it = shard_to_job_.find(shard_job);
+      if (it == shard_to_job_.end()) return;
+      jobs_.at(it->second)->live.store(live, std::memory_order_relaxed);
+    });
+  } else {
+    pool_ = std::make_unique<ThreadPool>(options.threads, options.max_queue);
+  }
+}
 
-Scheduler::~Scheduler() { pool_.shutdown(); }
+Scheduler::~Scheduler() {
+  if (pool_) pool_->shutdown();
+  shards_.reset();  // drains + reaps workers
+}
+
+void Scheduler::finish_job(JobId id, const std::shared_ptr<JobState>& state,
+                           JobReport&& report) {
+  state->live.store(report.status, std::memory_order_relaxed);
+  state->done.store(true, std::memory_order_release);
+  JobReport copy = report;
+  state->promise.set_value(std::move(report));
+  {
+    std::lock_guard lock(jobs_mutex_);
+    completed_.emplace_back(id, std::move(copy));
+    if (unstreamed_ > 0) --unstreamed_;
+  }
+  completed_cv_.notify_all();
+}
 
 Scheduler::JobId Scheduler::submit(Scenario scenario) {
   auto state = std::make_shared<JobState>();
@@ -524,10 +575,19 @@ Scheduler::JobId Scheduler::submit(Scenario scenario) {
     std::lock_guard lock(jobs_mutex_);
     id = next_id_++;
     jobs_.emplace(id, state);
+    ++unstreamed_;
+    if (shards_) {
+      // Register the mapping under the lock: the dispatcher's result
+      // callback blocks on it until we are done, so a fast completion can
+      // never miss its JobId.
+      state->shard_job = shards_->submit(state->scenario);
+      shard_to_job_.emplace(state->shard_job, id);
+    }
   }
   UPDEC_METRIC_ADD("serve/jobs.submitted", 1);
-  pool_.submit([state, deadline = default_deadline_ms_, cache = cache_,
-                retry = retry_] {
+  if (shards_) return id;
+  pool_->submit([this, id, state, deadline = default_deadline_ms_,
+                 cache = cache_, retry = retry_] {
     JobReport report;
     if (state->cancelled.load(std::memory_order_relaxed)) {
       // Cancelled before it ever ran: resolve without building anything.
@@ -545,9 +605,7 @@ Scheduler::JobId Scheduler::submit(Scenario scenario) {
             state->live.store(live, std::memory_order_relaxed);
           });
     }
-    state->live.store(report.status, std::memory_order_relaxed);
-    state->done.store(true, std::memory_order_release);
-    state->promise.set_value(std::move(report));
+    finish_job(id, state, std::move(report));
   });
   return id;
 }
@@ -568,7 +626,64 @@ bool Scheduler::cancel(JobId id) {
     state = it->second;
   }
   state->cancelled.store(true, std::memory_order_relaxed);
+  if (shards_) {
+    // The pool resolves a queued job right here (through the result
+    // callback) or ships a kCancel frame to the owning worker.
+    return shards_->cancel(state->shard_job);
+  }
   return !state->done.load(std::memory_order_acquire);
+}
+
+std::optional<std::pair<Scheduler::JobId, JobReport>>
+Scheduler::try_next_completed() {
+  std::lock_guard lock(jobs_mutex_);
+  if (completed_.empty()) return std::nullopt;
+  auto out = std::move(completed_.front());
+  completed_.pop_front();
+  return out;
+}
+
+std::optional<std::pair<Scheduler::JobId, JobReport>>
+Scheduler::next_completed() {
+  std::unique_lock lock(jobs_mutex_);
+  completed_cv_.wait(lock, [this] {
+    return !completed_.empty() || unstreamed_ == 0;
+  });
+  if (completed_.empty()) return std::nullopt;
+  auto out = std::move(completed_.front());
+  completed_.pop_front();
+  return out;
+}
+
+std::size_t Scheduler::shard_count() const {
+  return shards_ ? shards_->shard_count() : 0;
+}
+
+OperatorCache::Stats Scheduler::cache_stats() {
+  OperatorCache::Stats stats = cache_->stats();
+  if (!shards_) return stats;
+  const OperatorCache::Stats workers = shards_->collect_stats();
+  stats.hits += workers.hits;
+  stats.misses += workers.misses;
+  stats.evictions += workers.evictions;
+  stats.inflight_waits += workers.inflight_waits;
+  stats.bytes += workers.bytes;
+  stats.entries += workers.entries;
+  stats.byte_budget = std::max(stats.byte_budget, workers.byte_budget);
+  for (const auto& [name, cs] : workers.by_class) {
+    OperatorCache::ClassStats& out = stats.by_class[name];
+    out.hits += cs.hits;
+    out.misses += cs.misses;
+    out.evictions += cs.evictions;
+    out.bytes += cs.bytes;
+    out.entries += cs.entries;
+  }
+  stats.disk.hits += workers.disk.hits;
+  stats.disk.misses += workers.disk.misses;
+  stats.disk.writes += workers.disk.writes;
+  stats.disk.corrupt += workers.disk.corrupt;
+  stats.disk.errors += workers.disk.errors;
+  return stats;
 }
 
 JobReport Scheduler::wait(JobId id) {

@@ -27,8 +27,10 @@
 /// independent of scheduling order and thread count.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <map>
@@ -36,12 +38,15 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "serve/cache.hpp"
 #include "serve/pool.hpp"
 
 namespace updec::serve {
+
+class ShardPool;
 
 enum class ProblemKind : std::uint8_t { kLaplace = 0, kChannel = 1 };
 enum class Strategy : std::uint8_t { kDp = 0, kDal = 1, kFd = 2 };
@@ -156,6 +161,13 @@ struct SchedulerOptions {
   /// Retry/degradation policy for every job; nullopt reads the environment
   /// (retry_policy_from_env()).
   std::optional<RetryPolicy> retry;
+  /// Worker PROCESSES. nullopt reads UPDEC_SERVE_SHARDS; 0 keeps the
+  /// classic in-process ThreadPool; >= 1 serves through a serve::ShardPool
+  /// (fork + fingerprint routing + work stealing). In shard mode `threads`,
+  /// `max_queue` and `cache` are ignored: workers run single-threaded
+  /// against their own process-local global_cache(), submit() never blocks,
+  /// and jobs queue parent-side without bound.
+  std::optional<std::size_t> shards;
 };
 
 /// UPDEC_SERVE_DEADLINE_MS when set to a positive number, else 0 (none).
@@ -182,19 +194,21 @@ class Scheduler {
   using JobId = std::size_t;
 
   explicit Scheduler(SchedulerOptions options = {});
-  /// Waits for in-flight jobs (pool drain + join).
+  /// Waits for in-flight jobs (pool drain + join / shard-pool drain).
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Enqueue one scenario; returns a handle for cancel()/wait(). Blocks
-  /// under queue backpressure.
+  /// under queue backpressure in thread mode; returns immediately in shard
+  /// mode (results stream back through the completion queue).
   JobId submit(Scenario scenario);
 
   /// Request cancellation. A job that has not started yet resolves to
   /// kCancelled without running; a running job stops at its next iteration
-  /// boundary. Returns false iff the job had already finished (the report
+  /// boundary (in shard mode, after one kCancel frame crosses the process
+  /// boundary). Returns false iff the job had already finished (the report
   /// is unaffected then).
   bool cancel(JobId id);
 
@@ -209,14 +223,40 @@ class Scheduler {
   /// Wait for every job submitted so far, in submission order.
   [[nodiscard]] std::vector<JobReport> wait_all();
 
+  // ---- async completion stream -------------------------------------------
+  // Every job's report is ALSO pushed onto a completion queue the moment it
+  // resolves, in completion (not submission) order. wait()/wait_all() and
+  // the stream are independent views: consuming one never starves the other.
+
+  /// Pop the next completed job if one is ready; nullopt otherwise.
+  [[nodiscard]] std::optional<std::pair<JobId, JobReport>>
+  try_next_completed();
+
+  /// Block until a job completes and pop it. nullopt iff every submitted
+  /// job's completion has already been streamed (nothing left to wait for).
+  [[nodiscard]] std::optional<std::pair<JobId, JobReport>> next_completed();
+
   [[nodiscard]] std::size_t thread_count() const {
-    return pool_.thread_count();
+    return pool_ ? pool_->thread_count() : 0;
   }
+  /// Worker processes in shard mode, 0 in thread mode.
+  [[nodiscard]] std::size_t shard_count() const;
   [[nodiscard]] OperatorCache& cache() { return *cache_; }
+  /// The shard pool (nullptr in thread mode) -- per-shard report data.
+  [[nodiscard]] ShardPool* shards() { return shards_.get(); }
+
+  /// Cache statistics across the whole serving topology: the parent cache
+  /// plus, in shard mode, the delta-merged stats of every worker process
+  /// (counters accumulate across worker generations; resident bytes are
+  /// the live workers' sum). This is what the updec_serve report and the
+  /// bench JSON should print -- OperatorCache::stats() alone is
+  /// process-local and near-empty under sharding.
+  [[nodiscard]] OperatorCache::Stats cache_stats();
 
  private:
   struct JobState {
     Scenario scenario;
+    std::size_t shard_job = 0;  ///< ShardPool id (shard mode only)
     std::atomic<bool> cancelled{false};
     std::atomic<bool> done{false};
     std::atomic<JobStatus> live{JobStatus::kPending};
@@ -224,13 +264,24 @@ class Scheduler {
     std::shared_future<JobReport> future;
   };
 
+  /// Resolve a job: promise, live status, completion queue. Called exactly
+  /// once per job, from the worker lambda (thread mode) or the shard pool's
+  /// result callback (dispatcher thread).
+  void finish_job(JobId id, const std::shared_ptr<JobState>& state,
+                  JobReport&& report);
+
   OperatorCache* cache_;
   double default_deadline_ms_;
   RetryPolicy retry_;
   mutable std::mutex jobs_mutex_;
   std::map<JobId, std::shared_ptr<JobState>> jobs_;
+  std::map<std::size_t, JobId> shard_to_job_;  ///< ShardPool id -> JobId
   JobId next_id_ = 1;
-  ThreadPool pool_;  ///< last member: workers die before the state above
+  std::deque<std::pair<JobId, JobReport>> completed_;
+  std::condition_variable completed_cv_;
+  std::size_t unstreamed_ = 0;  ///< submitted, completion not yet queued
+  std::unique_ptr<ShardPool> shards_;  ///< shard mode only; forks in ctor
+  std::unique_ptr<ThreadPool> pool_;   ///< thread mode only; last member
 };
 
 }  // namespace updec::serve

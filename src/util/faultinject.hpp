@@ -29,6 +29,10 @@
 ///   serve.cache_disk_write   one DiskCache::store fails (memory-only serve)
 ///   serve.cache_disk_corrupt one DiskCache::load sees a flipped payload
 ///                            byte (checksum reject + delete + recompute)
+///   serve.shard_kill         the shard dispatcher SIGKILLs a worker right
+///                            after dispatching a job to it (parent-side
+///                            site, so respawned workers do not re-arm it;
+///                            exercises crash resubmission)
 
 #include <atomic>
 #include <cstddef>

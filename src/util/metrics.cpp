@@ -206,6 +206,15 @@ std::uint64_t counter_value(const std::string& name) {
   return it != r.counters.end() ? it->second : 0;
 }
 
+std::vector<CounterSample> counters_snapshot() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<CounterSample> out;
+  out.reserve(r.counters.size());
+  for (const auto& [name, value] : r.counters) out.push_back({name, value});
+  return out;  // map iteration order: already sorted by name
+}
+
 void gauge_set(const char* name, double value) {
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mutex);

@@ -69,6 +69,19 @@ void reset();
 void counter_add(const char* name, std::uint64_t delta = 1);
 [[nodiscard]] std::uint64_t counter_value(const std::string& name);
 
+/// One (name, value) counter pair of a registry snapshot.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Consistent snapshot of every counter, sorted by name. This is the
+/// cross-process currency of the sharded serving tier: each worker process
+/// snapshots its own registry, ships it over the wire, and the parent merges
+/// the deltas (serve::ShardPool) so the atexit JSON dump stays truthful even
+/// though the work ran in forked children.
+[[nodiscard]] std::vector<CounterSample> counters_snapshot();
+
 // ---- gauges (last-write or running-max semantics per call site) ----------
 void gauge_set(const char* name, double value);
 /// Keep the maximum of the current and supplied value (peak tracking).

@@ -42,6 +42,9 @@ FamilyBudget budget_for(const std::string& name) {
   // rom_vs_full runs two full DAL loops (ROM-routed and full-path) per
   // trial on top of its algebraic part; two mid-size trials suffice.
   if (name == "rom_vs_full") return {24, 2};
+  // sharded_vs_single forks 1- and 4-shard worker pools per trial and runs
+  // the batch three ways; one modest batch exercises the whole boundary.
+  if (name == "sharded_vs_single") return {6, 1};
   return {32, 3};
 }
 
