@@ -1,0 +1,145 @@
+/// bench_refine: adjoint-driven adaptive refinement vs uniform grids at
+/// matched node count on the sparse RBF-FD Laplace control problem.
+///
+/// The adapted arm runs the full AdaptiveLoop -- optimize with the DAL
+/// strategy, form dual-weighted-residual indicators from the converged
+/// state/adjoint pair, refine/coarsen by fixed fractions, rebuild stencils
+/// incrementally and warm-start the next cycle -- for `--cycles` rounds
+/// from a `--grid` base grid. The uniform arm is the smallest uniform grid
+/// with AT LEAST as many nodes as the adapted cloud ended with, so the
+/// comparison can only flatter uniform.
+///
+/// Both arms are scored by the TRACKED-COST error: the discrete cost
+/// J_h(c*) evaluated at the analytic optimal control. The exact cost at
+/// the analytic minimiser is zero, so the discrete value IS the
+/// discretization error of the quantity of interest -- no optimizer noise
+/// enters the gate metric.
+///
+/// PR gate: adapted error <= 0.5x the uniform error at matched node count
+/// (the randomized oracle `refinement_vs_uniform` asserts the weaker
+/// "never worse" across seeds). MetricsSession dumps BENCH_refine.json;
+/// the committed bench/baselines/BENCH_refine.json is one of these dumps.
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "pde/laplace.hpp"
+#include "rbf/kernels.hpp"
+#include "refine/adaptive_loop.hpp"
+#include "rom/laplace_rom.hpp"
+
+namespace {
+
+using namespace updec;
+
+/// Analytic optimal control sampled on the problem's top-wall nodes; the
+/// cost there is pure discretisation error of the tracked quantity.
+la::Vector analytic_control_for(const rom::LaplaceFdControlProblem& p) {
+  la::Vector c(p.control_size(), 0.0);
+  const std::vector<double>& xs = p.solver().top_x();
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i)
+    c[i] = pde::LaplaceSolver::analytic_control(xs[i]);
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::MetricsSession session("refine", args);
+
+  const std::size_t grid =
+      static_cast<std::size_t>(args.get_int("grid", 12));
+  const std::size_t cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 2));
+  const double fraction = args.get_double("fraction", 0.15);
+  std::cout << "### bench_refine: adaptive refinement vs uniform at matched "
+               "node count (base "
+            << grid << "^2, " << cycles << " cycles, fraction " << fraction
+            << ")\n";
+
+  const rbf::PolyharmonicSpline kernel(3);
+
+  refine::AdaptiveOptions options;
+  options.refine.cycles = cycles;
+  options.refine.refine_fraction = fraction;
+
+  const Stopwatch adapted_watch;
+  const refine::AdaptiveResult adapted =
+      refine::AdaptiveLoop(grid, kernel, options).run();
+  const double adapted_seconds = adapted_watch.seconds();
+
+  const std::size_t adapted_nodes = adapted.problem->solver().cloud().size();
+  const double adapted_err =
+      adapted.problem->cost(analytic_control_for(*adapted.problem));
+
+  std::size_t inserted = 0, removed = 0, reused = 0, recomputed = 0;
+  for (const refine::CycleReport& cycle : adapted.cycles) {
+    inserted += cycle.inserted;
+    removed += cycle.removed;
+    reused += cycle.stencil_rows_reused;
+    recomputed += cycle.stencil_rows_recomputed;
+    std::cout << "cycle: nodes " << cycle.nodes << ", cost " << cycle.cost
+              << ", eta " << cycle.indicator_total << ", +" << cycle.inserted
+              << "/-" << cycle.removed << " nodes, stencil rows "
+              << cycle.stencil_rows_reused << " reused / "
+              << cycle.stencil_rows_recomputed << " recomputed, "
+              << cycle.seconds << " s\n";
+  }
+
+  // Uniform arm: the smallest uniform grid with at least as many nodes.
+  std::size_t uniform_n = grid;
+  while ((uniform_n + 1) * (uniform_n + 1) < adapted_nodes) ++uniform_n;
+  const Stopwatch uniform_watch;
+  const rom::LaplaceFdControlProblem uniform(uniform_n, kernel);
+  const double uniform_seconds = uniform_watch.seconds();
+  const double uniform_err = uniform.cost(analytic_control_for(uniform));
+  const double ratio = uniform_err > 0.0 ? adapted_err / uniform_err : 1.0;
+
+  std::cout << "adapted: " << adapted_nodes << " nodes, tracked-cost error "
+            << adapted_err << " (" << adapted_seconds << " s)\n"
+            << "uniform: " << uniform.solver().cloud().size()
+            << " nodes (grid " << uniform_n << "), tracked-cost error "
+            << uniform_err << " (" << uniform_seconds << " s assembly)\n"
+            << "error ratio adapted/uniform: " << ratio << " (gate <= 0.5)\n";
+
+  metrics::gauge_set("refine_bench/base_grid", static_cast<double>(grid));
+  metrics::gauge_set("refine_bench/cycles", static_cast<double>(cycles));
+  metrics::gauge_set("refine_bench/adapted_nodes",
+                     static_cast<double>(adapted_nodes));
+  metrics::gauge_set("refine_bench/uniform_nodes",
+                     static_cast<double>(uniform.solver().cloud().size()));
+  metrics::gauge_set("refine_bench/inserted_total",
+                     static_cast<double>(inserted));
+  metrics::gauge_set("refine_bench/removed_total",
+                     static_cast<double>(removed));
+  metrics::gauge_set("refine_bench/stencil_rows_reused",
+                     static_cast<double>(reused));
+  metrics::gauge_set("refine_bench/stencil_rows_recomputed",
+                     static_cast<double>(recomputed));
+  metrics::gauge_set("refine_bench/adapted_err", adapted_err);
+  metrics::gauge_set("refine_bench/uniform_err", uniform_err);
+  metrics::gauge_set("refine_bench/error_ratio", ratio);
+  metrics::gauge_set("refine_bench/adapted_seconds", adapted_seconds);
+
+  if (!(uniform_err > 0.0)) {
+    std::cerr << "bench_refine: uniform reference error vanished -- the "
+                 "tracked-cost metric is broken\n";
+    return 1;
+  }
+  if (!(adapted_err > 0.0) || !std::isfinite(adapted_err)) {
+    std::cerr << "bench_refine: adapted tracked-cost error " << adapted_err
+              << " is not a positive finite number\n";
+    return 1;
+  }
+  if (ratio > 0.5) {
+    std::cerr << "bench_refine: adapted error " << adapted_err << " is "
+              << ratio << "x the uniform error " << uniform_err
+              << " at matched node count (gate 0.5x)\n";
+    return 1;
+  }
+  return 0;
+}

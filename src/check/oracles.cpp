@@ -22,6 +22,7 @@
 #include "pointcloud/generators.hpp"
 #include "rbf/collocation.hpp"
 #include "rbf/rbffd.hpp"
+#include "refine/adaptive_loop.hpp"
 #include "rom/laplace_rom.hpp"
 #include "rom/rom_solver.hpp"
 #include "serve/cache.hpp"
@@ -635,6 +636,54 @@ OracleResult rom_vs_full(const OracleCase& c) {
   return judged(err, 1e-4, os.str());
 }
 
+// ---- adjoint-adaptive refinement vs uniform --------------------------------
+
+/// The analytic minimiser sampled at a problem's control DOFs: at this
+/// control the exact tracked cost is 0, so the discrete cost IS the
+/// tracked-cost discretisation error -- an optimizer-free measure of cloud
+/// quality.
+la::Vector analytic_control_for(const rom::LaplaceFdControlProblem& p) {
+  la::Vector c(p.control_size(), 0.0);
+  const std::vector<double>& xs = p.solver().top_x();
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i)
+    c[i] = pde::LaplaceSolver::analytic_control(xs[i]);
+  return c;
+}
+
+OracleResult refinement_vs_uniform(const OracleCase& c) {
+  Rng rng(c.seed);
+  const std::size_t grid_n = std::clamp<std::size_t>(c.size, 12, 14);
+
+  refine::AdaptiveOptions options;
+  options.refine.cycles = 2;
+  options.refine.refine_fraction = rng.uniform(0.10, 0.20);
+  const rbf::PolyharmonicSpline kernel(3);
+  const refine::AdaptiveResult adapted =
+      refine::AdaptiveLoop(grid_n, kernel, options).run();
+  const std::size_t adapted_nodes =
+      adapted.problem->solver().cloud().size();
+  const double adapted_err =
+      adapted.problem->cost(analytic_control_for(*adapted.problem));
+
+  // Uniform arm: the smallest uniform grid with AT LEAST as many nodes, so
+  // the comparison can only flatter the uniform cloud.
+  std::size_t uniform_n = grid_n;
+  while ((uniform_n + 1) * (uniform_n + 1) < adapted_nodes) ++uniform_n;
+  const rom::LaplaceFdControlProblem uniform(uniform_n, kernel);
+  const double uniform_err = uniform.cost(analytic_control_for(uniform));
+
+  std::ostringstream os;
+  os << "adaptive refinement (base " << grid_n << "^2, fraction "
+     << options.refine.refine_fraction << ") reached " << adapted_nodes
+     << " nodes with tracked-cost error " << adapted_err << " vs uniform "
+     << uniform.solver().cloud().size() << " nodes at " << uniform_err;
+  if (!(uniform_err > 0.0))
+    return judged(1.0, 0.0, "uniform reference error vanished: " + os.str());
+  // The adapted cloud must not lose to uniform at matched size (the bench
+  // gate demands 2x; the randomized oracle only asserts "never worse").
+  return judged(adapted_err / uniform_err, 1.0, os.str());
+}
+
 // ---- sharded serving vs in-process ----------------------------------------
 
 OracleResult sharded_vs_single(const OracleCase& c) {
@@ -738,6 +787,9 @@ const std::vector<Oracle>& all_oracles() {
       {"rom_vs_full",
        "POD/Galerkin reduced solves vs the full sparse path", 8, 48,
        &rom_vs_full},
+      {"refinement_vs_uniform",
+       "adjoint-adapted point clouds vs uniform grids at matched node count",
+       12, 14, &refinement_vs_uniform},
       {"sharded_vs_single",
        "multi-process shard pools vs a plain in-process scenario run", 4, 12,
        &sharded_vs_single},

@@ -73,7 +73,10 @@ bool read_values(std::istream& is, std::vector<double>& v) {
 }
 
 constexpr const char* kCheckpointMagic = "updec-checkpoint";
-constexpr int kCheckpointVersion = 1;
+// v2 adds grad_norms + iter_seconds so a resumed DriverResult's
+// per-iteration arrays stay aligned with cost_history; v1 checkpoints are
+// still readable (the missing arrays are zero-backfilled).
+constexpr int kCheckpointVersion = 2;
 
 /// Write the checkpoint to `path + ".tmp"` and rename it into place, so a
 /// crash mid-write never corrupts the previous checkpoint.
@@ -94,6 +97,10 @@ void write_checkpoint(const std::string& path, std::size_t next_iteration,
     write_values(os, result.control.std());
     os << "history ";
     write_values(os, result.cost_history);
+    os << "grad_norms ";
+    write_values(os, result.grad_norm_history);
+    os << "iter_seconds ";
+    write_values(os, result.iteration_seconds);
     optimizer.save_state(os);
     UPDEC_REQUIRE(os.good(), "checkpoint write failed: " + tmp);
   }
@@ -107,6 +114,8 @@ struct Checkpoint {
   double lr_scale = 1.0;
   la::Vector control;
   std::vector<double> history;
+  std::vector<double> grad_norms;
+  std::vector<double> iter_seconds;
 };
 
 /// Parse the header + vectors; leaves `is` positioned at the optimiser
@@ -114,9 +123,9 @@ struct Checkpoint {
 Checkpoint read_checkpoint_header(std::istream& is, const std::string& path) {
   Checkpoint cp;
   std::string magic, version, key;
-  UPDEC_REQUIRE(
-      (is >> magic >> version) && magic == kCheckpointMagic && version == "v1",
-      "not a v1 updec checkpoint: " + path);
+  UPDEC_REQUIRE((is >> magic >> version) && magic == kCheckpointMagic &&
+                    (version == "v1" || version == "v2"),
+                "not a v1/v2 updec checkpoint: " + path);
   UPDEC_REQUIRE((is >> key >> cp.iteration) && key == "iteration",
                 "malformed checkpoint (iteration): " + path);
   UPDEC_REQUIRE((is >> key >> cp.recoveries) && key == "recoveries",
@@ -130,6 +139,22 @@ Checkpoint read_checkpoint_header(std::istream& is, const std::string& path) {
   UPDEC_REQUIRE((is >> key) && key == "history" &&
                     read_values(is, cp.history),
                 "malformed checkpoint (history): " + path);
+  if (version == "v2") {
+    UPDEC_REQUIRE((is >> key) && key == "grad_norms" &&
+                      read_values(is, cp.grad_norms),
+                  "malformed checkpoint (grad_norms): " + path);
+    UPDEC_REQUIRE((is >> key) && key == "iter_seconds" &&
+                      read_values(is, cp.iter_seconds),
+                  "malformed checkpoint (iter_seconds): " + path);
+    UPDEC_REQUIRE(cp.grad_norms.size() == cp.history.size() &&
+                      cp.iter_seconds.size() == cp.history.size(),
+                  "misaligned per-iteration arrays in checkpoint: " + path);
+  } else {
+    // v1 checkpoints predate these arrays; zero-backfill keeps the resumed
+    // result's per-iteration arrays aligned with cost_history.
+    cp.grad_norms.assign(cp.history.size(), 0.0);
+    cp.iter_seconds.assign(cp.history.size(), 0.0);
+  }
   return cp;
 }
 
@@ -286,6 +311,10 @@ DriverResult optimize_resume(const std::string& checkpoint_path,
   result.control = std::move(cp.control);
   result.cost_history = std::move(cp.history);
   result.cost_history.reserve(options.iterations);
+  result.grad_norm_history = std::move(cp.grad_norms);
+  result.grad_norm_history.reserve(options.iterations);
+  result.iteration_seconds = std::move(cp.iter_seconds);
+  result.iteration_seconds.reserve(options.iterations);
   result.recoveries = cp.recoveries;
 
   auto schedule = make_schedule(options);

@@ -29,6 +29,17 @@ class ControlProblem {
   [[nodiscard]] virtual double cost(const la::Vector& control) const = 0;
 };
 
+/// Observer an adjoint-based strategy MAY support: after each
+/// value_and_gradient it hands out the nodal state and adjoint it already
+/// computed, so an a-posteriori estimator (src/refine's adjoint-weighted
+/// residual) can form error indicators without re-solving either problem.
+class AdjointObserver {
+ public:
+  virtual ~AdjointObserver() = default;
+  virtual void on_adjoint_pair(const la::Vector& state,
+                               const la::Vector& adjoint) = 0;
+};
+
 /// One way of computing (J, dJ/dc). Stateful implementations (e.g. tapes)
 /// may reuse buffers across calls.
 class GradientStrategy {
@@ -40,6 +51,15 @@ class GradientStrategy {
   /// Evaluate the cost and fill `gradient` (resized to control_size()).
   virtual double value_and_gradient(const la::Vector& control,
                                     la::Vector& gradient) = 0;
+
+  /// Install an observer for (state, adjoint) pairs; nullptr detaches. The
+  /// default is a no-op -- only adjoint-based strategies that expose nodal
+  /// fields (the sparse Laplace DAL path) implement it, and callers can
+  /// check the return value (false = unsupported, no pairs will arrive).
+  virtual bool set_adjoint_observer(AdjointObserver* observer) {
+    (void)observer;
+    return false;
+  }
 
   /// Method-specific scratch memory of the last evaluation in bytes (the
   /// DP tape, for instance). 0 when the strategy holds no notable scratch.

@@ -183,11 +183,39 @@ la::Vector LaplaceSolver::state_at_nodes(const la::Vector& coeffs) const {
   return collocation_.evaluate_at_nodes(coeffs, rbf::LinearOp::identity());
 }
 
+namespace {
+
+/// Dispatch between the from-scratch and incremental stencil builds (the
+/// member-initialiser list cannot validate the pair first).
+rbf::RbffdOperators make_fd_operators(
+    const pc::PointCloud& cloud, const rbf::Kernel& kernel,
+    const rbf::RbffdConfig& config, const rbf::RbffdOperators* previous,
+    const std::vector<std::ptrdiff_t>* old_index) {
+  if (previous != nullptr) {
+    UPDEC_REQUIRE(old_index != nullptr,
+                  "incremental stencil rebuild needs the old_index map");
+    return rbf::RbffdOperators(cloud, *previous, *old_index);
+  }
+  return rbf::RbffdOperators(cloud, kernel, config);
+}
+
+}  // namespace
+
 LaplaceFdSolver::LaplaceFdSolver(std::size_t grid_n, const rbf::Kernel& kernel,
                                  const rbf::RbffdConfig& config,
                                  const la::RobustSolveOptions& solver)
-    : cloud_(pc::unit_square_grid(grid_n, grid_n)),
-      operators_(cloud_, kernel, config) {
+    : LaplaceFdSolver(pc::unit_square_grid(grid_n, grid_n), kernel, config,
+                      solver) {}
+
+LaplaceFdSolver::LaplaceFdSolver(pc::PointCloud cloud,
+                                 const rbf::Kernel& kernel,
+                                 const rbf::RbffdConfig& config,
+                                 const la::RobustSolveOptions& solver,
+                                 const rbf::RbffdOperators* previous,
+                                 const std::vector<std::ptrdiff_t>* old_index)
+    : cloud_(std::move(cloud)),
+      operators_(
+          make_fd_operators(cloud_, kernel, config, previous, old_index)) {
   UPDEC_TRACE_SCOPE("pde/laplace_fd_setup");
   const std::size_t n = cloud_.size();
   const la::CsrMatrix& dx = operators_.dx();

@@ -139,6 +139,21 @@ class LaplaceFdSolver {
                   const rbf::RbffdConfig& config = {},
                   const la::RobustSolveOptions& solver = {});
 
+  /// Build over an explicit (possibly adaptively refined) cloud. The cloud
+  /// must carry the unit-square boundary layout of pc::unit_square_grid --
+  /// tagged bottom/top/left/right Dirichlet walls, lateral nodes pairing up
+  /// by height -- but its interior nodes are free-form, which is exactly
+  /// what refine::AdaptiveLoop produces (it only inserts/removes interior
+  /// nodes, so the boundary contract is preserved by construction).
+  /// `previous` + `old_index` (both set or both null) route stencil assembly
+  /// through RbffdOperators' incremental path: weight rows are recomputed
+  /// only where the neighbourhood changed.
+  LaplaceFdSolver(pc::PointCloud cloud, const rbf::Kernel& kernel,
+                  const rbf::RbffdConfig& config = {},
+                  const la::RobustSolveOptions& solver = {},
+                  const rbf::RbffdOperators* previous = nullptr,
+                  const std::vector<std::ptrdiff_t>* old_index = nullptr);
+
   /// Nodes on the controlled top wall, ordered by increasing x.
   [[nodiscard]] const std::vector<std::size_t>& top_nodes() const {
     return top_nodes_;
@@ -155,6 +170,11 @@ class LaplaceFdSolver {
   }
 
   [[nodiscard]] const pc::PointCloud& cloud() const { return cloud_; }
+
+  /// The stencil operators (exposed for the refinement planner / estimator).
+  [[nodiscard]] const rbf::RbffdOperators& operators() const {
+    return operators_;
+  }
 
   /// The sparse-first operator (exposed for cache plumbing / benchmarks).
   [[nodiscard]] const la::SparseFirstSolver& op() const { return op_; }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <sstream>
+
+#include "pointcloud/kdtree.hpp"
 
 namespace updec::pc {
 
@@ -64,16 +67,61 @@ double PointCloud::min_spacing() const {
 
 double PointCloud::mean_spacing() const {
   if (nodes_.size() < 2) return 0.0;
+  // k = 2 returns the query node itself plus its true nearest neighbour
+  // (ties by index still yield the same distance, so this matches the old
+  // brute-force scan exactly while dropping the cost from O(n^2) to
+  // O(n log n)).
+  const KdTree tree(*this);
   double total = 0.0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    double nearest = std::numeric_limits<double>::infinity();
-    for (std::size_t j = 0; j < nodes_.size(); ++j) {
-      if (i == j) continue;
-      nearest = std::min(nearest, distance(nodes_[i].pos, nodes_[j].pos));
-    }
-    total += nearest;
+    const std::vector<std::size_t> nn = tree.k_nearest(nodes_[i].pos, 2);
+    total += distance(nodes_[i].pos, nodes_[nn.back()].pos);
   }
   return total / static_cast<double>(nodes_.size());
+}
+
+PointCloud PointCloud::inserted(const std::vector<Node>& extra,
+                                std::vector<std::ptrdiff_t>* old_index) const {
+  std::vector<Node> merged;
+  merged.reserve(nodes_.size() + extra.size());
+  std::vector<std::ptrdiff_t> map;
+  map.reserve(nodes_.size() + extra.size());
+  // Emit class by class so `merged` is already canonically ordered; the
+  // constructor's stable sort then preserves the mapping verbatim.
+  for (int k = 0; k < 4; ++k) {
+    const auto kind = static_cast<BoundaryKind>(k);
+    for (std::size_t i = begin_of(kind); i < end_of(kind); ++i) {
+      merged.push_back(nodes_[i]);
+      map.push_back(static_cast<std::ptrdiff_t>(i));
+    }
+    for (const Node& n : extra)
+      if (n.kind == kind) {
+        merged.push_back(n);
+        map.push_back(-1);
+      }
+  }
+  if (old_index) *old_index = std::move(map);
+  return PointCloud(std::move(merged));
+}
+
+PointCloud PointCloud::removed(const std::vector<std::size_t>& victims,
+                               std::vector<std::ptrdiff_t>* old_index) const {
+  std::vector<std::uint8_t> drop(nodes_.size(), 0);
+  for (const std::size_t v : victims) {
+    UPDEC_REQUIRE(v < nodes_.size(), "PointCloud::removed: index out of range");
+    drop[v] = 1;
+  }
+  std::vector<Node> kept;
+  std::vector<std::ptrdiff_t> map;
+  kept.reserve(nodes_.size());
+  map.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!drop[i]) {
+      kept.push_back(nodes_[i]);
+      map.push_back(static_cast<std::ptrdiff_t>(i));
+    }
+  if (old_index) *old_index = std::move(map);
+  return PointCloud(std::move(kept));
 }
 
 std::string PointCloud::summary() const {

@@ -88,11 +88,29 @@ class PointCloud {
   /// All node indices of a given boundary kind.
   [[nodiscard]] std::vector<std::size_t> indices_of(BoundaryKind kind) const;
 
+  /// New cloud with `extra` nodes merged in, canonical order preserved:
+  /// within each boundary class this cloud's nodes keep their relative
+  /// order and the extra nodes of that class follow. If `old_index` is
+  /// non-null it receives, for each node of the NEW cloud, its index in
+  /// *this (-1 for a freshly inserted node) -- the map the incremental
+  /// RBF-FD stencil rebuild consumes.
+  [[nodiscard]] PointCloud inserted(
+      const std::vector<Node>& extra,
+      std::vector<std::ptrdiff_t>* old_index = nullptr) const;
+
+  /// New cloud with the nodes at `victims` (indices into *this) dropped;
+  /// `old_index` as in inserted(). Duplicate victim indices are tolerated.
+  [[nodiscard]] PointCloud removed(
+      const std::vector<std::size_t>& victims,
+      std::vector<std::ptrdiff_t>* old_index = nullptr) const;
+
   /// Minimum pairwise node distance (separation; brute force, O(n^2) --
   /// diagnostics only).
   [[nodiscard]] double min_spacing() const;
 
   /// Mean nearest-neighbour distance (characteristic spacing h).
+  /// Routed through a KD-tree, O(n log n) -- cheap enough for the adaptive
+  /// refinement loop to call every cycle.
   [[nodiscard]] double mean_spacing() const;
 
   /// Human-readable inventory (Fig. 4a-style setup dump).

@@ -1,6 +1,8 @@
 #include "rbf/rbffd.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <exception>
 
 #include "la/robust_solve.hpp"
 #include "util/metrics.hpp"
@@ -24,7 +26,74 @@ RbffdOperators::RbffdOperators(const pc::PointCloud& cloud,
   UPDEC_METRIC_ADD("rbf/rbffd.stencils", cloud.size());
 }
 
+RbffdOperators::RbffdOperators(const pc::PointCloud& cloud,
+                               const RbffdOperators& previous,
+                               const std::vector<std::ptrdiff_t>& old_index)
+    : cloud_(&cloud),
+      kernel_(previous.kernel_),
+      config_(previous.config_),
+      tree_(cloud) {
+  UPDEC_TRACE_SCOPE("rbf/rbffd_refit");
+  UPDEC_REQUIRE(old_index.size() == cloud.size(),
+                "old_index must map every node of the new cloud");
+  UPDEC_REQUIRE(config_.stencil_size <= cloud.size(),
+                "stencil larger than the cloud");
+  const std::size_t n = cloud.size();
+  const std::size_t n_old = previous.cloud_->size();
+
+  old_of_new_ = old_index;
+  new_of_old_.assign(n_old, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t o = old_of_new_[i];
+    if (o >= 0) {
+      UPDEC_REQUIRE(static_cast<std::size_t>(o) < n_old,
+                    "old_index entry out of range");
+      new_of_old_[static_cast<std::size_t>(o)] = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+
+  stencils_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    stencils_[i] = tree_.k_nearest(cloud.node(i).pos, config_.stencil_size);
+  UPDEC_METRIC_ADD("rbf/rbffd.stencils", n);
+
+  // A row is clean iff its old stencil survives verbatim: every member still
+  // present AND the distance-ordered index sequence maps onto the new one.
+  // Ordered (not set) comparison keeps the guarantee bitwise -- a reused row
+  // is the exact row the from-scratch build would produce, because the
+  // saddle system is assembled in the same stencil order.
+  dirty_.assign(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t o = old_of_new_[i];
+    if (o < 0) continue;  // inserted node: no previous row
+    const auto& prev_stencil = previous.stencils_[static_cast<std::size_t>(o)];
+    const auto& cur_stencil = stencils_[i];
+    if (prev_stencil.size() != cur_stencil.size()) continue;
+    bool same = true;
+    for (std::size_t a = 0; a < cur_stencil.size() && same; ++a) {
+      const std::ptrdiff_t mapped = new_of_old_[prev_stencil[a]];
+      same = mapped >= 0 &&
+             static_cast<std::size_t>(mapped) == cur_stencil[a];
+    }
+    if (same) dirty_[i] = 0;
+  }
+
+  // Rebuild exactly the canonical operators the previous cloud had
+  // materialised, while `previous` (and its CSR storage) is still alive.
+  if (previous.dx_) dx_ = std::make_unique<la::CsrMatrix>(
+      weights_impl(LinearOp::d_dx(), previous.dx_.get()));
+  if (previous.dy_) dy_ = std::make_unique<la::CsrMatrix>(
+      weights_impl(LinearOp::d_dy(), previous.dy_.get()));
+  if (previous.lap_) lap_ = std::make_unique<la::CsrMatrix>(
+      weights_impl(LinearOp::laplacian(), previous.lap_.get()));
+}
+
 la::CsrMatrix RbffdOperators::weights_for(const LinearOp& op) const {
+  return weights_impl(op, nullptr);
+}
+
+la::CsrMatrix RbffdOperators::weights_impl(const LinearOp& op,
+                                           const la::CsrMatrix* previous) const {
   UPDEC_TRACE_SCOPE("rbf/rbffd_weights");
   UPDEC_METRIC_ADD("rbf/rbffd.operators_built", 1);
   const std::size_t n = cloud_->size();
@@ -38,60 +107,103 @@ la::CsrMatrix RbffdOperators::weights_for(const LinearOp& op) const {
   std::vector<std::size_t> col_idx(n * k);
   std::vector<double> values(n * k);
 
+  std::size_t reused = 0;
+
+  // Exceptions (degenerate-stencil UPDEC_REQUIRE, factorisation failures)
+  // MUST NOT escape the OpenMP structured block -- that is std::terminate,
+  // not an error report. The first failure is parked and rethrown after the
+  // region; remaining iterations drain as cheap no-ops.
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+
 #ifdef UPDEC_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) reduction(+ : reused)
 #endif
   for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n); ++ii) {
-    const auto i = static_cast<std::size_t>(ii);
-    const auto& stencil = stencils_[i];
-    const pc::Vec2 centre = cloud_->node(i).pos;
+    if (failed.load(std::memory_order_acquire)) continue;
+    try {
+      const auto i = static_cast<std::size_t>(ii);
+      const auto& stencil = stencils_[i];
 
-    // Shift to the stencil centre and scale by the stencil radius: keeps the
-    // local PHS system well conditioned independent of the global h.
-    double radius = 0.0;
-    for (const std::size_t j : stencil)
-      radius = std::max(radius, pc::distance(cloud_->node(j).pos, centre));
-    UPDEC_REQUIRE(radius > 0.0, "degenerate stencil (duplicate nodes?)");
-    const double inv_h = 1.0 / radius;
-
-    std::vector<pc::Vec2> local(k);
-    for (std::size_t a = 0; a < k; ++a) {
-      const pc::Vec2 p = cloud_->node(stencil[a]).pos;
-      local[a] = {(p.x - centre.x) * inv_h, (p.y - centre.y) * inv_h};
-    }
-
-    // Saddle system [Phi P; P^T 0] [w; v] = [L phi | L P] evaluated at the
-    // centre (the local origin). With v(xi) = u(centre + radius * xi),
-    // du/dx = (1/radius) dv/dxi and Lap u = (1/radius^2) Lap v, so the
-    // physical operator L maps to L_s = {id, ddx/radius, ddy/radius,
-    // lap/radius^2} in scaled coordinates, and the resulting weights apply
-    // to the physical nodal values u(x_b) directly.
-    const LinearOp scaled{op.id, op.ddx * inv_h, op.ddy * inv_h,
-                          op.lap * inv_h * inv_h};
-    la::Matrix system(k + m, k + m, 0.0);
-    for (std::size_t a = 0; a < k; ++a) {
-      for (std::size_t b = 0; b < k; ++b)
-        system(a, b) = kernel_->phi(pc::distance(local[a], local[b]));
-      for (std::size_t q = 0; q < m; ++q) {
-        const double pv = basis.evaluate(q, local[a]);
-        system(a, k + q) = pv;
-        system(k + q, a) = pv;
+      if (previous && !dirty_[i]) {
+        // Clean row: copy the previous weights with columns remapped. The
+        // stencil is position-identical, so the values carry over bitwise;
+        // only the column numbering moved.
+        const auto o = static_cast<std::size_t>(old_of_new_[i]);
+        std::size_t out = i * k;
+        for (std::size_t p = previous->row_ptr()[o];
+             p < previous->row_ptr()[o + 1]; ++p, ++out) {
+          const std::ptrdiff_t c = new_of_old_[previous->col_idx()[p]];
+          UPDEC_ASSERT(c >= 0);
+          col_idx[out] = static_cast<std::size_t>(c);
+          values[out] = previous->values()[p];
+        }
+        reused += 1;
+        continue;
       }
-    }
-    la::Vector rhs(k + m, 0.0);
-    const pc::Vec2 origin{0.0, 0.0};
-    for (std::size_t b = 0; b < k; ++b)
-      rhs[b] = apply_kernel(*kernel_, scaled, origin, local[b]);
-    for (std::size_t q = 0; q < m; ++q)
-      rhs[k + q] = basis.apply(q, scaled, origin);
 
-    // Robust factor: a degenerate stencil (duplicated or collinear nodes)
-    // escalates to a Tikhonov-shifted solve instead of aborting assembly.
-    const la::Vector w = la::robust_lu_factor(system).solve(rhs);
-    for (std::size_t a = 0; a < k; ++a) {
-      col_idx[i * k + a] = stencil[a];
-      values[i * k + a] = w[a];
+      const pc::Vec2 centre = cloud_->node(i).pos;
+
+      // Shift to the stencil centre and scale by the stencil radius: keeps
+      // the local PHS system well conditioned independent of the global h.
+      double radius = 0.0;
+      for (const std::size_t j : stencil)
+        radius = std::max(radius, pc::distance(cloud_->node(j).pos, centre));
+      UPDEC_REQUIRE(radius > 0.0, "degenerate stencil (duplicate nodes?)");
+      const double inv_h = 1.0 / radius;
+
+      std::vector<pc::Vec2> local(k);
+      for (std::size_t a = 0; a < k; ++a) {
+        const pc::Vec2 p = cloud_->node(stencil[a]).pos;
+        local[a] = {(p.x - centre.x) * inv_h, (p.y - centre.y) * inv_h};
+      }
+
+      // Saddle system [Phi P; P^T 0] [w; v] = [L phi | L P] evaluated at the
+      // centre (the local origin). With v(xi) = u(centre + radius * xi),
+      // du/dx = (1/radius) dv/dxi and Lap u = (1/radius^2) Lap v, so the
+      // physical operator L maps to L_s = {id, ddx/radius, ddy/radius,
+      // lap/radius^2} in scaled coordinates, and the resulting weights apply
+      // to the physical nodal values u(x_b) directly.
+      const LinearOp scaled{op.id, op.ddx * inv_h, op.ddy * inv_h,
+                            op.lap * inv_h * inv_h};
+      la::Matrix system(k + m, k + m, 0.0);
+      for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = 0; b < k; ++b)
+          system(a, b) = kernel_->phi(pc::distance(local[a], local[b]));
+        for (std::size_t q = 0; q < m; ++q) {
+          const double pv = basis.evaluate(q, local[a]);
+          system(a, k + q) = pv;
+          system(k + q, a) = pv;
+        }
+      }
+      la::Vector rhs(k + m, 0.0);
+      const pc::Vec2 origin{0.0, 0.0};
+      for (std::size_t b = 0; b < k; ++b)
+        rhs[b] = apply_kernel(*kernel_, scaled, origin, local[b]);
+      for (std::size_t q = 0; q < m; ++q)
+        rhs[k + q] = basis.apply(q, scaled, origin);
+
+      // Robust factor: a degenerate stencil (duplicated or collinear nodes)
+      // escalates to a Tikhonov-shifted solve instead of aborting assembly.
+      const la::Vector w = la::robust_lu_factor(system).solve(rhs);
+      for (std::size_t a = 0; a < k; ++a) {
+        col_idx[i * k + a] = stencil[a];
+        values[i * k + a] = w[a];
+      }
+    } catch (...) {
+      bool expected = false;
+      if (failed.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel))
+        error = std::current_exception();
     }
+  }
+  if (failed.load(std::memory_order_acquire)) std::rethrow_exception(error);
+
+  if (previous) {
+    rows_reused_ += reused;
+    rows_recomputed_ += n - reused;
+    UPDEC_METRIC_ADD("rbf/rbffd.rows_reused", reused);
+    UPDEC_METRIC_ADD("rbf/rbffd.rows_recomputed", n - reused);
   }
 
   // Each row's column indices must be sorted for CsrMatrix::at().

@@ -27,6 +27,19 @@ class RbffdOperators {
   RbffdOperators(const pc::PointCloud& cloud, const Kernel& kernel,
                  const RbffdConfig& config = {});
 
+  /// Incremental rebuild after a refine/coarsen step. `previous` is the
+  /// operator set of the cloud this one was derived from; `old_index` maps
+  /// each node of `cloud` to its index in previous.cloud() (-1 for inserted
+  /// nodes; see pc::PointCloud::inserted / removed). Stencils are re-queried
+  /// against the fresh KD-tree (O(n k log n)), but the expensive per-row
+  /// saddle solves run ONLY for nodes whose stencil actually changed --
+  /// every unchanged row is copied from `previous` with its columns
+  /// remapped, bit for bit. Whatever canonical operators `previous` had
+  /// materialised (dx / dy / laplacian) are rebuilt here eagerly under the
+  /// same reuse rule, so `previous` may be destroyed afterwards.
+  RbffdOperators(const pc::PointCloud& cloud, const RbffdOperators& previous,
+                 const std::vector<std::ptrdiff_t>& old_index);
+
   /// Sparse matrix applying L at every node: (L u)_i = (W u)_i.
   [[nodiscard]] la::CsrMatrix weights_for(const LinearOp& op) const;
 
@@ -39,12 +52,40 @@ class RbffdOperators {
   [[nodiscard]] const Kernel& kernel() const { return *kernel_; }
   [[nodiscard]] const RbffdConfig& config() const { return config_; }
 
+  /// Stencil of node i: its k nearest neighbours, sorted by distance.
+  [[nodiscard]] const std::vector<std::size_t>& stencil(std::size_t i) const {
+    UPDEC_ASSERT(i < stencils_.size());
+    return stencils_[i];
+  }
+  /// The KD-tree over the cloud (reused by the refinement planner).
+  [[nodiscard]] const pc::KdTree& tree() const { return tree_; }
+
+  /// Row accounting of the last incremental rebuild, summed over the
+  /// canonical operators built so far (0 / 0 for a from-scratch build).
+  [[nodiscard]] std::size_t rows_reused() const { return rows_reused_; }
+  [[nodiscard]] std::size_t rows_recomputed() const {
+    return rows_recomputed_;
+  }
+
  private:
+  /// Weight assembly shared by the fresh and incremental paths: rows with
+  /// dirty_[i] == 0 are copied from `previous` (columns remapped through
+  /// new_of_old_), all others run the per-row saddle solve. `previous`
+  /// nullptr computes every row.
+  [[nodiscard]] la::CsrMatrix weights_impl(const LinearOp& op,
+                                           const la::CsrMatrix* previous) const;
+
   const pc::PointCloud* cloud_;
   const Kernel* kernel_;
   RbffdConfig config_;
   pc::KdTree tree_;
   std::vector<std::vector<std::size_t>> stencils_;
+  // Incremental-rebuild state (empty for from-scratch builds).
+  std::vector<std::uint8_t> dirty_;          ///< per-row: stencil changed?
+  std::vector<std::ptrdiff_t> old_of_new_;   ///< this row -> previous row
+  std::vector<std::ptrdiff_t> new_of_old_;   ///< previous col -> this col
+  mutable std::size_t rows_reused_ = 0;
+  mutable std::size_t rows_recomputed_ = 0;
   mutable std::unique_ptr<la::CsrMatrix> dx_, dy_, lap_;
 };
 

@@ -1,0 +1,56 @@
+#include "refine/indicator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pointcloud/generators.hpp"
+#include "rbf/rbffd.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace updec::refine {
+
+la::Vector adjoint_weighted_residual(const pde::LaplaceFdSolver& solver,
+                                     const la::Vector& state,
+                                     const la::Vector& adjoint,
+                                     const IndicatorConfig& config) {
+  UPDEC_TRACE_SCOPE("refine/indicator");
+  const pc::PointCloud& cloud = solver.cloud();
+  const std::size_t n = cloud.size();
+  UPDEC_REQUIRE(state.size() == n && adjoint.size() == n,
+                "indicator needs nodal state/adjoint over the solver cloud");
+
+  // The enriched probe operator: more neighbours and one more appended
+  // degree than the primal stencils, clamped to stay unisolvent and inside
+  // the cloud.
+  const rbf::RbffdConfig primal = solver.operators().config();
+  rbf::RbffdConfig enriched;
+  enriched.poly_degree = primal.poly_degree + std::max(0, config.extra_degree);
+  const std::size_t basis_size = static_cast<std::size_t>(
+      (enriched.poly_degree + 1) * (enriched.poly_degree + 2) / 2);
+  enriched.stencil_size =
+      std::min(cloud.size(), std::max(primal.stencil_size + config.extra_stencil,
+                                      2 * basis_size + 1));
+  const rbf::RbffdOperators probe(cloud, solver.operators().kernel(), enriched);
+  const la::CsrMatrix& lap = probe.laplacian();
+
+  // Local spacing h_i from the primal KD-tree (k = 2: self + nearest).
+  const pc::KdTree& tree = solver.operators().tree();
+
+  la::Vector eta(n, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cloud.node(i).tag != pc::tags::kInterior) continue;
+    double residual = 0.0;  // (L_+ u)_i - f_i with f = 0 inside
+    for (std::size_t k = lap.row_ptr()[i]; k < lap.row_ptr()[i + 1]; ++k)
+      residual += lap.values()[k] * state[lap.col_idx()[k]];
+    const std::vector<std::size_t> nn = tree.k_nearest(cloud.node(i).pos, 2);
+    const double h = pc::distance(cloud.node(i).pos, cloud.node(nn.back()).pos);
+    eta[i] = std::abs(adjoint[i]) * std::abs(residual) * h * h;
+    total += eta[i];
+  }
+  if (metrics::enabled()) metrics::gauge_set("refine/indicator_total", total);
+  return eta;
+}
+
+}  // namespace updec::refine

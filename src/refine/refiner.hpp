@@ -1,0 +1,69 @@
+#pragma once
+/// \file refiner.hpp
+/// \brief Fixed-fraction refine/coarsen selection over a scattered cloud,
+///        in the style of PHiLiP's mesh adaptation: the top refine_fraction
+///        of nodes by indicator each sprout one new interior node at their
+///        widest stencil gap's midpoint, the bottom coarsen_fraction of
+///        interior nodes are dropped, and boundary nodes are protected on
+///        both sides (the boundary layout carries the control DOFs and the
+///        periodic pairing, so adaptation must never touch it).
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "pointcloud/cloud.hpp"
+#include "rbf/rbffd.hpp"
+
+namespace updec::refine {
+
+/// Knobs of one adapt step. refine_config_from_env() reads the UPDEC_REFINE_*
+/// environment over these defaults.
+struct RefineConfig {
+  double refine_fraction = 0.15;   ///< top fraction of nodes flagged
+  double coarsen_fraction = 0.04;  ///< bottom fraction of interior nodes cut
+  std::size_t cycles = 2;          ///< adapt cycles in the AdaptiveLoop
+  std::size_t max_nodes = 0;       ///< cloud-size cap after a step; 0 = none
+  /// A candidate midpoint closer than `spacing_guard` x the local spacing to
+  /// an existing node (or an already accepted insertion) is rejected. The
+  /// default of 0.6 deliberately excludes nearest-neighbour midpoints
+  /// (0.5 h): on a structured cloud the survivors are exactly the
+  /// surrounding cell centres (0.707 h), which keep the refined
+  /// neighbourhood symmetric -- see fixed_fraction_plan.
+  double spacing_guard = 0.6;
+};
+
+/// UPDEC_REFINE_FRACTION (refine_fraction), UPDEC_REFINE_CYCLES (cycles) and
+/// UPDEC_REFINE_MAX_NODES (max_nodes) over the defaults above; strict
+/// whole-string parses, malformed values keep the defaults.
+[[nodiscard]] RefineConfig refine_config_from_env();
+
+/// One planned adapt step against a specific cloud.
+struct RefinePlan {
+  std::vector<pc::Node> insertions;    ///< new interior nodes
+  std::vector<std::size_t> removals;   ///< interior indices of the old cloud
+  [[nodiscard]] bool empty() const {
+    return insertions.empty() && removals.empty();
+  }
+};
+
+/// Fixed-fraction selection from a nodal indicator (one value per node of
+/// ops.cloud(), boundary entries ignored). Every flagged node sprouts a
+/// symmetric CLUSTER of new nodes: the midpoints towards all of its stencil
+/// neighbours that clear the spacing guard (on a structured cloud, the
+/// surrounding cell centres), validated against the KD-tree so no
+/// near-duplicate is ever produced. Removals draw from the lowest-indicator
+/// interior nodes, never from the refine set.
+[[nodiscard]] RefinePlan fixed_fraction_plan(const rbf::RbffdOperators& ops,
+                                             const la::Vector& indicator,
+                                             const RefineConfig& config);
+
+/// Execute a plan: removals first, then insertions, canonical order
+/// preserved. `old_index` (optional) receives the composite map from new
+/// cloud indices to the ORIGINAL cloud's (-1 for inserted nodes) -- exactly
+/// what RbffdOperators' incremental rebuild wants.
+[[nodiscard]] pc::PointCloud apply_plan(
+    const pc::PointCloud& cloud, const RefinePlan& plan,
+    std::vector<std::ptrdiff_t>* old_index = nullptr);
+
+}  // namespace updec::refine

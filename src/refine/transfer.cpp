@@ -1,0 +1,77 @@
+#include "refine/transfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/robust_solve.hpp"
+#include "pointcloud/kdtree.hpp"
+#include "rbf/operators.hpp"
+#include "util/trace.hpp"
+
+namespace updec::refine {
+
+la::Vector transfer_field(const pc::PointCloud& from, const la::Vector& values,
+                          const pc::PointCloud& to, const rbf::Kernel& kernel,
+                          const rbf::RbffdConfig& config) {
+  UPDEC_TRACE_SCOPE("refine/transfer");
+  UPDEC_REQUIRE(values.size() == from.size(),
+                "one value per source node required");
+  UPDEC_REQUIRE(from.size() >= 2, "transfer needs a non-trivial source cloud");
+  const std::size_t k = std::min(config.stencil_size, from.size());
+  const rbf::MonomialBasis basis(config.poly_degree);
+  const std::size_t m = basis.size();
+  UPDEC_REQUIRE(k > m, "transfer stencil must exceed the polynomial basis");
+
+  const pc::KdTree tree(from);
+  const rbf::LinearOp identity = rbf::LinearOp::identity();
+  la::Vector out(to.size(), 0.0);
+
+  for (std::size_t t = 0; t < to.size(); ++t) {
+    const pc::Vec2 target = to.node(t).pos;
+    const std::vector<std::size_t> stencil = tree.k_nearest(target, k);
+    const double nearest = pc::distance(target, from.node(stencil[0]).pos);
+    if (nearest < 1e-12) {  // coincident node: copy, bit for bit
+      out[t] = values[stencil[0]];
+      continue;
+    }
+
+    // Scale the local frame by the stencil radius around the TARGET point
+    // (the evaluation site), mirroring the conditioning trick of the RBF-FD
+    // weight build; the identity operator needs no derivative rescaling.
+    double radius = 0.0;
+    for (const std::size_t j : stencil)
+      radius = std::max(radius, pc::distance(from.node(j).pos, target));
+    UPDEC_REQUIRE(radius > 0.0, "degenerate transfer stencil");
+    const double inv_h = 1.0 / radius;
+    std::vector<pc::Vec2> local(k);
+    for (std::size_t a = 0; a < k; ++a) {
+      const pc::Vec2 p = from.node(stencil[a]).pos;
+      local[a] = {(p.x - target.x) * inv_h, (p.y - target.y) * inv_h};
+    }
+
+    la::Matrix system(k + m, k + m, 0.0);
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k; ++b)
+        system(a, b) = kernel.phi(pc::distance(local[a], local[b]));
+      for (std::size_t q = 0; q < m; ++q) {
+        const double pv = basis.evaluate(q, local[a]);
+        system(a, k + q) = pv;
+        system(k + q, a) = pv;
+      }
+    }
+    la::Vector rhs(k + m, 0.0);
+    const pc::Vec2 origin{0.0, 0.0};
+    for (std::size_t b = 0; b < k; ++b)
+      rhs[b] = rbf::apply_kernel(kernel, identity, origin, local[b]);
+    for (std::size_t q = 0; q < m; ++q)
+      rhs[k + q] = basis.apply(q, identity, origin);
+
+    const la::Vector w = la::robust_lu_factor(system).solve(rhs);
+    double s = 0.0;
+    for (std::size_t a = 0; a < k; ++a) s += w[a] * values[stencil[a]];
+    out[t] = s;
+  }
+  return out;
+}
+
+}  // namespace updec::refine

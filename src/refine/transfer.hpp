@@ -1,0 +1,26 @@
+#pragma once
+/// \file transfer.hpp
+/// \brief Moving nodal fields between clouds across an adapt step: exact
+///        copy where a target node coincides with a source node, local
+///        RBF + polynomial interpolation over the k nearest source nodes
+///        elsewhere (same saddle-point fit as the RBF-FD stencils, with the
+///        identity operator evaluated at the off-centre target point).
+
+#include "la/dense.hpp"
+#include "pointcloud/cloud.hpp"
+#include "rbf/rbffd.hpp"
+
+namespace updec::refine {
+
+/// Interpolate `values` (one per node of `from`) onto the nodes of `to`.
+/// Exactly reproduces polynomials up to config.poly_degree; coincident
+/// nodes (distance < 1e-12) are copied bitwise, which is what makes the
+/// AdaptiveLoop's control/state transfer an identity on the protected
+/// boundary.
+[[nodiscard]] la::Vector transfer_field(const pc::PointCloud& from,
+                                        const la::Vector& values,
+                                        const pc::PointCloud& to,
+                                        const rbf::Kernel& kernel,
+                                        const rbf::RbffdConfig& config = {});
+
+}  // namespace updec::refine

@@ -15,6 +15,13 @@ LaplaceFdControlProblem::LaplaceFdControlProblem(
     const rbf::RbffdConfig& config, const la::RobustSolveOptions& solver)
     : solver_(grid_n, kernel, config, solver) {}
 
+LaplaceFdControlProblem::LaplaceFdControlProblem(
+    pc::PointCloud cloud, const rbf::Kernel& kernel,
+    const rbf::RbffdConfig& config, const la::RobustSolveOptions& solver,
+    const rbf::RbffdOperators* previous,
+    const std::vector<std::ptrdiff_t>* old_index)
+    : solver_(std::move(cloud), kernel, config, solver, previous, old_index) {}
+
 double LaplaceFdControlProblem::cost(const la::Vector& control) const {
   return cost_from_flux(solver_.flux_top(solver_.solve(control)));
 }
@@ -68,6 +75,11 @@ class LaplaceFdDalStrategy final : public control::GradientStrategy {
 
   [[nodiscard]] std::string name() const override { return "DAL-sparse"; }
 
+  bool set_adjoint_observer(control::AdjointObserver* observer) override {
+    observer_ = observer;
+    return true;
+  }
+
   double value_and_gradient(const la::Vector& control,
                             la::Vector& gradient) override {
     const auto& solver = problem_->solver();
@@ -83,11 +95,15 @@ class LaplaceFdDalStrategy final : public control::GradientStrategy {
     adjoint_report.require_converged("laplace-fd DAL adjoint solve");
     gradient = gradient_from_lambda_flux(solver, problem_->control_size(),
                                          solver.flux_top(lambda));
+    // Both nodal fields are in hand anyway -- hand them to the estimator
+    // (src/refine) before they go out of scope.
+    if (observer_) observer_->on_adjoint_pair(u, lambda);
     return j;
   }
 
  private:
   std::shared_ptr<const LaplaceFdControlProblem> problem_;
+  control::AdjointObserver* observer_ = nullptr;
 };
 
 /// DAL with both solves routed through the RomSolver. Each solve carries

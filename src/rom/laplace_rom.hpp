@@ -27,6 +27,17 @@ class LaplaceFdControlProblem final : public control::ControlProblem {
                           const rbf::RbffdConfig& config = {},
                           const la::RobustSolveOptions& solver = {});
 
+  /// Build over an explicit (e.g. adaptively refined) cloud; `previous` /
+  /// `old_index` route stencil assembly through RbffdOperators' incremental
+  /// path. See pde::LaplaceFdSolver's cloud constructor for the layout
+  /// contract.
+  LaplaceFdControlProblem(pc::PointCloud cloud, const rbf::Kernel& kernel,
+                          const rbf::RbffdConfig& config = {},
+                          const la::RobustSolveOptions& solver = {},
+                          const rbf::RbffdOperators* previous = nullptr,
+                          const std::vector<std::ptrdiff_t>* old_index =
+                              nullptr);
+
   [[nodiscard]] std::string name() const override { return "laplace-fd"; }
   [[nodiscard]] std::size_t control_size() const override {
     return solver_.num_control();

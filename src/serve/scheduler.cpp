@@ -15,6 +15,7 @@
 #include "control/driver.hpp"
 #include "control/laplace_problem.hpp"
 #include "pointcloud/generators.hpp"
+#include "refine/adaptive_loop.hpp"
 #include "rom/config.hpp"
 #include "rom/laplace_rom.hpp"
 #include "rom/snapshot_bank.hpp"
@@ -186,6 +187,55 @@ std::shared_ptr<const LaplaceRomBundle> laplace_rom_bundle(
       "rom-bundle");
 }
 
+/// The adaptively refined family bundle: the cloud grown by
+/// refine::AdaptiveLoop from the scenario's base grid, wrapped as a sparse
+/// Laplace problem ready for per-job DAL runs. The adaptation itself runs
+/// with a FIXED internal optimisation budget -- the artefact must depend on
+/// the discretisation + refinement knobs only, never on a particular job's
+/// iteration budget, or two jobs of the same family would disagree about
+/// which cloud they share.
+struct LaplaceRefinedBundle {
+  std::unique_ptr<const rbf::Kernel> kernel;
+  std::shared_ptr<rom::LaplaceFdControlProblem> problem;
+};
+
+std::shared_ptr<const LaplaceRefinedBundle> laplace_refined_bundle(
+    OperatorCache& cache, const Scenario& sc) {
+  const rbf::PolyharmonicSpline probe_kernel(3);
+  refine::RefineConfig rc;
+  rc.cycles = sc.refine_cycles;
+  if (sc.refine_fraction > 0.0 && sc.refine_fraction < 1.0)
+    rc.refine_fraction = sc.refine_fraction;
+  KeyBuilder kb("laplace-refined-bundle");
+  kb.add(static_cast<std::uint64_t>(sc.grid_n));
+  kb.add(static_cast<std::int64_t>(sc.poly_degree));
+  kb.add(fingerprint(probe_kernel));
+  // The refinement level: every knob that shapes the adapted cloud. Two
+  // levels must never alias (the cloud IS the artefact).
+  kb.add(static_cast<std::uint64_t>(rc.cycles));
+  kb.add(rc.refine_fraction);
+  kb.add(rc.coarsen_fraction);
+  kb.add(static_cast<std::uint64_t>(rc.max_nodes));
+  return cache.get_or_compute<LaplaceRefinedBundle>(
+      kb.key(),
+      [&sc, &rc] {
+        UPDEC_TRACE_SCOPE("serve/build_laplace_refined_bundle");
+        auto bundle = std::make_shared<LaplaceRefinedBundle>();
+        bundle->kernel = std::make_unique<rbf::PolyharmonicSpline>(3);
+        refine::AdaptiveOptions options;
+        options.refine = rc;
+        refine::AdaptiveLoop loop(sc.grid_n, *bundle->kernel, options);
+        bundle->problem = loop.run().problem;
+        const la::CsrMatrix& m = bundle->problem->solver().op().matrix();
+        const std::size_t bytes =
+            (m.values().size() + m.col_idx().size()) * sizeof(double) +
+            m.row_ptr().size() * sizeof(std::size_t);
+        return OperatorCache::Sized<LaplaceRefinedBundle>{std::move(bundle),
+                                                          bytes};
+      },
+      "refined-bundle");
+}
+
 /// A built job: the strategy plus whatever owns the problem's lifetime.
 struct Built {
   std::shared_ptr<const control::ControlProblem> problem;
@@ -204,6 +254,18 @@ struct ChannelHolder {
 Built build_job(const Scenario& sc, OperatorCache& cache) {
   Built built;
   if (sc.problem == ProblemKind::kLaplace) {
+    if (sc.strategy == Strategy::kDal && sc.refine_cycles > 0) {
+      // Refined-cloud serving: the job runs full DAL on the adapted cloud.
+      // Takes precedence over the ROM reroute -- the ROM bundle's POD basis
+      // belongs to the uniform operator and must not be mixed with a
+      // refined discretisation.
+      std::shared_ptr<const LaplaceRefinedBundle> bundle =
+          laplace_refined_bundle(cache, sc);
+      built.strategy = rom::make_laplace_fd_dal(bundle->problem);
+      built.problem = bundle->problem;
+      built.keepalive = bundle;
+      return built;
+    }
     if (sc.strategy == Strategy::kDal) {
       // UPDEC_ROM=1 reroutes Laplace DAL jobs through the reduced-order
       // tier: same cost functional, but the inner PDE solves go to a shared

@@ -84,6 +84,15 @@ struct Scenario {
   /// default (SchedulerOptions::default_deadline_ms), which itself
   /// defaults to "no deadline".
   double deadline_ms = 0.0;
+
+  // Adaptive refinement (Laplace DAL only). refine_cycles > 0 serves the
+  // job on an adjoint-adapted cloud grown from grid_n by that many
+  // refine::AdaptiveLoop cycles; the refined discretisation is a cached
+  // family artefact, so the cycle count and fraction are part of every
+  // operator fingerprint (a refined cloud must never alias the uniform one,
+  // or another refinement level, in the cache or in shard routing).
+  std::size_t refine_cycles = 0;
+  double refine_fraction = 0.0;   ///< <= 0 uses RefineConfig's default
 };
 
 enum class JobStatus : std::uint8_t {

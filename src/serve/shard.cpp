@@ -52,6 +52,11 @@ std::uint64_t scenario_fingerprint(const Scenario& scenario) {
     kb.add(scenario.reynolds);
   }
   kb.add(static_cast<std::int64_t>(scenario.poly_degree));
+  // Refinement level: a refined cloud is a different discretisation family
+  // than the uniform one (and than any other cycle count / fraction), so it
+  // must route to its own shard affinity, mirroring the refined-bundle key.
+  kb.add(static_cast<std::uint64_t>(scenario.refine_cycles));
+  kb.add(scenario.refine_fraction);
   const CacheKey key = kb.key();
   return key.hi ^ key.lo;
 }

@@ -118,6 +118,8 @@ void put_scenario(Writer& w, const Scenario& sc) {
   w.u64(sc.seed);
   w.f64(sc.control_jitter);
   w.f64(sc.deadline_ms);
+  w.u64(sc.refine_cycles);
+  w.f64(sc.refine_fraction);
 }
 
 Scenario get_scenario(Reader& r) {
@@ -139,6 +141,8 @@ Scenario get_scenario(Reader& r) {
   sc.seed = r.u64();
   sc.control_jitter = r.f64();
   sc.deadline_ms = r.f64();
+  sc.refine_cycles = static_cast<std::size_t>(r.u64());
+  sc.refine_fraction = r.f64();
   return sc;
 }
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "testing_common.hpp"
@@ -259,5 +260,110 @@ TEST_P(KdTreeSorted, DistancesAscending) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, KdTreeSorted, ::testing::Values(1, 2, 4, 8));
+
+/// Strongly clustered point set: tight gaussian blobs plus sparse outliers,
+/// the geometry adaptive refinement produces. Depth-first pruning bugs only
+/// show up when many points share a tiny bounding region.
+std::vector<Vec2> clustered_points(updec::Rng& rng, std::size_t n) {
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  const std::vector<Vec2> centres = {{0.2, 0.2}, {0.8, 0.3}, {0.5, 0.9}};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 5 == 4) {
+      pts.push_back({rng.uniform(), rng.uniform()});  // outlier
+    } else {
+      const Vec2& c = centres[i % centres.size()];
+      pts.push_back({c.x + rng.normal(0.0, 0.01), c.y + rng.normal(0.0, 0.01)});
+    }
+  }
+  return pts;
+}
+
+TEST(KdTree, KNearestMatchesBruteForceOnClusteredCloud) {
+  updec::Rng rng = updec::testing_support::test_rng(31);
+  const std::vector<Vec2> pts = clustered_points(rng, 400);
+  const KdTree tree(pts);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Query from inside a blob half the time, from open space otherwise.
+    const Vec2 q = trial % 2 == 0 ? pts[rng.uniform_index(pts.size())]
+                                  : Vec2{rng.uniform(), rng.uniform()};
+    const std::size_t k = 1 + rng.uniform_index(20);
+    const auto result = tree.k_nearest(q, k);
+    ASSERT_EQ(result.size(), k);
+    std::vector<std::size_t> idx(pts.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      const double da = updec::pc::distance(pts[a], q);
+      const double db = updec::pc::distance(pts[b], q);
+      if (da != db) return da < db;
+      return a < b;
+    });
+    for (std::size_t i = 0; i < k; ++i)
+      EXPECT_NEAR(updec::pc::distance(pts[result[i]], q),
+                  updec::pc::distance(pts[idx[i]], q), 1e-12)
+          << "rank " << i << " of k=" << k;
+  }
+}
+
+TEST(KdTree, RadiusZeroFindsExactlyCoincidentPoints) {
+  // r = 0 is a legitimate query (the refinement planner's degenerate-spacing
+  // guard): only points bitwise at the query may come back.
+  std::vector<Vec2> pts = {{0.25, 0.25}, {0.5, 0.5}, {0.25, 0.25},
+                           {0.75, 0.25}, {0.25, 0.25}};
+  const KdTree tree(pts);
+  auto hits = tree.radius_search({0.25, 0.25}, 0.0);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_TRUE(tree.radius_search({0.25 + 1e-12, 0.25}, 0.0).empty());
+}
+
+TEST(KdTree, DuplicatePointsAreAllReportedWithinRadius) {
+  updec::Rng rng = updec::testing_support::test_rng(33);
+  std::vector<Vec2> pts(64);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  // Triplicate one point; every copy must be found, k-NN must not lose any.
+  pts.push_back(pts[10]);
+  pts.push_back(pts[10]);
+  const KdTree tree(pts);
+  auto hits = tree.radius_search(pts[10], 1e-15);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::size_t>{10, 64, 65}));
+  const auto nn = tree.k_nearest(pts[10], 3);
+  for (const std::size_t i : nn)
+    EXPECT_NEAR(updec::pc::distance(pts[i], pts[10]), 0.0, 1e-15);
+}
+
+TEST(Cloud, MeanSpacingMatchesBruteForceReference) {
+  // The KD-tree fast path must agree with the O(n^2) nearest-neighbour
+  // definition it replaced, on both structured and clustered clouds.
+  updec::Rng rng = updec::testing_support::test_rng(35);
+  const std::vector<Vec2> clustered = clustered_points(rng, 150);
+  std::vector<PointCloud> clouds;
+  clouds.push_back(updec::pc::unit_square_grid(9, 9));
+  {
+    std::vector<Node> nodes(clustered.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) nodes[i].pos = clustered[i];
+    clouds.emplace_back(std::move(nodes));
+  }
+  for (const PointCloud& cloud : clouds) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < cloud.size(); ++j)
+        if (j != i)
+          best = std::min(
+              best, updec::pc::distance(cloud.node(i).pos, cloud.node(j).pos));
+      total += best;
+    }
+    const double reference = total / static_cast<double>(cloud.size());
+    EXPECT_NEAR(cloud.mean_spacing(), reference, 1e-13 + 1e-12 * reference);
+  }
+}
+
+TEST(Cloud, MeanSpacingDegenerateSizes) {
+  EXPECT_DOUBLE_EQ(PointCloud().mean_spacing(), 0.0);
+  std::vector<Node> one(1);
+  EXPECT_DOUBLE_EQ(PointCloud(std::move(one)).mean_spacing(), 0.0);
+}
 
 }  // namespace

@@ -45,6 +45,9 @@ FamilyBudget budget_for(const std::string& name) {
   // sharded_vs_single forks 1- and 4-shard worker pools per trial and runs
   // the batch three ways; one modest batch exercises the whole boundary.
   if (name == "sharded_vs_single") return {6, 1};
+  // refinement_vs_uniform runs three full DAL optimize rounds plus two
+  // adapt/transfer steps per trial; two trials cover the size range.
+  if (name == "refinement_vs_uniform") return {13, 2};
   return {32, 3};
 }
 

@@ -232,6 +232,31 @@ TEST(Rbffd, StencilSizeValidation) {
   EXPECT_THROW(RbffdOperators(cloud, phs, huge), updec::Error);
 }
 
+TEST(Rbffd, DegenerateStencilThrowsCleanlyAcrossOmpThreads) {
+  // Regression: the per-row saddle solves run inside an OpenMP parallel
+  // region, and the degenerate-stencil UPDEC_REQUIRE (thrown for the
+  // zero-radius stencils a duplicated node produces) used to escape the
+  // region and std::terminate the process. The loop must park the first
+  // exception and rethrow it as a catchable updec::Error after joining.
+  std::vector<Node> nodes;
+  for (int i = 0; i < 13; ++i) {
+    Node node;
+    node.pos = {0.5, 0.5};  // 13 coincident nodes: stencil radius == 0
+    nodes.push_back(node);
+  }
+  updec::Rng rng = updec::testing_support::test_rng(41);
+  for (int i = 0; i < 12; ++i) {
+    Node node;
+    node.pos = {rng.uniform(), rng.uniform()};
+    nodes.push_back(node);
+  }
+  const PointCloud cloud(std::move(nodes));
+  const PolyharmonicSpline phs(3);
+  const RbffdOperators ops(cloud, phs);
+  EXPECT_THROW(ops.laplacian(), updec::Error);
+  EXPECT_THROW(ops.dx(), updec::Error);
+}
+
 TEST(Rbffd, MatrixStructure) {
   const PointCloud cloud = updec::pc::unit_square_grid(9, 9);
   const PolyharmonicSpline phs(3);

@@ -1,0 +1,385 @@
+// Tests for src/refine: the adjoint-weighted residual indicator, the
+// fixed-fraction refine/coarsen planner (boundary protection, spacing
+// guard, node cap, determinism), plan application with old-index mapping,
+// cross-cloud field transfer, the incremental stencil rebuild's bitwise
+// equivalence with a from-scratch build, and the AdaptiveLoop end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "control/driver.hpp"
+#include "pde/laplace.hpp"
+#include "rbf/kernels.hpp"
+#include "refine/adaptive_loop.hpp"
+#include "refine/indicator.hpp"
+#include "refine/refiner.hpp"
+#include "refine/transfer.hpp"
+#include "rom/laplace_rom.hpp"
+#include "testing_common.hpp"
+
+namespace {
+
+using updec::la::Vector;
+using updec::pc::BoundaryKind;
+using updec::pc::PointCloud;
+using updec::pc::Vec2;
+using updec::rbf::PolyharmonicSpline;
+using updec::rbf::RbffdConfig;
+using updec::rbf::RbffdOperators;
+namespace refine = updec::refine;
+namespace rom = updec::rom;
+
+/// One converged-ish (state, adjoint) pair off the DAL strategy, the input
+/// the indicator consumes in production.
+class PairCapture final : public updec::control::AdjointObserver {
+ public:
+  void on_adjoint_pair(const Vector& state, const Vector& adjoint) override {
+    state_ = state;
+    adjoint_ = adjoint;
+  }
+  Vector state_, adjoint_;
+};
+
+struct SolvedProblem {
+  std::shared_ptr<rom::LaplaceFdControlProblem> problem;
+  Vector control;
+  Vector state, adjoint;
+};
+
+SolvedProblem solve_small(std::size_t grid_n, std::size_t iterations) {
+  static const PolyharmonicSpline kernel(3);
+  SolvedProblem out;
+  out.problem =
+      std::make_shared<rom::LaplaceFdControlProblem>(grid_n, kernel);
+  const auto strategy = rom::make_laplace_fd_dal(out.problem);
+  PairCapture capture;
+  EXPECT_TRUE(strategy->set_adjoint_observer(&capture));
+  updec::control::DriverOptions options;
+  options.iterations = iterations;
+  options.initial_learning_rate = 1e-2;
+  updec::control::DriverResult result = updec::control::optimize_from(
+      out.problem->initial_control(), *strategy, options);
+  EXPECT_FALSE(result.aborted);
+  out.control = std::move(result.control);
+  out.state = std::move(capture.state_);
+  out.adjoint = std::move(capture.adjoint_);
+  return out;
+}
+
+// ---- indicator -----------------------------------------------------------
+
+TEST(Indicator, ZeroOnBoundaryNonNegativeAndLiveInside) {
+  const SolvedProblem s = solve_small(10, 40);
+  const PointCloud& cloud = s.problem->solver().cloud();
+  const Vector eta = refine::adjoint_weighted_residual(
+      s.problem->solver(), s.state, s.adjoint);
+  ASSERT_EQ(eta.size(), cloud.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < eta.size(); ++i) {
+    EXPECT_GE(eta[i], 0.0) << "indicator must be a magnitude, node " << i;
+    if (cloud.node(i).kind != BoundaryKind::kInternal) {
+      EXPECT_EQ(eta[i], 0.0) << "boundary rows carry BCs, not the PDE";
+    }
+    total += eta[i];
+  }
+  EXPECT_GT(total, 0.0) << "a discrete solve has discretisation error";
+}
+
+// ---- planner -------------------------------------------------------------
+
+/// Synthetic indicator peaked at the domain centre: deterministic and
+/// independent of any solve.
+Vector centre_peaked_indicator(const PointCloud& cloud) {
+  Vector eta(cloud.size(), 0.0);
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    if (cloud.node(i).kind != BoundaryKind::kInternal) continue;
+    const Vec2 p = cloud.node(i).pos;
+    const double dx = p.x - 0.5, dy = p.y - 0.5;
+    eta[i] = std::exp(-8.0 * (dx * dx + dy * dy));
+  }
+  return eta;
+}
+
+TEST(Planner, HonoursFractionsBoundariesAndGuard) {
+  static const PolyharmonicSpline kernel(3);
+  const rom::LaplaceFdControlProblem problem(12, kernel);
+  const RbffdOperators& ops = problem.solver().operators();
+  const PointCloud& cloud = ops.cloud();
+  const Vector eta = centre_peaked_indicator(cloud);
+
+  refine::RefineConfig config;
+  config.refine_fraction = 0.15;
+  config.coarsen_fraction = 0.05;
+  const refine::RefinePlan plan = refine::fixed_fraction_plan(ops, eta, config);
+
+  // Enough interior nodes carry a positive indicator for the full fraction.
+  std::size_t interior = 0;
+  for (std::size_t i = 0; i < cloud.size(); ++i)
+    if (cloud.node(i).tag == updec::pc::tags::kInterior) ++interior;
+  const auto n_coarsen = static_cast<std::size_t>(
+      std::floor(config.coarsen_fraction * static_cast<double>(interior)));
+  EXPECT_FALSE(plan.insertions.empty());
+  EXPECT_LE(plan.removals.size(), n_coarsen);
+
+  const double h = cloud.mean_spacing();
+  for (const updec::pc::Node& node : plan.insertions) {
+    EXPECT_EQ(node.kind, BoundaryKind::kInternal);
+    // The spacing guard: no insertion may crowd an existing node. Guarded
+    // at 0.6 of the LOCAL spacing; on this uniform grid local == mean.
+    double nearest = 1e30;
+    for (std::size_t i = 0; i < cloud.size(); ++i)
+      nearest = std::min(nearest,
+                         updec::pc::distance(node.pos, cloud.node(i).pos));
+    EXPECT_GE(nearest, 0.59 * h);
+  }
+  // Pairwise: accepted insertions never crowd each other either.
+  for (std::size_t a = 0; a < plan.insertions.size(); ++a)
+    for (std::size_t b = a + 1; b < plan.insertions.size(); ++b)
+      EXPECT_GE(updec::pc::distance(plan.insertions[a].pos,
+                                    plan.insertions[b].pos),
+                0.59 * h);
+
+  for (const std::size_t victim : plan.removals) {
+    EXPECT_EQ(cloud.node(victim).kind, BoundaryKind::kInternal);
+    // Boundary-layer protection: no removed node's stencil touches a wall.
+    for (const std::size_t j : ops.stencil(victim))
+      EXPECT_EQ(cloud.node(j).kind, BoundaryKind::kInternal)
+          << "victim " << victim << " supports boundary row neighbour " << j;
+    // Coarsening draws from the BOTTOM of the ranking, never the flag set:
+    // everything removed scores below everything the peak flagged.
+    EXPECT_LT(eta[victim], 0.5);
+  }
+
+  // Deterministic: the identical call yields the identical plan.
+  const refine::RefinePlan again =
+      refine::fixed_fraction_plan(ops, eta, config);
+  ASSERT_EQ(again.insertions.size(), plan.insertions.size());
+  ASSERT_EQ(again.removals, plan.removals);
+  for (std::size_t i = 0; i < plan.insertions.size(); ++i) {
+    EXPECT_EQ(again.insertions[i].pos.x, plan.insertions[i].pos.x);
+    EXPECT_EQ(again.insertions[i].pos.y, plan.insertions[i].pos.y);
+  }
+}
+
+TEST(Planner, MaxNodesCapsGrowth) {
+  static const PolyharmonicSpline kernel(3);
+  const rom::LaplaceFdControlProblem problem(10, kernel);
+  const RbffdOperators& ops = problem.solver().operators();
+  const Vector eta = centre_peaked_indicator(ops.cloud());
+
+  refine::RefineConfig config;
+  config.refine_fraction = 0.3;
+  config.coarsen_fraction = 0.0;
+  config.max_nodes = ops.cloud().size() + 7;
+  const refine::RefinePlan plan = refine::fixed_fraction_plan(ops, eta, config);
+  const std::size_t after =
+      ops.cloud().size() - plan.removals.size() + plan.insertions.size();
+  EXPECT_LE(after, config.max_nodes);
+  EXPECT_FALSE(plan.insertions.empty());
+}
+
+TEST(Planner, ZeroIndicatorPlansNothingToRefine) {
+  static const PolyharmonicSpline kernel(3);
+  const rom::LaplaceFdControlProblem problem(8, kernel);
+  const RbffdOperators& ops = problem.solver().operators();
+  const Vector eta(ops.cloud().size(), 0.0);
+  refine::RefineConfig config;
+  config.coarsen_fraction = 0.0;
+  const refine::RefinePlan plan = refine::fixed_fraction_plan(ops, eta, config);
+  EXPECT_TRUE(plan.empty()) << "nothing stands out, nothing to refine";
+}
+
+TEST(Planner, EnvKnobsOverrideDefaultsStrictly) {
+  ::setenv("UPDEC_REFINE_FRACTION", "0.25", 1);
+  ::setenv("UPDEC_REFINE_CYCLES", "5", 1);
+  ::setenv("UPDEC_REFINE_MAX_NODES", "900", 1);
+  refine::RefineConfig config = refine::refine_config_from_env();
+  EXPECT_DOUBLE_EQ(config.refine_fraction, 0.25);
+  EXPECT_EQ(config.cycles, 5u);
+  EXPECT_EQ(config.max_nodes, 900u);
+
+  ::setenv("UPDEC_REFINE_FRACTION", "1.5", 1);  // out of range: keep default
+  config = refine::refine_config_from_env();
+  EXPECT_DOUBLE_EQ(config.refine_fraction, refine::RefineConfig{}.refine_fraction);
+
+  ::unsetenv("UPDEC_REFINE_FRACTION");
+  ::unsetenv("UPDEC_REFINE_CYCLES");
+  ::unsetenv("UPDEC_REFINE_MAX_NODES");
+  config = refine::refine_config_from_env();
+  EXPECT_EQ(config.cycles, refine::RefineConfig{}.cycles);
+  EXPECT_EQ(config.max_nodes, refine::RefineConfig{}.max_nodes);
+}
+
+// ---- apply_plan ----------------------------------------------------------
+
+TEST(ApplyPlan, OldIndexMapsSurvivorsAndMarksInsertions) {
+  static const PolyharmonicSpline kernel(3);
+  const rom::LaplaceFdControlProblem problem(10, kernel);
+  const RbffdOperators& ops = problem.solver().operators();
+  const PointCloud& cloud = ops.cloud();
+  const refine::RefinePlan plan = refine::fixed_fraction_plan(
+      ops, centre_peaked_indicator(cloud), refine::RefineConfig{});
+  ASSERT_FALSE(plan.empty());
+
+  std::vector<std::ptrdiff_t> old_index;
+  const PointCloud out = refine::apply_plan(cloud, plan, &old_index);
+  ASSERT_EQ(out.size(),
+            cloud.size() - plan.removals.size() + plan.insertions.size());
+  ASSERT_EQ(old_index.size(), out.size());
+
+  const std::set<std::size_t> removed(plan.removals.begin(),
+                                      plan.removals.end());
+  std::size_t fresh = 0;
+  std::set<std::ptrdiff_t> sources;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::ptrdiff_t via = old_index[i];
+    if (via < 0) {
+      ++fresh;
+      continue;
+    }
+    // A survivor maps to its ORIGINAL index: same position bitwise, and
+    // never to a removed node. Each source appears exactly once.
+    EXPECT_TRUE(sources.insert(via).second);
+    EXPECT_EQ(removed.count(static_cast<std::size_t>(via)), 0u);
+    EXPECT_EQ(out.node(i).pos.x,
+              cloud.node(static_cast<std::size_t>(via)).pos.x);
+    EXPECT_EQ(out.node(i).pos.y,
+              cloud.node(static_cast<std::size_t>(via)).pos.y);
+  }
+  EXPECT_EQ(fresh, plan.insertions.size());
+  // Boundary layout untouched: same boundary blocks in the same order.
+  ASSERT_EQ(out.num_boundary(), cloud.num_boundary());
+}
+
+TEST(ApplyPlan, RefusesToTouchBoundaryNodes) {
+  static const PolyharmonicSpline kernel(3);
+  const rom::LaplaceFdControlProblem problem(8, kernel);
+  const PointCloud& cloud = problem.solver().cloud();
+  refine::RefinePlan bad_removal;
+  bad_removal.removals.push_back(cloud.size() - 1);  // a boundary node
+  EXPECT_THROW(refine::apply_plan(cloud, bad_removal), updec::Error);
+
+  refine::RefinePlan bad_insert;
+  updec::pc::Node node;
+  node.pos = {0.5, 0.5};
+  node.kind = BoundaryKind::kDirichlet;
+  bad_insert.insertions.push_back(node);
+  EXPECT_THROW(refine::apply_plan(cloud, bad_insert), updec::Error);
+}
+
+// ---- transfer ------------------------------------------------------------
+
+TEST(Transfer, ExactOnLinearsAndBitwiseOnCoincidentNodes) {
+  static const PolyharmonicSpline kernel(3);
+  const rom::LaplaceFdControlProblem problem(10, kernel);
+  const RbffdOperators& ops = problem.solver().operators();
+  const PointCloud& from = ops.cloud();
+  const refine::RefinePlan plan = refine::fixed_fraction_plan(
+      ops, centre_peaked_indicator(from), refine::RefineConfig{});
+  std::vector<std::ptrdiff_t> old_index;
+  const PointCloud to = refine::apply_plan(from, plan, &old_index);
+
+  // f is linear: the degree-1 appended basis reproduces it exactly even at
+  // genuinely off-centre insertion points.
+  Vector values(from.size());
+  for (std::size_t i = 0; i < from.size(); ++i)
+    values[i] = 0.75 - 2.0 * from.node(i).pos.x + 3.0 * from.node(i).pos.y;
+  const Vector moved = refine::transfer_field(from, values, to, kernel);
+  ASSERT_EQ(moved.size(), to.size());
+  for (std::size_t i = 0; i < to.size(); ++i) {
+    const double exact =
+        0.75 - 2.0 * to.node(i).pos.x + 3.0 * to.node(i).pos.y;
+    EXPECT_NEAR(moved[i], exact, 1e-9) << "node " << i;
+    if (old_index[i] >= 0) {
+      EXPECT_EQ(moved[i], values[static_cast<std::size_t>(old_index[i])])
+          << "coincident nodes must copy bitwise, node " << i;
+    }
+  }
+}
+
+// ---- incremental stencil rebuild -----------------------------------------
+
+TEST(IncrementalRebuild, BitwiseEqualToFromScratchOperators) {
+  static const PolyharmonicSpline kernel(3);
+  const rom::LaplaceFdControlProblem problem(11, kernel);
+  const RbffdOperators& previous = problem.solver().operators();
+  const refine::RefinePlan plan = refine::fixed_fraction_plan(
+      previous, centre_peaked_indicator(previous.cloud()),
+      refine::RefineConfig{});
+  ASSERT_FALSE(plan.empty());
+  std::vector<std::ptrdiff_t> old_index;
+  const PointCloud adapted =
+      refine::apply_plan(previous.cloud(), plan, &old_index);
+
+  const RbffdOperators incremental(adapted, previous, old_index);
+  const RbffdOperators scratch(adapted, kernel);
+  const std::pair<const updec::la::CsrMatrix*, const updec::la::CsrMatrix*>
+      pairs[] = {{&incremental.dx(), &scratch.dx()},
+                 {&incremental.dy(), &scratch.dy()},
+                 {&incremental.laplacian(), &scratch.laplacian()}};
+  for (const auto& pair : pairs) {
+    const updec::la::CsrMatrix& a = *pair.first;
+    const updec::la::CsrMatrix& b = *pair.second;
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.row_ptr(), b.row_ptr());
+    ASSERT_EQ(a.col_idx(), b.col_idx());
+    ASSERT_EQ(a.values().size(), b.values().size());
+    for (std::size_t i = 0; i < a.values().size(); ++i)
+      ASSERT_EQ(a.values()[i], b.values()[i]) << "nnz entry " << i;
+  }
+  // Reuse must actually happen: the adapt step touches a localized region,
+  // so most rows far from it copy straight over.
+  EXPECT_GT(incremental.rows_reused(), 0u);
+  EXPECT_GT(incremental.rows_recomputed(), 0u);
+  EXPECT_EQ(incremental.rows_reused() + incremental.rows_recomputed(),
+            3 * adapted.size());
+  EXPECT_EQ(scratch.rows_reused(), 0u);
+}
+
+// ---- adaptive loop end to end --------------------------------------------
+
+TEST(AdaptiveLoop, RunsCyclesPreservesControlLayoutAndStaysFinite) {
+  const PolyharmonicSpline kernel(3);
+  refine::AdaptiveOptions options;
+  options.refine.cycles = 1;
+  options.refine.refine_fraction = 0.15;
+  options.driver.iterations = 120;  // converged enough for a live indicator
+  const refine::AdaptiveResult result =
+      refine::AdaptiveLoop(10, kernel, options).run();
+
+  ASSERT_FALSE(result.cycles.empty());
+  ASSERT_LE(result.cycles.size(), options.refine.cycles + 1);
+  EXPECT_EQ(result.control.size(), result.problem->control_size());
+  EXPECT_EQ(result.control.size(),
+            rom::LaplaceFdControlProblem(10, kernel).control_size())
+      << "adaptation must never change the control DOF layout";
+  EXPECT_TRUE(std::isfinite(result.final_cost));
+  EXPECT_EQ(result.final_cost, result.cycles.back().cost);
+
+  const refine::CycleReport& first = result.cycles.front();
+  EXPECT_EQ(first.nodes, result.problem->solver().cloud().size() -
+                             first.inserted + first.removed)
+      << "cycle report accounting must match the final cloud";
+  EXPECT_GT(first.indicator_total, 0.0);
+  if (result.cycles.size() > 1) {
+    EXPECT_GT(first.inserted, 0u);
+    EXPECT_GT(first.stencil_rows_reused, 0u);
+    EXPECT_TRUE(std::isfinite(first.transferred_cost));
+  }
+}
+
+TEST(AdaptiveLoop, RejectsDegenerateSetups) {
+  const PolyharmonicSpline kernel(3);
+  EXPECT_THROW(refine::AdaptiveLoop(2, kernel), updec::Error);
+  refine::AdaptiveOptions options;
+  options.driver.iterations = 0;
+  EXPECT_THROW(refine::AdaptiveLoop(10, kernel, options), updec::Error);
+}
+
+}  // namespace

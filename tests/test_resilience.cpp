@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <string>
 
@@ -447,6 +449,84 @@ TEST_F(ResilienceTest, CheckpointResumeReplaysTrajectoryExactly) {
   for (std::size_t i = 0; i < full.control.size(); ++i)
     EXPECT_DOUBLE_EQ(resumed.control[i], full.control[i]);
 
+  std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, CheckpointV2ResumeKeepsPerIterationArraysAligned) {
+  // Regression: v1 checkpoints only persisted cost_history, so a resumed
+  // DriverResult's grad_norm_history / iteration_seconds restarted at the
+  // resume point and fell out of alignment with cost_history. v2 persists
+  // all three.
+  const Vector target{1.5, -0.5, 2.0};
+  const std::string path = ::testing::TempDir() + "updec_v2_ckpt.txt";
+  DriverOptions options = quad_options(60);
+  options.checkpoint_every = 25;
+  options.checkpoint_path = path;
+  QuadraticStrategy full_strategy(target);
+  const DriverResult full = updec::control::optimize_from(
+      Vector(3, 0.0), full_strategy, options);
+
+  QuadraticStrategy resumed_strategy(target);
+  const DriverResult resumed =
+      updec::control::optimize_resume(path, resumed_strategy, options);
+  ASSERT_EQ(resumed.cost_history.size(), 60u);
+  ASSERT_EQ(resumed.grad_norm_history.size(), resumed.cost_history.size());
+  ASSERT_EQ(resumed.iteration_seconds.size(), resumed.cost_history.size());
+  // Gradient norms are deterministic, so the checkpointed prefix AND the
+  // recomputed suffix must both match the uninterrupted run bit for bit.
+  for (std::size_t i = 0; i < 60; ++i)
+    EXPECT_DOUBLE_EQ(resumed.grad_norm_history[i], full.grad_norm_history[i])
+        << "grad-norm history diverged at iteration " << i;
+  std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, CheckpointV1IsStillReadableWithZeroBackfill) {
+  // Old on-disk checkpoints must keep resuming. Rewrite a fresh v2 file
+  // into the v1 layout (no grad_norms / iter_seconds lines) and resume
+  // from it: the missing arrays are zero-backfilled to cost_history's
+  // length, never left short.
+  const Vector target{1.0, 2.0};
+  const std::string path = ::testing::TempDir() + "updec_v1_ckpt.txt";
+  DriverOptions options = quad_options(60);
+  options.checkpoint_every = 25;
+  options.checkpoint_path = path;
+  QuadraticStrategy strategy(target);
+  const DriverResult full =
+      updec::control::optimize_from(Vector(2, 0.0), strategy, options);
+
+  std::string v1;
+  {
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.rfind("updec-checkpoint v2", 0) == 0)
+        line = "updec-checkpoint v1";
+      if (line.rfind("grad_norms ", 0) == 0 ||
+          line.rfind("iter_seconds ", 0) == 0)
+        continue;
+      v1 += line + '\n';
+    }
+  }
+  {
+    std::ofstream os(path);
+    os << v1;
+  }
+
+  QuadraticStrategy resumed_strategy(target);
+  const DriverResult resumed =
+      updec::control::optimize_resume(path, resumed_strategy, options);
+  ASSERT_EQ(resumed.cost_history.size(), 60u);
+  for (std::size_t i = 0; i < 60; ++i)
+    EXPECT_DOUBLE_EQ(resumed.cost_history[i], full.cost_history[i]);
+  // The checkpoint landed at iteration 50: the backfilled prefix is zero,
+  // the 10 live iterations carry real gradient norms.
+  ASSERT_EQ(resumed.grad_norm_history.size(), 60u);
+  ASSERT_EQ(resumed.iteration_seconds.size(), 60u);
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_DOUBLE_EQ(resumed.grad_norm_history[i], 0.0);
+  for (std::size_t i = 50; i < 60; ++i)
+    EXPECT_DOUBLE_EQ(resumed.grad_norm_history[i], full.grad_norm_history[i]);
   std::remove(path.c_str());
 }
 

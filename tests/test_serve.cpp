@@ -519,6 +519,43 @@ TEST(Scheduler, JitteredSeedsProduceIsolatedTrajectories) {
   EXPECT_NE(ra.cost_history.front(), rb.cost_history.front());
 }
 
+TEST(Scheduler, RefinedScenariosShareOneAdaptedCloudPerFamily) {
+  // refine_cycles > 0 on a DAL Laplace job routes through the refined-cloud
+  // bundle: the adapted cloud is built ONCE per (grid, refinement-knob)
+  // family and shared by every job in it; a different refinement level is a
+  // different family and must rebuild.
+  OperatorCache cache(std::size_t{64} << 20);
+  serve::SchedulerOptions options;
+  options.threads = 2;
+  options.cache = &cache;
+  serve::Scheduler scheduler(options);
+
+  serve::Scenario refined = quick_laplace("refined-1", 4);
+  refined.grid_n = 10;
+  refined.refine_cycles = 1;
+  serve::Scenario sibling = refined;
+  sibling.id = "refined-2";
+  sibling.seed = 99;
+  sibling.control_jitter = 0.05;
+  serve::Scenario deeper = refined;
+  deeper.id = "refined-deeper";
+  deeper.refine_cycles = 2;
+
+  const auto i1 = scheduler.submit(refined);
+  const auto i2 = scheduler.submit(sibling);
+  const serve::JobReport r1 = scheduler.wait(i1);
+  const serve::JobReport r2 = scheduler.wait(i2);
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_TRUE(std::isfinite(r1.final_cost));
+  const OperatorCache::Stats after_family = cache.stats();
+
+  const serve::JobReport r3 = scheduler.wait(scheduler.submit(deeper));
+  ASSERT_TRUE(r3.ok()) << r3.error;
+  EXPECT_GT(cache.stats().misses, after_family.misses)
+      << "a deeper refinement level is a distinct cached artefact";
+}
+
 TEST(Scheduler, ParsersRoundTrip) {
   EXPECT_EQ(serve::parse_problem_kind("laplace"), serve::ProblemKind::kLaplace);
   EXPECT_EQ(serve::parse_strategy("fd"), serve::Strategy::kFd);

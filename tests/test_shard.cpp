@@ -274,6 +274,41 @@ TEST(Routing, FingerprintIgnoresNonDiscretisationFields) {
   EXPECT_NE(serve::scenario_fingerprint(channel), fp);
 }
 
+TEST(Routing, FingerprintSeparatesRefinementKnobs) {
+  // A refined-cloud job must never share a shard-affinity key (and thus a
+  // cached operator family) with the uniform-grid job of the same grid_n:
+  // the clouds differ, so the fingerprint must fold in the refinement knobs.
+  const Scenario base = small_scenario("a", 12, 1);
+  const std::uint64_t fp = serve::scenario_fingerprint(base);
+
+  Scenario refined = base;
+  refined.refine_cycles = 2;
+  EXPECT_NE(serve::scenario_fingerprint(refined), fp);
+
+  Scenario fraction = refined;
+  fraction.refine_fraction = 0.25;
+  EXPECT_NE(serve::scenario_fingerprint(fraction),
+            serve::scenario_fingerprint(refined));
+
+  // Deterministic: the same refined scenario fingerprints identically.
+  EXPECT_EQ(serve::scenario_fingerprint(refined),
+            serve::scenario_fingerprint(refined));
+}
+
+TEST(Wire, RefinedScenarioFieldsRoundTrip) {
+  serve::wire::JobFrame job;
+  job.job_id = 9;
+  job.scenario = small_scenario("refined/1", 12, 77);
+  job.scenario.refine_cycles = 3;
+  job.scenario.refine_fraction = 0.1875;  // dyadic: bitwise comparable
+
+  const std::string payload = serve::wire::encode_job(job);
+  const serve::wire::JobFrame back = serve::wire::decode_job(payload);
+  EXPECT_EQ(back.scenario.refine_cycles, 3u);
+  EXPECT_EQ(back.scenario.refine_fraction, 0.1875);
+  EXPECT_EQ(back.scenario.id, job.scenario.id);
+}
+
 TEST(Routing, ShardOfIsStableAndInRange) {
   ShardOptions options;
   options.shards = 4;
